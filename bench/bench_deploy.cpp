@@ -1,0 +1,91 @@
+// E2 — end-to-end service deployment over the unified multi-domain stack
+// (paper showcase ii).
+//
+// Each iteration submits a chain through the service layer (Unify RPC ->
+// virtualizer -> RO -> adapters -> simulated domains), drains the
+// infrastructure events, verifies readiness and tears the service down.
+// Series: wall time per deployment vs chain length and vs target domain;
+// counters: simulated control-plane time and native operations per
+// deployment (dominated by VM boots on the cloud path vs container starts
+// on the UN path — the asymmetry the Universal Node exists to remove).
+#include <benchmark/benchmark.h>
+
+#include "service/fig1.h"
+
+namespace {
+
+using namespace unify;
+
+void run_deploy_cycle(benchmark::State& state, const std::string& to_sap,
+                      int chain_length) {
+  auto stack = service::make_fig1_stack();
+  if (!stack.ok()) {
+    state.SkipWithError("stack assembly failed");
+    return;
+  }
+  service::Fig1Stack& s = **stack;
+  std::vector<std::string> nf_types;
+  for (int i = 0; i < chain_length; ++i) {
+    nf_types.push_back(i % 2 == 0 ? "fw-lite" : "monitor");
+  }
+
+  std::uint64_t iteration = 0;
+  SimTime sim_total = 0;
+  std::uint64_t native_total = 0;
+  for (auto _ : state) {
+    const std::string id = "svc" + std::to_string(iteration++);
+    const SimTime sim_before = s.clock.now();
+    const std::uint64_t native_before = s.emu->operations() +
+                                        s.sdn->flow_ops() +
+                                        s.cloud->api_calls() +
+                                        s.un->operations();
+    auto submitted = s.service_layer->submit(
+        sg::make_chain(id, "sap1", nf_types, to_sap, 10, 100));
+    if (!submitted.ok()) {
+      state.SkipWithError(submitted.error().to_string().c_str());
+      break;
+    }
+    s.clock.run_until_idle();
+    sim_total += s.clock.now() - sim_before;
+    native_total += s.emu->operations() + s.sdn->flow_ops() +
+                    s.cloud->api_calls() + s.un->operations() -
+                    native_before;
+    if (!s.service_layer->remove(id).ok()) {
+      state.SkipWithError("teardown failed");
+      break;
+    }
+    s.clock.run_until_idle();
+  }
+  if (iteration > 0) {
+    state.counters["sim_ms_per_deploy"] =
+        static_cast<double>(sim_total) / 1000.0 /
+        static_cast<double>(iteration);
+    state.counters["native_ops_per_deploy"] =
+        static_cast<double>(native_total) / static_cast<double>(iteration);
+  }
+}
+
+void BM_DeployToCloud(benchmark::State& state) {
+  run_deploy_cycle(state, "sap2", static_cast<int>(state.range(0)));
+}
+
+void BM_DeployToUniversalNode(benchmark::State& state) {
+  run_deploy_cycle(state, "sap3", static_cast<int>(state.range(0)));
+}
+
+BENCHMARK(BM_DeployToCloud)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DeployToUniversalNode)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// E6 — the narrow waist's serialization tax.
+//
+// The same NFFG data model crosses every layer boundary (DESIGN.md §6.1),
+// so get-config/edit-config cost scales with model size. Measured here:
+// JSON encode/decode of NFFGs vs node count, and full RPC round trips
+// (frame + parse + dispatch + reply) over the simulated channel, including
+// a fragmented-channel variant that stresses reassembly.
+#include <benchmark/benchmark.h>
+
+#include "infra/topologies.h"
+#include "model/nffg_builder.h"
+#include "model/nffg_json.h"
+#include "proto/rpc.h"
+
+namespace {
+
+using namespace unify;
+
+model::Nffg sized_nffg(int nodes) {
+  infra::topo::TopoParams params;
+  model::Nffg g = infra::topo::ring(nodes, 2, params);
+  // Populate with NFs and flowrules so the tree is configuration-shaped,
+  // not just topology-shaped.
+  int i = 0;
+  for (auto& [bb_id, bb] : g.bisbis()) {
+    const std::string nf_id = "nf" + std::to_string(i++);
+    (void)g.place_nf(bb_id, model::make_nf(nf_id, "firewall",
+                                           {1, 512, 1}, 2));
+    (void)g.add_flowrule(bb_id, model::Flowrule{nf_id + "-in",
+                                                {bb_id, 0},
+                                                {nf_id, 0},
+                                                "", "t", 10});
+    (void)g.add_flowrule(bb_id, model::Flowrule{nf_id + "-out",
+                                                {nf_id, 1},
+                                                {bb_id, 1},
+                                                "t", "-", 10});
+  }
+  return g;
+}
+
+void BM_NffgEncode(benchmark::State& state) {
+  const model::Nffg g = sized_nffg(static_cast<int>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string wire = model::to_json_string(g);
+    bytes = wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+
+void BM_NffgDecode(benchmark::State& state) {
+  const std::string wire =
+      model::to_json_string(sized_nffg(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto decoded = model::nffg_from_json_string(wire);
+    if (!decoded.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(wire.size());
+}
+
+void rpc_roundtrip(benchmark::State& state, std::size_t chunk_size) {
+  SimClock clock;
+  auto [north, south] = proto::make_channel_pair(clock, 100, chunk_size);
+  proto::RpcPeer client(north, clock, "client");
+  proto::RpcPeer server(south, clock, "server");
+  const model::Nffg g = sized_nffg(static_cast<int>(state.range(0)));
+  server.on_request("get-config",
+                    [&g](const json::Value&) -> Result<json::Value> {
+                      json::Object out;
+                      out.set("config", model::to_json(g));
+                      return json::Value{std::move(out)};
+                    });
+  for (auto _ : state) {
+    auto reply = client.call_and_wait("get-config",
+                                      json::Value{json::Object{}});
+    if (!reply.ok()) {
+      state.SkipWithError("rpc failed");
+      break;
+    }
+    auto decoded = model::nffg_from_json(*reply->get("config"));
+    if (!decoded.ok()) {
+      state.SkipWithError("decode failed");
+      break;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  // Request bytes leave the client endpoint, response bytes the server's.
+  state.counters["bytes_per_call"] =
+      static_cast<double>(client.counters().bytes_sent +
+                          server.counters().bytes_sent) /
+      static_cast<double>(std::max<std::uint64_t>(
+          1, client.counters().messages_sent));
+}
+
+void BM_GetConfigRoundTrip(benchmark::State& state) {
+  rpc_roundtrip(state, 0);
+}
+
+void BM_GetConfigFragmented(benchmark::State& state) {
+  rpc_roundtrip(state, 1400);  // MTU-ish fragments
+}
+
+BENCHMARK(BM_NffgEncode)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_NffgDecode)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_GetConfigRoundTrip)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GetConfigFragmented)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

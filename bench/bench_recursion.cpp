@@ -1,0 +1,153 @@
+// E4 — recursive orchestration (paper showcase iii).
+//
+// Builds UNIFY hierarchies of varying depth (each level a full RO +
+// single-BiS-BiS virtualizer speaking the Unify RPC to its parent) and
+// fan-out (children per level), then measures the cost of deploying one
+// chain at the top: wall time, Unify messages exchanged and simulated
+// control-plane latency, all growing with depth — the price of delegation
+// quantified (DESIGN.md §6.2).
+#include <benchmark/benchmark.h>
+
+#include "core/resource_orchestrator.h"
+#include "core/unify_api.h"
+#include "core/virtualizer.h"
+#include "mapping/chain_dp_mapper.h"
+#include "model/nffg_builder.h"
+
+namespace {
+
+using namespace unify;
+
+class StaticAdapter final : public adapters::DomainAdapter {
+ public:
+  StaticAdapter(std::string name, model::Nffg view)
+      : name_(std::move(name)), view_(std::move(view)) {}
+  const std::string& domain() const noexcept override { return name_; }
+  Result<model::Nffg> fetch_view() override { return view_; }
+  Result<void> apply(const model::Nffg&) override {
+    return Result<void>::success();
+  }
+  std::uint64_t native_operations() const noexcept override { return 0; }
+
+ private:
+  std::string name_;
+  model::Nffg view_;
+};
+
+/// Leaf infra: one BiS-BiS with a customer SAP (first leaf also gets the
+/// ingress SAP) and stitching SAPs linking consecutive leaves.
+model::Nffg leaf_infra(const std::string& name, int leaf, int fanout) {
+  model::Nffg g{name + "-infra"};
+  (void)g.add_bisbis(
+      model::make_bisbis(name + "-bb", {64, 65536, 500}, 4, 0.05));
+  if (leaf == 0) {
+    model::attach_sap(g, "sap-in", name + "-bb", 0, {10000, 0.1});
+  }
+  model::attach_sap(g, "sap-out-" + name, name + "-bb", 1, {10000, 0.1});
+  if (leaf > 0) {  // backward stitch shared with the previous leaf
+    model::attach_sap(g, "stitch" + std::to_string(leaf), name + "-bb", 2,
+                      {10000, 0.3});
+  }
+  if (leaf + 1 < fanout) {  // forward stitch shared with the next leaf
+    model::attach_sap(g, "stitch" + std::to_string(leaf + 1), name + "-bb",
+                      3, {10000, 0.3});
+  }
+  return g;
+}
+
+struct Hierarchy {
+  SimClock clock;
+  std::vector<std::unique_ptr<core::ResourceOrchestrator>> ros;
+  std::vector<std::unique_ptr<core::Virtualizer>> virtualizers;
+  core::ResourceOrchestrator* top = nullptr;
+};
+
+/// Chain of `depth` stacked UNIFY levels, `fanout` leaf domains at the
+/// bottom level (siblings stitched pairwise through shared SAPs).
+std::unique_ptr<Hierarchy> build(int depth, int fanout) {
+  auto h = std::make_unique<Hierarchy>();
+
+  // Bottom level: fanout leaf ROs over static infra.
+  std::vector<core::Virtualizer*> children;
+  for (int leaf = 0; leaf < fanout; ++leaf) {
+    const std::string name = "leaf" + std::to_string(leaf);
+    auto ro = std::make_unique<core::ResourceOrchestrator>(
+        name, std::make_shared<mapping::ChainDpMapper>(),
+        catalog::default_catalog());
+    model::Nffg infra = leaf_infra(name, leaf, fanout);
+    (void)ro->add_domain(
+        std::make_unique<StaticAdapter>(name + "-infra", std::move(infra)));
+    if (!ro->initialize().ok()) std::abort();
+    auto virt = std::make_unique<core::Virtualizer>(
+        *ro, core::ViewPolicy::kSingleBisBis, name + ".big");
+    children.push_back(virt.get());
+    h->ros.push_back(std::move(ro));
+    h->virtualizers.push_back(std::move(virt));
+  }
+
+  // Stack `depth - 1` aggregation levels on top.
+  for (int level = 1; level < depth; ++level) {
+    auto ro = std::make_unique<core::ResourceOrchestrator>(
+        "level" + std::to_string(level),
+        std::make_shared<mapping::ChainDpMapper>(),
+        catalog::default_catalog());
+    for (std::size_t c = 0; c < children.size(); ++c) {
+      (void)ro->add_domain(core::make_unify_link(
+          *children[c], h->clock,
+          "child" + std::to_string(level) + "-" + std::to_string(c)));
+    }
+    if (!ro->initialize().ok()) std::abort();
+    auto virt = std::make_unique<core::Virtualizer>(
+        *ro, core::ViewPolicy::kSingleBisBis,
+        "level" + std::to_string(level) + ".big");
+    children = {virt.get()};
+    h->ros.push_back(std::move(ro));
+    h->virtualizers.push_back(std::move(virt));
+  }
+  h->top = h->ros.back().get();
+  return h;
+}
+
+void BM_DeployThroughHierarchy(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const int fanout = static_cast<int>(state.range(1));
+  auto h = build(depth, fanout);
+
+  std::uint64_t iteration = 0;
+  SimTime sim_total = 0;
+  for (auto _ : state) {
+    const std::string id = "svc" + std::to_string(iteration++);
+    const SimTime before = h->clock.now();
+    auto request = h->top->deploy(
+        sg::make_chain(id, "sap-in", {"firewall", "nat"},
+                       "sap-out-leaf0", 10, 500));
+    if (!request.ok()) {
+      state.SkipWithError(request.error().to_string().c_str());
+      break;
+    }
+    if (!h->top->remove(id).ok()) {
+      state.SkipWithError("remove failed");
+      break;
+    }
+    sim_total += h->clock.now() - before;
+  }
+  if (iteration > 0) {
+    state.counters["sim_ms_per_cycle"] =
+        static_cast<double>(sim_total) / 1000.0 /
+        static_cast<double>(iteration);
+  }
+}
+
+BENCHMARK(BM_DeployThroughHierarchy)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({3, 1})
+    ->Args({4, 1})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({3, 2})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,155 @@
+// E1 — joint domain abstraction (paper showcase i).
+//
+// Measures the cost of generating the two client views from a merged
+// multi-domain resource graph: the collapsed single-BiS-BiS view (which
+// must compute worst-case transit delays across the whole substrate) vs
+// the full topology view, as domain count and per-domain size grow.
+// Series reported: wall time per view generation; counters carry the
+// underlying view size.
+#include <benchmark/benchmark.h>
+
+#include "catalog/nf_catalog.h"
+#include "core/resource_orchestrator.h"
+#include "core/virtualizer.h"
+#include "infra/topologies.h"
+#include "mapping/greedy_mapper.h"
+#include "model/nffg_builder.h"
+#include "model/nffg_merge.h"
+
+namespace {
+
+using namespace unify;
+
+/// Fake adapter serving a canned domain view.
+class StaticAdapter final : public adapters::DomainAdapter {
+ public:
+  StaticAdapter(std::string name, model::Nffg view)
+      : name_(std::move(name)), view_(std::move(view)) {}
+  const std::string& domain() const noexcept override { return name_; }
+  Result<model::Nffg> fetch_view() override { return view_; }
+  Result<void> apply(const model::Nffg&) override {
+    return Result<void>::success();
+  }
+  std::uint64_t native_operations() const noexcept override { return 0; }
+
+ private:
+  std::string name_;
+  model::Nffg view_;
+};
+
+/// A ring domain with one customer SAP and chained stitching SAPs so the
+/// domains merge into one connected substrate.
+model::Nffg ring_domain(int index, int nodes) {
+  infra::topo::TopoParams params;
+  model::Nffg g = infra::topo::ring(nodes, 1, params);
+  // Rename to guarantee global uniqueness.
+  model::Nffg out{"d" + std::to_string(index)};
+  const std::string prefix = "d" + std::to_string(index) + "-";
+  for (const auto& [id, bb] : g.bisbis()) {
+    model::BisBis copy = bb;
+    copy.id = prefix + id;
+    (void)out.add_bisbis(std::move(copy));
+  }
+  for (const auto& [id, sap] : g.saps()) {
+    (void)out.add_sap(model::Sap{prefix + sap.id, ""});
+  }
+  for (const auto& [id, link] : g.links()) {
+    model::Link copy = link;
+    copy.id = prefix + id;
+    copy.from.node = prefix + copy.from.node;
+    copy.to.node = prefix + copy.to.node;
+    (void)out.add_link(std::move(copy));
+  }
+  // Stitching SAPs towards the previous/next domain.
+  model::attach_sap(out, "xp" + std::to_string(index), prefix + "bb1", 3,
+                    {10000, 0.5});
+  model::attach_sap(out, "xp" + std::to_string(index + 1),
+                    prefix + "bb2", 3, {10000, 0.5});
+  return out;
+}
+
+std::unique_ptr<core::ResourceOrchestrator> build_ro(int domains,
+                                                     int nodes_per_domain) {
+  auto ro = std::make_unique<core::ResourceOrchestrator>(
+      "bench-ro", std::make_shared<mapping::GreedyMapper>(),
+      catalog::default_catalog());
+  for (int d = 0; d < domains; ++d) {
+    model::Nffg view = ring_domain(d, nodes_per_domain);
+    if (d == 0) (void)view.remove_sap("xp0");  // no dangling stitch at ends
+    if (d == domains - 1) {
+      (void)view.remove_sap("xp" + std::to_string(domains));
+    }
+    (void)ro->add_domain(
+        std::make_unique<StaticAdapter>("d" + std::to_string(d),
+                                        std::move(view)));
+  }
+  if (!ro->initialize().ok()) std::abort();
+  return ro;
+}
+
+void BM_SingleBisBisView(benchmark::State& state) {
+  const int domains = static_cast<int>(state.range(0));
+  const int nodes = static_cast<int>(state.range(1));
+  auto ro = build_ro(domains, nodes);
+  for (auto _ : state) {
+    core::Virtualizer virt(*ro, core::ViewPolicy::kSingleBisBis);
+    auto view = virt.get_config();
+    if (!view.ok()) state.SkipWithError("view generation failed");
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["bisbis_under"] =
+      static_cast<double>(ro->global_view().bisbis().size());
+  state.counters["links_under"] =
+      static_cast<double>(ro->global_view().links().size());
+}
+
+void BM_FullView(benchmark::State& state) {
+  const int domains = static_cast<int>(state.range(0));
+  const int nodes = static_cast<int>(state.range(1));
+  auto ro = build_ro(domains, nodes);
+  for (auto _ : state) {
+    core::Virtualizer virt(*ro, core::ViewPolicy::kFull);
+    auto view = virt.get_config();
+    if (!view.ok()) state.SkipWithError("view generation failed");
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["bisbis_under"] =
+      static_cast<double>(ro->global_view().bisbis().size());
+}
+
+void BM_MergeViews(benchmark::State& state) {
+  const int domains = static_cast<int>(state.range(0));
+  const int nodes = static_cast<int>(state.range(1));
+  std::vector<model::DomainView> views;
+  for (int d = 0; d < domains; ++d) {
+    model::Nffg view = ring_domain(d, nodes);
+    if (d == 0) (void)view.remove_sap("xp0");
+    if (d == domains - 1) {
+      (void)view.remove_sap("xp" + std::to_string(domains));
+    }
+    views.push_back(model::DomainView{"d" + std::to_string(d),
+                                      std::move(view)});
+  }
+  for (auto _ : state) {
+    auto merged = model::merge_views(views);
+    if (!merged.ok()) state.SkipWithError("merge failed");
+    benchmark::DoNotOptimize(merged);
+  }
+}
+
+void args(benchmark::internal::Benchmark* bench) {
+  for (const int domains : {1, 2, 4, 8, 16}) {
+    bench->Args({domains, 8});
+  }
+  for (const int nodes : {4, 16, 32, 64}) {
+    bench->Args({4, nodes});
+  }
+}
+
+BENCHMARK(BM_SingleBisBisView)->Apply(args)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FullView)->Apply(args)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MergeViews)->Apply(args)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

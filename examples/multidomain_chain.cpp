@@ -1,0 +1,110 @@
+// Multi-domain service lifecycle: several tenants share the unified
+// infrastructure; services are deployed, monitored, and torn down while
+// the orchestrator keeps the books straight (paper showcase ii).
+//
+// Demonstrates: multiple concurrent chains, bandwidth accounting on shared
+// inter-domain links, rejection under exhaustion, and release on teardown.
+//
+// Run: ./multidomain_chain
+#include <cstdio>
+
+#include "service/fig1.h"
+#include "viz/dot.h"
+
+using namespace unify;
+
+namespace {
+
+void print_reservations(const model::Nffg& view) {
+  std::printf("  link reservations:\n");
+  for (const auto& [id, link] : view.links()) {
+    if (link.reserved > 0) {
+      std::printf("    %-22s %6.0f / %6.0f Mbit/s\n", id.c_str(),
+                  link.reserved, link.attrs.bandwidth);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto stack = service::make_fig1_stack();
+  if (!stack.ok()) {
+    std::fprintf(stderr, "stack assembly failed: %s\n",
+                 stack.error().to_string().c_str());
+    return 1;
+  }
+  service::Fig1Stack& s = **stack;
+
+  // Tenant A: web security chain sap1 -> firewall -> sap2 @ 400 Mbit/s.
+  // Tenant B: monitoring tap sap3 -> monitor -> sap2 @ 200 Mbit/s.
+  // Tenant C: CDN edge sap2 -> cdn-edge -> sap3 @ 300 Mbit/s (decomposes
+  //           into lb + cache + monitor). Each tenant enters at a distinct
+  //           SAP: ingress classification is (port, tag)-based, so chains
+  //           sharing an ingress SAP would be indistinguishable (real
+  //           deployments put a 5-tuple classifier there; see DESIGN.md).
+  struct Tenant {
+    const char* id;
+    sg::ServiceGraph graph;
+  };
+  std::vector<Tenant> tenants;
+  tenants.push_back(
+      {"tenant-a",
+       sg::make_chain("tenant-a", "sap1", {"firewall"}, "sap2", 400, 40)});
+  tenants.push_back(
+      {"tenant-b",
+       sg::make_chain("tenant-b", "sap3", {"monitor"}, "sap2", 200, 40)});
+  tenants.push_back(
+      {"tenant-c",
+       sg::make_chain("tenant-c", "sap2", {"cdn-edge"}, "sap3", 300, 60)});
+
+  for (const Tenant& tenant : tenants) {
+    const auto id = s.service_layer->submit(tenant.graph);
+    std::printf("deploy %-10s : %s\n", tenant.id,
+                id.ok() ? "ok" : id.error().to_string().c_str());
+    if (!id.ok()) return 1;
+  }
+  s.clock.run_until_idle();
+  (void)s.ro->sync_statuses();
+
+  std::printf("\n== state after 3 tenants ==\n%s",
+              viz::summary_table(s.ro->global_view()).c_str());
+  print_reservations(s.ro->global_view());
+
+  // All three data paths work simultaneously.
+  for (const auto& [from, to] :
+       {std::pair{"sap1", "sap2"}, {"sap3", "sap2"}, {"sap2", "sap3"}}) {
+    const auto trace = service::end_to_end_trace(s, from, to);
+    std::printf("  trace %s -> %s: %s\n", from, to,
+                trace.ok() ? "delivered" : trace.error().to_string().c_str());
+    if (!trace.ok()) return 1;
+  }
+
+  // A fourth tenant asking for more than the remaining sap1 bandwidth is
+  // rejected without disturbing the others...
+  const auto overload = s.service_layer->submit(
+      sg::make_chain("tenant-d", "sap1", {"nat"}, "sap2", 800, 40));
+  std::printf("\ndeploy tenant-d (800 Mbit/s on a saturated edge): %s\n",
+              overload.ok() ? "UNEXPECTEDLY ACCEPTED"
+                            : overload.error().to_string().c_str());
+  if (overload.ok()) return 1;
+
+  // ...but fits after tenant A releases its share.
+  if (const auto removed = s.service_layer->remove("tenant-a");
+      !removed.ok()) {
+    std::fprintf(stderr, "remove failed: %s\n",
+                 removed.error().to_string().c_str());
+    return 1;
+  }
+  const auto retry = s.service_layer->submit(
+      sg::make_chain("tenant-d", "sap1", {"nat"}, "sap2", 800, 40));
+  std::printf("deploy tenant-d after tenant-a left: %s\n",
+              retry.ok() ? "ok" : retry.error().to_string().c_str());
+  if (!retry.ok()) return 1;
+
+  std::printf("\n== final state ==\n%s",
+              viz::summary_table(s.ro->global_view()).c_str());
+  print_reservations(s.ro->global_view());
+  std::printf("\nmultidomain_chain OK\n");
+  return 0;
+}

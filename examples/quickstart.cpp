@@ -1,0 +1,79 @@
+// Quickstart: deploy one service chain over the full multi-domain stack.
+//
+// Builds the paper's Fig. 1 setup (emulated network + OpenFlow transport +
+// OpenStack DC + Universal Node under one resource orchestrator), submits
+// a firewall->NAT chain between two customer SAPs through the service
+// layer, waits for the NFs to come up, and proves with a data-plane packet
+// trace that traffic is steered through every NF across the domains.
+//
+// Run: ./quickstart
+#include <cstdio>
+
+#include "service/fig1.h"
+#include "viz/dot.h"
+
+using namespace unify;
+
+int main() {
+  // 1. Assemble the multi-domain stack (Fig. 1 of the paper).
+  auto stack = service::make_fig1_stack();
+  if (!stack.ok()) {
+    std::fprintf(stderr, "stack assembly failed: %s\n",
+                 stack.error().to_string().c_str());
+    return 1;
+  }
+  service::Fig1Stack& s = **stack;
+  std::printf("== global resource view (merged from 4 domains) ==\n%s\n",
+              viz::summary_table(s.ro->global_view()).c_str());
+
+  // 2. Describe the service: sap1 -> firewall -> nat -> sap2, 50 Mbit/s,
+  //    at most 40 ms end to end.
+  const sg::ServiceGraph request =
+      sg::make_chain("demo", "sap1", {"firewall", "nat"}, "sap2",
+                     /*bandwidth=*/50, /*max_delay=*/40);
+  std::printf("== service request ==\n%s\n", viz::to_dot(request).c_str());
+
+  // 3. Submit through the service layer (Unify RPC -> virtualizer -> RO ->
+  //    domain adapters -> infrastructure).
+  if (const auto id = s.service_layer->submit(request); !id.ok()) {
+    std::fprintf(stderr, "deployment failed: %s\n",
+                 id.error().to_string().c_str());
+    return 1;
+  }
+
+  // 4. Let the infrastructure finish (VM boot etc.) and roll statuses up.
+  s.clock.run_until_idle();
+  (void)s.ro->sync_statuses();
+  const auto ready = s.service_layer->is_ready("demo");
+  std::printf("service ready: %s (simulated time %.1f ms)\n",
+              ready.ok() && *ready ? "yes" : "no",
+              static_cast<double>(s.clock.now()) / 1000.0);
+
+  // 5. Verify the data plane: inject a packet at sap1, follow the flow
+  //    tables across all domains.
+  const auto trace = service::end_to_end_trace(s, "sap1", "sap2");
+  if (!trace.ok()) {
+    std::fprintf(stderr, "packet trace failed: %s\n",
+                 trace.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("\n== packet trace sap1 -> sap2 ==\n");
+  for (const service::TraceStep& step : *trace) {
+    std::printf("  %-14s %-16s -> %-16s (%zu switch hops, tag '%s')\n",
+                step.domain.c_str(), step.ingress_endpoint.c_str(),
+                step.egress_endpoint.c_str(), step.switch_hops,
+                step.tag_out.c_str());
+  }
+
+  // 6. Where did everything land?
+  std::printf("\n== placements ==\n");
+  for (const auto& [bb_id, bb] : s.ro->global_view().bisbis()) {
+    for (const auto& [nf_id, nf] : bb.nfs) {
+      std::printf("  %-24s (%s) on %s [%s]\n", nf_id.c_str(),
+                  nf.type.c_str(), bb_id.c_str(),
+                  model::to_string(nf.status));
+    }
+  }
+  std::printf("\nquickstart OK\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "adapters/base_adapter.h"
+
+#include "util/log.h"
+
+namespace unify::adapters {
+
+Result<void> BaseAdapter::ensure_initialized() {
+  if (initialized_) return Result<void>::success();
+  UNIFY_ASSIGN_OR_RETURN(deployed_, build_skeleton());
+  initialized_ = true;
+  return Result<void>::success();
+}
+
+Result<model::Nffg> BaseAdapter::fetch_view() {
+  UNIFY_RETURN_IF_ERROR(ensure_initialized());
+  UNIFY_RETURN_IF_ERROR(refresh_statuses(deployed_));
+  return deployed_;
+}
+
+Result<void> BaseAdapter::apply(const model::Nffg& desired) {
+  UNIFY_RETURN_IF_ERROR(ensure_initialized());
+  model::ConfigDelta delta;
+  if (full_reinstall_) {
+    // Naive strategy: everything currently deployed is removed, everything
+    // desired is installed, regardless of overlap.
+    for (const auto& [bb_id, bb] : deployed_.bisbis()) {
+      for (const model::Flowrule& fr : bb.flowrules) {
+        delta.rule_removals.push_back(model::RuleRemoval{bb_id, fr.id});
+      }
+      for (const auto& [nf_id, nf] : bb.nfs) {
+        delta.nf_removals.push_back(model::NfRemoval{bb_id, nf_id});
+      }
+    }
+    for (const auto& [bb_id, bb] : desired.bisbis()) {
+      for (const auto& [nf_id, nf] : bb.nfs) {
+        delta.nf_placements.push_back(model::NfPlacement{bb_id, nf});
+      }
+      for (const model::Flowrule& fr : bb.flowrules) {
+        delta.rule_installs.push_back(model::RuleInstall{bb_id, fr});
+      }
+    }
+  } else {
+    UNIFY_ASSIGN_OR_RETURN(delta, model::diff(deployed_, desired));
+  }
+  UNIFY_LOG(kDebug, "adapter") << domain() << ": applying delta of "
+                               << delta.size() << " operations";
+  // Removals free resources first; every successful native op is mirrored
+  // into deployed_ immediately so a partial failure leaves an accurate
+  // record.
+  for (const model::RuleRemoval& rr : delta.rule_removals) {
+    UNIFY_RETURN_IF_ERROR(do_remove_rule(rr.bisbis, rr.rule_id));
+    UNIFY_RETURN_IF_ERROR(deployed_.remove_flowrule(rr.bisbis, rr.rule_id));
+  }
+  for (const model::NfRemoval& nr : delta.nf_removals) {
+    UNIFY_RETURN_IF_ERROR(do_remove_nf(nr.bisbis, nr.nf_id));
+    UNIFY_RETURN_IF_ERROR(deployed_.remove_nf(nr.bisbis, nr.nf_id));
+  }
+  for (const model::NfPlacement& np : delta.nf_placements) {
+    UNIFY_RETURN_IF_ERROR(do_place_nf(np.bisbis, np.nf));
+    UNIFY_RETURN_IF_ERROR(deployed_.place_nf(np.bisbis, np.nf));
+  }
+  for (const model::RuleInstall& ri : delta.rule_installs) {
+    UNIFY_RETURN_IF_ERROR(do_install_rule(ri.bisbis, ri.rule));
+    UNIFY_RETURN_IF_ERROR(deployed_.add_flowrule(ri.bisbis, ri.rule));
+  }
+  return Result<void>::success();
+}
+
+}  // namespace unify::adapters

@@ -1,0 +1,94 @@
+#include "adapters/cloud_adapter.h"
+
+#include "model/nffg_builder.h"
+
+namespace unify::adapters {
+
+void CloudAdapter::map_sap(int ext_port, const std::string& sap_id,
+                           model::LinkAttrs attrs) {
+  sap_bindings_[ext_port] = SapBinding{sap_id, attrs};
+}
+
+Result<model::Nffg> CloudAdapter::build_skeleton() {
+  model::Nffg view{domain() + "-view"};
+  model::BisBis bb;
+  bb.id = bisbis_id();
+  bb.name = domain() + " data center";
+  bb.domain = domain();
+  bb.capacity = cloud_->total_capacity();
+  bb.internal_delay = 0.2;  // DC fabric crossing
+  // One BiS-BiS port per external gateway uplink.
+  for (int p = 0; p < 4; ++p) bb.ports.push_back(model::Port{p, ""});
+  UNIFY_RETURN_IF_ERROR(view.add_bisbis(std::move(bb)));
+  for (const auto& [port, binding] : sap_bindings_) {
+    UNIFY_RETURN_IF_ERROR(view.add_sap(model::Sap{binding.sap, binding.sap}));
+    UNIFY_RETURN_IF_ERROR(view.add_bidirectional_link(
+        domain() + ".s-" + binding.sap, model::PortRef{binding.sap, 0},
+        model::PortRef{bisbis_id(), port}, binding.attrs));
+  }
+  return view;
+}
+
+Result<void> CloudAdapter::refresh_statuses(model::Nffg& view) {
+  model::BisBis* bb = view.find_bisbis(bisbis_id());
+  if (bb == nullptr) return Result<void>::success();
+  for (auto& [nf_id, nf] : bb->nfs) {
+    const infra::Vm* vm = cloud_->find_vm(nf_id);
+    if (vm == nullptr) continue;
+    switch (vm->status) {
+      case infra::VmStatus::kBuild:
+        nf.status = model::NfStatus::kDeploying;
+        break;
+      case infra::VmStatus::kActive:
+        nf.status = model::NfStatus::kRunning;
+        break;
+      case infra::VmStatus::kDeleted:
+        nf.status = model::NfStatus::kStopped;
+        break;
+      case infra::VmStatus::kError:
+        nf.status = model::NfStatus::kFailed;
+        break;
+    }
+  }
+  return Result<void>::success();
+}
+
+Result<void> CloudAdapter::do_place_nf(const std::string& node,
+                                       const model::NfInstance& nf) {
+  if (node != bisbis_id()) {
+    return Error{ErrorCode::kNotFound, "unknown BiS-BiS " + node};
+  }
+  return cloud_->boot_vm(nf.id, nf.type, nf.requirement,
+                         static_cast<int>(nf.ports.size()));
+}
+
+Result<void> CloudAdapter::do_remove_nf(const std::string& node,
+                                        const std::string& nf_id) {
+  (void)node;
+  return cloud_->delete_vm(nf_id);
+}
+
+Result<std::string> CloudAdapter::endpoint_of(const model::PortRef& ref,
+                                              const std::string& node) const {
+  if (ref.node == node) {
+    return "ext" + std::to_string(ref.port);
+  }
+  // NF port -> VM NIC endpoint.
+  return ref.node + ":" + std::to_string(ref.port);
+}
+
+Result<void> CloudAdapter::do_install_rule(const std::string& node,
+                                           const model::Flowrule& rule) {
+  UNIFY_ASSIGN_OR_RETURN(const std::string from, endpoint_of(rule.in, node));
+  UNIFY_ASSIGN_OR_RETURN(const std::string to, endpoint_of(rule.out, node));
+  return cloud_->install_steering(rule.id, from, rule.match_tag, to,
+                                  rule.set_tag);
+}
+
+Result<void> CloudAdapter::do_remove_rule(const std::string& node,
+                                          const std::string& rule_id) {
+  (void)node;
+  return cloud_->remove_steering(rule_id);
+}
+
+}  // namespace unify::adapters

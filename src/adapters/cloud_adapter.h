@@ -1,0 +1,60 @@
+// Adapter for the OpenStack + OpenDaylight legacy data center.
+//
+// The whole DC is advertised as a single BiS-BiS ("<domain>.dc") whose
+// capacity is the hypervisor total — the paper's "UNIFY conform local
+// orchestrator implemented on top of an OpenStack domain". NFs become VMs
+// (nova boot), flowrules become ODL steering pushes on the DC gateway.
+#pragma once
+
+#include <map>
+
+#include "adapters/base_adapter.h"
+#include "infra/cloud.h"
+
+namespace unify::adapters {
+
+class CloudAdapter final : public BaseAdapter {
+ public:
+  explicit CloudAdapter(infra::Cloud& cloud) : cloud_(&cloud) {}
+
+  /// Binds external gateway port `ext_port` to SAP `sap_id` in the view.
+  /// Call before the first fetch_view/apply.
+  void map_sap(int ext_port, const std::string& sap_id,
+               model::LinkAttrs attrs);
+
+  [[nodiscard]] const std::string& domain() const noexcept override {
+    return cloud_->name();
+  }
+  [[nodiscard]] std::uint64_t native_operations() const noexcept override {
+    return cloud_->api_calls();
+  }
+  [[nodiscard]] std::string bisbis_id() const {
+    return domain() + ".dc";
+  }
+
+ protected:
+  [[nodiscard]] Result<model::Nffg> build_skeleton() override;
+  Result<void> refresh_statuses(model::Nffg& view) override;
+  Result<void> do_place_nf(const std::string& node,
+                           const model::NfInstance& nf) override;
+  Result<void> do_remove_nf(const std::string& node,
+                            const std::string& nf_id) override;
+  Result<void> do_install_rule(const std::string& node,
+                               const model::Flowrule& rule) override;
+  Result<void> do_remove_rule(const std::string& node,
+                              const std::string& rule_id) override;
+
+ private:
+  /// Gateway endpoint name for a flowrule port ref.
+  [[nodiscard]] Result<std::string> endpoint_of(const model::PortRef& ref,
+                                                const std::string& node) const;
+
+  infra::Cloud* cloud_;
+  struct SapBinding {
+    std::string sap;
+    model::LinkAttrs attrs;
+  };
+  std::map<int, SapBinding> sap_bindings_;  // ext port -> sap
+};
+
+}  // namespace unify::adapters

@@ -1,0 +1,39 @@
+// Domain adapter interface: the paper's "controller adapter modules".
+//
+// An adapter owns the translation between the joint NFFG abstraction and
+// one technology domain: northbound it advertises the domain as (one or
+// more) BiS-BiS nodes; southbound it turns configuration changes into the
+// domain's native operations (flow-mods, VM boots, container starts, Click
+// processes). The resource orchestrator treats every domain uniformly
+// through this interface — that is the paper's core claim.
+#pragma once
+
+#include <string>
+
+#include "model/nffg.h"
+#include "util/result.h"
+
+namespace unify::adapters {
+
+class DomainAdapter {
+ public:
+  virtual ~DomainAdapter() = default;
+
+  /// Stable domain name; doubles as the BiS-BiS id prefix in views.
+  [[nodiscard]] virtual const std::string& domain() const noexcept = 0;
+
+  /// Current domain view: topology, capacities, deployed NFs (with live
+  /// statuses) and installed flowrules.
+  [[nodiscard]] virtual Result<model::Nffg> fetch_view() = 0;
+
+  /// Drives the domain towards `desired` (a config over this domain's
+  /// view): computes the delta against the currently deployed config and
+  /// issues native operations. Partial failure leaves the deployed config
+  /// reflecting what actually succeeded.
+  virtual Result<void> apply(const model::Nffg& desired) = 0;
+
+  /// Native operations issued so far (flow-mods + lifecycle ops).
+  [[nodiscard]] virtual std::uint64_t native_operations() const noexcept = 0;
+};
+
+}  // namespace unify::adapters

@@ -1,0 +1,84 @@
+#include "adapters/emu_adapter.h"
+
+#include "model/nffg_builder.h"
+
+namespace unify::adapters {
+
+std::string EmuAdapter::local(const std::string& node) const {
+  const std::string prefix = domain() + ".";
+  if (strings::starts_with(node, prefix)) return node.substr(prefix.size());
+  return node;
+}
+
+Result<model::Nffg> EmuAdapter::build_skeleton() {
+  model::Nffg view{domain() + "-view"};
+  for (const auto& [sw_id, ee] : emu_->ees()) {
+    const int ports = emu_->public_ports(sw_id);
+    model::BisBis bb = model::make_bisbis(domain() + "." + sw_id,
+                                          ee.capacity, ports,
+                                          /*internal_delay=*/0.1);
+    bb.domain = domain();
+    UNIFY_RETURN_IF_ERROR(view.add_bisbis(std::move(bb)));
+  }
+  int link_seq = 0;
+  for (const auto& wire : emu_->wires()) {
+    UNIFY_RETURN_IF_ERROR(view.add_bidirectional_link(
+        domain() + ".w" + std::to_string(link_seq++),
+        model::PortRef{domain() + "." + wire.a, wire.port_a},
+        model::PortRef{domain() + "." + wire.b, wire.port_b}, wire.attrs));
+  }
+  for (const auto& sap : emu_->saps()) {
+    UNIFY_RETURN_IF_ERROR(view.add_sap(model::Sap{sap.sap, sap.sap}));
+    UNIFY_RETURN_IF_ERROR(view.add_bidirectional_link(
+        domain() + ".s-" + sap.sap, model::PortRef{sap.sap, 0},
+        model::PortRef{domain() + "." + sap.sw, sap.port}, sap.attrs));
+  }
+  return view;
+}
+
+Result<void> EmuAdapter::do_place_nf(const std::string& node,
+                                     const model::NfInstance& nf) {
+  return emu_->start_click(nf.id, nf.type, local(node), nf.requirement,
+                           static_cast<int>(nf.ports.size()));
+}
+
+Result<void> EmuAdapter::do_remove_nf(const std::string& node,
+                                      const std::string& nf_id) {
+  (void)node;
+  return emu_->stop_click(nf_id);
+}
+
+Result<int> EmuAdapter::switch_port_of(const model::PortRef& ref,
+                                       const std::string& node) const {
+  if (ref.node == node) return ref.port;
+  const infra::ClickProcess* click = emu_->find_click(ref.node);
+  if (click == nullptr) {
+    return Error{ErrorCode::kNotFound, "click process " + ref.node};
+  }
+  if (ref.port < 0 ||
+      ref.port >= static_cast<int>(click->switch_ports.size())) {
+    return Error{ErrorCode::kNotFound,
+                 "click port " + ref.to_string() + " out of range"};
+  }
+  return click->switch_ports[static_cast<std::size_t>(ref.port)];
+}
+
+Result<void> EmuAdapter::do_install_rule(const std::string& node,
+                                         const model::Flowrule& rule) {
+  UNIFY_ASSIGN_OR_RETURN(const int in_port, switch_port_of(rule.in, node));
+  UNIFY_ASSIGN_OR_RETURN(const int out_port, switch_port_of(rule.out, node));
+  infra::FlowEntry entry;
+  entry.id = rule.id;
+  entry.in_port = in_port;
+  entry.match_tag = rule.match_tag;
+  entry.out_port = out_port;
+  entry.set_tag = rule.set_tag;
+  return emu_->install_flow(local(node), std::move(entry));
+}
+
+Result<void> EmuAdapter::do_remove_rule(const std::string& node,
+                                        const std::string& rule_id) {
+  return emu_->remove_flow(local(node), rule_id);
+}
+
+}  // namespace unify::adapters

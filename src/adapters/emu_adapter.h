@@ -1,0 +1,44 @@
+// Adapter for the Mininet-style emulated domain (Click NFs, NETCONF +
+// OpenFlow control). Each switch with its execution environment is a
+// BiS-BiS ("<domain>.<switch>") with the EE's compute capacity; NFs become
+// Click processes beside the chosen switch.
+#pragma once
+
+#include "adapters/base_adapter.h"
+#include "infra/emu_network.h"
+
+namespace unify::adapters {
+
+class EmuAdapter final : public BaseAdapter {
+ public:
+  explicit EmuAdapter(infra::EmuNetwork& emu) : emu_(&emu) {}
+
+  [[nodiscard]] const std::string& domain() const noexcept override {
+    return emu_->name();
+  }
+  [[nodiscard]] std::uint64_t native_operations() const noexcept override {
+    return emu_->operations();
+  }
+
+ protected:
+  [[nodiscard]] Result<model::Nffg> build_skeleton() override;
+  Result<void> do_place_nf(const std::string& node,
+                           const model::NfInstance& nf) override;
+  Result<void> do_remove_nf(const std::string& node,
+                            const std::string& nf_id) override;
+  Result<void> do_install_rule(const std::string& node,
+                               const model::Flowrule& rule) override;
+  Result<void> do_remove_rule(const std::string& node,
+                              const std::string& rule_id) override;
+
+ private:
+  [[nodiscard]] std::string local(const std::string& node) const;
+  /// Maps a flowrule port ref to a raw switch port: the BiS-BiS's own port,
+  /// or the switch port a Click process NIC is patched to.
+  [[nodiscard]] Result<int> switch_port_of(const model::PortRef& ref,
+                                           const std::string& node) const;
+
+  infra::EmuNetwork* emu_;
+};
+
+}  // namespace unify::adapters

@@ -1,0 +1,70 @@
+// Fault-injecting decorator around any DomainAdapter: fails the next N
+// operations, or every operation with a seeded probability. Used to test
+// the orchestration stack's behaviour under domain failures (rejected
+// configs, unreachable controllers) without special-casing the simulators.
+#pragma once
+
+#include <memory>
+
+#include "adapters/domain_adapter.h"
+#include "util/rng.h"
+
+namespace unify::adapters {
+
+class FaultyAdapter final : public DomainAdapter {
+ public:
+  explicit FaultyAdapter(std::unique_ptr<DomainAdapter> inner,
+                         std::uint64_t seed = 1)
+      : inner_(std::move(inner)), rng_(seed) {}
+
+  /// The next `n` apply/fetch operations fail with `code`.
+  void fail_next(int n, ErrorCode code = ErrorCode::kUnavailable) {
+    fail_next_ = n;
+    code_ = code;
+  }
+  /// Every operation fails independently with this probability.
+  void set_failure_rate(double rate) { failure_rate_ = rate; }
+
+  [[nodiscard]] const std::string& domain() const noexcept override {
+    return inner_->domain();
+  }
+  [[nodiscard]] Result<model::Nffg> fetch_view() override {
+    UNIFY_RETURN_IF_ERROR(maybe_fail("fetch_view"));
+    return inner_->fetch_view();
+  }
+  Result<void> apply(const model::Nffg& desired) override {
+    UNIFY_RETURN_IF_ERROR(maybe_fail("apply"));
+    return inner_->apply(desired);
+  }
+  [[nodiscard]] std::uint64_t native_operations() const noexcept override {
+    return inner_->native_operations();
+  }
+  [[nodiscard]] std::uint64_t injected_failures() const noexcept {
+    return injected_;
+  }
+
+ private:
+  Result<void> maybe_fail(const char* op) {
+    if (fail_next_ > 0) {
+      --fail_next_;
+      ++injected_;
+      return Error{code_, std::string(op) + " failed (injected) in domain " +
+                              inner_->domain()};
+    }
+    if (failure_rate_ > 0 && rng_.next_bool(failure_rate_)) {
+      ++injected_;
+      return Error{code_, std::string(op) + " failed (injected, random) in " +
+                              inner_->domain()};
+    }
+    return Result<void>::success();
+  }
+
+  std::unique_ptr<DomainAdapter> inner_;
+  Rng rng_;
+  int fail_next_ = 0;
+  double failure_rate_ = 0;
+  ErrorCode code_ = ErrorCode::kUnavailable;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace unify::adapters

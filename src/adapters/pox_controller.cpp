@@ -1,0 +1,63 @@
+#include "adapters/pox_controller.h"
+
+#include "proto/openflow.h"
+
+namespace unify::adapters {
+
+PoxController::PoxController(infra::SdnNetwork& net,
+                             std::shared_ptr<proto::Endpoint> endpoint,
+                             SimClock& clock)
+    : net_(&net),
+      peer_(std::move(endpoint), clock, net.name() + "-pox") {
+  peer_.on_request(
+      proto::openflow::kFlowModMethod,
+      [this](const json::Value& params) -> Result<json::Value> {
+        UNIFY_ASSIGN_OR_RETURN(const proto::openflow::FlowMod msg,
+                               proto::openflow::flow_mod_from_json(params));
+        if (msg.command == proto::openflow::FlowModCommand::kAdd) {
+          UNIFY_RETURN_IF_ERROR(net_->install_flow(msg.dpid, msg.entry));
+        } else {
+          UNIFY_RETURN_IF_ERROR(net_->remove_flow(msg.dpid, msg.entry.id));
+        }
+        return json::Value{json::Object{}};
+      });
+  peer_.on_request(
+      proto::openflow::kTopologyMethod,
+      [this](const json::Value&) -> Result<json::Value> {
+        json::Object out;
+        json::Array switches;
+        for (const auto& [id, sw] : net_->fabric().switches()) {
+          json::Object o;
+          o.set("dpid", id);
+          o.set("ports", sw.port_count());
+          switches.emplace_back(std::move(o));
+        }
+        out.set("switches", std::move(switches));
+        json::Array wires;
+        for (const auto& wire : net_->wires()) {
+          json::Object o;
+          o.set("a", wire.a);
+          o.set("port_a", wire.port_a);
+          o.set("b", wire.b);
+          o.set("port_b", wire.port_b);
+          o.set("bandwidth", wire.attrs.bandwidth);
+          o.set("delay", wire.attrs.delay);
+          wires.emplace_back(std::move(o));
+        }
+        out.set("wires", std::move(wires));
+        json::Array saps;
+        for (const auto& sap : net_->saps()) {
+          json::Object o;
+          o.set("sap", sap.sap);
+          o.set("switch", sap.sw);
+          o.set("port", sap.port);
+          o.set("bandwidth", sap.attrs.bandwidth);
+          o.set("delay", sap.attrs.delay);
+          saps.emplace_back(std::move(o));
+        }
+        out.set("saps", std::move(saps));
+        return json::Value{std::move(out)};
+      });
+}
+
+}  // namespace unify::adapters

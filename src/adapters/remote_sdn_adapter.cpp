@@ -1,0 +1,126 @@
+#include "adapters/remote_sdn_adapter.h"
+
+#include "model/nffg_builder.h"
+#include "proto/openflow.h"
+
+namespace unify::adapters {
+
+RemoteSdnAdapter::RemoteSdnAdapter(std::string domain_name,
+                                   std::shared_ptr<proto::Endpoint> endpoint,
+                                   SimClock& clock)
+    : domain_(std::move(domain_name)),
+      peer_(std::move(endpoint), clock, domain_ + "-of-client") {}
+
+std::string RemoteSdnAdapter::local(const std::string& node) const {
+  const std::string prefix = domain_ + ".";
+  if (strings::starts_with(node, prefix)) return node.substr(prefix.size());
+  return node;
+}
+
+Result<model::Nffg> RemoteSdnAdapter::build_skeleton() {
+  UNIFY_ASSIGN_OR_RETURN(
+      const json::Value topo,
+      peer_.call_and_wait(proto::openflow::kTopologyMethod,
+                          json::Value{json::Object{}}));
+  model::Nffg view{domain_ + "-view"};
+  const json::Value* switches = topo.get("switches");
+  if (switches == nullptr || !switches->is_array()) {
+    return Error{ErrorCode::kProtocol, "of.topology missing switches"};
+  }
+  for (const json::Value& sv : switches->as_array()) {
+    model::BisBis bb = model::make_bisbis(
+        domain_ + "." + sv.get_string("dpid"), model::Resources{},
+        static_cast<int>(sv.get_int("ports")), /*internal_delay=*/0.02);
+    bb.domain = domain_;
+    UNIFY_RETURN_IF_ERROR(view.add_bisbis(std::move(bb)));
+  }
+  int link_seq = 0;
+  if (const json::Value* wires = topo.get("wires")) {
+    if (!wires->is_array()) {
+      return Error{ErrorCode::kProtocol, "of.topology wires malformed"};
+    }
+    for (const json::Value& wv : wires->as_array()) {
+      UNIFY_RETURN_IF_ERROR(view.add_bidirectional_link(
+          domain_ + ".w" + std::to_string(link_seq++),
+          model::PortRef{domain_ + "." + wv.get_string("a"),
+                         static_cast<int>(wv.get_int("port_a"))},
+          model::PortRef{domain_ + "." + wv.get_string("b"),
+                         static_cast<int>(wv.get_int("port_b"))},
+          model::LinkAttrs{wv.get_number("bandwidth"),
+                           wv.get_number("delay")}));
+    }
+  }
+  if (const json::Value* saps = topo.get("saps")) {
+    if (!saps->is_array()) {
+      return Error{ErrorCode::kProtocol, "of.topology saps malformed"};
+    }
+    for (const json::Value& sv : saps->as_array()) {
+      const std::string sap = sv.get_string("sap");
+      UNIFY_RETURN_IF_ERROR(view.add_sap(model::Sap{sap, sap}));
+      UNIFY_RETURN_IF_ERROR(view.add_bidirectional_link(
+          domain_ + ".s-" + sap, model::PortRef{sap, 0},
+          model::PortRef{domain_ + "." + sv.get_string("switch"),
+                         static_cast<int>(sv.get_int("port"))},
+          model::LinkAttrs{sv.get_number("bandwidth"),
+                           sv.get_number("delay")}));
+    }
+  }
+  return view;
+}
+
+Result<void> RemoteSdnAdapter::do_place_nf(const std::string& node,
+                                           const model::NfInstance& nf) {
+  return Error{ErrorCode::kRejected,
+               "SDN domain " + domain_ + " is forwarding-only; cannot host " +
+                   nf.id + " on " + node};
+}
+
+Result<void> RemoteSdnAdapter::do_remove_nf(const std::string& node,
+                                            const std::string& nf_id) {
+  return Error{ErrorCode::kNotFound,
+               "no NF " + nf_id + " in forwarding-only domain (" + node + ")"};
+}
+
+Result<void> RemoteSdnAdapter::send_flow_mod(const std::string& node,
+                                             const model::Flowrule& rule,
+                                             bool remove) {
+  for (const model::PortRef* ref : {&rule.in, &rule.out}) {
+    if (ref->node != node) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "flowrule " + rule.id + " references NF port " +
+                       ref->to_string() + " in forwarding-only domain"};
+    }
+  }
+  proto::openflow::FlowMod msg;
+  msg.dpid = local(node);
+  msg.command = remove ? proto::openflow::FlowModCommand::kDelete
+                       : proto::openflow::FlowModCommand::kAdd;
+  msg.entry.id = rule.id;
+  msg.entry.in_port = rule.in.port;
+  msg.entry.match_tag = rule.match_tag;
+  msg.entry.out_port = rule.out.port;
+  msg.entry.set_tag = rule.set_tag;
+  UNIFY_ASSIGN_OR_RETURN(
+      const json::Value reply,
+      peer_.call_and_wait(proto::openflow::kFlowModMethod,
+                          proto::openflow::to_json(msg)));
+  (void)reply;
+  ++flow_mods_sent_;
+  return Result<void>::success();
+}
+
+Result<void> RemoteSdnAdapter::do_install_rule(const std::string& node,
+                                               const model::Flowrule& rule) {
+  return send_flow_mod(node, rule, /*remove=*/false);
+}
+
+Result<void> RemoteSdnAdapter::do_remove_rule(const std::string& node,
+                                              const std::string& rule_id) {
+  model::Flowrule rule;
+  rule.id = rule_id;
+  rule.in = model::PortRef{node, 0};
+  rule.out = model::PortRef{node, 0};
+  return send_flow_mod(node, rule, /*remove=*/true);
+}
+
+}  // namespace unify::adapters

@@ -1,0 +1,75 @@
+#include "adapters/sdn_adapter.h"
+
+#include "model/nffg_builder.h"
+
+namespace unify::adapters {
+
+std::string SdnAdapter::local(const std::string& node) const {
+  const std::string prefix = domain() + ".";
+  if (strings::starts_with(node, prefix)) return node.substr(prefix.size());
+  return node;
+}
+
+Result<model::Nffg> SdnAdapter::build_skeleton() {
+  model::Nffg view{domain() + "-view"};
+  for (const auto& [sw_id, sw] : net_->fabric().switches()) {
+    model::BisBis bb = model::make_bisbis(domain() + "." + sw_id,
+                                          model::Resources{}, sw.port_count(),
+                                          /*internal_delay=*/0.02);
+    bb.domain = domain();
+    UNIFY_RETURN_IF_ERROR(view.add_bisbis(std::move(bb)));
+  }
+  int link_seq = 0;
+  for (const auto& wire : net_->wires()) {
+    UNIFY_RETURN_IF_ERROR(view.add_bidirectional_link(
+        domain() + ".w" + std::to_string(link_seq++),
+        model::PortRef{domain() + "." + wire.a, wire.port_a},
+        model::PortRef{domain() + "." + wire.b, wire.port_b}, wire.attrs));
+  }
+  for (const auto& sap : net_->saps()) {
+    UNIFY_RETURN_IF_ERROR(view.add_sap(model::Sap{sap.sap, sap.sap}));
+    UNIFY_RETURN_IF_ERROR(view.add_bidirectional_link(
+        domain() + ".s-" + sap.sap, model::PortRef{sap.sap, 0},
+        model::PortRef{domain() + "." + sap.sw, sap.port}, sap.attrs));
+  }
+  return view;
+}
+
+Result<void> SdnAdapter::do_place_nf(const std::string& node,
+                                     const model::NfInstance& nf) {
+  return Error{ErrorCode::kRejected,
+               "SDN domain " + domain() + " is forwarding-only; cannot host " +
+                   nf.id + " on " + node};
+}
+
+Result<void> SdnAdapter::do_remove_nf(const std::string& node,
+                                      const std::string& nf_id) {
+  return Error{ErrorCode::kNotFound,
+               "no NF " + nf_id + " in forwarding-only domain (" + node + ")"};
+}
+
+Result<void> SdnAdapter::do_install_rule(const std::string& node,
+                                         const model::Flowrule& rule) {
+  // Both endpoints must be the switch's own ports (no NFs here).
+  for (const model::PortRef* ref : {&rule.in, &rule.out}) {
+    if (ref->node != node) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "flowrule " + rule.id + " references NF port " +
+                       ref->to_string() + " in forwarding-only domain"};
+    }
+  }
+  infra::FlowEntry entry;
+  entry.id = rule.id;
+  entry.in_port = rule.in.port;
+  entry.match_tag = rule.match_tag;
+  entry.out_port = rule.out.port;
+  entry.set_tag = rule.set_tag;
+  return net_->install_flow(local(node), std::move(entry));
+}
+
+Result<void> SdnAdapter::do_remove_rule(const std::string& node,
+                                        const std::string& rule_id) {
+  return net_->remove_flow(local(node), rule_id);
+}
+
+}  // namespace unify::adapters

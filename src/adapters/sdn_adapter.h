@@ -1,0 +1,42 @@
+// Adapter for the POX-controlled legacy OpenFlow domain.
+//
+// Advertises every switch as a compute-less BiS-BiS ("<domain>.<switch>")
+// so chains can transit the network but no NF can be placed here.
+// Flowrules become OpenFlow flow-mods through the controller.
+#pragma once
+
+#include "adapters/base_adapter.h"
+#include "infra/sdn_network.h"
+
+namespace unify::adapters {
+
+class SdnAdapter final : public BaseAdapter {
+ public:
+  /// The network must outlive the adapter.
+  explicit SdnAdapter(infra::SdnNetwork& net) : net_(&net) {}
+
+  [[nodiscard]] const std::string& domain() const noexcept override {
+    return net_->name();
+  }
+  [[nodiscard]] std::uint64_t native_operations() const noexcept override {
+    return net_->flow_ops();
+  }
+
+ protected:
+  [[nodiscard]] Result<model::Nffg> build_skeleton() override;
+  Result<void> do_place_nf(const std::string& node,
+                           const model::NfInstance& nf) override;
+  Result<void> do_remove_nf(const std::string& node,
+                            const std::string& nf_id) override;
+  Result<void> do_install_rule(const std::string& node,
+                               const model::Flowrule& rule) override;
+  Result<void> do_remove_rule(const std::string& node,
+                              const std::string& rule_id) override;
+
+ private:
+  [[nodiscard]] std::string local(const std::string& node) const;
+
+  infra::SdnNetwork* net_;
+};
+
+}  // namespace unify::adapters

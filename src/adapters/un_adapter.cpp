@@ -1,0 +1,83 @@
+#include "adapters/un_adapter.h"
+
+#include "model/nffg_builder.h"
+
+namespace unify::adapters {
+
+void UnAdapter::map_sap(int ext_port, const std::string& sap_id,
+                        model::LinkAttrs attrs) {
+  sap_bindings_[ext_port] = SapBinding{sap_id, attrs};
+}
+
+Result<model::Nffg> UnAdapter::build_skeleton() {
+  model::Nffg view{domain() + "-view"};
+  model::BisBis bb;
+  bb.id = bisbis_id();
+  bb.name = domain() + " universal node";
+  bb.domain = domain();
+  bb.capacity = un_->capacity();
+  bb.internal_delay = 0.01;  // DPDK fast path
+  for (int p = 0; p < 4; ++p) bb.ports.push_back(model::Port{p, ""});
+  UNIFY_RETURN_IF_ERROR(view.add_bisbis(std::move(bb)));
+  for (const auto& [port, binding] : sap_bindings_) {
+    UNIFY_RETURN_IF_ERROR(view.add_sap(model::Sap{binding.sap, binding.sap}));
+    UNIFY_RETURN_IF_ERROR(view.add_bidirectional_link(
+        domain() + ".s-" + binding.sap, model::PortRef{binding.sap, 0},
+        model::PortRef{bisbis_id(), port}, binding.attrs));
+  }
+  return view;
+}
+
+Result<void> UnAdapter::refresh_statuses(model::Nffg& view) {
+  model::BisBis* bb = view.find_bisbis(bisbis_id());
+  if (bb == nullptr) return Result<void>::success();
+  for (auto& [nf_id, nf] : bb->nfs) {
+    const infra::Container* c = un_->find_container(nf_id);
+    if (c == nullptr) continue;
+    switch (c->status) {
+      case infra::ContainerStatus::kStarting:
+        nf.status = model::NfStatus::kDeploying;
+        break;
+      case infra::ContainerStatus::kRunning:
+        nf.status = model::NfStatus::kRunning;
+        break;
+      case infra::ContainerStatus::kStopped:
+        nf.status = model::NfStatus::kStopped;
+        break;
+    }
+  }
+  return Result<void>::success();
+}
+
+Result<void> UnAdapter::do_place_nf(const std::string& node,
+                                    const model::NfInstance& nf) {
+  if (node != bisbis_id()) {
+    return Error{ErrorCode::kNotFound, "unknown BiS-BiS " + node};
+  }
+  return un_->start_container(nf.id, nf.type, nf.requirement,
+                              static_cast<int>(nf.ports.size()));
+}
+
+Result<void> UnAdapter::do_remove_nf(const std::string& node,
+                                     const std::string& nf_id) {
+  (void)node;
+  return un_->stop_container(nf_id);
+}
+
+Result<void> UnAdapter::do_install_rule(const std::string& node,
+                                        const model::Flowrule& rule) {
+  const auto endpoint = [&](const model::PortRef& ref) {
+    return ref.node == node ? "ext" + std::to_string(ref.port)
+                            : ref.node + ":" + std::to_string(ref.port);
+  };
+  return un_->add_flowrule(rule.id, endpoint(rule.in), rule.match_tag,
+                           endpoint(rule.out), rule.set_tag);
+}
+
+Result<void> UnAdapter::do_remove_rule(const std::string& node,
+                                       const std::string& rule_id) {
+  (void)node;
+  return un_->remove_flowrule(rule_id);
+}
+
+}  // namespace unify::adapters

@@ -1,0 +1,50 @@
+// Adapter for the Universal Node: a single BiS-BiS ("<domain>.un") backed
+// by the UN local orchestrator — containers for NFs, LSI flowrules for
+// steering (paper §2, Universal Node proof of concept).
+#pragma once
+
+#include <map>
+
+#include "adapters/base_adapter.h"
+#include "infra/universal_node.h"
+
+namespace unify::adapters {
+
+class UnAdapter final : public BaseAdapter {
+ public:
+  explicit UnAdapter(infra::UniversalNode& un) : un_(&un) {}
+
+  /// Binds external LSI port `ext_port` to SAP `sap_id` in the view.
+  void map_sap(int ext_port, const std::string& sap_id,
+               model::LinkAttrs attrs);
+
+  [[nodiscard]] const std::string& domain() const noexcept override {
+    return un_->name();
+  }
+  [[nodiscard]] std::uint64_t native_operations() const noexcept override {
+    return un_->operations();
+  }
+  [[nodiscard]] std::string bisbis_id() const { return domain() + ".un"; }
+
+ protected:
+  [[nodiscard]] Result<model::Nffg> build_skeleton() override;
+  Result<void> refresh_statuses(model::Nffg& view) override;
+  Result<void> do_place_nf(const std::string& node,
+                           const model::NfInstance& nf) override;
+  Result<void> do_remove_nf(const std::string& node,
+                            const std::string& nf_id) override;
+  Result<void> do_install_rule(const std::string& node,
+                               const model::Flowrule& rule) override;
+  Result<void> do_remove_rule(const std::string& node,
+                              const std::string& rule_id) override;
+
+ private:
+  infra::UniversalNode* un_;
+  struct SapBinding {
+    std::string sap;
+    model::LinkAttrs attrs;
+  };
+  std::map<int, SapBinding> sap_bindings_;
+};
+
+}  // namespace unify::adapters

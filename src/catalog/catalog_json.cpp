@@ -1,0 +1,162 @@
+#include "catalog/catalog_json.h"
+
+#include <charconv>
+
+#include "model/nffg_json.h"
+
+namespace unify::catalog {
+
+namespace {
+using json::Array;
+using json::Object;
+using json::Value;
+}  // namespace
+
+json::Value to_json(const NfCatalog& catalog) {
+  Object root;
+  Array types;
+  for (const auto& [name, type] : catalog.types()) {
+    Object o;
+    o.set("name", type.name);
+    o.set("cpu", type.requirement.cpu);
+    o.set("mem", type.requirement.mem);
+    o.set("storage", type.requirement.storage);
+    o.set("ports", type.port_count);
+    if (!type.description.empty()) o.set("description", type.description);
+    types.emplace_back(std::move(o));
+  }
+  root.set("types", std::move(types));
+
+  Array decompositions;
+  for (const auto& [name, type] : catalog.types()) {
+    for (const Decomposition& rule : catalog.decompositions_of(name)) {
+      Object o;
+      o.set("id", rule.id);
+      o.set("target", rule.target_type);
+      Array components;
+      for (const DecompComponent& c : rule.components) {
+        Object co;
+        co.set("suffix", c.suffix);
+        co.set("type", c.type);
+        co.set("ports", c.port_count);
+        components.emplace_back(std::move(co));
+      }
+      o.set("components", std::move(components));
+      Array links;
+      for (const DecompLink& l : rule.internal_links) {
+        Object lo;
+        lo.set("from", l.from.to_string());
+        lo.set("to", l.to.to_string());
+        if (l.bandwidth_factor != 1.0) lo.set("factor", l.bandwidth_factor);
+        links.emplace_back(std::move(lo));
+      }
+      o.set("links", std::move(links));
+      Object port_map;
+      for (const auto& [port, ref] : rule.port_map) {
+        port_map.set(std::to_string(port), ref.to_string());
+      }
+      o.set("port_map", std::move(port_map));
+      decompositions.emplace_back(std::move(o));
+    }
+  }
+  root.set("decompositions", std::move(decompositions));
+  return Value{std::move(root)};
+}
+
+Result<NfCatalog> catalog_from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return Error{ErrorCode::kProtocol, "catalog must be a JSON object"};
+  }
+  NfCatalog catalog;
+
+  const Value* types = value.get("types");
+  if (types == nullptr || !types->is_array()) {
+    return Error{ErrorCode::kProtocol, "catalog needs a types array"};
+  }
+  for (const Value& tv : types->as_array()) {
+    if (!tv.is_object()) {
+      return Error{ErrorCode::kProtocol, "type must be an object"};
+    }
+    NfType type;
+    type.name = tv.get_string("name");
+    type.requirement = model::Resources{tv.get_number("cpu"),
+                                        tv.get_number("mem"),
+                                        tv.get_number("storage")};
+    type.port_count = static_cast<int>(tv.get_int("ports", 2));
+    type.description = tv.get_string("description");
+    UNIFY_RETURN_IF_ERROR(catalog.register_type(std::move(type)));
+  }
+
+  if (const Value* decompositions = value.get("decompositions")) {
+    if (!decompositions->is_array()) {
+      return Error{ErrorCode::kProtocol, "decompositions must be an array"};
+    }
+    for (const Value& dv : decompositions->as_array()) {
+      if (!dv.is_object()) {
+        return Error{ErrorCode::kProtocol, "decomposition must be an object"};
+      }
+      Decomposition rule;
+      rule.id = dv.get_string("id");
+      rule.target_type = dv.get_string("target");
+      if (const Value* components = dv.get("components")) {
+        if (!components->is_array()) {
+          return Error{ErrorCode::kProtocol, "components must be an array"};
+        }
+        for (const Value& cv : components->as_array()) {
+          rule.components.push_back(DecompComponent{
+              cv.get_string("suffix"), cv.get_string("type"),
+              static_cast<int>(cv.get_int("ports", 2))});
+        }
+      }
+      if (const Value* links = dv.get("links")) {
+        if (!links->is_array()) {
+          return Error{ErrorCode::kProtocol, "links must be an array"};
+        }
+        for (const Value& lv : links->as_array()) {
+          DecompLink link;
+          UNIFY_ASSIGN_OR_RETURN(
+              link.from, model::port_ref_from_string(lv.get_string("from")));
+          UNIFY_ASSIGN_OR_RETURN(
+              link.to, model::port_ref_from_string(lv.get_string("to")));
+          link.bandwidth_factor = lv.get_number("factor", 1.0);
+          rule.internal_links.push_back(std::move(link));
+        }
+      }
+      if (const Value* port_map = dv.get("port_map")) {
+        if (!port_map->is_object()) {
+          return Error{ErrorCode::kProtocol, "port_map must be an object"};
+        }
+        for (const auto& [key, ref_json] : port_map->as_object()) {
+          int port = 0;
+          const auto [ptr, ec] =
+              std::from_chars(key.data(), key.data() + key.size(), port);
+          if (ec != std::errc{} || ptr != key.data() + key.size()) {
+            return Error{ErrorCode::kProtocol,
+                         "port_map key '" + key + "' is not a port number"};
+          }
+          if (!ref_json.is_string()) {
+            return Error{ErrorCode::kProtocol, "port_map value must be a"
+                                               " string"};
+          }
+          UNIFY_ASSIGN_OR_RETURN(
+              const model::PortRef ref,
+              model::port_ref_from_string(ref_json.as_string()));
+          rule.port_map.emplace(port, ref);
+        }
+      }
+      UNIFY_RETURN_IF_ERROR(catalog.register_decomposition(std::move(rule)));
+    }
+  }
+  return catalog;
+}
+
+std::string to_json_string(const NfCatalog& catalog) {
+  return to_json(catalog).dump();
+}
+
+Result<NfCatalog> catalog_from_json_string(std::string_view text) {
+  UNIFY_ASSIGN_OR_RETURN(json::Value value, json::parse(text));
+  return catalog_from_json(value);
+}
+
+}  // namespace unify::catalog

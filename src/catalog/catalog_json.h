@@ -1,0 +1,25 @@
+// JSON codec for NF catalogs: operators ship NF types and decomposition
+// rules as data ("plug and play NF implementations ... NF decomposition
+// models", paper §2) instead of code.
+//
+// Schema:
+//   {"types": [{"name","cpu","mem","storage","ports","description"}],
+//    "decompositions": [{"id","target",
+//       "components": [{"suffix","type","ports"}],
+//       "links": [{"from":"suffix:port","to":"suffix:port","factor":1.0}],
+//       "port_map": {"0":"suffix:port", "1":"suffix:port"}}]}
+#pragma once
+
+#include "catalog/nf_catalog.h"
+#include "json/json.h"
+#include "util/result.h"
+
+namespace unify::catalog {
+
+[[nodiscard]] json::Value to_json(const NfCatalog& catalog);
+[[nodiscard]] Result<NfCatalog> catalog_from_json(const json::Value& value);
+[[nodiscard]] std::string to_json_string(const NfCatalog& catalog);
+[[nodiscard]] Result<NfCatalog> catalog_from_json_string(
+    std::string_view text);
+
+}  // namespace unify::catalog

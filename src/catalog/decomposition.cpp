@@ -1,0 +1,104 @@
+#include "catalog/decomposition.h"
+
+#include <algorithm>
+
+#include "catalog/nf_catalog.h"
+
+namespace unify::catalog {
+
+Result<void> apply_decomposition(sg::ServiceGraph& sg,
+                                 const std::string& nf_id,
+                                 const Decomposition& rule) {
+  const sg::SgNf* nf = sg.find_nf(nf_id);
+  if (nf == nullptr) {
+    return Error{ErrorCode::kNotFound, "NF " + nf_id};
+  }
+  if (nf->type != rule.target_type) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "rule " + rule.id + " targets " + rule.target_type +
+                     " but NF " + nf_id + " is " + nf->type};
+  }
+  if (rule.components.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "rule " + rule.id + " has no components"};
+  }
+
+  // Largest external bandwidth incident to the NF scales internal links.
+  double max_bw = 0;
+  for (const sg::SgLink& l : sg.links()) {
+    if (l.from.node == nf_id || l.to.node == nf_id) {
+      max_bw = std::max(max_bw, l.bandwidth);
+    }
+  }
+
+  std::vector<sg::SgNf> components;
+  components.reserve(rule.components.size());
+  for (const DecompComponent& c : rule.components) {
+    components.push_back(
+        sg::SgNf{nf_id + "." + c.suffix, c.type, c.port_count, {}});
+  }
+
+  std::vector<sg::SgLink> internal_links;
+  internal_links.reserve(rule.internal_links.size());
+  for (std::size_t i = 0; i < rule.internal_links.size(); ++i) {
+    const DecompLink& dl = rule.internal_links[i];
+    internal_links.push_back(sg::SgLink{
+        nf_id + ".l" + std::to_string(i),
+        model::PortRef{nf_id + "." + dl.from.node, dl.from.port},
+        model::PortRef{nf_id + "." + dl.to.node, dl.to.port},
+        dl.bandwidth_factor * max_bw});
+  }
+
+  std::map<int, model::PortRef> redirect;
+  for (const auto& [abstract_port, component_port] : rule.port_map) {
+    redirect.emplace(abstract_port,
+                     model::PortRef{nf_id + "." + component_port.node,
+                                    component_port.port});
+  }
+
+  return sg.replace_nf(nf_id, components, internal_links, redirect);
+}
+
+Result<std::size_t> expand_all(sg::ServiceGraph& sg, const NfCatalog& catalog,
+                               const DecompositionChooser& chooser,
+                               int max_depth) {
+  const DecompositionChooser pick =
+      chooser ? chooser
+              : [](const sg::SgNf&, const std::vector<Decomposition>& rules) {
+                  return &rules.front();
+                };
+  std::size_t applied = 0;
+  for (int round = 0; round < max_depth; ++round) {
+    // Collect this round's applications first: applying mutates sg.nfs().
+    std::vector<std::pair<std::string, const Decomposition*>> batch;
+    for (const auto& [id, nf] : sg.nfs()) {
+      const auto& rules = catalog.decompositions_of(nf.type);
+      if (rules.empty()) continue;
+      if (const Decomposition* rule = pick(nf, rules)) {
+        batch.emplace_back(id, rule);
+      }
+    }
+    if (batch.empty()) return applied;
+    for (const auto& [id, rule] : batch) {
+      UNIFY_RETURN_IF_ERROR(apply_decomposition(sg, id, *rule));
+      ++applied;
+    }
+  }
+  // One more scan: anything still decomposable means we hit the depth cap.
+  for (const auto& [id, nf] : sg.nfs()) {
+    if (!catalog.decompositions_of(nf.type).empty()) {
+      return Error{ErrorCode::kInfeasible,
+                   "decomposition did not converge within depth limit"};
+    }
+  }
+  return applied;
+}
+
+DecompositionChooser random_chooser(Rng& rng) {
+  return [&rng](const sg::SgNf&,
+                const std::vector<Decomposition>& rules) -> const Decomposition* {
+    return &rules[rng.next_below(rules.size())];
+  };
+}
+
+}  // namespace unify::catalog

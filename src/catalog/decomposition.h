@@ -1,0 +1,70 @@
+// NF decomposition rules and their application to service graphs.
+//
+// A decomposition replaces one abstract NF with a small graph of component
+// NFs. Components are named by suffix; applying the rule to NF "gw0" with
+// components {fw, ids} creates nodes "gw0.fw" and "gw0.ids". External chain
+// links that ended on the abstract NF's ports are re-pointed through the
+// rule's port map; internal links carry a bandwidth factor relative to the
+// largest external demand on the NF.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sg/service_graph.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace unify::catalog {
+
+struct DecompComponent {
+  std::string suffix;  ///< appended as "<nf>.<suffix>"
+  std::string type;    ///< catalog type of the component
+  int port_count = 2;
+};
+
+/// Internal link between component ports. Node fields hold *suffixes*.
+struct DecompLink {
+  model::PortRef from;
+  model::PortRef to;
+  double bandwidth_factor = 1.0;  ///< x the max external bandwidth of the NF
+};
+
+struct Decomposition {
+  std::string id;           ///< unique rule name, e.g. "fw-as-pipeline"
+  std::string target_type;  ///< abstract type this rule decomposes
+  std::vector<DecompComponent> components;
+  std::vector<DecompLink> internal_links;
+  /// abstract port -> (component suffix, component port)
+  std::map<int, model::PortRef> port_map;
+};
+
+/// Applies `rule` to NF `nf_id` inside `sg` (in place). Fails when the NF is
+/// missing, its type differs from the rule's target, or the rule is
+/// malformed w.r.t. the NF's external links.
+[[nodiscard]] Result<void> apply_decomposition(sg::ServiceGraph& sg,
+                                               const std::string& nf_id,
+                                               const Decomposition& rule);
+
+class NfCatalog;  // defined in nf_catalog.h
+
+/// Strategy hook: given the NF and its candidate rules, pick one (or none,
+/// returning nullptr, to keep the NF abstract).
+using DecompositionChooser = std::function<const Decomposition*(
+    const sg::SgNf& nf, const std::vector<Decomposition>& candidates)>;
+
+/// Expands every decomposable NF of `sg` recursively (components that are
+/// themselves decomposable are expanded too) until fixpoint or
+/// `max_depth` rounds. The default chooser picks the first rule.
+/// Returns the number of rule applications performed.
+[[nodiscard]] Result<std::size_t> expand_all(
+    sg::ServiceGraph& sg, const NfCatalog& catalog,
+    const DecompositionChooser& chooser = {}, int max_depth = 8);
+
+/// Chooser picking uniformly at random among the candidates (never keeping
+/// the NF abstract); useful for workload generation.
+[[nodiscard]] DecompositionChooser random_chooser(Rng& rng);
+
+}  // namespace unify::catalog

@@ -1,0 +1,157 @@
+#include "catalog/nf_catalog.h"
+
+namespace unify::catalog {
+
+Result<void> NfCatalog::register_type(NfType type) {
+  if (type.name.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "NF type name must not be empty"};
+  }
+  if (types_.count(type.name) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "NF type " + type.name};
+  }
+  if (type.requirement.negative() || type.port_count <= 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "NF type " + type.name + " has invalid footprint"};
+  }
+  types_.emplace(type.name, std::move(type));
+  return Result<void>::success();
+}
+
+Result<void> NfCatalog::register_decomposition(Decomposition decomposition) {
+  if (decomposition.id.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "rule id must not be empty"};
+  }
+  if (!has(decomposition.target_type)) {
+    return Error{ErrorCode::kNotFound,
+                 "rule " + decomposition.id + " targets unregistered type " +
+                     decomposition.target_type};
+  }
+  if (decomposition.components.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "rule " + decomposition.id + " has no components"};
+  }
+  for (const DecompComponent& c : decomposition.components) {
+    if (!has(c.type)) {
+      return Error{ErrorCode::kNotFound,
+                   "rule " + decomposition.id + " uses unregistered type " +
+                       c.type};
+    }
+    if (c.type == decomposition.target_type) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "rule " + decomposition.id +
+                       " is directly self-recursive on " + c.type};
+    }
+  }
+  for (auto& existing : decompositions_[decomposition.target_type]) {
+    if (existing.id == decomposition.id) {
+      return Error{ErrorCode::kAlreadyExists, "rule " + decomposition.id};
+    }
+  }
+  decompositions_[decomposition.target_type].push_back(
+      std::move(decomposition));
+  return Result<void>::success();
+}
+
+const NfType* NfCatalog::find(const std::string& name) const noexcept {
+  const auto it = types_.find(name);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+Result<model::Resources> NfCatalog::footprint(
+    const std::string& type, const model::Resources& override_req) const {
+  if (!override_req.is_zero()) return override_req;
+  const NfType* t = find(type);
+  if (t == nullptr) {
+    return Error{ErrorCode::kNotFound, "NF type " + type + " not in catalog"};
+  }
+  return t->requirement;
+}
+
+const std::vector<Decomposition>& NfCatalog::decompositions_of(
+    const std::string& type) const noexcept {
+  static const std::vector<Decomposition> kEmpty;
+  const auto it = decompositions_.find(type);
+  return it == decompositions_.end() ? kEmpty : it->second;
+}
+
+std::size_t NfCatalog::decomposition_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [type, rules] : decompositions_) n += rules.size();
+  return n;
+}
+
+NfCatalog default_catalog() {
+  NfCatalog cat;
+  const auto add = [&cat](const char* name, double cpu, double mem,
+                          double storage, int ports, const char* desc) {
+    auto r = cat.register_type(
+        NfType{name, model::Resources{cpu, mem, storage}, ports, desc});
+    (void)r;
+  };
+  // Atomic packet functions.
+  add("fw-lite", 1, 512, 1, 2, "stateless ACL firewall");
+  add("fw-stateful", 2, 1024, 2, 2, "stateful connection-tracking firewall");
+  add("ids", 2, 2048, 4, 2, "intrusion detection sensor");
+  add("nat", 1, 512, 1, 2, "source NAT");
+  add("dpi", 4, 4096, 8, 2, "deep packet inspection");
+  add("lb", 1, 1024, 1, 3, "L4 load balancer");
+  add("cache", 2, 4096, 50, 2, "transparent HTTP cache");
+  add("vpn", 2, 1024, 2, 2, "IPsec gateway");
+  add("monitor", 1, 512, 5, 2, "passive flow monitor");
+  add("transcoder", 4, 2048, 4, 2, "video transcoder");
+  add("compressor", 2, 1024, 1, 2, "payload compressor");
+  add("parental-filter", 1, 1024, 2, 2, "URL filter");
+
+  // Composite (decomposable) types. Footprints are the monolithic
+  // realization; the decompositions are the alternative.
+  add("firewall", 3, 2048, 4, 2, "full firewall (decomposable)");
+  add("secure-gw", 6, 6144, 10, 2, "security gateway (decomposable)");
+  add("cdn-edge", 5, 6144, 60, 2, "CDN edge (decomposable)");
+
+  using model::PortRef;
+  // firewall -> fw-lite -> fw-stateful pipeline (port 0 in, port 1 out).
+  {
+    Decomposition d;
+    d.id = "firewall-pipeline";
+    d.target_type = "firewall";
+    d.components = {{"acl", "fw-lite", 2}, {"state", "fw-stateful", 2}};
+    d.internal_links = {{PortRef{"acl", 1}, PortRef{"state", 0}, 1.0}};
+    d.port_map = {{0, PortRef{"acl", 0}}, {1, PortRef{"state", 1}}};
+    (void)cat.register_decomposition(std::move(d));
+  }
+  // secure-gw -> firewall + ids (recursive: firewall decomposes further).
+  {
+    Decomposition d;
+    d.id = "secure-gw-split";
+    d.target_type = "secure-gw";
+    d.components = {{"fw", "firewall", 2}, {"ids", "ids", 2}};
+    d.internal_links = {{PortRef{"fw", 1}, PortRef{"ids", 0}, 1.0}};
+    d.port_map = {{0, PortRef{"fw", 0}}, {1, PortRef{"ids", 1}}};
+    (void)cat.register_decomposition(std::move(d));
+  }
+  // secure-gw alternative: vpn + dpi.
+  {
+    Decomposition d;
+    d.id = "secure-gw-vpn";
+    d.target_type = "secure-gw";
+    d.components = {{"vpn", "vpn", 2}, {"dpi", "dpi", 2}};
+    d.internal_links = {{PortRef{"vpn", 1}, PortRef{"dpi", 0}, 1.0}};
+    d.port_map = {{0, PortRef{"vpn", 0}}, {1, PortRef{"dpi", 1}}};
+    (void)cat.register_decomposition(std::move(d));
+  }
+  // cdn-edge -> cache + lb + monitor.
+  {
+    Decomposition d;
+    d.id = "cdn-edge-split";
+    d.target_type = "cdn-edge";
+    d.components = {{"lb", "lb", 3}, {"cache", "cache", 2},
+                    {"mon", "monitor", 2}};
+    d.internal_links = {{PortRef{"lb", 1}, PortRef{"cache", 0}, 1.0},
+                        {PortRef{"cache", 1}, PortRef{"mon", 0}, 1.0}};
+    d.port_map = {{0, PortRef{"lb", 0}}, {1, PortRef{"mon", 1}}};
+    (void)cat.register_decomposition(std::move(d));
+  }
+  return cat;
+}
+
+}  // namespace unify::catalog

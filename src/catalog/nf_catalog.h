@@ -1,0 +1,67 @@
+// NF catalog: the "plug and play NF implementations" registry of ESCAPEv2.
+//
+// Maps abstract NF type names to resource footprints and, per type, zero or
+// more decomposition rules: alternative realizations of the abstract NF as
+// an interconnection of component NFs (paper §2 and [Sahhaf et al., NetSoft
+// 2015]). The mapper consults the catalog both for footprints and for
+// decomposition choices.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/decomposition.h"
+#include "model/resources.h"
+#include "util/result.h"
+
+namespace unify::catalog {
+
+/// One NF type as advertised to the service layer.
+struct NfType {
+  std::string name;
+  model::Resources requirement;
+  int port_count = 2;
+  std::string description;
+};
+
+class NfCatalog {
+ public:
+  NfCatalog() = default;
+
+  Result<void> register_type(NfType type);
+  /// The decomposition's target and all component types must already be
+  /// registered (components may themselves be decomposable).
+  Result<void> register_decomposition(Decomposition decomposition);
+
+  [[nodiscard]] const NfType* find(const std::string& name) const noexcept;
+  [[nodiscard]] bool has(const std::string& name) const noexcept {
+    return find(name) != nullptr;
+  }
+
+  /// Resource footprint for an abstract NF: the catalog entry, unless the
+  /// service graph overrides it.
+  [[nodiscard]] Result<model::Resources> footprint(
+      const std::string& type, const model::Resources& override_req) const;
+
+  /// All decompositions registered for `type` (empty when atomic).
+  [[nodiscard]] const std::vector<Decomposition>& decompositions_of(
+      const std::string& type) const noexcept;
+
+  [[nodiscard]] const std::map<std::string, NfType>& types() const noexcept {
+    return types_;
+  }
+  [[nodiscard]] std::size_t decomposition_count() const noexcept;
+
+ private:
+  std::map<std::string, NfType> types_;
+  std::map<std::string, std::vector<Decomposition>> decompositions_;
+};
+
+/// The catalog used by examples and benchmarks: a dozen common NF types
+/// (firewall, nat, dpi, lb, cache, vpn, ...) and several decomposition
+/// rules, including a recursive one (secure-gw -> firewall+ids, where
+/// firewall itself decomposes).
+[[nodiscard]] NfCatalog default_catalog();
+
+}  // namespace unify::catalog

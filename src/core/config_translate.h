@@ -1,0 +1,46 @@
+// Translation between virtualizer configurations (NFFG written onto a
+// view) and service graphs — the mechanism behind recursive orchestration.
+//
+// A manager programs its view by placing NFs onto BiS-BiS nodes and editing
+// flowrules (paper §2). The layer below re-derives the *intent* — a service
+// graph — from that configuration and re-maps it at its own, finer
+// granularity. Two configuration styles are understood:
+//  * untagged rules whose endpoints are NF ports or SAP-facing node ports
+//    (what a client writes onto a single-BiS-BiS view), and
+//  * tag-chained rules spanning several BiS-BiS nodes (what install_mapping
+//    produces on a full view; the tag is the SG link id).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "model/nffg.h"
+#include "sg/service_graph.h"
+#include "util/result.h"
+
+namespace unify::core {
+
+struct TranslatedConfig {
+  sg::ServiceGraph sg;
+  /// NF id -> BiS-BiS id the config placed it on. A lower layer may honour
+  /// these (full-view client did the embedding) or ignore them
+  /// (single-BiS-BiS view: the placement carries no information).
+  std::map<std::string, std::string> pinned_hosts;
+};
+
+/// Derives the service graph expressed by `config`. `skeleton` supplies the
+/// infrastructure context (which node ports face which SAPs). The service
+/// graph id is `sg_id`.
+[[nodiscard]] Result<TranslatedConfig> config_to_service_graph(
+    const model::Nffg& config, const model::Nffg& skeleton,
+    const std::string& sg_id);
+
+/// Writes a service graph onto a single-BiS-BiS view as a configuration:
+/// all NFs placed on `big_node`, one untagged flowrule per SG link, SAP
+/// endpoints mapped to the node ports facing them, requirements as hints.
+/// `base` must be the rendered view skeleton (it is copied and extended).
+[[nodiscard]] Result<model::Nffg> service_graph_to_config(
+    const sg::ServiceGraph& sg, const model::Nffg& base,
+    const std::string& big_node);
+
+}  // namespace unify::core

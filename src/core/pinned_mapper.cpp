@@ -1,0 +1,24 @@
+#include "core/pinned_mapper.h"
+
+#include "mapping/context.h"
+
+namespace unify::core {
+
+Result<mapping::Mapping> PinnedMapper::map(
+    const sg::ServiceGraph& sg, const model::Nffg& substrate,
+    const catalog::NfCatalog& catalog) const {
+  mapping::Context ctx(sg, substrate, catalog);
+  for (const auto& [nf_id, nf] : sg.nfs()) {
+    const auto pin = pins_.find(nf_id);
+    if (pin == pins_.end()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "NF " + nf_id + " has no pinned host"};
+    }
+    UNIFY_RETURN_IF_ERROR(ctx.place(nf_id, pin->second));
+  }
+  UNIFY_RETURN_IF_ERROR(ctx.route_all());
+  UNIFY_RETURN_IF_ERROR(ctx.check_requirements());
+  return ctx.finish(name());
+}
+
+}  // namespace unify::core

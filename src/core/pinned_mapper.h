@@ -1,0 +1,28 @@
+// Mapper honouring placements decided by an upper layer: every NF comes
+// with its host fixed (a full-view client did the embedding); only the
+// chain links are routed. This is the "embedding pulled upward" half of
+// the view-policy trade-off (DESIGN.md §6.2).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "mapping/mapper.h"
+
+namespace unify::core {
+
+class PinnedMapper final : public mapping::Mapper {
+ public:
+  explicit PinnedMapper(std::map<std::string, std::string> pins)
+      : pins_(std::move(pins)) {}
+
+  [[nodiscard]] std::string name() const override { return "pinned"; }
+  [[nodiscard]] Result<mapping::Mapping> map(
+      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const catalog::NfCatalog& catalog) const override;
+
+ private:
+  std::map<std::string, std::string> pins_;
+};
+
+}  // namespace unify::core

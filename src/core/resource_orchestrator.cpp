@@ -1,0 +1,258 @@
+#include "core/resource_orchestrator.h"
+
+#include "util/log.h"
+
+namespace unify::core {
+
+ResourceOrchestrator::ResourceOrchestrator(
+    std::string name, std::shared_ptr<const mapping::Mapper> mapper,
+    catalog::NfCatalog catalog, RoOptions options)
+    : name_(std::move(name)),
+      mapper_(std::move(mapper)),
+      catalog_(std::move(catalog)),
+      options_(options) {}
+
+Result<void> ResourceOrchestrator::add_domain(
+    std::unique_ptr<adapters::DomainAdapter> adapter) {
+  if (initialized_) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "domains must be added before initialize()"};
+  }
+  for (const auto& existing : adapters_) {
+    if (existing->domain() == adapter->domain()) {
+      return Error{ErrorCode::kAlreadyExists,
+                   "domain " + adapter->domain()};
+    }
+  }
+  domain_names_.push_back(adapter->domain());
+  adapters_.push_back(std::move(adapter));
+  return Result<void>::success();
+}
+
+Result<void> ResourceOrchestrator::initialize() {
+  if (initialized_) {
+    return Error{ErrorCode::kAlreadyExists, "RO already initialized"};
+  }
+  if (adapters_.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "RO has no domains"};
+  }
+  std::vector<model::DomainView> views;
+  for (const auto& adapter : adapters_) {
+    UNIFY_ASSIGN_OR_RETURN(model::Nffg view, adapter->fetch_view());
+    views.push_back(model::DomainView{adapter->domain(), std::move(view)});
+  }
+  UNIFY_ASSIGN_OR_RETURN(view_, model::merge_views(views));
+  view_.set_id(name_ + "-global-view");
+  initialized_ = true;
+  UNIFY_LOG(kInfo, "orch.ro")
+      << name_ << ": merged " << adapters_.size() << " domains into "
+      << view_.bisbis().size() << " BiS-BiS nodes";
+  return Result<void>::success();
+}
+
+Result<std::string> ResourceOrchestrator::deploy(
+    const sg::ServiceGraph& request) {
+  if (!initialized_) {
+    return Error{ErrorCode::kUnavailable, "RO not initialized"};
+  }
+  if (request.id().empty()) {
+    return Error{ErrorCode::kInvalidArgument, "service graph needs an id"};
+  }
+  if (deployments_.count(request.id()) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "request " + request.id()};
+  }
+  if (const auto problems = request.validate(); !problems.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "invalid service graph: " + problems.front()};
+  }
+  // NF instance ids live in a flat substrate namespace; reject collisions
+  // with live deployments up front (callers namespace per request, as the
+  // service layer does).
+  for (const auto& [nf_id, nf] : request.nfs()) {
+    if (view_.find_nf(nf_id).has_value()) {
+      return Error{ErrorCode::kAlreadyExists,
+                   "NF id " + nf_id + " already deployed"};
+    }
+  }
+
+  // Map (with decomposition when enabled).
+  Deployment deployment;
+  deployment.request_id = request.id();
+  deployment.original = request;
+  if (options_.use_decomposition) {
+    mapping::DecompAwareMapper decomp(mapper_,
+                                      options_.max_decomposition_combinations);
+    UNIFY_ASSIGN_OR_RETURN(mapping::DecompResult result,
+                           decomp.map_with_decomposition(request, view_,
+                                                         catalog_));
+    deployment.expanded = std::move(result.expanded);
+    deployment.mapping = std::move(result.mapping);
+    metrics_.add("ro.decomposition_combinations",
+                 result.combinations_tried);
+  } else {
+    sg::ServiceGraph expanded = request;
+    UNIFY_ASSIGN_OR_RETURN(const std::size_t applied,
+                           catalog::expand_all(expanded, catalog_));
+    metrics_.add("ro.pre_expansions", applied);
+    UNIFY_ASSIGN_OR_RETURN(mapping::Mapping mapping,
+                           mapper_->map(expanded, view_, catalog_));
+    deployment.expanded = std::move(expanded);
+    deployment.mapping = std::move(mapping);
+  }
+
+  return commit(std::move(deployment));
+}
+
+Result<std::string> ResourceOrchestrator::deploy_pinned(
+    const sg::ServiceGraph& request,
+    const std::map<std::string, std::string>& pins) {
+  if (!initialized_) {
+    return Error{ErrorCode::kUnavailable, "RO not initialized"};
+  }
+  if (request.id().empty() || deployments_.count(request.id()) != 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "bad or duplicate request id " + request.id()};
+  }
+  Deployment deployment;
+  deployment.request_id = request.id();
+  deployment.original = request;
+  deployment.expanded = request;
+  const PinnedMapper pinned(pins);
+  UNIFY_ASSIGN_OR_RETURN(deployment.mapping,
+                         pinned.map(request, view_, catalog_));
+  return commit(std::move(deployment));
+}
+
+Result<std::string> ResourceOrchestrator::commit(Deployment deployment) {
+  // Materialize into the global view, then push per-domain slices.
+  UNIFY_RETURN_IF_ERROR(mapping::install_mapping(
+      view_, deployment.expanded, catalog_, deployment.mapping));
+  metrics_.add("ro.deployments");
+  metrics_.summary("ro.nfs_per_request")
+      .observe(static_cast<double>(deployment.mapping.stats.nfs_placed));
+  const std::string id = deployment.request_id;
+  const auto it = deployments_.emplace(id, std::move(deployment)).first;
+  if (const auto pushed = push_slices(); !pushed.ok()) {
+    // Roll the whole deployment back: release the view's resources, then
+    // re-push so domains that already accepted their slice converge back.
+    (void)mapping::uninstall_mapping(view_, it->second.expanded,
+                                     it->second.mapping);
+    deployments_.erase(it);
+    if (const auto repush = push_slices(); !repush.ok()) {
+      UNIFY_LOG(kError, "orch.ro")
+          << name_ << ": rollback push failed: "
+          << repush.error().to_string();
+    }
+    return Error{pushed.error().code,
+                 "deployment " + id + " rolled back: " +
+                     pushed.error().message};
+  }
+  UNIFY_LOG(kInfo, "orch.ro") << name_ << ": deployed " << id;
+  return id;
+}
+
+Result<void> ResourceOrchestrator::remove(const std::string& request_id) {
+  const auto it = deployments_.find(request_id);
+  if (it == deployments_.end()) {
+    return Error{ErrorCode::kNotFound, "request " + request_id};
+  }
+  UNIFY_RETURN_IF_ERROR(mapping::uninstall_mapping(view_, it->second.expanded,
+                                                   it->second.mapping));
+  deployments_.erase(it);
+  UNIFY_RETURN_IF_ERROR(push_slices());
+  metrics_.add("ro.removals");
+  return Result<void>::success();
+}
+
+Result<void> ResourceOrchestrator::redeploy(const std::string& request_id) {
+  const auto it = deployments_.find(request_id);
+  if (it == deployments_.end()) {
+    return Error{ErrorCode::kNotFound, "request " + request_id};
+  }
+  const Deployment previous = it->second;
+  // Free the old placement, remap the original request on what remains.
+  UNIFY_RETURN_IF_ERROR(mapping::uninstall_mapping(view_, previous.expanded,
+                                                   previous.mapping));
+  deployments_.erase(it);
+  auto redone = deploy(previous.original);
+  if (!redone.ok()) {
+    // No slice has been pushed (the failure was in mapping), so the old
+    // placement is still physically running; re-record it in the view.
+    // Forced install: the advertised capacity may have shrunk below what
+    // the running NFs consume, which is exactly the situation migration
+    // exists to resolve.
+    if (const auto back = mapping::install_mapping(
+            view_, previous.expanded, catalog_, previous.mapping,
+            /*force_placement=*/true);
+        !back.ok()) {
+      return Error{ErrorCode::kInternal,
+                   "redeploy failed AND restore failed: " +
+                       back.error().to_string() +
+                       " (original failure: " + redone.error().to_string() +
+                       ")"};
+    }
+    deployments_.emplace(request_id, previous);
+    return Error{redone.error().code,
+                 "redeploy of " + request_id +
+                     " failed, previous placement restored: " +
+                     redone.error().message};
+  }
+  metrics_.add("ro.redeploys");
+  return push_slices();
+}
+
+Result<void> ResourceOrchestrator::refresh_domain(const std::string& domain) {
+  for (const auto& adapter : adapters_) {
+    if (adapter->domain() != domain) continue;
+    UNIFY_ASSIGN_OR_RETURN(const model::Nffg fresh, adapter->fetch_view());
+    for (const auto& [bb_id, bb] : fresh.bisbis()) {
+      model::BisBis* mine = view_.find_bisbis(bb_id);
+      if (mine == nullptr) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "domain " + domain + " advertised new BiS-BiS " + bb_id +
+                         "; topology changes require re-initialization"};
+      }
+      mine->capacity = bb.capacity;
+      mine->nf_types = bb.nf_types;
+      mine->internal_delay = bb.internal_delay;
+    }
+    metrics_.add("ro.domain_refreshes");
+    return Result<void>::success();
+  }
+  return Error{ErrorCode::kNotFound, "domain " + domain};
+}
+
+Result<void> ResourceOrchestrator::push_slices() {
+  for (const auto& adapter : adapters_) {
+    const model::Nffg slice =
+        model::slice_for_domain(view_, adapter->domain());
+    UNIFY_RETURN_IF_ERROR(adapter->apply(slice));
+    metrics_.add("ro.slice_pushes");
+  }
+  return Result<void>::success();
+}
+
+Result<void> ResourceOrchestrator::sync_statuses() {
+  for (const auto& adapter : adapters_) {
+    UNIFY_ASSIGN_OR_RETURN(const model::Nffg domain_view,
+                           adapter->fetch_view());
+    for (const auto& [bb_id, bb] : domain_view.bisbis()) {
+      model::BisBis* mine = view_.find_bisbis(bb_id);
+      if (mine == nullptr) continue;
+      for (const auto& [nf_id, nf] : bb.nfs) {
+        const auto it = mine->nfs.find(nf_id);
+        if (it != mine->nfs.end()) it->second.status = nf.status;
+      }
+    }
+  }
+  return Result<void>::success();
+}
+
+std::optional<model::NfStatus> ResourceOrchestrator::nf_status(
+    const std::string& nf_id) const {
+  const auto found = view_.find_nf(nf_id);
+  if (!found.has_value()) return std::nullopt;
+  return found->second->status;
+}
+
+}  // namespace unify::core

@@ -1,0 +1,128 @@
+// Resource Orchestrator (RO): the manager of the joint SFC control plane.
+//
+// The RO owns a set of southbound domains behind DomainAdapter interfaces
+// (native technology domains or child UNIFY domains via the Unify RPC
+// client — it cannot tell the difference, which is the point), maintains
+// the merged multi-domain resource view, maps service graphs onto it with a
+// pluggable embedding algorithm (optionally decomposition-aware), splits
+// the resulting configuration per domain and pushes each slice south.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapters/domain_adapter.h"
+#include "catalog/nf_catalog.h"
+#include "core/pinned_mapper.h"
+#include "mapping/decomp_aware_mapper.h"
+#include "mapping/mapper.h"
+#include "model/nffg.h"
+#include "model/nffg_merge.h"
+#include "sg/service_graph.h"
+#include "telemetry/metrics.h"
+#include "util/result.h"
+
+namespace unify::core {
+
+struct RoOptions {
+  /// Enumerate NF decompositions during mapping (paper showcase iii).
+  bool use_decomposition = true;
+  std::size_t max_decomposition_combinations = 32;
+};
+
+class ResourceOrchestrator {
+ public:
+  ResourceOrchestrator(std::string name,
+                       std::shared_ptr<const mapping::Mapper> mapper,
+                       catalog::NfCatalog catalog, RoOptions options = {});
+
+  /// Registers a southbound domain. Must happen before initialize().
+  Result<void> add_domain(std::unique_ptr<adapters::DomainAdapter> adapter);
+
+  /// Fetches every domain view and merges them (stitching shared SAPs)
+  /// into the RO's global resource view.
+  Result<void> initialize();
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+
+  /// The merged view including everything deployed through this RO
+  /// (placements, flowrules, link reservations).
+  [[nodiscard]] const model::Nffg& global_view() const noexcept {
+    return view_;
+  }
+
+  struct Deployment {
+    std::string request_id;
+    sg::ServiceGraph original;  ///< the request as submitted
+    sg::ServiceGraph expanded;  ///< post-decomposition service graph
+    mapping::Mapping mapping;
+  };
+
+  /// Maps and deploys a service graph. On success the placement is pushed
+  /// to every affected domain and recorded under the returned request id
+  /// (the service graph's id). Fails without side effects when mapping is
+  /// infeasible; a domain-push failure after successful mapping is
+  /// reported and the global view keeps the accepted state of the
+  /// domains that succeeded.
+  Result<std::string> deploy(const sg::ServiceGraph& request);
+
+  /// Deploys with placements fixed by the caller (full-view client did the
+  /// embedding): NF hosts come from `pins`, only links are routed, no
+  /// decomposition is applied.
+  Result<std::string> deploy_pinned(
+      const sg::ServiceGraph& request,
+      const std::map<std::string, std::string>& pins);
+
+  /// Tears a deployment down everywhere and releases its resources.
+  Result<void> remove(const std::string& request_id);
+
+  /// Re-maps a live deployment onto the current view (break-before-make
+  /// migration, the paper's "migration between technologies"): useful
+  /// after capacities changed or other services freed resources. Restores
+  /// the previous placement when the new mapping fails.
+  Result<void> redeploy(const std::string& request_id);
+
+  /// Re-fetches one domain's view and refreshes the capacities and
+  /// attributes of its BiS-BiS nodes in the global view (topology changes
+  /// are not supported; deployed state is kept). Models a domain
+  /// re-advertising resources.
+  Result<void> refresh_domain(const std::string& domain);
+
+  /// Pulls NF operational statuses up from the domains into the view.
+  Result<void> sync_statuses();
+
+  /// Status of one NF by instance id (searches the view).
+  [[nodiscard]] std::optional<model::NfStatus> nf_status(
+      const std::string& nf_id) const;
+
+  [[nodiscard]] const std::map<std::string, Deployment>& deployments()
+      const noexcept {
+    return deployments_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const catalog::NfCatalog& catalog() const noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] telemetry::Registry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const std::vector<std::string>& domain_names() const noexcept {
+    return domain_names_;
+  }
+
+ private:
+  Result<std::string> commit(Deployment deployment);
+  Result<void> push_slices();
+
+  std::string name_;
+  std::shared_ptr<const mapping::Mapper> mapper_;
+  catalog::NfCatalog catalog_;
+  RoOptions options_;
+  std::vector<std::unique_ptr<adapters::DomainAdapter>> adapters_;
+  std::vector<std::string> domain_names_;
+  model::Nffg view_;
+  bool initialized_ = false;
+  std::map<std::string, Deployment> deployments_;
+  telemetry::Registry metrics_;
+};
+
+}  // namespace unify::core

@@ -1,0 +1,78 @@
+#include "core/unify_api.h"
+
+#include "model/nffg_json.h"
+
+namespace unify::core {
+
+UnifyServer::UnifyServer(Virtualizer& virtualizer,
+                         std::shared_ptr<proto::Endpoint> endpoint,
+                         SimClock& clock, std::string name)
+    : virtualizer_(&virtualizer),
+      peer_(std::move(endpoint), clock, std::move(name)) {
+  peer_.on_request(
+      "get-config",
+      [this](const json::Value&) -> Result<json::Value> {
+        UNIFY_ASSIGN_OR_RETURN(const model::Nffg config,
+                               virtualizer_->get_config());
+        json::Object out;
+        out.set("config", model::to_json(config));
+        return json::Value{std::move(out)};
+      });
+  peer_.on_request(
+      "edit-config",
+      [this](const json::Value& params) -> Result<json::Value> {
+        const json::Value* config_json = params.get("config");
+        if (config_json == nullptr) {
+          return Error{ErrorCode::kProtocol, "edit-config needs a config"};
+        }
+        UNIFY_ASSIGN_OR_RETURN(const model::Nffg desired,
+                               model::nffg_from_json(*config_json));
+        UNIFY_RETURN_IF_ERROR(virtualizer_->edit_config(desired));
+        return json::Value{json::Object{}};
+      });
+}
+
+UnifyClientAdapter::UnifyClientAdapter(
+    std::string domain_name, std::shared_ptr<proto::Endpoint> endpoint,
+    SimClock& clock, SimTime rpc_timeout_us)
+    : domain_(std::move(domain_name)),
+      peer_(std::move(endpoint), clock, domain_ + "-unify-client"),
+      rpc_timeout_us_(rpc_timeout_us) {}
+
+Result<model::Nffg> UnifyClientAdapter::fetch_view() {
+  UNIFY_ASSIGN_OR_RETURN(
+      const json::Value reply,
+      peer_.call_and_wait("get-config", json::Value{json::Object{}},
+                          rpc_timeout_us_));
+  const json::Value* config = reply.get("config");
+  if (config == nullptr) {
+    return Error{ErrorCode::kProtocol, "get-config reply missing config"};
+  }
+  return model::nffg_from_json(*config);
+}
+
+Result<void> UnifyClientAdapter::apply(const model::Nffg& desired) {
+  json::Object params;
+  params.set("config", model::to_json(desired));
+  UNIFY_ASSIGN_OR_RETURN(
+      const json::Value reply,
+      peer_.call_and_wait("edit-config", json::Value{std::move(params)},
+                          rpc_timeout_us_));
+  (void)reply;
+  return Result<void>::success();
+}
+
+std::unique_ptr<UnifyClientAdapter> make_unify_link(Virtualizer& child,
+                                                    SimClock& clock,
+                                                    std::string domain_name,
+                                                    SimTime channel_latency_us) {
+  auto [north, south] = proto::make_channel_pair(clock, channel_latency_us);
+  auto server = std::make_shared<UnifyServer>(child, south, clock,
+                                              domain_name + "-unify-server");
+  auto adapter = std::make_unique<UnifyClientAdapter>(std::move(domain_name),
+                                                      north, clock);
+  adapter->keep_alive(std::move(server));
+  return adapter;
+}
+
+}  // namespace unify::core

@@ -1,0 +1,74 @@
+// The Unify interface: the recursive resource-programming RPC between a
+// manager and a virtualizer (paper: "The recursive interface is the Unify
+// interface").
+//
+// Methods (JSON-RPC over a framed simulated channel):
+//   get-config   {}                      -> {"config": <NFFG>}
+//   edit-config  {"config": <NFFG>}      -> {}
+//
+// UnifyServer exposes a Virtualizer northbound. UnifyClientAdapter makes a
+// remote UNIFY domain look like any other DomainAdapter to the RO above —
+// the recursion point of the architecture. make_unify_link wires a child
+// virtualizer to a fresh adapter over an in-memory channel.
+#pragma once
+
+#include <memory>
+
+#include "adapters/domain_adapter.h"
+#include "core/virtualizer.h"
+#include "proto/rpc.h"
+
+namespace unify::core {
+
+class UnifyServer {
+ public:
+  /// Serves `virtualizer` on `endpoint`. Both must outlive the server.
+  UnifyServer(Virtualizer& virtualizer,
+              std::shared_ptr<proto::Endpoint> endpoint, SimClock& clock,
+              std::string name);
+
+  [[nodiscard]] std::uint64_t requests_handled() const noexcept {
+    return peer_.requests_handled();
+  }
+
+ private:
+  Virtualizer* virtualizer_;
+  proto::RpcPeer peer_;
+};
+
+class UnifyClientAdapter final : public adapters::DomainAdapter {
+ public:
+  UnifyClientAdapter(std::string domain_name,
+                     std::shared_ptr<proto::Endpoint> endpoint,
+                     SimClock& clock, SimTime rpc_timeout_us = 0);
+
+  [[nodiscard]] const std::string& domain() const noexcept override {
+    return domain_;
+  }
+  [[nodiscard]] Result<model::Nffg> fetch_view() override;
+  Result<void> apply(const model::Nffg& desired) override;
+  [[nodiscard]] std::uint64_t native_operations() const noexcept override {
+    return peer_.counters().messages_sent;
+  }
+
+  /// Attaches an owned object (e.g. the matching UnifyServer + child
+  /// stack) whose lifetime must track this adapter's.
+  void keep_alive(std::shared_ptr<void> dependency) {
+    dependencies_.push_back(std::move(dependency));
+  }
+
+ private:
+  std::string domain_;
+  proto::RpcPeer peer_;
+  SimTime rpc_timeout_us_;
+  std::vector<std::shared_ptr<void>> dependencies_;
+};
+
+/// Wires `child` behind a fresh channel: creates the UnifyServer on one end
+/// and returns a UnifyClientAdapter (owning the server) on the other, ready
+/// to be add_domain()-ed into a parent RO.
+[[nodiscard]] std::unique_ptr<UnifyClientAdapter> make_unify_link(
+    Virtualizer& child, SimClock& clock, std::string domain_name,
+    SimTime channel_latency_us = 200);
+
+}  // namespace unify::core

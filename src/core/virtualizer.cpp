@@ -1,0 +1,349 @@
+#include "core/virtualizer.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "model/topology_index.h"
+#include "util/log.h"
+
+namespace unify::core {
+
+Virtualizer::Virtualizer(ResourceOrchestrator& ro, ViewPolicy policy,
+                         std::string big_node_id)
+    : ro_(&ro),
+      policy_(policy),
+      big_node_id_(big_node_id.empty() ? ro.name() + ".big"
+                                       : std::move(big_node_id)) {}
+
+Result<model::Nffg> Virtualizer::render_single_bisbis() const {
+  const model::Nffg& under = ro_->global_view();
+  model::Nffg view{ro_->name() + "-single-view"};
+
+  model::BisBis big;
+  big.id = big_node_id_;
+  big.name = ro_->name() + " (single BiS-BiS)";
+  for (const auto& [bb_id, bb] : under.bisbis()) {
+    big.capacity += bb.capacity;
+  }
+
+  // One port per SAP, plus the SAP nodes and attachment links. The
+  // advertised internal delay is the worst SAP-to-SAP transit minus the
+  // attachment legs, so a client's delay arithmetic on the collapsed view
+  // stays conservative.
+  const model::TopologyIndex index(under);
+  std::vector<std::string> sap_ids;
+  for (const auto& [sap_id, sap] : under.saps()) sap_ids.push_back(sap_id);
+
+  std::map<std::string, double> attach_delay;
+  std::map<std::string, double> attach_bw;
+  for (const std::string& sap_id : sap_ids) {
+    for (const model::Link* link : under.links_of(sap_id)) {
+      attach_delay[sap_id] = link->attrs.delay;
+      attach_bw[sap_id] = link->attrs.bandwidth;
+    }
+  }
+  double worst_transit = 0;
+  for (const std::string& a : sap_ids) {
+    const auto tree = graph::shortest_path_tree(
+        index.graph().node_capacity(), index.node_of(a),
+        index.scan_by_delay(0));
+    for (const std::string& b : sap_ids) {
+      if (a == b) continue;
+      const double dist = tree.dist[index.node_of(b)];
+      if (dist == graph::kInf) continue;
+      worst_transit = std::max(
+          worst_transit, dist - attach_delay[a] - attach_delay[b]);
+    }
+  }
+  big.internal_delay = std::max(0.0, worst_transit);
+
+  int port = 0;
+  for (const std::string& sap_id : sap_ids) {
+    big.ports.push_back(model::Port{port, "to-" + sap_id});
+    ++port;
+  }
+  UNIFY_RETURN_IF_ERROR(view.add_bisbis(std::move(big)));
+  port = 0;
+  for (const std::string& sap_id : sap_ids) {
+    UNIFY_RETURN_IF_ERROR(
+        view.add_sap(model::Sap{sap_id, under.find_sap(sap_id)->name}));
+    UNIFY_RETURN_IF_ERROR(view.add_bidirectional_link(
+        "v-" + sap_id, model::PortRef{sap_id, 0},
+        model::PortRef{big_node_id_, port},
+        model::LinkAttrs{attach_bw[sap_id], attach_delay[sap_id]}));
+    ++port;
+  }
+  return view;
+}
+
+Result<void> Virtualizer::ensure_skeleton() {
+  if (skeleton_.has_value()) return Result<void>::success();
+  if (!ro_->initialized()) {
+    return Error{ErrorCode::kUnavailable, "RO not initialized"};
+  }
+  if (policy_ == ViewPolicy::kSingleBisBis) {
+    UNIFY_ASSIGN_OR_RETURN(model::Nffg view, render_single_bisbis());
+    skeleton_ = std::move(view);
+  } else {
+    // Full view: the underlying topology without deployed state.
+    model::Nffg view = ro_->global_view();
+    view.set_id(ro_->name() + "-full-view");
+    for (auto& [bb_id, bb] : view.bisbis()) {
+      bb.nfs.clear();
+      bb.flowrules.clear();
+    }
+    for (auto& [link_id, link] : view.links()) link.reserved = 0;
+    skeleton_ = std::move(view);
+  }
+  accepted_ = *skeleton_;
+  UNIFY_ASSIGN_OR_RETURN(
+      accepted_translated_,
+      config_to_service_graph(accepted_, *skeleton_, "accepted"));
+  return Result<void>::success();
+}
+
+model::NfStatus Virtualizer::rolled_up_status(const std::string& nf_id) const {
+  // The RO may have decomposed this NF into components named
+  // "<nf_id>.<suffix>...". Aggregate across all of them.
+  bool any = false, all_running = true, any_failed = false,
+       any_deploying = false;
+  for (const auto& [bb_id, bb] : ro_->global_view().bisbis()) {
+    for (const auto& [id, nf] : bb.nfs) {
+      if (id != nf_id && !strings::starts_with(id, nf_id + ".")) continue;
+      any = true;
+      all_running &= nf.status == model::NfStatus::kRunning;
+      any_failed |= nf.status == model::NfStatus::kFailed;
+      any_deploying |= nf.status == model::NfStatus::kDeploying ||
+                       nf.status == model::NfStatus::kRequested;
+    }
+  }
+  if (!any) return model::NfStatus::kRequested;
+  if (any_failed) return model::NfStatus::kFailed;
+  if (any_deploying) return model::NfStatus::kDeploying;
+  return all_running ? model::NfStatus::kRunning : model::NfStatus::kStopped;
+}
+
+Result<model::Nffg> Virtualizer::get_config() {
+  UNIFY_RETURN_IF_ERROR(ensure_skeleton());
+  model::Nffg out = accepted_;
+  for (auto& [bb_id, bb] : out.bisbis()) {
+    for (auto& [nf_id, nf] : bb.nfs) {
+      nf.status = rolled_up_status(nf_id);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Virtualizer::active_requests() const {
+  std::vector<std::string> out;
+  for (const auto& [id, service] : services_) out.push_back(service.ro_request);
+  return out;
+}
+
+Result<void> Virtualizer::edit_config(const model::Nffg& desired) {
+  UNIFY_RETURN_IF_ERROR(ensure_skeleton());
+  ++edits_;
+
+  UNIFY_ASSIGN_OR_RETURN(
+      TranslatedConfig incoming,
+      config_to_service_graph(desired, *skeleton_, "desired"));
+  const sg::ServiceGraph& new_sg = incoming.sg;
+  const sg::ServiceGraph& old_sg = accepted_translated_->sg;
+
+  // --- 1. find client-level elements that disappeared or changed.
+  std::set<std::string> dirty_nfs;
+  std::set<std::string> dirty_links;
+  for (const auto& [nf_id, nf] : old_sg.nfs()) {
+    const sg::SgNf* now = new_sg.find_nf(nf_id);
+    if (now == nullptr || !(*now == nf)) dirty_nfs.insert(nf_id);
+    // Full-view clients may also move an NF: that is a placement change.
+    if (policy_ == ViewPolicy::kFull && now != nullptr &&
+        incoming.pinned_hosts.at(nf_id) !=
+            accepted_translated_->pinned_hosts.at(nf_id)) {
+      dirty_nfs.insert(nf_id);
+    }
+  }
+  for (const sg::SgLink& link : old_sg.links()) {
+    const sg::SgLink* now = new_sg.find_link(link.id);
+    if (now == nullptr || !(*now == link)) dirty_links.insert(link.id);
+  }
+  // An NF whose constraint set changed must be redeployed.
+  const auto constraints_of = [](const sg::ServiceGraph& graph,
+                                 const std::string& nf) {
+    std::vector<sg::PlacementConstraint> out;
+    for (const sg::PlacementConstraint& c : graph.constraints()) {
+      if (c.nf_a == nf || c.nf_b == nf) out.push_back(c);
+    }
+    return out;
+  };
+  for (const auto& [nf_id, nf] : old_sg.nfs()) {
+    if (new_sg.find_nf(nf_id) != nullptr &&
+        constraints_of(old_sg, nf_id) != constraints_of(new_sg, nf_id)) {
+      dirty_nfs.insert(nf_id);
+    }
+  }
+  std::set<std::string> dirty_reqs;
+  for (const sg::E2eRequirement& req : old_sg.requirements()) {
+    const auto now = std::find_if(
+        new_sg.requirements().begin(), new_sg.requirements().end(),
+        [&](const sg::E2eRequirement& r) { return r.id == req.id; });
+    if (now == new_sg.requirements().end() || !(*now == req)) {
+      dirty_reqs.insert(req.id);
+    }
+  }
+
+  // --- 2. remove affected services from the RO.
+  std::set<std::string> freed_elements;
+  for (auto it = services_.begin(); it != services_.end();) {
+    ClientService& service = it->second;
+    const bool affected =
+        std::any_of(service.nf_ids.begin(), service.nf_ids.end(),
+                    [&](const std::string& id) {
+                      return dirty_nfs.count(id) != 0;
+                    }) ||
+        std::any_of(service.link_ids.begin(), service.link_ids.end(),
+                    [&](const std::string& id) {
+                      return dirty_links.count(id) != 0;
+                    }) ||
+        std::any_of(service.req_ids.begin(), service.req_ids.end(),
+                    [&](const std::string& id) {
+                      return dirty_reqs.count(id) != 0;
+                    });
+    if (!affected) {
+      ++it;
+      continue;
+    }
+    UNIFY_RETURN_IF_ERROR(ro_->remove(service.ro_request));
+    freed_elements.insert(service.nf_ids.begin(), service.nf_ids.end());
+    freed_elements.insert(service.link_ids.begin(), service.link_ids.end());
+    it = services_.erase(it);
+  }
+
+  // --- 3. pool of elements needing (re)deployment: everything in the new
+  // config not owned by a surviving service.
+  std::set<std::string> owned;
+  std::set<std::string> owned_reqs;
+  for (const auto& [id, service] : services_) {
+    owned.insert(service.nf_ids.begin(), service.nf_ids.end());
+    owned.insert(service.link_ids.begin(), service.link_ids.end());
+    owned_reqs.insert(service.req_ids.begin(), service.req_ids.end());
+  }
+  std::vector<const sg::SgLink*> pool_links;
+  std::set<std::string> pool_nfs;
+  for (const sg::SgLink& link : new_sg.links()) {
+    if (owned.count(link.id) == 0) pool_links.push_back(&link);
+  }
+  for (const auto& [nf_id, nf] : new_sg.nfs()) {
+    if (owned.count(nf_id) == 0) pool_nfs.insert(nf_id);
+  }
+
+  // --- 4. group the pool into connected components (links join their NF
+  // endpoints; SAPs are shared infrastructure and do not merge services).
+  std::map<std::string, int> component_of;  // nf -> component
+  int next_component = 0;
+  for (const std::string& nf : pool_nfs) {
+    component_of[nf] = next_component++;
+  }
+  const auto find_root = [&](int c) {
+    return c;  // components merged eagerly below; no union-find needed
+  };
+  (void)find_root;
+  // Merge components via links (simple iterate-to-fixpoint; pools are
+  // small).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const sg::SgLink* link : pool_links) {
+      const bool from_nf = component_of.count(link->from.node) != 0;
+      const bool to_nf = component_of.count(link->to.node) != 0;
+      if (from_nf && to_nf &&
+          component_of[link->from.node] != component_of[link->to.node]) {
+        const int victim = component_of[link->to.node];
+        const int winner = component_of[link->from.node];
+        for (auto& [nf, c] : component_of) {
+          if (c == victim) c = winner;
+        }
+        changed = true;
+      }
+    }
+  }
+  // Links -> owning component (via an NF endpoint; SAP-SAP links get their
+  // own singleton component).
+  std::map<int, std::vector<const sg::SgLink*>> links_by_component;
+  for (const sg::SgLink* link : pool_links) {
+    int component = -1;
+    if (component_of.count(link->from.node) != 0) {
+      component = component_of[link->from.node];
+    } else if (component_of.count(link->to.node) != 0) {
+      component = component_of[link->to.node];
+    } else {
+      component = next_component++;
+    }
+    links_by_component[component].push_back(link);
+  }
+  // NFs with no links still need a component entry so validation flags
+  // them at deploy time.
+  std::map<int, std::vector<std::string>> nfs_by_component;
+  for (const auto& [nf, component] : component_of) {
+    nfs_by_component[component].push_back(nf);
+  }
+
+  // --- 5. deploy every component as one service.
+  std::set<int> components;
+  for (const auto& [c, links] : links_by_component) components.insert(c);
+  for (const auto& [c, nfs] : nfs_by_component) components.insert(c);
+  for (const int component : components) {
+    sg::ServiceGraph sub{ro_->name() + "-r" + std::to_string(next_request_)};
+    ClientService service;
+    std::set<std::string> sub_saps;
+    for (const std::string& nf_id : nfs_by_component[component]) {
+      const sg::SgNf* nf = new_sg.find_nf(nf_id);
+      UNIFY_RETURN_IF_ERROR(sub.add_nf(*nf));
+      service.nf_ids.insert(nf_id);
+    }
+    for (const sg::SgLink* link : links_by_component[component]) {
+      for (const model::PortRef* ref : {&link->from, &link->to}) {
+        if (new_sg.has_sap(ref->node) && sub_saps.insert(ref->node).second) {
+          UNIFY_RETURN_IF_ERROR(sub.add_sap(ref->node));
+        }
+      }
+      UNIFY_RETURN_IF_ERROR(sub.add_link(*link));
+      service.link_ids.insert(link->id);
+    }
+    for (const sg::PlacementConstraint& c : new_sg.constraints()) {
+      if (service.nf_ids.count(c.nf_a) != 0 ||
+          (!c.nf_b.empty() && service.nf_ids.count(c.nf_b) != 0)) {
+        UNIFY_RETURN_IF_ERROR(sub.add_constraint(c));
+      }
+    }
+    for (const sg::E2eRequirement& req : new_sg.requirements()) {
+      // A requirement belongs to this component when it is not owned by a
+      // surviving service, both its SAPs are here, and the component
+      // actually realizes a directed chain between them (several services
+      // may share the same SAP pair).
+      if (owned_reqs.count(req.id) == 0 &&
+          sub_saps.count(req.from_sap) != 0 &&
+          sub_saps.count(req.to_sap) != 0 && sub.chain_for(req).ok()) {
+        UNIFY_RETURN_IF_ERROR(sub.add_requirement(req));
+        service.req_ids.insert(req.id);
+      }
+    }
+    Result<std::string> request =
+        policy_ == ViewPolicy::kFull
+            ? ro_->deploy_pinned(sub, incoming.pinned_hosts)
+            : ro_->deploy(sub);
+    UNIFY_RETURN_IF_ERROR(request);
+    service.ro_request = *request;
+    ++next_request_;
+    services_.emplace(service.ro_request, std::move(service));
+  }
+
+  accepted_ = desired;
+  accepted_translated_ = std::move(incoming);
+  UNIFY_LOG(kInfo, "orch.virt")
+      << ro_->name() << ": edit-config accepted (" << services_.size()
+      << " active services)";
+  return Result<void>::success();
+}
+
+}  // namespace unify::core

@@ -1,0 +1,92 @@
+// Path and reachability algorithms over Digraph-shaped data.
+//
+// The algorithms are decoupled from Digraph<N,E> through a tiny adapter
+// (EdgeScanFn) so callers can weight edges by delay, by hop count, or by a
+// residual-capacity-aware cost without copying the graph. Edges reported
+// with a negative weight are treated as unusable (filtered out), which is
+// how mappers mask links without residual bandwidth.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace unify::graph {
+
+/// Callback receiving (edge id, head node, weight) for each out-edge.
+using EdgeVisitFn = std::function<void(EdgeId, NodeId, double)>;
+
+/// Adapter: invoke the visitor for every out-edge of `node`.
+using EdgeScanFn = std::function<void(NodeId node, const EdgeVisitFn&)>;
+
+/// A path: total cost, node sequence (front()==source, back()==target) and
+/// the edge ids between consecutive nodes (edges.size()+1 == nodes.size()).
+struct Path {
+  double cost = 0;
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+
+  [[nodiscard]] std::size_t hop_count() const noexcept {
+    return edges.size();
+  }
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.edges == b.edges && a.nodes == b.nodes;
+  }
+};
+
+/// Convenience adapter for a Digraph with a per-edge weight functor.
+/// `weight(edge_id, edge)` returning < 0 masks the edge.
+template <typename NodeData, typename EdgeData, typename WeightFn>
+EdgeScanFn scan_digraph(const Digraph<NodeData, EdgeData>& g,
+                        WeightFn weight) {
+  return [&g, weight](NodeId node, const EdgeVisitFn& visit) {
+    for (const EdgeId e : g.out_edges(node)) {
+      const auto& edge = g.edge(e);
+      visit(e, edge.to, weight(e, edge));
+    }
+  };
+}
+
+/// Dijkstra from `source` to `target`. `node_capacity` bounds node ids
+/// (Digraph::node_capacity()). Returns nullopt when unreachable.
+[[nodiscard]] std::optional<Path> shortest_path(std::size_t node_capacity,
+                                                NodeId source, NodeId target,
+                                                const EdgeScanFn& scan);
+
+/// Single-source Dijkstra; dist[target] is +inf when unreachable.
+struct ShortestPathTree {
+  std::vector<double> dist;        // indexed by node id
+  std::vector<EdgeId> parent_edge; // kInvalidId at source / unreachable
+  std::vector<NodeId> parent_node; // kInvalidId at source / unreachable
+
+  /// Reconstructs the path to `target`; nullopt when unreachable.
+  [[nodiscard]] std::optional<Path> path_to(NodeId source,
+                                            NodeId target) const;
+};
+[[nodiscard]] ShortestPathTree shortest_path_tree(std::size_t node_capacity,
+                                                  NodeId source,
+                                                  const EdgeScanFn& scan);
+
+/// Yen's algorithm: up to k loopless shortest paths, ascending cost.
+[[nodiscard]] std::vector<Path> k_shortest_paths(std::size_t node_capacity,
+                                                 NodeId source, NodeId target,
+                                                 std::size_t k,
+                                                 const EdgeScanFn& scan);
+
+/// BFS reachability (edge weights ignored; masked edges still skipped).
+[[nodiscard]] std::vector<bool> reachable_from(std::size_t node_capacity,
+                                               NodeId source,
+                                               const EdgeScanFn& scan);
+
+/// Weakly-connected components over the union of both edge directions.
+/// Returns component index per node id (-1 for ids not in `nodes`).
+[[nodiscard]] std::vector<int> weak_components(
+    std::size_t node_capacity, const std::vector<NodeId>& nodes,
+    const EdgeScanFn& scan_out, const EdgeScanFn& scan_in);
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace unify::graph

@@ -1,0 +1,167 @@
+#include "infra/cloud.h"
+
+#include <algorithm>
+
+namespace unify::infra {
+
+const char* to_string(VmStatus status) noexcept {
+  switch (status) {
+    case VmStatus::kBuild:   return "BUILD";
+    case VmStatus::kActive:  return "ACTIVE";
+    case VmStatus::kDeleted: return "DELETED";
+    case VmStatus::kError:   return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+Cloud::Cloud(SimClock& clock, std::string name, CloudConfig config)
+    : clock_(&clock), name_(std::move(name)), config_(config) {
+  (void)fabric_.add_switch("gw", config_.gateway_ports);
+  for (int i = 0; i < config_.external_ports; ++i) {
+    (void)fabric_.attach("ext" + std::to_string(i), "gw", next_gw_port_++);
+  }
+}
+
+Result<void> Cloud::add_hypervisor(const std::string& id,
+                                   model::Resources capacity) {
+  if (hypervisors_.count(id) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "hypervisor " + id};
+  }
+  hypervisors_.emplace(id, Hypervisor{id, capacity, {}});
+  return Result<void>::success();
+}
+
+Result<std::string> Cloud::schedule(const model::Resources& flavor) {
+  // nova-style: filter on capacity, weigh by least worst-dimension load.
+  const Hypervisor* best = nullptr;
+  double best_load = 2.0;
+  for (const auto& [id, hv] : hypervisors_) {
+    const model::Resources residual = hv.capacity - hv.allocated;
+    if (!residual.fits(flavor)) continue;
+    double load = 0;
+    if (hv.capacity.cpu > 0) {
+      load = std::max(load, hv.allocated.cpu / hv.capacity.cpu);
+    }
+    if (hv.capacity.mem > 0) {
+      load = std::max(load, hv.allocated.mem / hv.capacity.mem);
+    }
+    if (best == nullptr || load < best_load) {
+      best = &hv;
+      best_load = load;
+    }
+  }
+  if (best == nullptr) {
+    return Error{ErrorCode::kResourceExhausted,
+                 "no hypervisor fits flavor " + flavor.to_string()};
+  }
+  return best->id;
+}
+
+Result<void> Cloud::boot_vm(const std::string& id, const std::string& image,
+                            model::Resources flavor, int nic_count) {
+  clock_->advance(config_.api_latency_us);
+  ++api_calls_;
+  if (vms_.count(id) != 0 && vms_.at(id).status != VmStatus::kDeleted) {
+    return Error{ErrorCode::kAlreadyExists, "VM " + id};
+  }
+  if (nic_count <= 0) {
+    return Error{ErrorCode::kInvalidArgument, "VM needs at least one NIC"};
+  }
+  UNIFY_ASSIGN_OR_RETURN(const std::string host, schedule(flavor));
+
+  Vm vm;
+  vm.id = id;
+  vm.image = image;
+  vm.flavor = flavor;
+  vm.host = host;
+  vm.status = VmStatus::kBuild;
+  for (int nic = 0; nic < nic_count; ++nic) {
+    int port;
+    if (!free_gw_ports_.empty()) {
+      port = free_gw_ports_.back();
+      free_gw_ports_.pop_back();
+    } else if (next_gw_port_ < config_.gateway_ports) {
+      port = next_gw_port_++;
+    } else {
+      return Error{ErrorCode::kResourceExhausted, "gateway ports exhausted"};
+    }
+    UNIFY_RETURN_IF_ERROR(
+        fabric_.attach(id + ":" + std::to_string(nic), "gw", port));
+    vm.nic_gw_ports.push_back(port);
+  }
+  hypervisors_.at(host).allocated += flavor;
+  vms_[id] = std::move(vm);
+  clock_->schedule_in(config_.vm_boot_us, [this, id] {
+    const auto it = vms_.find(id);
+    if (it != vms_.end() && it->second.status == VmStatus::kBuild) {
+      it->second.status = VmStatus::kActive;
+    }
+  });
+  return Result<void>::success();
+}
+
+Result<void> Cloud::delete_vm(const std::string& id) {
+  clock_->advance(config_.api_latency_us);
+  ++api_calls_;
+  const auto it = vms_.find(id);
+  if (it == vms_.end() || it->second.status == VmStatus::kDeleted) {
+    return Error{ErrorCode::kNotFound, "VM " + id};
+  }
+  hypervisors_.at(it->second.host).allocated -= it->second.flavor;
+  it->second.status = VmStatus::kDeleted;
+  // Unplug the NICs so the gateway ports can be reused.
+  for (std::size_t nic = 0; nic < it->second.nic_gw_ports.size(); ++nic) {
+    (void)fabric_.detach(id + ":" + std::to_string(nic));
+    free_gw_ports_.push_back(it->second.nic_gw_ports[nic]);
+  }
+  it->second.nic_gw_ports.clear();
+  return Result<void>::success();
+}
+
+const Vm* Cloud::find_vm(const std::string& id) const noexcept {
+  const auto it = vms_.find(id);
+  return it == vms_.end() ? nullptr : &it->second;
+}
+
+Result<void> Cloud::install_steering(const std::string& rule_id,
+                                     const std::string& from_endpoint,
+                                     const std::string& match_tag,
+                                     const std::string& to_endpoint,
+                                     const std::string& set_tag) {
+  clock_->advance(config_.flow_install_us);
+  ++api_calls_;
+  const auto from = fabric_.attachment(from_endpoint);
+  const auto to = fabric_.attachment(to_endpoint);
+  if (!from.has_value() || !to.has_value()) {
+    return Error{ErrorCode::kNotFound,
+                 "gateway endpoint " +
+                     (from.has_value() ? to_endpoint : from_endpoint)};
+  }
+  FlowEntry entry;
+  entry.id = rule_id;
+  entry.in_port = from->second;
+  entry.match_tag = match_tag;
+  entry.out_port = to->second;
+  entry.set_tag = set_tag;
+  return fabric_.find_switch("gw")->install(std::move(entry));
+}
+
+Result<void> Cloud::remove_steering(const std::string& rule_id) {
+  clock_->advance(config_.flow_install_us);
+  ++api_calls_;
+  return fabric_.find_switch("gw")->remove(rule_id);
+}
+
+model::Resources Cloud::total_capacity() const noexcept {
+  model::Resources total;
+  for (const auto& [id, hv] : hypervisors_) total += hv.capacity;
+  return total;
+}
+
+model::Resources Cloud::total_allocated() const noexcept {
+  model::Resources total;
+  for (const auto& [id, hv] : hypervisors_) total += hv.allocated;
+  return total;
+}
+
+}  // namespace unify::infra

@@ -1,0 +1,130 @@
+#include "infra/emu_network.h"
+
+namespace unify::infra {
+
+EmuNetwork::EmuNetwork(SimClock& clock, std::string name, EmuConfig config)
+    : clock_(&clock), name_(std::move(name)), config_(config) {}
+
+Result<void> EmuNetwork::add_switch(const std::string& id, int fabric_ports,
+                                    model::Resources ee_capacity) {
+  UNIFY_RETURN_IF_ERROR(
+      fabric_.add_switch(id, fabric_ports + config_.ee_ports_per_switch));
+  ExecutionEnvironment ee;
+  ee.switch_id = id;
+  ee.capacity = ee_capacity;
+  ee.next_port = fabric_ports;  // EE block starts after public ports
+  ees_.emplace(id, std::move(ee));
+  fabric_ports_.emplace(id, fabric_ports);
+  return Result<void>::success();
+}
+
+Result<void> EmuNetwork::connect(const std::string& a, int port_a,
+                                 const std::string& b, int port_b,
+                                 model::LinkAttrs attrs) {
+  UNIFY_RETURN_IF_ERROR(fabric_.connect(a, port_a, b, port_b));
+  wires_.push_back(WireInfo{a, port_a, b, port_b, attrs});
+  return Result<void>::success();
+}
+
+Result<void> EmuNetwork::attach_sap(const std::string& sap,
+                                    const std::string& sw, int port,
+                                    model::LinkAttrs attrs) {
+  UNIFY_RETURN_IF_ERROR(fabric_.attach(sap, sw, port));
+  saps_.push_back(SapInfo{sap, sw, port, attrs});
+  return Result<void>::success();
+}
+
+Result<void> EmuNetwork::start_click(const std::string& id,
+                                     const std::string& type,
+                                     const std::string& host,
+                                     model::Resources usage, int port_count) {
+  clock_->advance(config_.click_start_us);
+  ++ops_;
+  const auto ee_it = ees_.find(host);
+  if (ee_it == ees_.end()) {
+    return Error{ErrorCode::kNotFound, "EE " + host};
+  }
+  const auto existing = clicks_.find(id);
+  if (existing != clicks_.end() && existing->second.running) {
+    return Error{ErrorCode::kAlreadyExists, "click process " + id};
+  }
+  ExecutionEnvironment& ee = ee_it->second;
+  const model::Resources residual = ee.capacity - ee.allocated;
+  if (!residual.fits(usage)) {
+    return Error{ErrorCode::kResourceExhausted,
+                 "EE " + host + " residual " + residual.to_string() +
+                     " < " + usage.to_string()};
+  }
+  ClickProcess proc;
+  proc.id = id;
+  proc.type = type;
+  proc.host = host;
+  proc.usage = usage;
+  const int port_limit =
+      fabric_ports_.at(host) + config_.ee_ports_per_switch;
+  for (int p = 0; p < port_count; ++p) {
+    int port;
+    if (!ee.free_ports.empty()) {
+      port = ee.free_ports.back();
+      ee.free_ports.pop_back();
+    } else if (ee.next_port < port_limit) {
+      port = ee.next_port++;
+    } else {
+      return Error{ErrorCode::kResourceExhausted,
+                   "EE ports exhausted on " + host};
+    }
+    UNIFY_RETURN_IF_ERROR(
+        fabric_.attach(id + ":" + std::to_string(p), host, port));
+    proc.switch_ports.push_back(port);
+  }
+  ee.allocated += usage;
+  proc.running = true;
+  clicks_[id] = std::move(proc);
+  return Result<void>::success();
+}
+
+Result<void> EmuNetwork::stop_click(const std::string& id) {
+  clock_->advance(config_.click_stop_us);
+  ++ops_;
+  const auto it = clicks_.find(id);
+  if (it == clicks_.end() || !it->second.running) {
+    return Error{ErrorCode::kNotFound, "click process " + id};
+  }
+  it->second.running = false;
+  ExecutionEnvironment& ee = ees_.at(it->second.host);
+  ee.allocated -= it->second.usage;
+  for (std::size_t p = 0; p < it->second.switch_ports.size(); ++p) {
+    (void)fabric_.detach(id + ":" + std::to_string(p));
+    ee.free_ports.push_back(it->second.switch_ports[p]);
+  }
+  it->second.switch_ports.clear();
+  return Result<void>::success();
+}
+
+const ClickProcess* EmuNetwork::find_click(const std::string& id) const noexcept {
+  const auto it = clicks_.find(id);
+  return it == clicks_.end() ? nullptr : &it->second;
+}
+
+Result<void> EmuNetwork::install_flow(const std::string& sw, FlowEntry entry) {
+  FlowSwitch* fs = fabric_.find_switch(sw);
+  if (fs == nullptr) {
+    return Error{ErrorCode::kNotFound, "switch " + sw};
+  }
+  clock_->advance(config_.flow_mod_latency_us);
+  ++ops_;
+  return fs->install(std::move(entry));
+}
+
+Result<void> EmuNetwork::remove_flow(const std::string& sw,
+                                     const std::string& entry_id) {
+  FlowSwitch* fs = fabric_.find_switch(sw);
+  if (fs == nullptr) {
+    return Error{ErrorCode::kNotFound, "switch " + sw};
+  }
+  clock_->advance(config_.flow_mod_latency_us);
+  ++ops_;
+  return fs->remove(entry_id);
+}
+
+}  // namespace unify::infra

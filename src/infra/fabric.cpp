@@ -1,0 +1,191 @@
+#include "infra/fabric.h"
+
+#include <algorithm>
+
+namespace unify::infra {
+
+FlowSwitch::FlowSwitch(std::string id, int port_count)
+    : id_(std::move(id)), port_count_(port_count) {}
+
+Result<void> FlowSwitch::install(FlowEntry entry) {
+  if (entry.id.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "flow entry id empty"};
+  }
+  const auto dup = std::any_of(
+      entries_.begin(), entries_.end(),
+      [&](const FlowEntry& e) { return e.id == entry.id; });
+  if (dup) {
+    return Error{ErrorCode::kAlreadyExists,
+                 "flow entry " + entry.id + " on " + id_};
+  }
+  for (const int port : {entry.in_port, entry.out_port}) {
+    if (port < 0 || port >= port_count_) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "port " + std::to_string(port) + " out of range on " +
+                       id_};
+    }
+  }
+  entries_.push_back(std::move(entry));
+  ++stats_.flow_mods;
+  return Result<void>::success();
+}
+
+Result<void> FlowSwitch::remove(const std::string& entry_id) {
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [&](const FlowEntry& e) { return e.id == entry_id; });
+  if (it == entries_.end()) {
+    return Error{ErrorCode::kNotFound, "flow entry " + entry_id};
+  }
+  entries_.erase(it);
+  ++stats_.flow_mods;
+  return Result<void>::success();
+}
+
+const FlowEntry* FlowSwitch::lookup(int in_port,
+                                    const std::string& tag) const {
+  const FlowEntry* best = nullptr;
+  for (const FlowEntry& e : entries_) {
+    if (e.in_port != in_port) continue;
+    if (!e.match_tag.empty() && e.match_tag != tag) continue;
+    if (best == nullptr || e.priority > best->priority) best = &e;
+  }
+  return best;
+}
+
+Result<void> Fabric::add_switch(const std::string& id, int port_count) {
+  if (switches_.count(id) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "switch " + id};
+  }
+  if (port_count <= 0) {
+    return Error{ErrorCode::kInvalidArgument, "switch needs ports"};
+  }
+  switches_.emplace(id, FlowSwitch{id, port_count});
+  return Result<void>::success();
+}
+
+FlowSwitch* Fabric::find_switch(const std::string& id) noexcept {
+  const auto it = switches_.find(id);
+  return it == switches_.end() ? nullptr : &it->second;
+}
+
+const FlowSwitch* Fabric::find_switch(const std::string& id) const noexcept {
+  const auto it = switches_.find(id);
+  return it == switches_.end() ? nullptr : &it->second;
+}
+
+namespace {
+Result<void> check_port(const FlowSwitch* sw, const std::string& id,
+                        int port) {
+  if (sw == nullptr) {
+    return Error{ErrorCode::kNotFound, "switch " + id};
+  }
+  if (port < 0 || port >= sw->port_count()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "port " + std::to_string(port) + " out of range on " + id};
+  }
+  return Result<void>::success();
+}
+}  // namespace
+
+Result<void> Fabric::connect(const std::string& a, int port_a,
+                             const std::string& b, int port_b) {
+  UNIFY_RETURN_IF_ERROR(check_port(find_switch(a), a, port_a));
+  UNIFY_RETURN_IF_ERROR(check_port(find_switch(b), b, port_b));
+  const PortKey ka{a, port_a};
+  const PortKey kb{b, port_b};
+  if (wires_.count(ka) != 0 || wires_.count(kb) != 0 ||
+      port_attachment_.count(ka) != 0 || port_attachment_.count(kb) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "port already wired"};
+  }
+  wires_.emplace(ka, kb);
+  wires_.emplace(kb, ka);
+  return Result<void>::success();
+}
+
+Result<void> Fabric::attach(const std::string& endpoint, const std::string& sw,
+                            int port) {
+  UNIFY_RETURN_IF_ERROR(check_port(find_switch(sw), sw, port));
+  if (attachments_.count(endpoint) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "endpoint " + endpoint};
+  }
+  const PortKey key{sw, port};
+  if (wires_.count(key) != 0 || port_attachment_.count(key) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "port already wired"};
+  }
+  port_attachment_.emplace(key, endpoint);
+  attachments_.emplace(endpoint, key);
+  return Result<void>::success();
+}
+
+Result<void> Fabric::detach(const std::string& endpoint) {
+  const auto it = attachments_.find(endpoint);
+  if (it == attachments_.end()) {
+    return Error{ErrorCode::kNotFound, "endpoint " + endpoint};
+  }
+  port_attachment_.erase(it->second);
+  attachments_.erase(it);
+  return Result<void>::success();
+}
+
+std::optional<std::pair<std::string, int>> Fabric::attachment(
+    const std::string& endpoint) const {
+  const auto it = attachments_.find(endpoint);
+  if (it == attachments_.end()) return std::nullopt;
+  return std::make_pair(it->second.sw, it->second.port);
+}
+
+Fabric::TraceResult Fabric::trace(const std::string& from,
+                                  const std::string& tag,
+                                  std::size_t max_hops) {
+  TraceResult result;
+  const auto start = attachments_.find(from);
+  if (start == attachments_.end()) {
+    result.dropped = true;
+    result.drop_reason = "unknown attachment " + from;
+    return result;
+  }
+  std::string current_tag = tag;
+  PortKey at = start->second;  // packet enters this switch port
+  for (std::size_t hop = 0; hop < max_hops; ++hop) {
+    FlowSwitch* sw = find_switch(at.sw);
+    const FlowEntry* entry = sw->lookup(at.port, current_tag);
+    if (entry == nullptr) {
+      result.dropped = true;
+      result.drop_reason = "no match on " + at.sw + " port " +
+                           std::to_string(at.port) + " tag '" + current_tag +
+                           "'";
+      return result;
+    }
+    ++sw->stats().packets_switched;
+    if (entry->set_tag == "-") {
+      current_tag.clear();
+    } else if (!entry->set_tag.empty()) {
+      current_tag = entry->set_tag;
+    }
+    result.hops.push_back(
+        TraceHop{at.sw, at.port, entry->out_port, current_tag});
+    const PortKey out{at.sw, entry->out_port};
+    // Leaves at an attachment?
+    const auto attached = port_attachment_.find(out);
+    if (attached != port_attachment_.end()) {
+      result.egress_endpoint = attached->second;
+      return result;
+    }
+    // Crosses a wire to the next switch?
+    const auto wire = wires_.find(out);
+    if (wire == wires_.end()) {
+      result.dropped = true;
+      result.drop_reason =
+          "output port " + at.sw + ":" + std::to_string(entry->out_port) +
+          " is unconnected";
+      return result;
+    }
+    at = wire->second;
+  }
+  result.dropped = true;
+  result.drop_reason = "hop limit exceeded (loop?)";
+  return result;
+}
+
+}  // namespace unify::infra

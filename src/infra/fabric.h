@@ -1,0 +1,127 @@
+// Switching fabric shared by the domain simulators: OpenFlow-style match/
+// action flow tables on interconnected switches, plus a data-plane packet
+// tracer used to verify that an installed service chain actually steers
+// traffic end to end.
+//
+// Matches are (in_port, optional tag); actions are (output port, optional
+// tag rewrite). "Tag" abstracts whatever the technology uses for chain
+// identification (VLAN, MPLS label, NSH path id).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace unify::infra {
+
+/// A match/action entry. Empty match_tag matches untagged AND tagged
+/// traffic (wildcard); set_tag "" = keep, "-" = strip.
+struct FlowEntry {
+  std::string id;
+  int in_port = 0;
+  std::string match_tag;
+  int out_port = 0;
+  std::string set_tag;
+  int priority = 0;  ///< higher wins; ties broken by earlier install
+};
+
+struct SwitchStats {
+  std::uint64_t flow_mods = 0;
+  std::uint64_t packets_switched = 0;
+};
+
+class FlowSwitch {
+ public:
+  explicit FlowSwitch(std::string id, int port_count);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] int port_count() const noexcept { return port_count_; }
+
+  Result<void> install(FlowEntry entry);
+  Result<void> remove(const std::string& entry_id);
+  void clear() { entries_.clear(); }
+
+  /// Highest-priority entry matching (in_port, tag), or nullptr.
+  [[nodiscard]] const FlowEntry* lookup(int in_port,
+                                        const std::string& tag) const;
+
+  [[nodiscard]] const std::vector<FlowEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] SwitchStats& stats() noexcept { return stats_; }
+
+ private:
+  std::string id_;
+  int port_count_;
+  std::vector<FlowEntry> entries_;
+  SwitchStats stats_;
+};
+
+/// A set of switches wired port-to-port, with named attachment points
+/// (SAPs, NF ports, gateways) hanging off switch ports.
+class Fabric {
+ public:
+  Result<void> add_switch(const std::string& id, int port_count);
+  [[nodiscard]] FlowSwitch* find_switch(const std::string& id) noexcept;
+  [[nodiscard]] const FlowSwitch* find_switch(
+      const std::string& id) const noexcept;
+
+  /// Wires (a,port_a) <-> (b,port_b); both directions.
+  Result<void> connect(const std::string& a, int port_a, const std::string& b,
+                       int port_b);
+
+  /// Attaches an external endpoint (SAP, NF, gateway) to a switch port.
+  Result<void> attach(const std::string& endpoint, const std::string& sw,
+                      int port);
+  /// Removes an attachment, freeing its port for reuse.
+  Result<void> detach(const std::string& endpoint);
+  [[nodiscard]] std::optional<std::pair<std::string, int>> attachment(
+      const std::string& endpoint) const;
+
+  [[nodiscard]] const std::map<std::string, FlowSwitch>& switches()
+      const noexcept {
+    return switches_;
+  }
+
+  /// One hop of a packet trace.
+  struct TraceHop {
+    std::string switch_id;
+    int in_port = 0;
+    int out_port = 0;
+    std::string tag_after;
+  };
+  struct TraceResult {
+    std::vector<TraceHop> hops;
+    std::string egress_endpoint;  ///< attachment reached, "" if dropped
+    bool dropped = false;
+    std::string drop_reason;
+  };
+
+  /// Injects a packet at attachment `from` carrying `tag` and follows flow
+  /// entries until it leaves at another attachment, is dropped (no match /
+  /// unconnected port), or exceeds `max_hops` (loop guard).
+  [[nodiscard]] TraceResult trace(const std::string& from,
+                                  const std::string& tag = "",
+                                  std::size_t max_hops = 64);
+
+ private:
+  struct PortKey {
+    std::string sw;
+    int port;
+    friend bool operator<(const PortKey& a, const PortKey& b) noexcept {
+      if (a.sw != b.sw) return a.sw < b.sw;
+      return a.port < b.port;
+    }
+  };
+
+  std::map<std::string, FlowSwitch> switches_;
+  std::map<PortKey, PortKey> wires_;                    // port <-> port
+  std::map<PortKey, std::string> port_attachment_;     // port -> endpoint
+  std::map<std::string, PortKey> attachments_;         // endpoint -> port
+};
+
+}  // namespace unify::infra

@@ -1,0 +1,49 @@
+#include "infra/sdn_network.h"
+
+namespace unify::infra {
+
+SdnNetwork::SdnNetwork(SimClock& clock, std::string name, SdnConfig config)
+    : clock_(&clock), name_(std::move(name)), config_(config) {}
+
+Result<void> SdnNetwork::add_switch(const std::string& id, int port_count) {
+  return fabric_.add_switch(id, port_count);
+}
+
+Result<void> SdnNetwork::connect(const std::string& a, int port_a,
+                                 const std::string& b, int port_b,
+                                 model::LinkAttrs attrs) {
+  UNIFY_RETURN_IF_ERROR(fabric_.connect(a, port_a, b, port_b));
+  wires_.push_back(WireInfo{a, port_a, b, port_b, attrs});
+  return Result<void>::success();
+}
+
+Result<void> SdnNetwork::attach_sap(const std::string& sap,
+                                    const std::string& sw, int port,
+                                    model::LinkAttrs attrs) {
+  UNIFY_RETURN_IF_ERROR(fabric_.attach(sap, sw, port));
+  saps_.push_back(SapInfo{sap, sw, port, attrs});
+  return Result<void>::success();
+}
+
+Result<void> SdnNetwork::install_flow(const std::string& sw, FlowEntry entry) {
+  FlowSwitch* fs = fabric_.find_switch(sw);
+  if (fs == nullptr) {
+    return Error{ErrorCode::kNotFound, "switch " + sw};
+  }
+  clock_->advance(config_.flow_mod_latency_us);
+  ++flow_ops_;
+  return fs->install(std::move(entry));
+}
+
+Result<void> SdnNetwork::remove_flow(const std::string& sw,
+                                     const std::string& entry_id) {
+  FlowSwitch* fs = fabric_.find_switch(sw);
+  if (fs == nullptr) {
+    return Error{ErrorCode::kNotFound, "switch " + sw};
+  }
+  clock_->advance(config_.flow_mod_latency_us);
+  ++flow_ops_;
+  return fs->remove(entry_id);
+}
+
+}  // namespace unify::infra

@@ -1,0 +1,76 @@
+// Legacy OpenFlow network domain (the paper's POX-controlled domain).
+//
+// Pure forwarding: a fabric of OpenFlow switches, no compute. The
+// controller API (install/remove flow) charges a per-flow-mod latency
+// against the simulation clock, modelling the POX control channel round
+// trip. Link attributes are kept per wire so the adapter can advertise an
+// accurate view.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "infra/fabric.h"
+#include "model/resources.h"
+#include "util/result.h"
+#include "util/sim_clock.h"
+
+namespace unify::infra {
+
+struct SdnConfig {
+  SimTime flow_mod_latency_us = 500;  ///< controller->switch round trip
+};
+
+class SdnNetwork {
+ public:
+  SdnNetwork(SimClock& clock, std::string name, SdnConfig config = {});
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // ------------------------------------------------- topology (build-time)
+  Result<void> add_switch(const std::string& id, int port_count);
+  Result<void> connect(const std::string& a, int port_a, const std::string& b,
+                       int port_b, model::LinkAttrs attrs);
+  Result<void> attach_sap(const std::string& sap, const std::string& sw,
+                          int port, model::LinkAttrs attrs);
+
+  // ------------------------------------------------ controller operations
+  Result<void> install_flow(const std::string& sw, FlowEntry entry);
+  Result<void> remove_flow(const std::string& sw, const std::string& entry_id);
+
+  // ------------------------------------------------------------ inspection
+  [[nodiscard]] const Fabric& fabric() const noexcept { return fabric_; }
+  [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
+
+  struct WireInfo {
+    std::string a;
+    int port_a;
+    std::string b;
+    int port_b;
+    model::LinkAttrs attrs;
+  };
+  struct SapInfo {
+    std::string sap;
+    std::string sw;
+    int port;
+    model::LinkAttrs attrs;
+  };
+  [[nodiscard]] const std::vector<WireInfo>& wires() const noexcept {
+    return wires_;
+  }
+  [[nodiscard]] const std::vector<SapInfo>& saps() const noexcept {
+    return saps_;
+  }
+  [[nodiscard]] std::uint64_t flow_ops() const noexcept { return flow_ops_; }
+
+ private:
+  SimClock* clock_;
+  std::string name_;
+  SdnConfig config_;
+  Fabric fabric_;
+  std::vector<WireInfo> wires_;
+  std::vector<SapInfo> saps_;
+  std::uint64_t flow_ops_ = 0;
+};
+
+}  // namespace unify::infra

@@ -1,0 +1,131 @@
+#include "infra/topologies.h"
+
+#include <cassert>
+#include <set>
+
+#include "model/nffg_builder.h"
+
+namespace unify::infra::topo {
+
+namespace {
+
+std::string bb_name(int i) { return "bb" + std::to_string(i); }
+
+model::BisBis node(const std::string& id, const TopoParams& params,
+                   int ports) {
+  return model::make_bisbis(id, params.node_capacity, ports,
+                            params.internal_delay);
+}
+
+}  // namespace
+
+model::Nffg line(int n, const TopoParams& params) {
+  assert(n >= 1);
+  model::Nffg g{"line-" + std::to_string(n)};
+  for (int i = 0; i < n; ++i) {
+    (void)g.add_bisbis(node(bb_name(i), params, 4));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    model::connect(g, bb_name(i), 2, bb_name(i + 1), 1,
+                   {params.link_bandwidth, params.link_delay});
+  }
+  model::attach_sap(g, "sap1", bb_name(0), 0,
+                    {params.link_bandwidth, params.sap_link_delay});
+  model::attach_sap(g, "sap2", bb_name(n - 1), 0,
+                    {params.link_bandwidth, params.sap_link_delay});
+  return g;
+}
+
+model::Nffg ring(int n, int n_saps, const TopoParams& params) {
+  assert(n >= 3 && n_saps <= n);
+  model::Nffg g{"ring-" + std::to_string(n)};
+  for (int i = 0; i < n; ++i) {
+    (void)g.add_bisbis(node(bb_name(i), params, 4));
+  }
+  for (int i = 0; i < n; ++i) {
+    model::connect(g, bb_name(i), 2, bb_name((i + 1) % n), 1,
+                   {params.link_bandwidth, params.link_delay});
+  }
+  for (int s = 0; s < n_saps; ++s) {
+    model::attach_sap(g, "sap" + std::to_string(s + 1),
+                      bb_name(s * n / n_saps), 0,
+                      {params.link_bandwidth, params.sap_link_delay});
+  }
+  return g;
+}
+
+model::Nffg leaf_spine(int spines, int leaves, int n_saps,
+                       const TopoParams& params) {
+  assert(spines >= 1 && leaves >= 1 && n_saps <= leaves);
+  model::Nffg g{"leafspine-" + std::to_string(spines) + "x" +
+                std::to_string(leaves)};
+  for (int s = 0; s < spines; ++s) {
+    model::BisBis spine =
+        model::make_bisbis("spine" + std::to_string(s), {0, 0, 0},
+                           leaves, params.internal_delay);
+    (void)g.add_bisbis(std::move(spine));
+  }
+  for (int l = 0; l < leaves; ++l) {
+    (void)g.add_bisbis(node("leaf" + std::to_string(l), params, spines + 1));
+  }
+  for (int s = 0; s < spines; ++s) {
+    for (int l = 0; l < leaves; ++l) {
+      model::connect(g, "spine" + std::to_string(s), l,
+                     "leaf" + std::to_string(l), s + 1,
+                     {params.link_bandwidth, params.link_delay});
+    }
+  }
+  for (int s = 0; s < n_saps; ++s) {
+    model::attach_sap(g, "sap" + std::to_string(s + 1),
+                      "leaf" + std::to_string(s % leaves), 0,
+                      {params.link_bandwidth, params.sap_link_delay});
+  }
+  return g;
+}
+
+model::Nffg random_connected(int n, double degree, int n_saps, Rng& rng,
+                             const TopoParams& params) {
+  assert(n >= 2 && n_saps <= n);
+  model::Nffg g{"random-" + std::to_string(n)};
+  // Ports: enough for the worst case; SAP + tree + extra edges.
+  const int ports = n + 2;
+  for (int i = 0; i < n; ++i) {
+    (void)g.add_bisbis(node(bb_name(i), params, ports));
+  }
+  std::vector<int> next_port(static_cast<std::size_t>(n), 1);  // 0 for SAP
+  std::set<std::pair<int, int>> edges;
+  const auto add_edge = [&](int a, int b) {
+    if (a == b) return;
+    const auto key = std::minmax(a, b);
+    if (!edges.insert({key.first, key.second}).second) return;
+    model::connect(g, bb_name(a), next_port[static_cast<std::size_t>(a)]++,
+                   bb_name(b), next_port[static_cast<std::size_t>(b)]++,
+                   {params.link_bandwidth, params.link_delay});
+  };
+  // Random spanning tree: connect node i to a random earlier node.
+  for (int i = 1; i < n; ++i) {
+    add_edge(i, static_cast<int>(rng.next_below(static_cast<std::uint64_t>(i))));
+  }
+  // Extra edges to reach the requested expected degree (~degree*n/2 total).
+  const auto target =
+      static_cast<std::size_t>(degree * n / 2.0);
+  std::size_t guard = 0;
+  while (edges.size() < target && guard++ < static_cast<std::size_t>(n) * 20) {
+    add_edge(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))),
+             static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))));
+  }
+  // SAPs on distinct random nodes.
+  std::set<int> sap_nodes;
+  while (static_cast<int>(sap_nodes.size()) < n_saps) {
+    sap_nodes.insert(
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))));
+  }
+  int s = 1;
+  for (const int i : sap_nodes) {
+    model::attach_sap(g, "sap" + std::to_string(s++), bb_name(i), 0,
+                      {params.link_bandwidth, params.sap_link_delay});
+  }
+  return g;
+}
+
+}  // namespace unify::infra::topo

@@ -1,0 +1,39 @@
+// Substrate (BiS-BiS view) generators for tests and benchmarks: the
+// synthetic stand-ins for the multi-domain testbeds of the demo.
+#pragma once
+
+#include <string>
+
+#include "model/nffg.h"
+#include "util/rng.h"
+
+namespace unify::infra::topo {
+
+struct TopoParams {
+  model::Resources node_capacity{16, 16384, 200};
+  double link_bandwidth = 10000;  ///< Mbit/s
+  double link_delay = 0.5;        ///< ms
+  double internal_delay = 0.05;   ///< ms per BiS-BiS crossing
+  double sap_link_delay = 0.1;
+};
+
+/// Linear chain of `n` BiS-BiS with SAPs at both ends ("sap1", "sap2").
+[[nodiscard]] model::Nffg line(int n, const TopoParams& params = {});
+
+/// `n` BiS-BiS in a ring plus `sap1`..`sap<n_saps>` on distinct nodes.
+[[nodiscard]] model::Nffg ring(int n, int n_saps,
+                               const TopoParams& params = {});
+
+/// Two-tier leaf/spine: `spines` top switches (no compute) fully meshed to
+/// `leaves` BiS-BiS with compute; SAPs "sap1".."sap<n_saps>" on leaves.
+[[nodiscard]] model::Nffg leaf_spine(int spines, int leaves, int n_saps,
+                                     const TopoParams& params = {});
+
+/// Erdos-Renyi-ish random connected graph of `n` nodes with expected degree
+/// `degree`; guarantees connectivity by first building a random spanning
+/// tree. SAPs "sap1".."sap<n_saps>" on random distinct nodes.
+[[nodiscard]] model::Nffg random_connected(int n, double degree, int n_saps,
+                                           Rng& rng,
+                                           const TopoParams& params = {});
+
+}  // namespace unify::infra::topo

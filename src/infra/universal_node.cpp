@@ -1,0 +1,131 @@
+#include "infra/universal_node.h"
+
+namespace unify::infra {
+
+const char* to_string(ContainerStatus status) noexcept {
+  switch (status) {
+    case ContainerStatus::kStarting: return "starting";
+    case ContainerStatus::kRunning:  return "running";
+    case ContainerStatus::kStopped:  return "stopped";
+  }
+  return "unknown";
+}
+
+UniversalNode::UniversalNode(SimClock& clock, std::string name,
+                             model::Resources capacity, UnConfig config)
+    : clock_(&clock),
+      name_(std::move(name)),
+      capacity_(capacity),
+      config_(config) {
+  (void)fabric_.add_switch("lsi0", config_.lsi_ports);
+  for (int i = 0; i < config_.external_ports; ++i) {
+    (void)fabric_.attach("ext" + std::to_string(i), "lsi0", next_lsi_port_++);
+  }
+}
+
+model::Resources UniversalNode::allocated() const noexcept {
+  model::Resources total;
+  for (const auto& [id, c] : containers_) {
+    if (c.status != ContainerStatus::kStopped) total += c.limits;
+  }
+  return total;
+}
+
+Result<void> UniversalNode::start_container(const std::string& id,
+                                            const std::string& image,
+                                            model::Resources limits,
+                                            int port_count) {
+  clock_->advance(config_.container_start_us);
+  ++ops_;
+  const auto it = containers_.find(id);
+  if (it != containers_.end() && it->second.status != ContainerStatus::kStopped) {
+    return Error{ErrorCode::kAlreadyExists, "container " + id};
+  }
+  if (port_count <= 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "container needs at least one port"};
+  }
+  const model::Resources residual = capacity_ - allocated();
+  if (!residual.fits(limits)) {
+    return Error{ErrorCode::kResourceExhausted,
+                 "UN " + name_ + " residual " + residual.to_string() +
+                     " < limits " + limits.to_string()};
+  }
+  Container c;
+  c.id = id;
+  c.image = image;
+  c.limits = limits;
+  for (int p = 0; p < port_count; ++p) {
+    int port;
+    if (!free_lsi_ports_.empty()) {
+      port = free_lsi_ports_.back();
+      free_lsi_ports_.pop_back();
+    } else if (next_lsi_port_ < config_.lsi_ports) {
+      port = next_lsi_port_++;
+    } else {
+      return Error{ErrorCode::kResourceExhausted, "LSI ports exhausted"};
+    }
+    UNIFY_RETURN_IF_ERROR(
+        fabric_.attach(id + ":" + std::to_string(p), "lsi0", port));
+    c.lsi_ports.push_back(port);
+  }
+  containers_[id] = std::move(c);
+  // Container start latency is charged synchronously above (docker run
+  // blocks); mark running immediately after.
+  containers_[id].status = ContainerStatus::kRunning;
+  return Result<void>::success();
+}
+
+Result<void> UniversalNode::stop_container(const std::string& id) {
+  clock_->advance(config_.container_stop_us);
+  ++ops_;
+  const auto it = containers_.find(id);
+  if (it == containers_.end() || it->second.status == ContainerStatus::kStopped) {
+    return Error{ErrorCode::kNotFound, "container " + id};
+  }
+  it->second.status = ContainerStatus::kStopped;
+  // Unpatch the veth ports so the LSI slots can be reused.
+  for (std::size_t p = 0; p < it->second.lsi_ports.size(); ++p) {
+    (void)fabric_.detach(id + ":" + std::to_string(p));
+    free_lsi_ports_.push_back(it->second.lsi_ports[p]);
+  }
+  it->second.lsi_ports.clear();
+  return Result<void>::success();
+}
+
+const Container* UniversalNode::find_container(
+    const std::string& id) const noexcept {
+  const auto it = containers_.find(id);
+  return it == containers_.end() ? nullptr : &it->second;
+}
+
+Result<void> UniversalNode::add_flowrule(const std::string& rule_id,
+                                         const std::string& from_endpoint,
+                                         const std::string& match_tag,
+                                         const std::string& to_endpoint,
+                                         const std::string& set_tag) {
+  clock_->advance(config_.lsi_flow_mod_us);
+  ++ops_;
+  const auto from = fabric_.attachment(from_endpoint);
+  const auto to = fabric_.attachment(to_endpoint);
+  if (!from.has_value() || !to.has_value()) {
+    return Error{ErrorCode::kNotFound,
+                 "LSI endpoint " +
+                     (from.has_value() ? to_endpoint : from_endpoint)};
+  }
+  FlowEntry entry;
+  entry.id = rule_id;
+  entry.in_port = from->second;
+  entry.match_tag = match_tag;
+  entry.out_port = to->second;
+  entry.set_tag = set_tag;
+  return fabric_.find_switch("lsi0")->install(std::move(entry));
+}
+
+Result<void> UniversalNode::remove_flowrule(const std::string& rule_id) {
+  clock_->advance(config_.lsi_flow_mod_us);
+  ++ops_;
+  return fabric_.find_switch("lsi0")->remove(rule_id);
+}
+
+}  // namespace unify::infra

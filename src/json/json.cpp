@@ -1,0 +1,540 @@
+#include "json/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace unify::json {
+
+// ---------------------------------------------------------------- Object
+
+const Value* Object::find(std::string_view key) const noexcept {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value* Object::find(std::string_view key) noexcept {
+  for (auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value& Object::set(std::string key, Value value) {
+  if (Value* existing = find(key)) {
+    *existing = std::move(value);
+    return *existing;
+  }
+  entries_.emplace_back(std::move(key), std::move(value));
+  return entries_.back().second;
+}
+
+Value& Object::operator[](std::string_view key) {
+  if (Value* existing = find(key)) return *existing;
+  entries_.emplace_back(std::string(key), Value{});
+  return entries_.back().second;
+}
+
+bool Object::erase(std::string_view key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool operator==(const Object& a, const Object& b) {
+  // Order-insensitive comparison: two configs with reordered members are
+  // semantically identical.
+  if (a.entries_.size() != b.entries_.size()) return false;
+  for (const auto& [k, v] : a.entries_) {
+    const Value* other = b.find(k);
+    if (other == nullptr || !(*other == v)) return false;
+  }
+  return true;
+}
+
+// ----------------------------------------------------------------- Value
+
+bool Value::as_bool() const noexcept {
+  assert(is_bool());
+  return bool_;
+}
+
+double Value::as_number() const noexcept {
+  assert(is_number());
+  return number_;
+}
+
+std::int64_t Value::as_int() const noexcept {
+  assert(is_number());
+  return static_cast<std::int64_t>(number_);
+}
+
+const std::string& Value::as_string() const noexcept {
+  assert(is_string());
+  return *string_;
+}
+
+const Array& Value::as_array() const noexcept {
+  assert(is_array());
+  return *array_;
+}
+
+Array& Value::as_array() noexcept {
+  assert(is_array());
+  return *array_;
+}
+
+const Object& Value::as_object() const noexcept {
+  assert(is_object());
+  return *object_;
+}
+
+Object& Value::as_object() noexcept {
+  assert(is_object());
+  return *object_;
+}
+
+const Value* Value::get(std::string_view key) const noexcept {
+  return is_object() ? object_->find(key) : nullptr;
+}
+
+std::string Value::get_string(std::string_view key, std::string fallback) const {
+  const Value* v = get(key);
+  return (v != nullptr && v->is_string()) ? v->as_string()
+                                          : std::move(fallback);
+}
+
+double Value::get_number(std::string_view key, double fallback) const noexcept {
+  const Value* v = get(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::int64_t Value::get_int(std::string_view key,
+                            std::int64_t fallback) const noexcept {
+  const Value* v = get(key);
+  return (v != nullptr && v->is_number()) ? v->as_int() : fallback;
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const noexcept {
+  const Value* v = get(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+void Value::copy_from(const Value& other) {
+  type_ = other.type_;
+  bool_ = other.bool_;
+  number_ = other.number_;
+  if (other.string_) string_ = std::make_unique<std::string>(*other.string_);
+  if (other.array_) array_ = std::make_unique<Array>(*other.array_);
+  if (other.object_) object_ = std::make_unique<Object>(*other.object_);
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Type::kNull:   return true;
+    case Type::kBool:   return a.bool_ == b.bool_;
+    case Type::kNumber: return a.number_ == b.number_;
+    case Type::kString: return *a.string_ == *b.string_;
+    case Type::kArray:  return *a.array_ == *b.array_;
+    case Type::kObject: return *a.object_ == *b.object_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- writer
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double n) {
+  if (!std::isfinite(n)) {
+    out += "null";  // JSON has no Inf/NaN; null is the conventional fallback
+    return;
+  }
+  out += strings::format_double(n);
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      append_number(out, number_);
+      return;
+    case Type::kString:
+      append_escaped(out, *string_);
+      return;
+    case Type::kArray: {
+      if (array_->empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& v : *array_) {
+        if (!first) out += ',';
+        first = false;
+        append_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      append_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (object_->empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : *object_) {
+        if (!first) out += ',';
+        first = false;
+        append_indent(out, indent, depth + 1);
+        append_escaped(out, k);
+        out += ':';
+        if (indent > 0) out += ' ';
+        v.dump_to(out, indent, depth + 1);
+      }
+      append_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out, 0, 0);
+  return out;
+}
+
+std::string Value::dump_pretty() const {
+  std::string out;
+  dump_to(out, 2, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------- parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> run() {
+    skip_ws();
+    UNIFY_ASSIGN_OR_RETURN(Value v, parse_value());
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  Result<Value> parse_value() {
+    if (depth_ > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string_value();
+      case 't': return parse_literal("true", Value(true));
+      case 'f': return parse_literal("false", Value(false));
+      case 'n': return parse_literal("null", Value(nullptr));
+      default:  return parse_number();
+    }
+  }
+
+  Result<Value> parse_object() {
+    ++pos_;  // '{'
+    ++depth_;
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return fail("expected object key");
+      UNIFY_ASSIGN_OR_RETURN(std::string key, parse_string());
+      skip_ws();
+      if (peek() != ':') return fail("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      UNIFY_ASSIGN_OR_RETURN(Value v, parse_value());
+      obj.set(std::move(key), std::move(v));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        --depth_;
+        return Value(std::move(obj));
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Value> parse_array() {
+    ++pos_;  // '['
+    ++depth_;
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      UNIFY_ASSIGN_OR_RETURN(Value v, parse_value());
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        --depth_;
+        return Value(std::move(arr));
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Value> parse_string_value() {
+    UNIFY_ASSIGN_OR_RETURN(std::string s, parse_string());
+    return Value(std::move(s));
+  }
+
+  Result<std::string> parse_string() {
+    assert(peek() == '"');
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':  out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/':  out += '/'; break;
+          case 'b':  out += '\b'; break;
+          case 'f':  out += '\f'; break;
+          case 'n':  out += '\n'; break;
+          case 'r':  out += '\r'; break;
+          case 't':  out += '\t'; break;
+          case 'u': {
+            UNIFY_ASSIGN_OR_RETURN(unsigned cp, parse_hex4());
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: require a following \uDC00-\uDFFF.
+              if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                  text_[pos_ + 1] == 'u') {
+                pos_ += 2;
+                UNIFY_ASSIGN_OR_RETURN(unsigned lo, parse_hex4());
+                if (lo < 0xDC00 || lo > 0xDFFF) {
+                  return fail("invalid low surrogate");
+                }
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              } else {
+                return fail("unpaired high surrogate");
+              }
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return fail("unpaired low surrogate");
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default:
+            return fail("invalid escape character");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  Result<unsigned> parse_hex4() {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Result<Value> parse_literal(std::string_view word, Value value) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos_ += word.size();
+    return value;
+  }
+
+  Result<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+      return fail("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return fail("digit required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return fail("digit required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return Value(std::strtod(token.c_str(), nullptr));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] char peek() const noexcept {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Error fail(std::string_view what) const {
+    return Error{ErrorCode::kProtocol,
+                 std::string(what) + " at byte " + std::to_string(pos_)};
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace unify::json

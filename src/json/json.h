@@ -1,0 +1,156 @@
+// JSON value model, parser and writer.
+//
+// The paper models the virtualizer in Yang; this reproduction serializes the
+// same information model as JSON trees exchanged over the Unify interface
+// (see DESIGN.md §2 for the substitution rationale). Objects preserve
+// insertion order so serialized configs and their diffs are stable and
+// readable.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace unify::json {
+
+class Value;
+
+/// Order-preserving string->Value map (linear lookup; virtualizer objects
+/// are small and iteration/serialization dominate).
+class Object {
+ public:
+  using Entry = std::pair<std::string, Value>;
+
+  Object() = default;
+
+  /// Returns the value for `key`, or nullptr when absent.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+  [[nodiscard]] Value* find(std::string_view key) noexcept;
+
+  /// Inserts or overwrites.
+  Value& set(std::string key, Value value);
+
+  /// Returns a reference, default-constructing a null member when absent.
+  Value& operator[](std::string_view key);
+
+  /// Removes the member; returns true when it existed.
+  bool erase(std::string_view key);
+
+  [[nodiscard]] bool contains(std::string_view key) const noexcept {
+    return find(key) != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  [[nodiscard]] auto begin() const noexcept { return entries_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return entries_.end(); }
+  [[nodiscard]] auto begin() noexcept { return entries_.begin(); }
+  [[nodiscard]] auto end() noexcept { return entries_.end(); }
+
+  friend bool operator==(const Object& a, const Object& b);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+using Array = std::vector<Value>;
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// A JSON value. Value semantics throughout; copies are deep.
+class Value {
+ public:
+  Value() noexcept : type_(Type::kNull) {}
+  Value(std::nullptr_t) noexcept : type_(Type::kNull) {}          // NOLINT
+  Value(bool b) noexcept : type_(Type::kBool), bool_(b) {}        // NOLINT
+  Value(double n) noexcept : type_(Type::kNumber), number_(n) {}  // NOLINT
+  Value(int n) noexcept : Value(static_cast<double>(n)) {}        // NOLINT
+  Value(std::int64_t n) noexcept : Value(static_cast<double>(n)) {}  // NOLINT
+  Value(std::size_t n) noexcept : Value(static_cast<double>(n)) {}   // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}                 // NOLINT
+  Value(std::string_view s) : Value(std::string(s)) {}            // NOLINT
+  Value(std::string s)                                            // NOLINT
+      : type_(Type::kString), string_(std::make_unique<std::string>(std::move(s))) {}
+  Value(Array a)                                                  // NOLINT
+      : type_(Type::kArray), array_(std::make_unique<Array>(std::move(a))) {}
+  Value(Object o)                                                 // NOLINT
+      : type_(Type::kObject), object_(std::make_unique<Object>(std::move(o))) {}
+
+  Value(const Value& other) { copy_from(other); }
+  Value& operator=(const Value& other) {
+    if (this != &other) {
+      reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+  Value(Value&&) noexcept = default;
+  Value& operator=(Value&&) noexcept = default;
+  ~Value() = default;
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed accessors; preconditions enforced by assert.
+  [[nodiscard]] bool as_bool() const noexcept;
+  [[nodiscard]] double as_number() const noexcept;
+  [[nodiscard]] std::int64_t as_int() const noexcept;
+  [[nodiscard]] const std::string& as_string() const noexcept;
+  [[nodiscard]] const Array& as_array() const noexcept;
+  [[nodiscard]] Array& as_array() noexcept;
+  [[nodiscard]] const Object& as_object() const noexcept;
+  [[nodiscard]] Object& as_object() noexcept;
+
+  /// Lenient lookups returning fallbacks; handy when reading configs.
+  [[nodiscard]] const Value* get(std::string_view key) const noexcept;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback = {}) const;
+  [[nodiscard]] double get_number(std::string_view key,
+                                  double fallback = 0) const noexcept;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback = 0) const noexcept;
+  [[nodiscard]] bool get_bool(std::string_view key,
+                              bool fallback = false) const noexcept;
+
+  /// Compact serialization ({"a":1}).
+  [[nodiscard]] std::string dump() const;
+  /// Pretty serialization with 2-space indent.
+  [[nodiscard]] std::string dump_pretty() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+ private:
+  void reset() noexcept {
+    string_.reset();
+    array_.reset();
+    object_.reset();
+    type_ = Type::kNull;
+  }
+  void copy_from(const Value& other);
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::unique_ptr<std::string> string_;
+  std::unique_ptr<Array> array_;
+  std::unique_ptr<Object> object_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Errors carry a byte offset in the message.
+[[nodiscard]] Result<Value> parse(std::string_view text);
+
+}  // namespace unify::json

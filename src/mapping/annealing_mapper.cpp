@@ -1,0 +1,91 @@
+#include "mapping/annealing_mapper.h"
+
+#include <cmath>
+
+#include "mapping/context.h"
+#include "mapping/greedy_mapper.h"
+#include "util/rng.h"
+
+namespace unify::mapping {
+
+namespace {
+
+double objective(const Mapping& m, double delay_weight) {
+  double delay = 0;
+  for (const auto& [req, d] : m.requirement_delay) delay += d;
+  return m.stats.bandwidth_hops + delay_weight * delay;
+}
+
+/// Evaluates a complete placement: route everything, check requirements,
+/// return the finished mapping. nullopt when infeasible.
+std::optional<Mapping> evaluate(
+    const sg::ServiceGraph& sg, const model::Nffg& substrate,
+    const catalog::NfCatalog& catalog,
+    const std::map<std::string, std::string>& placement) {
+  Context ctx(sg, substrate, catalog);
+  for (const auto& [nf, host] : placement) {
+    if (!ctx.place(nf, host).ok()) return std::nullopt;
+  }
+  if (!ctx.route_all().ok()) return std::nullopt;
+  if (!ctx.check_requirements().ok()) return std::nullopt;
+  return ctx.finish("annealing");
+}
+
+}  // namespace
+
+Result<Mapping> AnnealingMapper::map(const sg::ServiceGraph& sg,
+                                     const model::Nffg& substrate,
+                                     const catalog::NfCatalog& catalog) const {
+  // Seed with the greedy solution (fail fast when nothing is feasible).
+  GreedyMapper seeder;
+  UNIFY_ASSIGN_OR_RETURN(Mapping best, seeder.map(sg, substrate, catalog));
+  if (sg.nfs().empty()) return best;
+  double best_cost = objective(best, options_.delay_weight);
+
+  std::map<std::string, std::string> current_placement = best.nf_host;
+  Mapping current = best;
+  double current_cost = best_cost;
+
+  // Collect NF ids and, per NF, its candidate hosts on the empty substrate
+  // (capacity feasibility of the full placement is re-checked by evaluate).
+  std::vector<std::string> nf_ids;
+  for (const auto& [nf_id, nf] : sg.nfs()) nf_ids.push_back(nf_id);
+  Context probe(sg, substrate, catalog);
+  std::map<std::string, std::vector<std::string>> candidates;
+  for (const auto& [nf_id, nf] : sg.nfs()) {
+    candidates.emplace(nf_id, probe.candidates(nf));
+  }
+
+  Rng rng(options_.seed);
+  double temperature = options_.initial_temperature;
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    temperature *= options_.cooling;
+    const std::string& nf = nf_ids[rng.next_below(nf_ids.size())];
+    const auto& hosts = candidates.at(nf);
+    if (hosts.size() < 2) continue;
+    const std::string& new_host = hosts[rng.next_below(hosts.size())];
+    if (new_host == current_placement.at(nf)) continue;
+
+    auto moved = current_placement;
+    moved[nf] = new_host;
+    const auto candidate = evaluate(sg, substrate, catalog, moved);
+    if (!candidate.has_value()) continue;
+    const double cost = objective(*candidate, options_.delay_weight);
+    const double delta = cost - current_cost;
+    const bool accept =
+        delta <= 0 ||
+        rng.next_double() < std::exp(-delta / std::max(1e-9, temperature));
+    if (!accept) continue;
+    current_placement = std::move(moved);
+    current = *candidate;
+    current_cost = cost;
+    if (cost < best_cost) {
+      best = current;
+      best_cost = cost;
+    }
+  }
+  best.mapper_name = name();
+  return best;
+}
+
+}  // namespace unify::mapping

@@ -1,0 +1,37 @@
+// Simulated-annealing embedding: start from a greedy placement, then
+// iteratively move single NFs to alternative hosts, accepting improvements
+// always and regressions with a temperature-scaled probability. Optimizes
+// a weighted objective of substrate load (bandwidth x hops) and total
+// chain delay.
+//
+// Slower than greedy but escapes its local minima on substrates where the
+// locally-nearest host starves later chain segments; another entry for the
+// paper's plug-and-play algorithm seam (E3).
+#pragma once
+
+#include "mapping/mapper.h"
+
+namespace unify::mapping {
+
+struct AnnealingOptions {
+  int iterations = 400;
+  double initial_temperature = 10.0;
+  double cooling = 0.99;          ///< temperature *= cooling per iteration
+  double delay_weight = 1.0;      ///< objective = bw_hops + w * total_delay
+  std::uint64_t seed = 1;
+};
+
+class AnnealingMapper final : public Mapper {
+ public:
+  explicit AnnealingMapper(AnnealingOptions options = {})
+      : options_(options) {}
+  [[nodiscard]] std::string name() const override { return "annealing"; }
+  [[nodiscard]] Result<Mapping> map(
+      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const catalog::NfCatalog& catalog) const override;
+
+ private:
+  AnnealingOptions options_;
+};
+
+}  // namespace unify::mapping

@@ -1,0 +1,27 @@
+// Exhaustive embedding with pruning: depth-first search over NF placements
+// in chain order, routing links as soon as both endpoints resolve and
+// backtracking on any routing failure or delay-budget violation.
+//
+// Finds a feasible mapping whenever one exists within the search budget
+// (options.max_search_steps); used as the completeness baseline against
+// which greedy/DP acceptance is measured (experiment E3).
+#pragma once
+
+#include "mapping/mapper.h"
+
+namespace unify::mapping {
+
+class BacktrackingMapper final : public Mapper {
+ public:
+  explicit BacktrackingMapper(MapperOptions options = {})
+      : options_(options) {}
+  [[nodiscard]] std::string name() const override { return "backtracking"; }
+  [[nodiscard]] Result<Mapping> map(
+      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const catalog::NfCatalog& catalog) const override;
+
+ private:
+  MapperOptions options_;
+};
+
+}  // namespace unify::mapping

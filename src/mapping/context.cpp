@@ -1,0 +1,216 @@
+#include "mapping/context.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.h"
+
+namespace unify::mapping {
+
+Context::Context(const sg::ServiceGraph& sg, const model::Nffg& substrate,
+                 const catalog::NfCatalog& catalog)
+    : sg_(&sg), catalog_(&catalog), work_(substrate) {
+  index_.emplace(work_);
+}
+
+Result<model::Resources> Context::footprint(const sg::SgNf& nf) const {
+  return catalog_->footprint(nf.type, nf.requirement_override);
+}
+
+std::vector<std::string> Context::candidates(const sg::SgNf& nf) const {
+  std::vector<std::string> hosts;
+  const auto need = footprint(nf);
+  if (!need.ok()) return hosts;
+  for (const auto& [id, bb] : work_.bisbis()) {
+    if (bb.supports_nf_type(nf.type) && bb.residual().fits(*need) &&
+        constraint_allows(nf.id, id).ok()) {
+      hosts.push_back(id);
+    }
+  }
+  return hosts;  // std::map iteration is already id-ascending
+}
+
+Result<void> Context::constraint_allows(const std::string& nf_id,
+                                        const std::string& host) const {
+  for (const sg::PlacementConstraint& c : sg_->constraints()) {
+    switch (c.kind) {
+      case sg::ConstraintKind::kPin:
+        if (c.nf_a == nf_id && c.host != host) {
+          return Error{ErrorCode::kRejected,
+                       nf_id + " is pinned to " + c.host};
+        }
+        break;
+      case sg::ConstraintKind::kForbid:
+        if (c.nf_a == nf_id && c.host == host) {
+          return Error{ErrorCode::kRejected,
+                       nf_id + " is forbidden on " + host};
+        }
+        break;
+      case sg::ConstraintKind::kAntiAffinity: {
+        const std::string& peer =
+            c.nf_a == nf_id ? c.nf_b : (c.nf_b == nf_id ? c.nf_a : "");
+        if (peer.empty()) break;
+        const auto placed = placements_.find(peer);
+        if (placed != placements_.end() && placed->second == host) {
+          return Error{ErrorCode::kRejected,
+                       nf_id + " anti-affine with " + peer + " on " + host};
+        }
+        break;
+      }
+    }
+  }
+  return Result<void>::success();
+}
+
+Result<void> Context::place(const std::string& nf_id,
+                            const std::string& host) {
+  const sg::SgNf* nf = sg_->find_nf(nf_id);
+  if (nf == nullptr) {
+    return Error{ErrorCode::kNotFound, "SG NF " + nf_id};
+  }
+  if (placements_.count(nf_id) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "NF " + nf_id + " already placed"};
+  }
+  UNIFY_RETURN_IF_ERROR(constraint_allows(nf_id, host));
+  UNIFY_ASSIGN_OR_RETURN(const model::Resources need, footprint(*nf));
+  model::NfInstance instance;
+  instance.id = nf_id;
+  instance.type = nf->type;
+  instance.requirement = need;
+  for (int p = 0; p < nf->port_count; ++p) {
+    instance.ports.push_back(model::Port{p, ""});
+  }
+  UNIFY_RETURN_IF_ERROR(work_.place_nf(host, std::move(instance)));
+  placements_.emplace(nf_id, host);
+  return Result<void>::success();
+}
+
+void Context::unplace(const std::string& nf_id) {
+  const auto it = placements_.find(nf_id);
+  if (it == placements_.end()) return;
+  (void)work_.remove_nf(it->second, nf_id);
+  placements_.erase(it);
+}
+
+Result<std::string> Context::node_of(const std::string& sg_node) const {
+  if (sg_->has_sap(sg_node)) {
+    if (work_.find_sap(sg_node) == nullptr) {
+      return Error{ErrorCode::kNotFound,
+                   "SAP " + sg_node + " not present in substrate"};
+    }
+    return sg_node;
+  }
+  const auto it = placements_.find(sg_node);
+  if (it == placements_.end()) {
+    return Error{ErrorCode::kUnavailable, "NF " + sg_node + " not yet placed"};
+  }
+  return it->second;
+}
+
+Result<PathInfo> Context::route(const sg::SgLink& link) {
+  if (paths_.count(link.id) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "SG link " + link.id};
+  }
+  UNIFY_ASSIGN_OR_RETURN(const std::string from, node_of(link.from.node));
+  UNIFY_ASSIGN_OR_RETURN(const std::string to, node_of(link.to.node));
+  PathInfo info;
+  if (from != to) {
+    const auto from_id = index_->node_of(from);
+    const auto to_id = index_->node_of(to);
+    const auto path = graph::shortest_path(
+        index_->graph().node_capacity(), from_id, to_id,
+        index_->scan_by_delay(link.bandwidth));
+    if (!path.has_value()) {
+      return Error{ErrorCode::kInfeasible,
+                   "no path " + from + " -> " + to + " with " +
+                       strings::format_double(link.bandwidth) + " Mbit/s"};
+    }
+    info.delay = model::path_delay(*index_, *path);
+    for (const graph::EdgeId e : path->edges) {
+      const std::string& link_id = index_->graph().edge(e).data.link_id;
+      info.links.push_back(link_id);
+      work_.find_link(link_id)->reserved += link.bandwidth;
+    }
+  }
+  paths_.emplace(link.id, info);
+  return info;
+}
+
+void Context::unroute(const std::string& sg_link_id) {
+  const auto it = paths_.find(sg_link_id);
+  if (it == paths_.end()) return;
+  const sg::SgLink* link = sg_->find_link(sg_link_id);
+  for (const std::string& substrate_link : it->second.links) {
+    work_.find_link(substrate_link)->reserved -= link->bandwidth;
+  }
+  paths_.erase(it);
+}
+
+Result<void> Context::route_all() {
+  for (const sg::SgLink& link : sg_->links()) {
+    if (is_routed(link.id)) continue;
+    UNIFY_RETURN_IF_ERROR(route(link));
+  }
+  return Result<void>::success();
+}
+
+double Context::chain_delay(const sg::E2eRequirement& req) const {
+  const auto chain = sg_->chain_for(req);
+  if (!chain.ok()) return graph::kInf;
+  double total = 0;
+  for (const sg::SgLink* link : *chain) {
+    const auto it = paths_.find(link->id);
+    if (it != paths_.end()) total += it->second.delay;
+  }
+  return total;
+}
+
+Result<void> Context::check_requirements() const {
+  for (const sg::E2eRequirement& req : sg_->requirements()) {
+    const double delay = chain_delay(req);
+    if (delay > req.max_delay) {
+      return Error{ErrorCode::kInfeasible,
+                   "requirement " + req.id + ": delay " +
+                       strings::format_double(delay) + " ms exceeds " +
+                       strings::format_double(req.max_delay) + " ms"};
+    }
+  }
+  return Result<void>::success();
+}
+
+double Context::distance(const std::string& from, const std::string& to,
+                         double min_bw) const {
+  if (from == to) return 0;
+  const auto from_id = index_->node_of(from);
+  const auto to_id = index_->node_of(to);
+  if (from_id == graph::kInvalidId || to_id == graph::kInvalidId) {
+    return graph::kInf;
+  }
+  const auto path =
+      graph::shortest_path(index_->graph().node_capacity(), from_id, to_id,
+                           index_->scan_by_delay(min_bw));
+  return path.has_value() ? path->cost : graph::kInf;
+}
+
+Mapping Context::finish(std::string mapper_name) const {
+  Mapping m;
+  m.mapper_name = std::move(mapper_name);
+  m.nf_host = placements_;
+  m.link_paths = paths_;
+  for (const sg::E2eRequirement& req : sg_->requirements()) {
+    m.requirement_delay.emplace(req.id, chain_delay(req));
+  }
+  std::set<std::string> hosts;
+  for (const auto& [nf, host] : placements_) hosts.insert(host);
+  m.stats.nodes_used = hosts.size();
+  m.stats.nfs_placed = placements_.size();
+  for (const auto& [sg_link_id, info] : paths_) {
+    m.stats.total_hops += info.links.size();
+    const sg::SgLink* link = sg_->find_link(sg_link_id);
+    m.stats.bandwidth_hops +=
+        link->bandwidth * static_cast<double>(info.links.size());
+  }
+  return m;
+}
+
+}  // namespace unify::mapping

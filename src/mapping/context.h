@@ -1,0 +1,92 @@
+// Shared mapping machinery: a mutable working copy of the substrate plus
+// placement/routing primitives with undo, used by every Mapper
+// implementation.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/nf_catalog.h"
+#include "mapping/mapper.h"
+#include "model/nffg.h"
+#include "model/topology_index.h"
+#include "sg/service_graph.h"
+#include "util/result.h"
+
+namespace unify::mapping {
+
+class Context {
+ public:
+  /// Copies the substrate; the original is never touched.
+  Context(const sg::ServiceGraph& sg, const model::Nffg& substrate,
+          const catalog::NfCatalog& catalog);
+
+  [[nodiscard]] const sg::ServiceGraph& sg() const noexcept { return *sg_; }
+  [[nodiscard]] const model::Nffg& work() const noexcept { return work_; }
+  [[nodiscard]] const model::TopologyIndex& index() const noexcept {
+    return *index_;
+  }
+
+  /// Feasible hosts for an NF right now (type support + residual capacity),
+  /// ascending by id for determinism.
+  [[nodiscard]] std::vector<std::string> candidates(
+      const sg::SgNf& nf) const;
+
+  /// Resolved footprint of an SG NF (override or catalog).
+  [[nodiscard]] Result<model::Resources> footprint(const sg::SgNf& nf) const;
+
+  /// Places `nf_id` on `host` (capacity, type and placement constraints
+  /// enforced). Undo with unplace.
+  Result<void> place(const std::string& nf_id, const std::string& host);
+
+  /// Checks the service graph's placement constraints for (nf, host) given
+  /// the placements made so far.
+  [[nodiscard]] Result<void> constraint_allows(const std::string& nf_id,
+                                               const std::string& host) const;
+  void unplace(const std::string& nf_id);
+
+  /// The substrate node an SG endpoint currently resolves to: the SAP
+  /// itself, or the host of a placed NF (kUnavailable when unplaced).
+  [[nodiscard]] Result<std::string> node_of(const std::string& sg_node) const;
+
+  /// Routes one SG link over the substrate (min-delay path with residual
+  /// bandwidth >= link.bandwidth), reserving bandwidth along it. Both
+  /// endpoints must resolve. Colocated endpoints yield an empty path.
+  Result<PathInfo> route(const sg::SgLink& link);
+  /// Releases a routed link's reservations and forgets its path.
+  void unroute(const std::string& sg_link_id);
+  [[nodiscard]] bool is_routed(const std::string& sg_link_id) const noexcept {
+    return paths_.count(sg_link_id) != 0;
+  }
+
+  /// Routes every not-yet-routed SG link (used after all placements).
+  Result<void> route_all();
+
+  /// Checks every requirement's accumulated chain delay against its bound.
+  Result<void> check_requirements() const;
+
+  /// Delay currently accumulated along the chain of `req` (routed links
+  /// only).
+  [[nodiscard]] double chain_delay(const sg::E2eRequirement& req) const;
+
+  /// Shortest-path delay between two substrate nodes under a bandwidth
+  /// floor; +inf when disconnected. Used by algorithms for cost estimates.
+  [[nodiscard]] double distance(const std::string& from, const std::string& to,
+                                double min_bw) const;
+
+  /// Assembles the final Mapping (placements, paths, per-requirement
+  /// delays, stats). Call after route_all()+check_requirements() succeed.
+  [[nodiscard]] Mapping finish(std::string mapper_name) const;
+
+ private:
+  const sg::ServiceGraph* sg_;
+  const catalog::NfCatalog* catalog_;
+  model::Nffg work_;
+  std::optional<model::TopologyIndex> index_;  // built over work_
+  std::map<std::string, std::string> placements_;  // nf -> host
+  std::map<std::string, PathInfo> paths_;          // sg link -> path
+};
+
+}  // namespace unify::mapping

@@ -1,0 +1,109 @@
+#include "mapping/decomp_aware_mapper.h"
+
+#include <algorithm>
+
+#include "catalog/decomposition.h"
+
+namespace unify::mapping {
+
+namespace {
+
+/// Orders candidate results: feasibility first, then substrate load, then
+/// total delay.
+double load_of(const Mapping& m) { return m.stats.bandwidth_hops; }
+
+double delay_of(const Mapping& m) {
+  double total = 0;
+  for (const auto& [req, delay] : m.requirement_delay) total += delay;
+  return total;
+}
+
+}  // namespace
+
+Result<DecompResult> DecompAwareMapper::map_with_decomposition(
+    const sg::ServiceGraph& sg, const model::Nffg& substrate,
+    const catalog::NfCatalog& catalog) const {
+  // Top-level decomposable NFs and their rule counts.
+  std::vector<std::pair<std::string, std::size_t>> dimensions;
+  for (const auto& [nf_id, nf] : sg.nfs()) {
+    const std::size_t n = catalog.decompositions_of(nf.type).size();
+    if (n > 0) dimensions.emplace_back(nf_id, n);
+  }
+
+  // Enumerate choice vectors (mixed-radix counter), capped.
+  std::size_t total = 1;
+  for (const auto& [nf, n] : dimensions) {
+    total *= n;
+    if (total > max_combinations_) {
+      total = max_combinations_;
+      break;
+    }
+  }
+
+  std::optional<DecompResult> best;
+  std::size_t feasible = 0;
+  Error last{ErrorCode::kInfeasible, "no decomposition combination tried"};
+  std::vector<std::size_t> digits(dimensions.size(), 0);
+  for (std::size_t combo = 0; combo < total; ++combo) {
+    // digits -> per-NF rule choice for this combination.
+    std::map<std::string, std::size_t> pick;
+    for (std::size_t d = 0; d < dimensions.size(); ++d) {
+      pick[dimensions[d].first] = digits[d];
+    }
+    // Advance the mixed-radix counter for next round.
+    for (std::size_t d = 0; d < dimensions.size(); ++d) {
+      if (++digits[d] < dimensions[d].second) break;
+      digits[d] = 0;
+    }
+
+    sg::ServiceGraph expanded = sg;
+    const auto chooser =
+        [&pick, &catalog](const sg::SgNf& nf,
+                          const std::vector<catalog::Decomposition>& rules)
+        -> const catalog::Decomposition* {
+      const auto it = pick.find(nf.id);
+      if (it != pick.end()) return &rules[it->second];
+      return &rules.front();  // nested decomposables: default rule
+    };
+    if (const auto applied = catalog::expand_all(expanded, catalog, chooser);
+        !applied.ok()) {
+      last = applied.error();
+      continue;
+    }
+    auto mapped = inner_->map(expanded, substrate, catalog);
+    if (!mapped.ok()) {
+      last = mapped.error();
+      continue;
+    }
+    ++feasible;
+    const bool better =
+        !best.has_value() ||
+        load_of(*mapped) < load_of(best->mapping) ||
+        (load_of(*mapped) == load_of(best->mapping) &&
+         delay_of(*mapped) < delay_of(best->mapping));
+    if (better) {
+      DecompResult result;
+      result.expanded = std::move(expanded);
+      result.mapping = std::move(*mapped);
+      best = std::move(result);
+    }
+  }
+  if (!best.has_value()) {
+    return Error{last.code, "all decomposition combinations failed; last: " +
+                                last.message};
+  }
+  best->combinations_tried = total;
+  best->combinations_feasible = feasible;
+  best->mapping.mapper_name = name();
+  return std::move(*best);
+}
+
+Result<Mapping> DecompAwareMapper::map(const sg::ServiceGraph& sg,
+                                       const model::Nffg& substrate,
+                                       const catalog::NfCatalog& catalog) const {
+  UNIFY_ASSIGN_OR_RETURN(DecompResult result,
+                         map_with_decomposition(sg, substrate, catalog));
+  return std::move(result.mapping);
+}
+
+}  // namespace unify::mapping

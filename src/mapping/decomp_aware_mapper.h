@@ -1,0 +1,53 @@
+// Decomposition-aware mapping: selects NF decompositions *during* the
+// mapping process (paper §2, after [Sahhaf et al., NetSoft 2015]) instead
+// of expanding the service graph up front.
+//
+// The mapper enumerates decomposition choices for the top-level
+// decomposable NFs (bounded by max_combinations), expands a copy of the
+// service graph per choice (nested decomposables use their first rule),
+// maps it with the inner mapper, and keeps the best feasible result —
+// least substrate load (bandwidth x hops), ties broken by total chain
+// delay. Because the mapping references the expanded NF ids, the result
+// carries the expanded service graph alongside the mapping.
+#pragma once
+
+#include <memory>
+
+#include "mapping/mapper.h"
+
+namespace unify::mapping {
+
+struct DecompResult {
+  sg::ServiceGraph expanded;
+  Mapping mapping;
+  std::size_t combinations_tried = 0;
+  std::size_t combinations_feasible = 0;
+};
+
+class DecompAwareMapper final : public Mapper {
+ public:
+  DecompAwareMapper(std::shared_ptr<const Mapper> inner,
+                    std::size_t max_combinations = 64)
+      : inner_(std::move(inner)), max_combinations_(max_combinations) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "decomp-aware(" + inner_->name() + ")";
+  }
+
+  /// Full result including the expanded service graph the mapping refers to.
+  [[nodiscard]] Result<DecompResult> map_with_decomposition(
+      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const catalog::NfCatalog& catalog) const;
+
+  /// Mapper interface; discards the expanded graph (only meaningful when
+  /// the caller reconstructs it, prefer map_with_decomposition).
+  [[nodiscard]] Result<Mapping> map(
+      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const catalog::NfCatalog& catalog) const override;
+
+ private:
+  std::shared_ptr<const Mapper> inner_;
+  std::size_t max_combinations_;
+};
+
+}  // namespace unify::mapping

@@ -1,0 +1,113 @@
+#include "mapping/greedy_mapper.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mapping/context.h"
+
+namespace unify::mapping {
+
+namespace {
+
+/// Cost of placing on `host` when the previous chain element sits at
+/// `prev_node`: delay distance first, then prefer emptier nodes, then id
+/// for determinism.
+struct HostCost {
+  double distance;
+  double utilization;
+  std::string host;
+
+  friend bool operator<(const HostCost& a, const HostCost& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    if (a.utilization != b.utilization) return a.utilization < b.utilization;
+    return a.host < b.host;
+  }
+};
+
+double utilization_of(const model::BisBis& bb) {
+  const model::Resources cap = bb.capacity;
+  const model::Resources alloc = bb.allocated();
+  double worst = 0;
+  if (cap.cpu > 0) worst = std::max(worst, alloc.cpu / cap.cpu);
+  if (cap.mem > 0) worst = std::max(worst, alloc.mem / cap.mem);
+  if (cap.storage > 0) worst = std::max(worst, alloc.storage / cap.storage);
+  return worst;
+}
+
+}  // namespace
+
+Result<Mapping> GreedyMapper::map(const sg::ServiceGraph& sg,
+                                  const model::Nffg& substrate,
+                                  const catalog::NfCatalog& catalog) const {
+  Context ctx(sg, substrate, catalog);
+
+  const auto place_near = [&](const std::string& nf_id,
+                              const std::string& prev_node,
+                              double bandwidth) -> Result<void> {
+    const sg::SgNf* nf = sg.find_nf(nf_id);
+    std::vector<HostCost> costs;
+    for (const std::string& host : ctx.candidates(*nf)) {
+      const double dist = prev_node.empty()
+                              ? 0
+                              : ctx.distance(prev_node, host, bandwidth);
+      if (dist == std::numeric_limits<double>::infinity()) continue;
+      costs.push_back(HostCost{
+          dist, utilization_of(*ctx.work().find_bisbis(host)), host});
+    }
+    if (costs.empty()) {
+      return Error{ErrorCode::kInfeasible,
+                   "no reachable feasible host for NF " + nf_id};
+    }
+    std::sort(costs.begin(), costs.end());
+    Error last{ErrorCode::kInfeasible, "no candidate accepted " + nf_id};
+    for (const HostCost& cost : costs) {
+      const auto placed = ctx.place(nf_id, cost.host);
+      if (placed.ok()) return Result<void>::success();
+      last = placed.error();
+    }
+    return last;
+  };
+
+  // Walk every requirement's chain in order.
+  for (const sg::E2eRequirement& req : sg.requirements()) {
+    const auto chain = sg.chain_for(req);
+    if (!chain.ok()) continue;  // disconnected requirement caught later
+    std::string prev_node = req.from_sap;
+    for (const sg::SgLink* link : *chain) {
+      const std::string& to = link->to.node;
+      if (sg.has_sap(to)) continue;
+      const auto placed = ctx.node_of(to);
+      if (placed.ok()) {
+        prev_node = *placed;
+        continue;
+      }
+      UNIFY_RETURN_IF_ERROR(place_near(to, prev_node, link->bandwidth));
+      prev_node = *ctx.node_of(to);
+    }
+  }
+  // NFs not on any requirement chain (side branches): nearest to any
+  // already-placed neighbour, otherwise least-utilized feasible host.
+  for (const auto& [nf_id, nf] : sg.nfs()) {
+    if (ctx.node_of(nf_id).ok()) continue;
+    std::string anchor;
+    double bandwidth = 0;
+    for (const sg::SgLink& link : sg.links()) {
+      const std::string& peer = link.from.node == nf_id ? link.to.node
+                                : link.to.node == nf_id ? link.from.node
+                                                        : "";
+      if (peer.empty()) continue;
+      if (const auto node = ctx.node_of(peer); node.ok()) {
+        anchor = *node;
+        bandwidth = link.bandwidth;
+        break;
+      }
+    }
+    UNIFY_RETURN_IF_ERROR(place_near(nf_id, anchor, bandwidth));
+  }
+
+  UNIFY_RETURN_IF_ERROR(ctx.route_all());
+  UNIFY_RETURN_IF_ERROR(ctx.check_requirements());
+  return ctx.finish(name());
+}
+
+}  // namespace unify::mapping

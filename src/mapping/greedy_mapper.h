@@ -1,0 +1,23 @@
+// Greedy chain embedding: walk each requirement's chain and place every NF
+// on the feasible host minimizing (distance from the previous chain
+// element, utilization, id). Fast and good on meshy substrates; no
+// backtracking, so it can miss feasible mappings under tight constraints.
+#pragma once
+
+#include "mapping/mapper.h"
+
+namespace unify::mapping {
+
+class GreedyMapper final : public Mapper {
+ public:
+  explicit GreedyMapper(MapperOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  [[nodiscard]] Result<Mapping> map(
+      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const catalog::NfCatalog& catalog) const override;
+
+ private:
+  MapperOptions options_;
+};
+
+}  // namespace unify::mapping

@@ -1,0 +1,96 @@
+// Mapping (network embedding) of service graphs onto BiS-BiS substrates.
+//
+// This is the algorithmic task of the paper's resource orchestrator: assign
+// each abstract NF to a BiS-BiS and each chain link to a substrate path so
+// that compute capacity, link bandwidth and end-to-end delay requirements
+// hold. Several interchangeable algorithms implement the Mapper interface
+// ("plug and play ... network embedding algorithms", paper §2); the RO
+// takes the algorithm as a dependency.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/nf_catalog.h"
+#include "model/nffg.h"
+#include "sg/service_graph.h"
+#include "util/result.h"
+
+namespace unify::mapping {
+
+/// The realized path of one service-graph link over the substrate.
+/// `links` lists substrate link ids in traversal order; empty when both
+/// endpoints resolve to the same node (co-located NFs).
+struct PathInfo {
+  std::vector<std::string> links;
+  double delay = 0;  ///< link delays + transited BiS-BiS internal delays
+};
+
+struct MappingStats {
+  std::size_t total_hops = 0;       ///< Σ path lengths
+  double bandwidth_hops = 0;        ///< Σ bandwidth × hops (substrate load)
+  std::size_t nodes_used = 0;       ///< distinct hosting BiS-BiS
+  std::size_t nfs_placed = 0;
+};
+
+/// The result of a mapping: placements + routed paths + verified delays.
+struct Mapping {
+  std::string mapper_name;
+  std::map<std::string, std::string> nf_host;      ///< SG NF -> BiS-BiS
+  std::map<std::string, PathInfo> link_paths;      ///< SG link -> path
+  std::map<std::string, double> requirement_delay; ///< requirement -> ms
+  MappingStats stats;
+};
+
+struct MapperOptions {
+  /// Paths considered per node pair where an algorithm enumerates
+  /// alternatives.
+  int k_paths = 4;
+  /// Hard cap on search-tree nodes for exhaustive algorithms.
+  std::size_t max_search_steps = 200000;
+  /// Seed for randomized algorithms.
+  std::uint64_t seed = 1;
+};
+
+/// Strategy interface. Implementations must not mutate the substrate; they
+/// work on an internal copy and report the outcome as a Mapping.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual Result<Mapping> map(
+      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const catalog::NfCatalog& catalog) const = 0;
+};
+
+/// Independent feasibility checker: placements exist and fit, paths are
+/// continuous and start/end at the right nodes, per-link bandwidth fits the
+/// substrate residuals (cumulatively), and requirement delays hold.
+/// Intended for tests and for the RO to double-check third-party mappers.
+[[nodiscard]] Result<void> verify_mapping(const sg::ServiceGraph& sg,
+                                          const model::Nffg& substrate,
+                                          const catalog::NfCatalog& catalog,
+                                          const Mapping& mapping);
+
+/// Materializes a mapping onto `target` (normally a copy of the substrate
+/// the mapping was computed against): places NF instances, installs the
+/// tag-switched flowrule chains realizing each SG link, and reserves
+/// bandwidth along the paths. Tags are "<sg id>:<sg link id>".
+/// `force_placement` skips capacity/type checks — used when re-recording a
+/// placement that is already physically running (e.g. restoring after a
+/// failed migration onto a view whose advertised capacity shrank).
+[[nodiscard]] Result<void> install_mapping(model::Nffg& target,
+                                           const sg::ServiceGraph& sg,
+                                           const catalog::NfCatalog& catalog,
+                                           const Mapping& mapping,
+                                           bool force_placement = false);
+
+/// Reverts install_mapping: removes the NFs and flowrules of this mapping
+/// and releases the reserved bandwidth.
+[[nodiscard]] Result<void> uninstall_mapping(model::Nffg& target,
+                                             const sg::ServiceGraph& sg,
+                                             const Mapping& mapping);
+
+}  // namespace unify::mapping

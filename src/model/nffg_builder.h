@@ -1,0 +1,62 @@
+// Convenience builders for NFFG construction in adapters, tests and
+// benchmarks. All helpers assert success — they are meant for programmatic
+// construction where ids are controlled by the caller.
+#pragma once
+
+#include <cassert>
+#include <string>
+
+#include "model/nffg.h"
+
+namespace unify::model {
+
+/// Returns a BiS-BiS with ports 0..port_count-1 and the given capacity.
+[[nodiscard]] inline BisBis make_bisbis(std::string id, Resources capacity,
+                                        int port_count,
+                                        double internal_delay = 0) {
+  BisBis bb;
+  bb.id = std::move(id);
+  bb.capacity = capacity;
+  bb.internal_delay = internal_delay;
+  bb.ports.reserve(static_cast<std::size_t>(port_count));
+  for (int p = 0; p < port_count; ++p) bb.ports.push_back(Port{p, ""});
+  return bb;
+}
+
+/// Returns an NF instance with ports 0..port_count-1.
+[[nodiscard]] inline NfInstance make_nf(std::string id, std::string type,
+                                        Resources requirement,
+                                        int port_count = 2) {
+  NfInstance nf;
+  nf.id = std::move(id);
+  nf.type = std::move(type);
+  nf.requirement = requirement;
+  for (int p = 0; p < port_count; ++p) nf.ports.push_back(Port{p, ""});
+  return nf;
+}
+
+/// Adds a SAP and wires it (bidirectionally) to a BiS-BiS port.
+inline void attach_sap(Nffg& nffg, const std::string& sap_id,
+                       const std::string& bisbis_id, int bisbis_port,
+                       LinkAttrs attrs = {1000, 0.1}) {
+  auto sap = nffg.add_sap(Sap{sap_id, sap_id});
+  assert(sap.ok());
+  auto link = nffg.add_bidirectional_link("l-" + sap_id, PortRef{sap_id, 0},
+                                          PortRef{bisbis_id, bisbis_port},
+                                          attrs);
+  assert(link.ok());
+  (void)sap;
+  (void)link;
+}
+
+/// Wires two BiS-BiS ports with a bidirectional link named "l-<a>-<b>".
+inline void connect(Nffg& nffg, const std::string& a, int port_a,
+                    const std::string& b, int port_b, LinkAttrs attrs) {
+  auto link = nffg.add_bidirectional_link("l-" + a + "-" + b,
+                                          PortRef{a, port_a},
+                                          PortRef{b, port_b}, attrs);
+  assert(link.ok());
+  (void)link;
+}
+
+}  // namespace unify::model

@@ -1,0 +1,68 @@
+// Configuration deltas: the payload of edit-config on the Unify interface.
+//
+// A manager does not re-send the full virtualizer tree on every change — it
+// computes the difference between the config it wants and the config it last
+// saw, and sends only that (DESIGN.md §6.4). A delta only carries the parts
+// a manager owns: NF placements and flowrules. Infrastructure topology and
+// link reservations are derived/owned by the layer below.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "model/nffg.h"
+#include "util/result.h"
+
+namespace unify::model {
+
+struct NfPlacement {
+  std::string bisbis;
+  NfInstance nf;
+};
+struct NfRemoval {
+  std::string bisbis;
+  std::string nf_id;
+};
+struct RuleInstall {
+  std::string bisbis;
+  Flowrule rule;
+};
+struct RuleRemoval {
+  std::string bisbis;
+  std::string rule_id;
+};
+
+/// An ordered edit script: removals first (freeing resources), then adds.
+struct ConfigDelta {
+  std::vector<RuleRemoval> rule_removals;
+  std::vector<NfRemoval> nf_removals;
+  std::vector<NfPlacement> nf_placements;
+  std::vector<RuleInstall> rule_installs;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return rule_removals.empty() && nf_removals.empty() &&
+           nf_placements.empty() && rule_installs.empty();
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return rule_removals.size() + nf_removals.size() + nf_placements.size() +
+           rule_installs.size();
+  }
+};
+
+/// Computes the delta transforming `base`'s NF/flowrule configuration into
+/// `target`'s. Both must describe the same infrastructure (same BiS-BiS
+/// ids); NF operational status is ignored (it flows north, not south).
+/// A modified NF or flowrule appears as removal + placement.
+[[nodiscard]] Result<ConfigDelta> diff(const Nffg& base, const Nffg& target);
+
+/// Applies a delta in order (removals, placements, installs) with the usual
+/// capacity/reference checks. On failure the NFFG may be partially updated;
+/// callers that need atomicity apply to a copy first.
+[[nodiscard]] Result<void> apply(Nffg& nffg, const ConfigDelta& delta);
+
+/// Wire format (JSON) of a delta.
+[[nodiscard]] json::Value delta_to_json(const ConfigDelta& delta);
+[[nodiscard]] Result<ConfigDelta> delta_from_json(const json::Value& value);
+
+}  // namespace unify::model

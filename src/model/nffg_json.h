@@ -1,0 +1,38 @@
+// JSON codec for the NFFG — the wire form of the virtualizer model
+// exchanged over the Unify interface (get-config / edit-config payloads).
+//
+// The schema mirrors the paper's Yang tree:
+//   {"id": ..., "name": ...,
+//    "saps": [{"id","name"}],
+//    "nodes": [{"id","name","domain","type"?,"resources":{cpu,mem,storage},
+//               "ports":[{"id","name"}], "nf_types":[...],
+//               "internal_delay":ms,
+//               "nfs":[{"id","type","resources":{...},"ports":[...],
+//                        "status"}],
+//               "flowrules":[{"id","in":"node:port","out":"node:port",
+//                             "match_tag","set_tag","bandwidth"}]}],
+//    "links": [{"id","from":"node:port","to":"node:port",
+//               "bandwidth","delay","reserved"}]}
+#pragma once
+
+#include "json/json.h"
+#include "model/nffg.h"
+#include "util/result.h"
+
+namespace unify::model {
+
+[[nodiscard]] json::Value to_json(const Nffg& nffg);
+
+/// Strict decode: unknown node kinds, dangling references or malformed port
+/// refs fail with kProtocol / kInvalidArgument.
+[[nodiscard]] Result<Nffg> nffg_from_json(const json::Value& value);
+
+/// Convenience: serialize to a compact string / parse back.
+[[nodiscard]] std::string to_json_string(const Nffg& nffg);
+[[nodiscard]] Result<Nffg> nffg_from_json_string(std::string_view text);
+
+/// "node:port" <-> PortRef (node ids may not contain ':').
+[[nodiscard]] std::string port_ref_to_string(const PortRef& ref);
+[[nodiscard]] Result<PortRef> port_ref_from_string(std::string_view text);
+
+}  // namespace unify::model

@@ -1,0 +1,139 @@
+#include "model/nffg_merge.h"
+
+#include <algorithm>
+#include <set>
+
+namespace unify::model {
+
+namespace {
+
+/// The single link attaching `sap_id` to a BiS-BiS inside `view`, if any.
+/// Returns {bisbis port, attach attrs}. Uses the SAP->BiS-BiS direction.
+struct SapAttachment {
+  PortRef bisbis_port;
+  LinkAttrs attrs;
+  bool found = false;
+};
+
+SapAttachment find_attachment(const Nffg& view, const std::string& sap_id) {
+  SapAttachment out;
+  for (const auto& [id, link] : view.links()) {
+    if (link.from.node == sap_id) {
+      out.bisbis_port = link.to;
+      out.attrs = link.attrs;
+      out.found = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Nffg> merge_views(const std::vector<DomainView>& views) {
+  Nffg global{"global-view"};
+
+  // Where is each SAP id advertised?
+  std::map<std::string, std::vector<const DomainView*>> sap_owners;
+  for (const DomainView& dv : views) {
+    for (const auto& [sap_id, sap] : dv.view.saps()) {
+      sap_owners[sap_id].push_back(&dv);
+    }
+  }
+  for (const auto& [sap_id, owners] : sap_owners) {
+    if (owners.size() > 2) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "SAP " + sap_id + " advertised by " +
+                       std::to_string(owners.size()) +
+                       " domains; stitching supports exactly 2"};
+    }
+  }
+
+  // Copy nodes, stamping domains; copy customer SAPs only.
+  for (const DomainView& dv : views) {
+    for (const auto& [id, bb] : dv.view.bisbis()) {
+      BisBis copy = bb;
+      copy.domain = dv.domain;
+      UNIFY_RETURN_IF_ERROR(global.add_bisbis(std::move(copy)));
+    }
+    for (const auto& [sap_id, sap] : dv.view.saps()) {
+      if (sap_owners[sap_id].size() == 1) {
+        UNIFY_RETURN_IF_ERROR(global.add_sap(sap));
+      }
+    }
+  }
+
+  // Copy links that do not touch stitching SAPs.
+  const auto is_stitch = [&](const std::string& node) {
+    const auto it = sap_owners.find(node);
+    return it != sap_owners.end() && it->second.size() == 2;
+  };
+  for (const DomainView& dv : views) {
+    for (const auto& [id, link] : dv.view.links()) {
+      if (is_stitch(link.from.node) || is_stitch(link.to.node)) continue;
+      UNIFY_RETURN_IF_ERROR(global.add_link(link));
+    }
+  }
+
+  // Stitch: one bidirectional inter-domain link per shared SAP.
+  for (const auto& [sap_id, owners] : sap_owners) {
+    if (owners.size() != 2) continue;
+    const SapAttachment a = find_attachment(owners[0]->view, sap_id);
+    const SapAttachment b = find_attachment(owners[1]->view, sap_id);
+    if (!a.found || !b.found) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "stitching SAP " + sap_id +
+                       " is not attached to a BiS-BiS in both domains"};
+    }
+    const LinkAttrs attrs{std::min(a.attrs.bandwidth, b.attrs.bandwidth),
+                          a.attrs.delay + b.attrs.delay};
+    UNIFY_RETURN_IF_ERROR(global.add_bidirectional_link(
+        "xd-" + sap_id, a.bisbis_port, b.bisbis_port, attrs));
+  }
+
+  return global;
+}
+
+Nffg slice_for_domain(const Nffg& global, const std::string& domain) {
+  Nffg slice{global.id() + "@" + domain};
+
+  std::set<std::string> kept;
+  for (const auto& [id, bb] : global.bisbis()) {
+    if (bb.domain != domain) continue;
+    (void)slice.add_bisbis(bb);  // ids unique in source, cannot collide
+    kept.insert(id);
+  }
+
+  // SAPs directly linked to a kept node.
+  for (const auto& [link_id, link] : global.links()) {
+    for (const auto& [sap_end, bb_end] :
+         {std::pair{link.from, link.to}, std::pair{link.to, link.from}}) {
+      if (global.find_sap(sap_end.node) != nullptr &&
+          kept.count(bb_end.node) != 0 &&
+          slice.find_sap(sap_end.node) == nullptr) {
+        (void)slice.add_sap(*global.find_sap(sap_end.node));
+      }
+    }
+  }
+
+  // Links fully inside the slice.
+  const auto inside = [&](const std::string& node) {
+    return kept.count(node) != 0 || slice.find_sap(node) != nullptr;
+  };
+  for (const auto& [link_id, link] : global.links()) {
+    if (inside(link.from.node) && inside(link.to.node)) {
+      (void)slice.add_link(link);
+    }
+  }
+  return slice;
+}
+
+std::vector<std::string> domains_of(const Nffg& nffg) {
+  std::set<std::string> names;
+  for (const auto& [id, bb] : nffg.bisbis()) {
+    if (!bb.domain.empty()) names.insert(bb.domain);
+  }
+  return {names.begin(), names.end()};
+}
+
+}  // namespace unify::model

@@ -1,0 +1,46 @@
+// Multi-domain view assembly and decomposition.
+//
+// The Resource Orchestrator of the paper sits above several domain
+// virtualizers. `merge_views` folds the per-domain views into one global
+// NFFG, stitching domains together at shared SAPs (the ESCAPE convention:
+// an inter-domain connection is advertised by both domains as a SAP with
+// the same id). `split_by_domain` does the inverse for configurations: it
+// carves a mapped global config into the per-domain configs that are pushed
+// south over the Unify interface.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/nffg.h"
+#include "util/result.h"
+
+namespace unify::model {
+
+struct DomainView {
+  std::string domain;  ///< domain name stamped onto its BiS-BiS nodes
+  Nffg view;
+};
+
+/// Folds domain views into one global view.
+///
+/// * Node/link ids must be globally unique except for stitching SAPs.
+/// * A SAP id appearing in exactly two domains is a stitching point: the SAP
+///   disappears and the two BiS-BiS ports that connected to it are joined by
+///   bidirectional inter-domain links "xd-<sap>" / "xd-<sap>-back"
+///   (bandwidth = min, delay = sum of the two SAP attachment links).
+/// * A SAP id in one domain stays a customer-facing SAP.
+/// * A SAP id in three or more domains is an error (kInvalidArgument).
+[[nodiscard]] Result<Nffg> merge_views(const std::vector<DomainView>& views);
+
+/// Extracts the slice of `global` belonging to `domain`: its BiS-BiS nodes
+/// (with their NFs and flowrules), SAPs referenced by intra-domain links,
+/// and all links with both endpoints inside the slice.
+[[nodiscard]] Nffg slice_for_domain(const Nffg& global,
+                                    const std::string& domain);
+
+/// Lists the distinct BiS-BiS domains present in `nffg`, sorted.
+[[nodiscard]] std::vector<std::string> domains_of(const Nffg& nffg);
+
+}  // namespace unify::model

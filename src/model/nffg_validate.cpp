@@ -1,0 +1,114 @@
+// Structural validation of an NFFG. Collects every problem instead of
+// stopping at the first so a manager can report a complete diagnosis of a
+// rejected configuration.
+#include <set>
+
+#include "model/nffg.h"
+
+namespace unify::model {
+
+std::vector<std::string> Nffg::validate() const {
+  std::vector<std::string> problems;
+  const auto complain = [&problems](std::string text) {
+    problems.push_back(std::move(text));
+  };
+
+  // --- node-level checks
+  for (const auto& [bb_id, bb] : bisbis_) {
+    if (bb.id != bb_id) {
+      complain("BiS-BiS map key " + bb_id + " != embedded id " + bb.id);
+    }
+    std::set<int> port_ids;
+    for (const Port& p : bb.ports) {
+      if (!port_ids.insert(p.id).second) {
+        complain("BiS-BiS " + bb_id + " has duplicate port " +
+                 std::to_string(p.id));
+      }
+    }
+    if (bb.capacity.negative()) {
+      complain("BiS-BiS " + bb_id + " has negative capacity");
+    }
+    if (bb.residual().negative()) {
+      complain("BiS-BiS " + bb_id + " is compute-overcommitted: residual " +
+               bb.residual().to_string());
+    }
+    for (const auto& [nf_id, nf] : bb.nfs) {
+      if (nf.id != nf_id) {
+        complain("NF map key " + nf_id + " != embedded id " + nf.id);
+      }
+      if (nf.requirement.negative()) {
+        complain("NF " + nf_id + " has negative requirement");
+      }
+      std::set<int> nf_ports;
+      for (const Port& p : nf.ports) {
+        if (!nf_ports.insert(p.id).second) {
+          complain("NF " + nf_id + " has duplicate port " +
+                   std::to_string(p.id));
+        }
+      }
+      if (!bb.supports_nf_type(nf.type)) {
+        complain("NF " + nf_id + " type " + nf.type + " unsupported on " +
+                 bb_id);
+      }
+    }
+    // Flowrule references and id uniqueness.
+    std::set<std::string> rule_ids;
+    for (const Flowrule& fr : bb.flowrules) {
+      if (!rule_ids.insert(fr.id).second) {
+        complain("BiS-BiS " + bb_id + " has duplicate flowrule " + fr.id);
+      }
+      if (fr.bandwidth < 0) {
+        complain("flowrule " + fr.id + " on " + bb_id +
+                 " has negative bandwidth");
+      }
+      for (const PortRef* ref : {&fr.in, &fr.out}) {
+        const bool own_port = ref->node == bb_id && bb.has_port(ref->port);
+        const auto nf_it = bb.nfs.find(ref->node);
+        const bool nf_port =
+            nf_it != bb.nfs.end() && nf_it->second.has_port(ref->port);
+        if (!own_port && !nf_port) {
+          complain("flowrule " + fr.id + " on " + bb_id +
+                   " references unresolvable port " + ref->to_string());
+        }
+      }
+    }
+  }
+
+  // --- link-level checks
+  for (const auto& [link_id, link] : links_) {
+    if (link.id != link_id) {
+      complain("link map key " + link_id + " != embedded id " + link.id);
+    }
+    for (const PortRef* ref : {&link.from, &link.to}) {
+      if (const BisBis* bb = find_bisbis(ref->node)) {
+        if (!bb->has_port(ref->port)) {
+          complain("link " + link_id + " endpoint " + ref->to_string() +
+                   " not a port of BiS-BiS " + ref->node);
+        }
+      } else if (find_sap(ref->node) != nullptr) {
+        if (ref->port != 0) {
+          complain("link " + link_id + " endpoint " + ref->to_string() +
+                   " invalid: SAPs only expose port 0");
+        }
+      } else {
+        complain("link " + link_id + " endpoint node " + ref->node +
+                 " does not exist");
+      }
+    }
+    if (link.attrs.bandwidth < 0 || link.attrs.delay < 0) {
+      complain("link " + link_id + " has negative attributes");
+    }
+    if (link.reserved < 0) {
+      complain("link " + link_id + " has negative reservation");
+    }
+    if (link.reserved > link.attrs.bandwidth) {
+      complain("link " + link_id + " is bandwidth-overcommitted: " +
+               strings::format_double(link.reserved) + " > " +
+               strings::format_double(link.attrs.bandwidth));
+    }
+  }
+
+  return problems;
+}
+
+}  // namespace unify::model

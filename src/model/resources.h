@@ -1,0 +1,79 @@
+// Joint compute/storage resource vector and link attributes.
+//
+// The BiS-BiS abstraction fuses compute with forwarding; Resources is the
+// compute/storage half (cpu cores, memory MB, storage GB) and LinkAttrs the
+// network half (bandwidth Mbit/s, propagation delay ms).
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "util/strings.h"
+
+namespace unify::model {
+
+struct Resources {
+  double cpu = 0;      ///< cores
+  double mem = 0;      ///< MB
+  double storage = 0;  ///< GB
+
+  Resources& operator+=(const Resources& o) noexcept {
+    cpu += o.cpu;
+    mem += o.mem;
+    storage += o.storage;
+    return *this;
+  }
+  Resources& operator-=(const Resources& o) noexcept {
+    cpu -= o.cpu;
+    mem -= o.mem;
+    storage -= o.storage;
+    return *this;
+  }
+  friend Resources operator+(Resources a, const Resources& b) noexcept {
+    return a += b;
+  }
+  friend Resources operator-(Resources a, const Resources& b) noexcept {
+    return a -= b;
+  }
+  friend bool operator==(const Resources& a, const Resources& b) noexcept {
+    return a.cpu == b.cpu && a.mem == b.mem && a.storage == b.storage;
+  }
+
+  /// True when a demand of `need` fits into this amount (component-wise).
+  [[nodiscard]] bool fits(const Resources& need) const noexcept {
+    return need.cpu <= cpu && need.mem <= mem && need.storage <= storage;
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    return cpu == 0 && mem == 0 && storage == 0;
+  }
+
+  /// Any component negative (overcommitted)?
+  [[nodiscard]] bool negative() const noexcept {
+    return cpu < 0 || mem < 0 || storage < 0;
+  }
+
+  /// Component-wise max (used when folding views together).
+  [[nodiscard]] Resources max_with(const Resources& o) const noexcept {
+    return Resources{std::max(cpu, o.cpu), std::max(mem, o.mem),
+                     std::max(storage, o.storage)};
+  }
+
+  /// "cpu=4 mem=2048 storage=10"
+  [[nodiscard]] std::string to_string() const {
+    return "cpu=" + strings::format_double(cpu) +
+           " mem=" + strings::format_double(mem) +
+           " storage=" + strings::format_double(storage);
+  }
+};
+
+struct LinkAttrs {
+  double bandwidth = 0;  ///< Mbit/s capacity
+  double delay = 0;      ///< ms one-way
+
+  friend bool operator==(const LinkAttrs& a, const LinkAttrs& b) noexcept {
+    return a.bandwidth == b.bandwidth && a.delay == b.delay;
+  }
+};
+
+}  // namespace unify::model

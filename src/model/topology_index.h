@@ -1,0 +1,65 @@
+// Graph index over an NFFG for path computation.
+//
+// Mapping algorithms need shortest paths over the BiS-BiS/SAP topology with
+// varying edge weights (delay, hops, residual-bandwidth masking). The index
+// translates the string-keyed NFFG into a graph::Digraph once, then offers
+// weight adapters on top.
+//
+// Lifetime: the index borrows the Nffg. It stays valid while the topology
+// (nodes, links) is unchanged; link *reservations* may change freely — the
+// scan adapters read residual bandwidth through the live Nffg.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+#include "model/nffg.h"
+
+namespace unify::model {
+
+struct TopoNode {
+  std::string id;
+  bool is_sap = false;
+};
+
+struct TopoEdge {
+  std::string link_id;
+};
+
+class TopologyIndex {
+ public:
+  using Graph = graph::Digraph<TopoNode, TopoEdge>;
+
+  explicit TopologyIndex(const Nffg& nffg);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const Nffg& nffg() const noexcept { return *nffg_; }
+
+  /// kInvalidId when the node id is unknown.
+  [[nodiscard]] graph::NodeId node_of(const std::string& id) const noexcept;
+  [[nodiscard]] const std::string& id_of(graph::NodeId node) const noexcept {
+    return graph_.node(node).id;
+  }
+  [[nodiscard]] const Link& link_of(graph::EdgeId edge) const noexcept;
+
+  /// Edge scan weighting each link by its delay plus the head node's
+  /// internal delay, masking links whose residual bandwidth < `min_bw`.
+  [[nodiscard]] graph::EdgeScanFn scan_by_delay(double min_bw) const;
+
+  /// Edge scan with unit weight per hop, same bandwidth masking.
+  [[nodiscard]] graph::EdgeScanFn scan_by_hops(double min_bw) const;
+
+ private:
+  const Nffg* nffg_;
+  Graph graph_;
+  std::map<std::string, graph::NodeId> index_;
+};
+
+/// Total delay of a path in the index: link delays plus internal delays of
+/// transited (non-endpoint) BiS-BiS nodes.
+[[nodiscard]] double path_delay(const TopologyIndex& index,
+                                const graph::Path& path);
+
+}  // namespace unify::model

@@ -1,0 +1,69 @@
+#include "proto/channel.h"
+
+#include <utility>
+
+namespace unify::proto {
+
+void Endpoint::send(std::string bytes) {
+  auto peer = peer_weak_.lock();
+  if (peer == nullptr || bytes.empty()) return;
+  counters_.messages_sent++;
+  counters_.bytes_sent += bytes.size();
+  const auto schedule = [this, &peer](std::string data) {
+    clock_->schedule_in(latency_us_,
+                        [weak = peer_weak_, data = std::move(data)] {
+                          if (auto p = weak.lock()) p->deliver(data);
+                        });
+  };
+  if (chunk_size_ == 0 || bytes.size() <= chunk_size_) {
+    schedule(std::move(bytes));
+    return;
+  }
+  for (std::size_t off = 0; off < bytes.size(); off += chunk_size_) {
+    schedule(bytes.substr(off, chunk_size_));
+  }
+}
+
+void Endpoint::on_receive(ReceiveFn fn) {
+  receive_ = std::move(fn);
+  if (receive_ && !backlog_.empty()) {
+    std::string pending;
+    pending.swap(backlog_);
+    receive_(pending);
+  }
+}
+
+void Endpoint::disconnect() {
+  if (auto peer = peer_weak_.lock()) {
+    peer->peer_weak_.reset();
+  }
+  peer_weak_.reset();
+}
+
+bool Endpoint::connected() const noexcept { return !peer_weak_.expired(); }
+
+void Endpoint::deliver(std::string bytes) {
+  if (receive_) {
+    receive_(bytes);
+  } else {
+    backlog_ += bytes;
+  }
+}
+
+std::pair<std::shared_ptr<Endpoint>, std::shared_ptr<Endpoint>>
+make_channel_pair(SimClock& clock, SimTime latency_us,
+                  std::size_t chunk_size) {
+  auto a = std::make_shared<Endpoint>();
+  auto b = std::make_shared<Endpoint>();
+  a->clock_ = &clock;
+  b->clock_ = &clock;
+  a->latency_us_ = latency_us;
+  b->latency_us_ = latency_us;
+  a->chunk_size_ = chunk_size;
+  b->chunk_size_ = chunk_size;
+  a->peer_weak_ = b;
+  b->peer_weak_ = a;
+  return {a, b};
+}
+
+}  // namespace unify::proto

@@ -1,0 +1,70 @@
+// In-memory byte-stream channels with simulated latency.
+//
+// The paper's control plane talks NETCONF/OpenFlow/Unify over TCP sessions
+// between layers and domains. This reproduction replaces sockets with
+// deterministic in-memory duplex channels driven by a SimClock: bytes
+// written at one endpoint arrive at the other after the configured one-way
+// latency, optionally fragmented to exercise framing code. Counters feed
+// the control-plane overhead experiments (E4, E6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/sim_clock.h"
+
+namespace unify::proto {
+
+struct ChannelCounters {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// One side of a duplex channel. Obtain pairs via make_channel_pair.
+class Endpoint {
+ public:
+  using ReceiveFn = std::function<void(std::string_view bytes)>;
+
+  /// Sends bytes to the peer; they arrive after the channel latency, in
+  /// order, possibly split into `chunk_size` fragments.
+  void send(std::string bytes);
+
+  /// Installs the receive callback (replaces any previous one). Bytes that
+  /// arrive while no callback is installed are buffered and flushed on
+  /// installation.
+  void on_receive(ReceiveFn fn);
+
+  [[nodiscard]] const ChannelCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] bool connected() const noexcept;
+
+  /// Severs both directions; in-flight bytes are still delivered as long as
+  /// the receiving endpoint stays alive.
+  void disconnect();
+
+ private:
+  friend std::pair<std::shared_ptr<Endpoint>, std::shared_ptr<Endpoint>>
+  make_channel_pair(SimClock& clock, SimTime latency_us,
+                    std::size_t chunk_size);
+
+  void deliver(std::string bytes);
+
+  SimClock* clock_ = nullptr;
+  SimTime latency_us_ = 0;
+  std::size_t chunk_size_ = 0;  // 0 = no fragmentation
+  std::weak_ptr<Endpoint> peer_weak_;
+  ReceiveFn receive_;
+  std::string backlog_;  // bytes received before on_receive installed
+  ChannelCounters counters_;
+};
+
+/// Creates a connected pair. `latency_us` is the one-way delivery delay in
+/// simulated microseconds; `chunk_size` > 0 fragments deliveries.
+[[nodiscard]] std::pair<std::shared_ptr<Endpoint>, std::shared_ptr<Endpoint>>
+make_channel_pair(SimClock& clock, SimTime latency_us = 100,
+                  std::size_t chunk_size = 0);
+
+}  // namespace unify::proto

@@ -1,0 +1,41 @@
+#include "proto/framing.h"
+
+namespace unify::proto {
+
+std::string encode_frame(std::string_view payload) {
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((size >> 24) & 0xFF));
+  out.push_back(static_cast<char>((size >> 16) & 0xFF));
+  out.push_back(static_cast<char>((size >> 8) & 0xFF));
+  out.push_back(static_cast<char>(size & 0xFF));
+  out.append(payload);
+  return out;
+}
+
+Result<void> FrameDecoder::feed(std::string_view bytes,
+                                std::vector<std::string>& out) {
+  if (poisoned_) {
+    return Error{ErrorCode::kProtocol, "decoder poisoned by earlier error"};
+  }
+  buffer_.append(bytes);
+  while (buffer_.size() >= 4) {
+    const auto b = [this](std::size_t i) {
+      return static_cast<std::uint32_t>(
+          static_cast<unsigned char>(buffer_[i]));
+    };
+    const std::uint32_t size = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+    if (size > kMaxFrameBytes) {
+      poisoned_ = true;
+      return Error{ErrorCode::kProtocol,
+                   "frame of " + std::to_string(size) + " bytes exceeds cap"};
+    }
+    if (buffer_.size() < 4 + static_cast<std::size_t>(size)) break;
+    out.push_back(buffer_.substr(4, size));
+    buffer_.erase(0, 4 + static_cast<std::size_t>(size));
+  }
+  return Result<void>::success();
+}
+
+}  // namespace unify::proto

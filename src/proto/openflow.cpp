@@ -1,0 +1,52 @@
+#include "proto/openflow.h"
+
+namespace unify::proto::openflow {
+
+json::Value to_json(const FlowMod& msg) {
+  json::Object o;
+  o.set("dpid", msg.dpid);
+  o.set("command", msg.command == FlowModCommand::kAdd ? "add" : "delete");
+  json::Object entry;
+  entry.set("cookie", msg.entry.id);
+  entry.set("in_port", msg.entry.in_port);
+  if (!msg.entry.match_tag.empty()) {
+    entry.set("match_tag", msg.entry.match_tag);
+  }
+  entry.set("out_port", msg.entry.out_port);
+  if (!msg.entry.set_tag.empty()) entry.set("set_tag", msg.entry.set_tag);
+  if (msg.entry.priority != 0) entry.set("priority", msg.entry.priority);
+  o.set("entry", std::move(entry));
+  return json::Value{std::move(o)};
+}
+
+Result<FlowMod> flow_mod_from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return Error{ErrorCode::kProtocol, "flow_mod must be an object"};
+  }
+  FlowMod msg;
+  msg.dpid = value.get_string("dpid");
+  if (msg.dpid.empty()) {
+    return Error{ErrorCode::kProtocol, "flow_mod missing dpid"};
+  }
+  const std::string command = value.get_string("command", "add");
+  if (command == "add") {
+    msg.command = FlowModCommand::kAdd;
+  } else if (command == "delete") {
+    msg.command = FlowModCommand::kDelete;
+  } else {
+    return Error{ErrorCode::kProtocol, "unknown flow_mod command " + command};
+  }
+  const json::Value* entry = value.get("entry");
+  if (entry == nullptr || !entry->is_object()) {
+    return Error{ErrorCode::kProtocol, "flow_mod missing entry"};
+  }
+  msg.entry.id = entry->get_string("cookie");
+  msg.entry.in_port = static_cast<int>(entry->get_int("in_port"));
+  msg.entry.match_tag = entry->get_string("match_tag");
+  msg.entry.out_port = static_cast<int>(entry->get_int("out_port"));
+  msg.entry.set_tag = entry->get_string("set_tag");
+  msg.entry.priority = static_cast<int>(entry->get_int("priority"));
+  return msg;
+}
+
+}  // namespace unify::proto::openflow

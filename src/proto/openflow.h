@@ -1,0 +1,33 @@
+// OpenFlow-style controller messages (JSON-encoded) for the legacy SDN
+// domain: flow-mods and topology discovery, the two primitives the paper's
+// POX controller provides to its adapter module.
+//
+// This is not wire-accurate OpenFlow 1.x; it models the same operations at
+// message granularity so the control channel (framing, RPC, latency) is
+// exercised end to end.
+#pragma once
+
+#include <string>
+
+#include "infra/fabric.h"
+#include "json/json.h"
+#include "util/result.h"
+
+namespace unify::proto::openflow {
+
+enum class FlowModCommand { kAdd, kDelete };
+
+struct FlowMod {
+  std::string dpid;  ///< switch id
+  FlowModCommand command = FlowModCommand::kAdd;
+  infra::FlowEntry entry;  ///< entry.id doubles as the cookie
+};
+
+[[nodiscard]] json::Value to_json(const FlowMod& msg);
+[[nodiscard]] Result<FlowMod> flow_mod_from_json(const json::Value& value);
+
+/// Methods exposed by a PoxController over the RPC channel.
+inline constexpr const char* kFlowModMethod = "of.flow_mod";
+inline constexpr const char* kTopologyMethod = "of.topology";
+
+}  // namespace unify::proto::openflow

@@ -1,0 +1,182 @@
+#include "proto/rpc.h"
+
+#include "util/log.h"
+
+namespace unify::proto {
+
+namespace {
+
+json::Value error_to_json(const Error& error) {
+  json::Object o;
+  o.set("code", to_string(error.code));
+  o.set("message", error.message);
+  return json::Value{std::move(o)};
+}
+
+Error error_from_json(const json::Value& v) {
+  Error e;
+  e.message = v.get_string("message");
+  const std::string code = v.get_string("code", "internal");
+  for (const ErrorCode c :
+       {ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+        ErrorCode::kAlreadyExists, ErrorCode::kResourceExhausted,
+        ErrorCode::kInfeasible, ErrorCode::kUnavailable, ErrorCode::kProtocol,
+        ErrorCode::kRejected, ErrorCode::kTimeout, ErrorCode::kInternal}) {
+    if (code == to_string(c)) {
+      e.code = c;
+      break;
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+RpcPeer::RpcPeer(std::shared_ptr<Endpoint> endpoint, SimClock& clock,
+                 std::string name)
+    : endpoint_(std::move(endpoint)), clock_(&clock), name_(std::move(name)) {
+  endpoint_->on_receive(
+      [this](std::string_view bytes) { handle_bytes(bytes); });
+}
+
+RpcPeer::~RpcPeer() {
+  // Stop callbacks into a dead object; in-flight frames will be buffered by
+  // the endpoint and dropped with it.
+  endpoint_->on_receive(nullptr);
+}
+
+void RpcPeer::on_request(std::string method, Handler handler) {
+  handlers_[std::move(method)] = std::move(handler);
+}
+
+void RpcPeer::on_notification(std::string method,
+                              NotificationHandler handler) {
+  notification_handlers_[std::move(method)] = std::move(handler);
+}
+
+void RpcPeer::call(std::string method, json::Value params, ResponseFn done,
+                   SimTime timeout_us) {
+  const std::int64_t id = next_id_++;
+  auto pending = std::make_shared<Pending>();
+  pending->done = std::move(done);
+  pending_.emplace(id, pending);
+
+  json::Object msg;
+  msg.set("id", id);
+  msg.set("method", std::move(method));
+  msg.set("params", std::move(params));
+  send_json(json::Value{std::move(msg)});
+
+  if (timeout_us > 0) {
+    clock_->schedule_in(timeout_us, [this, id, pending] {
+      if (pending->responded) return;
+      pending->responded = true;
+      pending_.erase(id);
+      pending->done(Error{ErrorCode::kTimeout,
+                          "rpc " + std::to_string(id) + " timed out"});
+    });
+  }
+}
+
+void RpcPeer::notify(std::string method, json::Value params) {
+  json::Object msg;
+  msg.set("method", std::move(method));
+  msg.set("params", std::move(params));
+  send_json(json::Value{std::move(msg)});
+}
+
+Result<json::Value> RpcPeer::call_and_wait(std::string method,
+                                           json::Value params,
+                                           SimTime timeout_us) {
+  std::optional<Result<json::Value>> slot;
+  call(std::move(method), std::move(params),
+       [&slot](Result<json::Value> result) { slot = std::move(result); },
+       timeout_us);
+  // Single-threaded simulation: drain timers until the response fires.
+  while (!slot.has_value() && clock_->pending_timers() > 0) {
+    clock_->run_until_idle();
+  }
+  if (!slot.has_value()) {
+    return Error{ErrorCode::kUnavailable,
+                 "no response and no pending timers (peer gone?)"};
+  }
+  return std::move(*slot);
+}
+
+void RpcPeer::send_json(const json::Value& msg) {
+  endpoint_->send(encode_frame(msg.dump()));
+}
+
+void RpcPeer::handle_bytes(std::string_view bytes) {
+  std::vector<std::string> frames;
+  if (const auto fed = decoder_.feed(bytes, frames); !fed.ok()) {
+    UNIFY_LOG(kError, "proto.rpc")
+        << name_ << ": framing error: " << fed.error().to_string();
+    return;
+  }
+  for (const std::string& frame : frames) {
+    const auto parsed = json::parse(frame);
+    if (!parsed.ok()) {
+      UNIFY_LOG(kError, "proto.rpc")
+          << name_ << ": bad JSON frame: " << parsed.error().to_string();
+      continue;
+    }
+    handle_message(*parsed);
+  }
+}
+
+void RpcPeer::handle_message(const json::Value& msg) {
+  const json::Value* id = msg.get("id");
+  const json::Value* method = msg.get("method");
+
+  if (method != nullptr && method->is_string()) {
+    const std::string& name = method->as_string();
+    const json::Value* params = msg.get("params");
+    static const json::Value kNull;
+    const json::Value& p = params != nullptr ? *params : kNull;
+
+    if (id == nullptr) {  // notification
+      const auto it = notification_handlers_.find(name);
+      if (it != notification_handlers_.end()) it->second(p);
+      return;
+    }
+    ++requests_handled_;
+    json::Object reply;
+    reply.set("id", *id);
+    const auto it = handlers_.find(name);
+    if (it == handlers_.end()) {
+      reply.set("error", error_to_json(Error{ErrorCode::kNotFound,
+                                             "no method " + name}));
+    } else {
+      auto result = it->second(p);
+      if (result.ok()) {
+        reply.set("result", std::move(result).value());
+      } else {
+        reply.set("error", error_to_json(result.error()));
+      }
+    }
+    send_json(json::Value{std::move(reply)});
+    return;
+  }
+
+  if (id != nullptr && id->is_number()) {  // response
+    const auto it = pending_.find(id->as_int());
+    if (it == pending_.end()) return;  // late response after timeout
+    auto pending = it->second;
+    pending_.erase(it);
+    if (pending->responded) return;
+    pending->responded = true;
+    if (const json::Value* error = msg.get("error")) {
+      pending->done(error_from_json(*error));
+    } else if (const json::Value* result = msg.get("result")) {
+      pending->done(*result);
+    } else {
+      pending->done(Error{ErrorCode::kProtocol,
+                          "response carries neither result nor error"});
+    }
+    return;
+  }
+  UNIFY_LOG(kWarn, "proto.rpc") << name_ << ": unclassifiable message";
+}
+
+}  // namespace unify::proto

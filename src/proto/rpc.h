@@ -1,0 +1,85 @@
+// JSON-RPC peer over a framed channel endpoint.
+//
+// Both the recursive Unify interface (manager <-> virtualizer) and the
+// domain control channels (NETCONF-style edit-config, OpenFlow-style
+// flow-mods) run this protocol in the reproduction. Symmetric: either side
+// may expose methods and issue requests.
+//
+// Wire messages (one JSON object per frame):
+//   request       {"id": 7, "method": "edit-config", "params": {...}}
+//   response      {"id": 7, "result": {...}}
+//   error         {"id": 7, "error": {"code": "rejected", "message": "..."}}
+//   notification  {"method": "nf-status", "params": {...}}   (no id)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "json/json.h"
+#include "proto/channel.h"
+#include "proto/framing.h"
+#include "util/result.h"
+
+namespace unify::proto {
+
+class RpcPeer {
+ public:
+  using Handler = std::function<Result<json::Value>(const json::Value& params)>;
+  using NotificationHandler = std::function<void(const json::Value& params)>;
+  using ResponseFn = std::function<void(Result<json::Value>)>;
+
+  /// Binds to an endpoint; the peer must outlive in-flight activity.
+  RpcPeer(std::shared_ptr<Endpoint> endpoint, SimClock& clock,
+          std::string name = "rpc");
+  ~RpcPeer();
+  RpcPeer(const RpcPeer&) = delete;
+  RpcPeer& operator=(const RpcPeer&) = delete;
+
+  /// Registers the server-side method (replaces an existing handler).
+  void on_request(std::string method, Handler handler);
+  void on_notification(std::string method, NotificationHandler handler);
+
+  /// Issues a request; `done` fires exactly once — with the result, with
+  /// the peer's error, or with kTimeout after `timeout_us` (0 = no timeout).
+  void call(std::string method, json::Value params, ResponseFn done,
+            SimTime timeout_us = 0);
+
+  /// Fire-and-forget notification.
+  void notify(std::string method, json::Value params);
+
+  /// Convenience for tests/single-threaded orchestration: issues the call
+  /// and drives the clock until the response lands (or timeout).
+  Result<json::Value> call_and_wait(std::string method, json::Value params,
+                                    SimTime timeout_us = 0);
+
+  [[nodiscard]] const ChannelCounters& counters() const noexcept {
+    return endpoint_->counters();
+  }
+  [[nodiscard]] std::uint64_t requests_handled() const noexcept {
+    return requests_handled_;
+  }
+
+ private:
+  void handle_bytes(std::string_view bytes);
+  void handle_message(const json::Value& msg);
+  void send_json(const json::Value& msg);
+
+  std::shared_ptr<Endpoint> endpoint_;
+  SimClock* clock_;
+  std::string name_;
+  FrameDecoder decoder_;
+  std::map<std::string, Handler> handlers_;
+  std::map<std::string, NotificationHandler> notification_handlers_;
+  struct Pending {
+    ResponseFn done;
+    bool responded = false;
+  };
+  std::map<std::int64_t, std::shared_ptr<Pending>> pending_;
+  std::int64_t next_id_ = 1;
+  std::uint64_t requests_handled_ = 0;
+};
+
+}  // namespace unify::proto

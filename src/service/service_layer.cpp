@@ -1,0 +1,219 @@
+#include "service/service_layer.h"
+
+#include "core/config_translate.h"
+#include "util/log.h"
+
+namespace unify::service {
+
+const char* to_string(RequestState state) noexcept {
+  switch (state) {
+    case RequestState::kDeployed: return "deployed";
+    case RequestState::kFailed:   return "failed";
+    case RequestState::kRemoved:  return "removed";
+  }
+  return "unknown";
+}
+
+sg::ServiceGraph prefix_elements(const sg::ServiceGraph& graph,
+                                 const std::string& prefix) {
+  sg::ServiceGraph out{graph.id(), graph.name()};
+  for (const auto& [sap_id, name] : graph.saps()) {
+    (void)out.add_sap(sap_id, name);
+  }
+  for (const auto& [nf_id, nf] : graph.nfs()) {
+    sg::SgNf copy = nf;
+    copy.id = prefix + "." + nf_id;
+    (void)out.add_nf(std::move(copy));
+  }
+  const auto map_ref = [&](const model::PortRef& ref) {
+    if (graph.has_sap(ref.node)) return ref;
+    return model::PortRef{prefix + "." + ref.node, ref.port};
+  };
+  for (const sg::SgLink& link : graph.links()) {
+    (void)out.add_link(sg::SgLink{prefix + "." + link.id, map_ref(link.from),
+                                  map_ref(link.to), link.bandwidth});
+  }
+  for (const sg::E2eRequirement& req : graph.requirements()) {
+    sg::E2eRequirement copy = req;
+    copy.id = prefix + "." + req.id;
+    (void)out.add_requirement(std::move(copy));
+  }
+  for (const sg::PlacementConstraint& c : graph.constraints()) {
+    sg::PlacementConstraint copy = c;
+    copy.nf_a = prefix + "." + c.nf_a;
+    if (!c.nf_b.empty()) copy.nf_b = prefix + "." + c.nf_b;
+    (void)out.add_constraint(std::move(copy));
+  }
+  return out;
+}
+
+ServiceLayer::ServiceLayer(std::unique_ptr<adapters::DomainAdapter> client)
+    : client_(std::move(client)) {}
+
+Result<void> ServiceLayer::ensure_view() {
+  if (view_.has_value()) return Result<void>::success();
+  UNIFY_ASSIGN_OR_RETURN(model::Nffg view, client_->fetch_view());
+  if (view.bisbis().size() != 1) {
+    // Multi-node views are fine in principle, but this service
+    // orchestrator implements the paper's trivial single-BiS-BiS case.
+    return Error{ErrorCode::kInvalidArgument,
+                 "service layer expects a single-BiS-BiS view, got " +
+                     std::to_string(view.bisbis().size()) + " nodes"};
+  }
+  big_node_ = view.bisbis().begin()->first;
+  view_ = std::move(view);
+  return Result<void>::success();
+}
+
+Result<model::Nffg> ServiceLayer::view() {
+  UNIFY_RETURN_IF_ERROR(ensure_view());
+  return *view_;
+}
+
+sg::ServiceGraph ServiceLayer::merged_active() const {
+  sg::ServiceGraph merged{"active-services"};
+  for (const auto& [id, request] : requests_) {
+    if (request.state != RequestState::kDeployed) continue;
+    const sg::ServiceGraph prefixed = prefix_elements(request.graph, id);
+    for (const auto& [sap_id, name] : prefixed.saps()) {
+      if (!merged.has_sap(sap_id)) (void)merged.add_sap(sap_id, name);
+    }
+    for (const auto& [nf_id, nf] : prefixed.nfs()) {
+      (void)merged.add_nf(nf);
+    }
+    for (const sg::SgLink& link : prefixed.links()) {
+      (void)merged.add_link(link);
+    }
+    for (const sg::E2eRequirement& req : prefixed.requirements()) {
+      (void)merged.add_requirement(req);
+    }
+    for (const sg::PlacementConstraint& c : prefixed.constraints()) {
+      (void)merged.add_constraint(c);
+    }
+  }
+  return merged;
+}
+
+Result<void> ServiceLayer::push_config() {
+  UNIFY_ASSIGN_OR_RETURN(
+      const model::Nffg config,
+      core::service_graph_to_config(merged_active(), *view_, big_node_));
+  return client_->apply(config);
+}
+
+Result<std::string> ServiceLayer::submit(const sg::ServiceGraph& request) {
+  UNIFY_RETURN_IF_ERROR(ensure_view());
+  if (request.id().empty()) {
+    return Error{ErrorCode::kInvalidArgument, "service graph needs an id"};
+  }
+  if (const auto it = requests_.find(request.id());
+      it != requests_.end()) {
+    if (it->second.state == RequestState::kDeployed) {
+      return Error{ErrorCode::kAlreadyExists, "request " + request.id()};
+    }
+    requests_.erase(it);  // failed/removed ids may be reused
+  }
+  if (const auto problems = request.validate(); !problems.empty()) {
+    return Error{ErrorCode::kInvalidArgument, problems.front()};
+  }
+  // Every SAP the user references must exist in the view.
+  for (const auto& [sap_id, name] : request.saps()) {
+    if (view_->find_sap(sap_id) == nullptr) {
+      return Error{ErrorCode::kNotFound,
+                   "SAP " + sap_id + " unknown to the orchestration layer"};
+    }
+  }
+
+  requests_.emplace(request.id(), ServiceRequest{request.id(), request,
+                                                 RequestState::kDeployed, ""});
+  if (const auto pushed = push_config(); !pushed.ok()) {
+    // Roll back: mark failed and restore the previous configuration.
+    ServiceRequest& failed = requests_.at(request.id());
+    failed.state = RequestState::kFailed;
+    failed.error = pushed.error().to_string();
+    if (const auto restore = push_config(); !restore.ok()) {
+      UNIFY_LOG(kError, "service")
+          << "rollback push failed: " << restore.error().to_string();
+    }
+    return Error{pushed.error().code,
+                 "deployment of " + request.id() +
+                     " failed: " + pushed.error().message};
+  }
+  UNIFY_LOG(kInfo, "service") << "request " << request.id() << " deployed";
+  return request.id();
+}
+
+Result<void> ServiceLayer::update(const sg::ServiceGraph& request) {
+  const auto it = requests_.find(request.id());
+  if (it == requests_.end() ||
+      it->second.state != RequestState::kDeployed) {
+    return Error{ErrorCode::kNotFound, "active request " + request.id()};
+  }
+  if (const auto problems = request.validate(); !problems.empty()) {
+    return Error{ErrorCode::kInvalidArgument, problems.front()};
+  }
+  for (const auto& [sap_id, name] : request.saps()) {
+    if (view_->find_sap(sap_id) == nullptr) {
+      return Error{ErrorCode::kNotFound,
+                   "SAP " + sap_id + " unknown to the orchestration layer"};
+    }
+  }
+  const sg::ServiceGraph previous = it->second.graph;
+  it->second.graph = request;
+  if (const auto pushed = push_config(); !pushed.ok()) {
+    it->second.graph = previous;  // keep the old version running
+    if (const auto restore = push_config(); !restore.ok()) {
+      UNIFY_LOG(kError, "service")
+          << "update rollback failed: " << restore.error().to_string();
+    }
+    return Error{pushed.error().code,
+                 "update of " + request.id() +
+                     " failed (previous version kept): " +
+                     pushed.error().message};
+  }
+  return Result<void>::success();
+}
+
+Result<void> ServiceLayer::remove(const std::string& request_id) {
+  const auto it = requests_.find(request_id);
+  if (it == requests_.end() ||
+      it->second.state != RequestState::kDeployed) {
+    return Error{ErrorCode::kNotFound, "active request " + request_id};
+  }
+  it->second.state = RequestState::kRemoved;
+  if (const auto pushed = push_config(); !pushed.ok()) {
+    it->second.state = RequestState::kDeployed;  // keep books consistent
+    return pushed;
+  }
+  return Result<void>::success();
+}
+
+Result<std::map<std::string, model::NfStatus>> ServiceLayer::nf_statuses(
+    const std::string& request_id) {
+  const auto it = requests_.find(request_id);
+  if (it == requests_.end() ||
+      it->second.state != RequestState::kDeployed) {
+    return Error{ErrorCode::kNotFound, "active request " + request_id};
+  }
+  UNIFY_ASSIGN_OR_RETURN(const model::Nffg config, client_->fetch_view());
+  std::map<std::string, model::NfStatus> out;
+  const std::string prefix = request_id + ".";
+  for (const auto& [bb_id, bb] : config.bisbis()) {
+    for (const auto& [nf_id, nf] : bb.nfs) {
+      if (strings::starts_with(nf_id, prefix)) {
+        out.emplace(nf_id.substr(prefix.size()), nf.status);
+      }
+    }
+  }
+  return out;
+}
+
+Result<bool> ServiceLayer::is_ready(const std::string& request_id) {
+  UNIFY_ASSIGN_OR_RETURN(const auto statuses, nf_statuses(request_id));
+  for (const auto& [nf, status] : statuses) {
+    if (status != model::NfStatus::kRunning) return false;
+  }
+  return true;
+}
+
+}  // namespace unify::service

@@ -1,0 +1,84 @@
+// Service layer: where users submit service graphs with bandwidth/delay
+// requirements (the programmatic stand-in for the paper's GUI, see
+// DESIGN.md §2).
+//
+// The embedded service orchestrator sees the view its Unify client fetches
+// from the layer below — normally a single BiS-BiS, making its own mapping
+// task trivial (paper §2) — writes the union of all active services onto
+// that view as a configuration, and pushes it with edit-config. Element ids
+// are prefixed per request ("<request>.<nf>") so services never collide.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "adapters/domain_adapter.h"
+#include "sg/service_graph.h"
+#include "util/result.h"
+
+namespace unify::service {
+
+enum class RequestState { kDeployed, kFailed, kRemoved };
+[[nodiscard]] const char* to_string(RequestState state) noexcept;
+
+struct ServiceRequest {
+  std::string id;
+  sg::ServiceGraph graph;
+  RequestState state = RequestState::kDeployed;
+  std::string error;  ///< set when state == kFailed
+};
+
+class ServiceLayer {
+ public:
+  /// `client` speaks the Unify interface to the orchestration layer below
+  /// (normally a UnifyClientAdapter; any DomainAdapter works, which also
+  /// makes the service layer trivially testable against a fake).
+  explicit ServiceLayer(std::unique_ptr<adapters::DomainAdapter> client);
+
+  /// Validates and deploys a service request. The request id is the
+  /// service graph id. On failure the previous configuration is restored
+  /// and the request is recorded as kFailed.
+  Result<std::string> submit(const sg::ServiceGraph& request);
+
+  /// Tears the service down (pushes the remaining services' config).
+  Result<void> remove(const std::string& request_id);
+
+  /// Replaces a deployed request with a modified graph under the same id
+  /// (elastic update). On failure the previous version stays deployed.
+  Result<void> update(const sg::ServiceGraph& request);
+
+  [[nodiscard]] const std::map<std::string, ServiceRequest>& requests()
+      const noexcept {
+    return requests_;
+  }
+
+  /// Rolled-up NF statuses of a deployed request, keyed by the user's NF
+  /// ids (unprefixed).
+  [[nodiscard]] Result<std::map<std::string, model::NfStatus>> nf_statuses(
+      const std::string& request_id);
+
+  /// True when every NF of the request reports running.
+  [[nodiscard]] Result<bool> is_ready(const std::string& request_id);
+
+  /// The view the service orchestrator works against (fetched lazily).
+  [[nodiscard]] Result<model::Nffg> view();
+
+ private:
+  Result<void> ensure_view();
+  Result<void> push_config();
+  [[nodiscard]] sg::ServiceGraph merged_active() const;
+
+  std::unique_ptr<adapters::DomainAdapter> client_;
+  std::map<std::string, ServiceRequest> requests_;
+  std::optional<model::Nffg> view_;
+  std::string big_node_;
+};
+
+/// Clones `graph` with every NF, link and requirement id prefixed by
+/// "<prefix>."; SAP ids are left untouched (SAPs are shared
+/// infrastructure).
+[[nodiscard]] sg::ServiceGraph prefix_elements(const sg::ServiceGraph& graph,
+                                               const std::string& prefix);
+
+}  // namespace unify::service

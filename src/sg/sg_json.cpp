@@ -1,0 +1,178 @@
+#include "sg/sg_json.h"
+
+#include <limits>
+
+#include "model/nffg_json.h"
+
+namespace unify::sg {
+
+namespace {
+using json::Array;
+using json::Object;
+using json::Value;
+}  // namespace
+
+json::Value to_json(const ServiceGraph& sg) {
+  Object root;
+  root.set("id", sg.id());
+  if (!sg.name().empty()) root.set("name", sg.name());
+
+  Array saps;
+  for (const auto& [id, name] : sg.saps()) {
+    Object o;
+    o.set("id", id);
+    if (!name.empty()) o.set("name", name);
+    saps.emplace_back(std::move(o));
+  }
+  root.set("saps", std::move(saps));
+
+  Array nfs;
+  for (const auto& [id, nf] : sg.nfs()) {
+    Object o;
+    o.set("id", nf.id);
+    o.set("type", nf.type);
+    o.set("ports", nf.port_count);
+    if (!nf.requirement_override.is_zero()) {
+      Object res;
+      res.set("cpu", nf.requirement_override.cpu);
+      res.set("mem", nf.requirement_override.mem);
+      res.set("storage", nf.requirement_override.storage);
+      o.set("resources", std::move(res));
+    }
+    nfs.emplace_back(std::move(o));
+  }
+  root.set("nfs", std::move(nfs));
+
+  Array links;
+  for (const SgLink& l : sg.links()) {
+    Object o;
+    o.set("id", l.id);
+    o.set("from", l.from.to_string());
+    o.set("to", l.to.to_string());
+    o.set("bandwidth", l.bandwidth);
+    links.emplace_back(std::move(o));
+  }
+  root.set("links", std::move(links));
+
+  Array constraints;
+  for (const PlacementConstraint& c : sg.constraints()) {
+    Object o;
+    o.set("kind", to_string(c.kind));
+    o.set("nf", c.nf_a);
+    if (c.kind == ConstraintKind::kAntiAffinity) {
+      o.set("peer", c.nf_b);
+    } else {
+      o.set("host", c.host);
+    }
+    constraints.emplace_back(std::move(o));
+  }
+  if (!constraints.empty()) root.set("constraints", std::move(constraints));
+
+  Array reqs;
+  for (const E2eRequirement& r : sg.requirements()) {
+    Object o;
+    o.set("id", r.id);
+    o.set("from", r.from_sap);
+    o.set("to", r.to_sap);
+    if (r.max_delay != std::numeric_limits<double>::infinity()) {
+      o.set("max_delay", r.max_delay);
+    }
+    if (r.min_bandwidth != 0) o.set("min_bandwidth", r.min_bandwidth);
+    reqs.emplace_back(std::move(o));
+  }
+  root.set("requirements", std::move(reqs));
+  return Value{std::move(root)};
+}
+
+Result<ServiceGraph> sg_from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return Error{ErrorCode::kProtocol, "service graph must be a JSON object"};
+  }
+  ServiceGraph sg{value.get_string("id")};
+
+  const auto each = [&](const char* key, auto fn) -> Result<void> {
+    const Value* arr = value.get(key);
+    if (arr == nullptr) return Result<void>::success();
+    if (!arr->is_array()) {
+      return Error{ErrorCode::kProtocol,
+                   std::string(key) + " must be an array"};
+    }
+    for (const Value& item : arr->as_array()) {
+      if (!item.is_object()) {
+        return Error{ErrorCode::kProtocol,
+                     std::string(key) + " entries must be objects"};
+      }
+      UNIFY_RETURN_IF_ERROR(fn(item));
+    }
+    return Result<void>::success();
+  };
+
+  UNIFY_RETURN_IF_ERROR(each("saps", [&](const Value& item) {
+    return sg.add_sap(item.get_string("id"), item.get_string("name"));
+  }));
+  UNIFY_RETURN_IF_ERROR(each("nfs", [&](const Value& item) -> Result<void> {
+    SgNf nf;
+    nf.id = item.get_string("id");
+    nf.type = item.get_string("type");
+    nf.port_count = static_cast<int>(item.get_int("ports", 2));
+    if (const Value* res = item.get("resources")) {
+      nf.requirement_override.cpu = res->get_number("cpu");
+      nf.requirement_override.mem = res->get_number("mem");
+      nf.requirement_override.storage = res->get_number("storage");
+    }
+    return sg.add_nf(std::move(nf));
+  }));
+  UNIFY_RETURN_IF_ERROR(each("links", [&](const Value& item) -> Result<void> {
+    SgLink l;
+    l.id = item.get_string("id");
+    UNIFY_ASSIGN_OR_RETURN(
+        l.from, model::port_ref_from_string(item.get_string("from")));
+    UNIFY_ASSIGN_OR_RETURN(
+        l.to, model::port_ref_from_string(item.get_string("to")));
+    l.bandwidth = item.get_number("bandwidth");
+    return sg.add_link(std::move(l));
+  }));
+  UNIFY_RETURN_IF_ERROR(
+      each("constraints", [&](const Value& item) -> Result<void> {
+        PlacementConstraint c;
+        const std::string kind = item.get_string("kind");
+        if (kind == "anti-affinity") {
+          c.kind = ConstraintKind::kAntiAffinity;
+          c.nf_b = item.get_string("peer");
+        } else if (kind == "pin") {
+          c.kind = ConstraintKind::kPin;
+          c.host = item.get_string("host");
+        } else if (kind == "forbid") {
+          c.kind = ConstraintKind::kForbid;
+          c.host = item.get_string("host");
+        } else {
+          return Error{ErrorCode::kProtocol,
+                       "unknown constraint kind '" + kind + "'"};
+        }
+        c.nf_a = item.get_string("nf");
+        return sg.add_constraint(std::move(c));
+      }));
+  UNIFY_RETURN_IF_ERROR(
+      each("requirements", [&](const Value& item) -> Result<void> {
+        E2eRequirement r;
+        r.id = item.get_string("id");
+        r.from_sap = item.get_string("from");
+        r.to_sap = item.get_string("to");
+        r.max_delay = item.get_number(
+            "max_delay", std::numeric_limits<double>::infinity());
+        r.min_bandwidth = item.get_number("min_bandwidth");
+        return sg.add_requirement(std::move(r));
+      }));
+  return sg;
+}
+
+std::string to_json_string(const ServiceGraph& sg) {
+  return to_json(sg).dump();
+}
+
+Result<ServiceGraph> sg_from_json_string(std::string_view text) {
+  UNIFY_ASSIGN_OR_RETURN(json::Value value, json::parse(text));
+  return sg_from_json(value);
+}
+
+}  // namespace unify::sg

@@ -1,0 +1,25 @@
+// JSON codec for service graphs — the payload of service requests submitted
+// to the service layer (the programmatic stand-in for the paper's GUI).
+//
+// Schema:
+//   {"id","name",
+//    "saps":[{"id","name"}],
+//    "nfs":[{"id","type","ports":n,"resources"?:{cpu,mem,storage}}],
+//    "links":[{"id","from":"node:port","to":"node:port","bandwidth"}],
+//    "constraints":[{"kind":"anti-affinity","nf","peer"} |
+//                   {"kind":"pin"|"forbid","nf","host"}],
+//    "requirements":[{"id","from","to","max_delay"?,"min_bandwidth"?}]}
+#pragma once
+
+#include "json/json.h"
+#include "sg/service_graph.h"
+#include "util/result.h"
+
+namespace unify::sg {
+
+[[nodiscard]] json::Value to_json(const ServiceGraph& sg);
+[[nodiscard]] Result<ServiceGraph> sg_from_json(const json::Value& value);
+[[nodiscard]] std::string to_json_string(const ServiceGraph& sg);
+[[nodiscard]] Result<ServiceGraph> sg_from_json_string(std::string_view text);
+
+}  // namespace unify::sg

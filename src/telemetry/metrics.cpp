@@ -1,0 +1,43 @@
+#include "telemetry/metrics.h"
+
+#include <cmath>
+
+namespace unify::telemetry {
+
+void Summary::observe(double value) {
+  values_.push_back(value);
+  sum_ += value;
+}
+
+double Summary::min() const noexcept {
+  return values_.empty()
+             ? 0
+             : *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const noexcept {
+  return values_.empty()
+             ? 0
+             : *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::percentile(double p) const {
+  if (values_.empty()) return 0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+std::vector<const EventLog::Event*> EventLog::by_component(
+    const std::string& component) const {
+  std::vector<const Event*> out;
+  for (const Event& e : events_) {
+    if (e.component == component) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace unify::telemetry

@@ -1,0 +1,100 @@
+// Lightweight metrics for the orchestration stack: counters, gauges and
+// summaries grouped in a registry, plus an event log keyed by simulated
+// time. Benchmarks read these to report per-layer breakdowns (e.g. RPC
+// round trips per deployment, experiment E2/E4).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/sim_clock.h"
+
+namespace unify::telemetry {
+
+/// Accumulates double observations; cheap percentile queries for reports.
+class Summary {
+ public:
+  void observe(double value);
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return values_.empty() ? 0 : sum_ / static_cast<double>(values_.size());
+  }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  /// p in [0,1]; nearest-rank. 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  std::vector<double> values_;
+  double sum_ = 0;
+};
+
+/// Named counters/gauges/summaries. Not thread-safe by design (the
+/// simulation is single-threaded).
+class Registry {
+ public:
+  void add(const std::string& counter, std::uint64_t delta = 1) {
+    counters_[counter] += delta;
+  }
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  void set_gauge(const std::string& name, double value) {
+    gauges_[name] = value;
+  }
+  [[nodiscard]] double gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second;
+  }
+  Summary& summary(const std::string& name) { return summaries_[name]; }
+  [[nodiscard]] const Summary* find_summary(const std::string& name) const {
+    const auto it = summaries_.find(name);
+    return it == summaries_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters()
+      const noexcept {
+    return counters_;
+  }
+
+  void reset() {
+    counters_.clear();
+    gauges_.clear();
+    summaries_.clear();
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Summary> summaries_;
+};
+
+/// Time-stamped structured event trail ("what did the control plane do").
+class EventLog {
+ public:
+  struct Event {
+    SimTime at = 0;
+    std::string component;
+    std::string what;
+  };
+
+  void record(SimTime at, std::string component, std::string what) {
+    events_.push_back(Event{at, std::move(component), std::move(what)});
+  }
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::vector<const Event*> by_component(
+      const std::string& component) const;
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace unify::telemetry

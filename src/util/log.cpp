@@ -1,0 +1,59 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace unify::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_sink_mutex;
+Sink g_sink;  // empty => default stderr sink
+
+void default_sink(Level level, std::string_view line) {
+  std::fprintf(stderr, "[%s] %.*s\n", to_string(level),
+               static_cast<int>(line.size()), line.data());
+}
+
+}  // namespace
+
+const char* to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kTrace: return "trace";
+    case Level::kDebug: return "debug";
+    case Level::kInfo:  return "info";
+    case Level::kWarn:  return "warn";
+    case Level::kError: return "error";
+    case Level::kOff:   return "off";
+  }
+  return "unknown";
+}
+
+void set_level(Level level) noexcept { g_level.store(level); }
+
+Level level() noexcept { return g_level.load(); }
+
+void set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void write(Level level, std::string_view tag, std::string_view message) {
+  if (level < g_level.load()) return;
+  std::string line;
+  line.reserve(tag.size() + message.size() + 2);
+  line.append(tag);
+  line.append(": ");
+  line.append(message);
+  std::lock_guard lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    default_sink(level, line);
+  }
+}
+
+}  // namespace unify::log

@@ -1,0 +1,57 @@
+// Minimal leveled logger for the orchestration stack.
+//
+// Components log through a per-subsystem tag ("orch.ro", "adapter.sdn", ...)
+// so multi-layer traces stay readable. The sink is process-global and can be
+// redirected into a buffer for tests.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace unify::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Stable lowercase name ("info", ...).
+const char* to_string(Level level) noexcept;
+
+/// Global minimum level; records below it are dropped before formatting.
+void set_level(Level level) noexcept;
+Level level() noexcept;
+
+/// Replace the sink (default writes to stderr). Passing nullptr restores the
+/// default. The sink receives the already-formatted line without newline.
+using Sink = std::function<void(Level, std::string_view line)>;
+void set_sink(Sink sink);
+
+/// Emit one record; prefer the UNIFY_LOG macro which skips formatting when
+/// the level is disabled.
+void write(Level level, std::string_view tag, std::string_view message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  LineBuilder(Level level, std::string_view tag) : level_(level), tag_(tag) {}
+  ~LineBuilder() { write(level_, tag_, stream_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::string_view tag_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace unify::log
+
+/// UNIFY_LOG(kInfo, "orch.ro") << "mapped " << n << " NFs";
+#define UNIFY_LOG(level_enum, tag)                                       \
+  if (::unify::log::Level::level_enum < ::unify::log::level()) {         \
+  } else                                                                 \
+    ::unify::log::detail::LineBuilder(::unify::log::Level::level_enum, tag)

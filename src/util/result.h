@@ -1,0 +1,163 @@
+// Result<T>: a lightweight expected-like type used across the control plane.
+//
+// The orchestration stack reports recoverable failures (mapping infeasible,
+// domain rejected a config, malformed model, ...) as values, not exceptions:
+// a manager must be able to inspect, aggregate and propagate errors from many
+// domains without unwinding. Exceptions remain reserved for programming
+// errors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace unify {
+
+/// Machine-readable error category carried alongside the human message.
+enum class ErrorCode {
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< referenced entity does not exist
+  kAlreadyExists,     ///< duplicate id / double-install
+  kResourceExhausted, ///< insufficient cpu/mem/storage/bandwidth
+  kInfeasible,        ///< no mapping satisfies the constraints
+  kUnavailable,       ///< domain/channel down or not yet connected
+  kProtocol,          ///< framing / codec / RPC violation
+  kRejected,          ///< lower layer refused the configuration
+  kTimeout,           ///< RPC or deployment deadline exceeded
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Returns a stable ASCII name for an ErrorCode ("infeasible", ...).
+constexpr const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:   return "invalid_argument";
+    case ErrorCode::kNotFound:          return "not_found";
+    case ErrorCode::kAlreadyExists:     return "already_exists";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kInfeasible:        return "infeasible";
+    case ErrorCode::kUnavailable:       return "unavailable";
+    case ErrorCode::kProtocol:          return "protocol";
+    case ErrorCode::kRejected:          return "rejected";
+    case ErrorCode::kTimeout:           return "timeout";
+    case ErrorCode::kInternal:          return "internal";
+  }
+  return "unknown";
+}
+
+/// An error: category plus a human-readable message assembled at the
+/// failure site (include ids of the entities involved).
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  /// "infeasible: no path from sap1 to fw0 within 5ms"
+  [[nodiscard]] std::string to_string() const {
+    std::string out = unify::to_string(code);
+    if (!message.empty()) {
+      out += ": ";
+      out += message;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code == b.code && a.message == b.message;
+  }
+};
+
+/// Result<T> holds either a T or an Error. Construction from either side is
+/// implicit so `return Error{...}` and `return value` both work.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+  Result(Error error) : data_(std::in_place_index<1>, std::move(error)) {}  // NOLINT
+  Result(ErrorCode code, std::string message)
+      : data_(std::in_place_index<1>, Error{code, std::move(message)}) {}
+
+  [[nodiscard]] bool ok() const noexcept { return data_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Precondition: ok().
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(data_));
+  }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  /// Precondition: !ok().
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<1>(data_);
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void>: success or an Error.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT
+  Result(ErrorCode code, std::string message)
+      : error_(Error{code, std::move(message)}) {}
+
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  /// Canonical success value, reads better than `return {};` at call sites.
+  static Result success() { return Result{}; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Propagate an error from an expression yielding Result<...>.
+/// Usage: UNIFY_RETURN_IF_ERROR(do_thing());
+#define UNIFY_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    if (auto res_ = (expr); !res_.ok()) {      \
+      return res_.error();                     \
+    }                                          \
+  } while (false)
+
+/// Bind the value of a Result or propagate its error.
+/// Usage: UNIFY_ASSIGN_OR_RETURN(auto cfg, virtualizer.get_config());
+#define UNIFY_ASSIGN_OR_RETURN(decl, expr)               \
+  UNIFY_ASSIGN_OR_RETURN_IMPL_(                          \
+      UNIFY_RESULT_CONCAT_(res_, __LINE__), decl, expr)
+#define UNIFY_RESULT_CONCAT_INNER_(a, b) a##b
+#define UNIFY_RESULT_CONCAT_(a, b) UNIFY_RESULT_CONCAT_INNER_(a, b)
+#define UNIFY_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.error();                               \
+  }                                                   \
+  decl = std::move(tmp).value()
+
+}  // namespace unify

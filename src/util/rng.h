@@ -1,0 +1,82 @@
+// Deterministic random number generator (splitmix64-seeded xoshiro256**).
+//
+// Workload generators and simulators must be reproducible across runs and
+// platforms, so we avoid std::default_random_engine (unspecified) and
+// std::*_distribution (implementation-defined sequences).
+#pragma once
+
+#include <cstdint>
+#include <cassert>
+
+namespace unify {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    // splitmix64 to spread a small seed over the full state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer on [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    while (true) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer on [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept {
+    assert(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next_u64()
+                                                    : next_below(span));
+  }
+
+  /// Uniform double on [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double on [lo, hi).
+  double next_double(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli trial.
+  bool next_bool(double probability_true) noexcept {
+    return next_double() < probability_true;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace unify

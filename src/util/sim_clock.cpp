@@ -1,0 +1,44 @@
+#include "util/sim_clock.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace unify {
+
+void SimClock::advance(SimTime delta) {
+  assert(delta >= 0);
+  const SimTime target = now_ + delta;
+  fire_due(target);  // fire_due moves now_ to each deadline as it fires
+  // A timer callback may itself advance the clock (an RPC handler charging
+  // processing time); never move time backwards.
+  now_ = std::max(now_, target);
+}
+
+std::size_t SimClock::run_until_idle() {
+  std::size_t fired = 0;
+  while (!timers_.empty()) {
+    Timer t = timers_.top();
+    timers_.pop();
+    if (t.deadline > now_) now_ = t.deadline;
+    ++fired;
+    t.fn();  // may schedule further timers; the loop picks them up
+  }
+  return fired;
+}
+
+void SimClock::schedule_in(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  timers_.push(Timer{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void SimClock::fire_due(SimTime limit) {
+  while (!timers_.empty() && timers_.top().deadline <= limit) {
+    Timer t = timers_.top();
+    timers_.pop();
+    now_ = std::max(now_, t.deadline);
+    t.fn();
+  }
+}
+
+}  // namespace unify

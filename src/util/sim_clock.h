@@ -1,0 +1,61 @@
+// Simulated time base shared by the infrastructure simulators and the
+// control-plane channels.
+//
+// All latencies in the reproduction (channel RTTs, VM boot times, flow
+// install delays) are charged against a SimClock so experiments are
+// deterministic and independent of host speed. Benchmarks additionally
+// measure host wall time around the same code paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace unify {
+
+/// Microseconds of simulated time.
+using SimTime = std::int64_t;
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Moves time forward, firing due timers in timestamp order (FIFO among
+  /// equal timestamps). Precondition: delta >= 0.
+  void advance(SimTime delta);
+
+  /// Runs timers until none are pending (time jumps to each deadline).
+  /// Returns the number of timers fired.
+  std::size_t run_until_idle();
+
+  /// Schedules `fn` at now()+delay (delay < 0 is clamped to 0).
+  void schedule_in(SimTime delay, std::function<void()> fn);
+
+  [[nodiscard]] std::size_t pending_timers() const noexcept {
+    return timers_.size();
+  }
+
+ private:
+  struct Timer {
+    SimTime deadline;
+    std::uint64_t seq;  // tie-break: FIFO among equal deadlines
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Timer& a, const Timer& b) const noexcept {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  void fire_due(SimTime limit);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Timer, std::vector<Timer>, Later> timers_;
+};
+
+}  // namespace unify

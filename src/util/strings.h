@@ -1,0 +1,30 @@
+// Small string helpers shared by codecs, ids and visualization.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unify::strings {
+
+/// Splits on a single character; empty fields are preserved
+/// ("a,,b" -> {"a","","b"}). An empty input yields {""}.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins pieces with `sep` between them.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view text,
+                             std::string_view suffix) noexcept;
+
+/// Formats a double compactly: integral values without trailing ".0",
+/// otherwise up to 6 significant decimals ("2", "0.25", "13.333333").
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace unify::strings

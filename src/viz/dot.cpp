@@ -1,0 +1,88 @@
+#include "viz/dot.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace unify::viz {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const model::Nffg& nffg) {
+  std::string out = "digraph " + quoted(nffg.id()) + " {\n";
+  out += "  rankdir=LR;\n";
+  for (const auto& [sap_id, sap] : nffg.saps()) {
+    out += "  " + quoted(sap_id) + " [shape=diamond];\n";
+  }
+  for (const auto& [bb_id, bb] : nffg.bisbis()) {
+    std::string label = bb_id + "\\n" + bb.capacity.to_string();
+    for (const auto& [nf_id, nf] : bb.nfs) {
+      label += "\\n[" + nf_id + ":" + nf.type + " " +
+               model::to_string(nf.status) + "]";
+    }
+    out += "  " + quoted(bb_id) + " [shape=box,label=" + quoted(label) +
+           "];\n";
+  }
+  for (const auto& [link_id, link] : nffg.links()) {
+    char attrs[96];
+    std::snprintf(attrs, sizeof(attrs), "%s/%sms",
+                  strings::format_double(link.attrs.bandwidth).c_str(),
+                  strings::format_double(link.attrs.delay).c_str());
+    out += "  " + quoted(link.from.node) + " -> " + quoted(link.to.node) +
+           " [label=" + quoted(attrs) + "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const sg::ServiceGraph& sg) {
+  std::string out = "digraph " + quoted(sg.id()) + " {\n";
+  out += "  rankdir=LR;\n";
+  for (const auto& [sap_id, name] : sg.saps()) {
+    out += "  " + quoted(sap_id) + " [shape=diamond];\n";
+  }
+  for (const auto& [nf_id, nf] : sg.nfs()) {
+    out += "  " + quoted(nf_id) + " [shape=ellipse,label=" +
+           quoted(nf_id + "\\n(" + nf.type + ")") + "];\n";
+  }
+  for (const sg::SgLink& link : sg.links()) {
+    out += "  " + quoted(link.from.node) + " -> " + quoted(link.to.node) +
+           " [label=" + quoted(strings::format_double(link.bandwidth)) +
+           "];\n";
+  }
+  for (const sg::E2eRequirement& req : sg.requirements()) {
+    out += "  " + quoted(req.from_sap) + " -> " + quoted(req.to_sap) +
+           " [style=dashed,color=red,label=" +
+           quoted("<=" + strings::format_double(req.max_delay) + "ms") +
+           "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string summary_table(const model::Nffg& nffg) {
+  const model::NffgStats stats = nffg.stats();
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%-24s | %5zu BiS-BiS | %3zu SAPs | %4zu links | %4zu NFs | "
+                "%4zu rules\n  capacity: %s\n  allocated: %s\n",
+                nffg.id().c_str(), stats.bisbis_count, stats.sap_count,
+                stats.link_count, stats.nf_count, stats.flowrule_count,
+                stats.total_capacity.to_string().c_str(),
+                stats.total_allocated.to_string().c_str());
+  return buf;
+}
+
+}  // namespace unify::viz

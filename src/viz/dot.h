@@ -1,0 +1,23 @@
+// Graphviz/ASCII rendering of service graphs and NFFGs — the visual half
+// of the paper's GUI, reduced to text artifacts the examples print.
+#pragma once
+
+#include <string>
+
+#include "model/nffg.h"
+#include "sg/service_graph.h"
+
+namespace unify::viz {
+
+/// Graphviz digraph: SAPs as diamonds, BiS-BiS as boxes (with NF sub-rows),
+/// links labelled "bw/delay".
+[[nodiscard]] std::string to_dot(const model::Nffg& nffg);
+
+/// Graphviz digraph of a service request: SAPs as diamonds, NFs as
+/// ellipses, chain links labelled with bandwidth.
+[[nodiscard]] std::string to_dot(const sg::ServiceGraph& sg);
+
+/// Fixed-width summary table of an NFFG (nodes, capacity, NFs, rules).
+[[nodiscard]] std::string summary_table(const model::Nffg& nffg);
+
+}  // namespace unify::viz

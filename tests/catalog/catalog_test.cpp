@@ -1,0 +1,227 @@
+#include "catalog/nf_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/decomposition.h"
+
+namespace unify::catalog {
+namespace {
+
+TEST(NfCatalog, RegisterAndFind) {
+  NfCatalog cat;
+  ASSERT_TRUE(
+      cat.register_type(NfType{"fw", {2, 1024, 2}, 2, "firewall"}).ok());
+  ASSERT_NE(cat.find("fw"), nullptr);
+  EXPECT_EQ(cat.find("fw")->requirement.cpu, 2);
+  EXPECT_EQ(cat.find("nope"), nullptr);
+  EXPECT_TRUE(cat.has("fw"));
+}
+
+TEST(NfCatalog, RejectsInvalidRegistrations) {
+  NfCatalog cat;
+  EXPECT_EQ(cat.register_type(NfType{"", {1, 1, 1}, 2, ""}).error().code,
+            ErrorCode::kInvalidArgument);
+  ASSERT_TRUE(cat.register_type(NfType{"fw", {1, 1, 1}, 2, ""}).ok());
+  EXPECT_EQ(cat.register_type(NfType{"fw", {1, 1, 1}, 2, ""}).error().code,
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(
+      cat.register_type(NfType{"bad", {-1, 1, 1}, 2, ""}).error().code,
+      ErrorCode::kInvalidArgument);
+  EXPECT_EQ(cat.register_type(NfType{"bad", {1, 1, 1}, 0, ""}).error().code,
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(NfCatalog, FootprintPrefersOverride) {
+  NfCatalog cat = default_catalog();
+  auto from_catalog = cat.footprint("dpi", {});
+  ASSERT_TRUE(from_catalog.ok());
+  EXPECT_EQ(from_catalog->cpu, 4);
+  auto overridden = cat.footprint("dpi", {1, 2, 3});
+  ASSERT_TRUE(overridden.ok());
+  EXPECT_EQ(*overridden, (model::Resources{1, 2, 3}));
+  EXPECT_EQ(cat.footprint("ghost", {}).error().code, ErrorCode::kNotFound);
+  // Override works even for unknown types (explicit resources given).
+  EXPECT_TRUE(cat.footprint("ghost", {1, 1, 1}).ok());
+}
+
+TEST(NfCatalog, DecompositionRegistrationChecks) {
+  NfCatalog cat;
+  ASSERT_TRUE(cat.register_type(NfType{"comp", {1, 1, 1}, 2, ""}).ok());
+  ASSERT_TRUE(cat.register_type(NfType{"whole", {2, 2, 2}, 2, ""}).ok());
+
+  Decomposition missing_target;
+  missing_target.id = "r1";
+  missing_target.target_type = "ghost";
+  missing_target.components = {{"c", "comp", 2}};
+  EXPECT_EQ(cat.register_decomposition(missing_target).error().code,
+            ErrorCode::kNotFound);
+
+  Decomposition missing_comp;
+  missing_comp.id = "r2";
+  missing_comp.target_type = "whole";
+  missing_comp.components = {{"c", "ghost", 2}};
+  EXPECT_EQ(cat.register_decomposition(missing_comp).error().code,
+            ErrorCode::kNotFound);
+
+  Decomposition self_recursive;
+  self_recursive.id = "r3";
+  self_recursive.target_type = "whole";
+  self_recursive.components = {{"c", "whole", 2}};
+  EXPECT_EQ(cat.register_decomposition(self_recursive).error().code,
+            ErrorCode::kInvalidArgument);
+
+  Decomposition good;
+  good.id = "r4";
+  good.target_type = "whole";
+  good.components = {{"c", "comp", 2}};
+  good.port_map = {{0, {"c", 0}}, {1, {"c", 1}}};
+  ASSERT_TRUE(cat.register_decomposition(good).ok());
+  EXPECT_EQ(cat.decompositions_of("whole").size(), 1u);
+  EXPECT_TRUE(cat.decompositions_of("comp").empty());
+
+  Decomposition dup = good;
+  EXPECT_EQ(cat.register_decomposition(dup).error().code,
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(DefaultCatalog, IsRich) {
+  NfCatalog cat = default_catalog();
+  EXPECT_GE(cat.types().size(), 12u);
+  EXPECT_GE(cat.decomposition_count(), 4u);
+  EXPECT_EQ(cat.decompositions_of("secure-gw").size(), 2u);
+}
+
+TEST(ApplyDecomposition, ExpandsFirewallInChain) {
+  NfCatalog cat = default_catalog();
+  sg::ServiceGraph sg =
+      sg::make_chain("svc", "a", {"firewall"}, "b", 100, 50);
+  const Decomposition& rule = cat.decompositions_of("firewall")[0];
+  ASSERT_TRUE(apply_decomposition(sg, "firewall0", rule).ok());
+  EXPECT_EQ(sg.find_nf("firewall0"), nullptr);
+  ASSERT_NE(sg.find_nf("firewall0.acl"), nullptr);
+  ASSERT_NE(sg.find_nf("firewall0.state"), nullptr);
+  EXPECT_EQ(sg.find_nf("firewall0.acl")->type, "fw-lite");
+  EXPECT_TRUE(sg.validate().empty());
+  // Internal link bandwidth = factor (1.0) x max external bw (100).
+  const sg::SgLink* internal = sg.find_link("firewall0.l0");
+  ASSERT_NE(internal, nullptr);
+  EXPECT_EQ(internal->bandwidth, 100);
+  // Chain traverses both components.
+  auto seq = sg.nf_sequence_for(sg.requirements()[0]);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, (std::vector<std::string>{"firewall0.acl",
+                                            "firewall0.state"}));
+}
+
+TEST(ApplyDecomposition, TypeMismatchRejected) {
+  NfCatalog cat = default_catalog();
+  sg::ServiceGraph sg = sg::make_chain("svc", "a", {"nat"}, "b", 10, 50);
+  const Decomposition& rule = cat.decompositions_of("firewall")[0];
+  auto r = apply_decomposition(sg, "nat0", rule);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(ApplyDecomposition, MissingNfRejected) {
+  NfCatalog cat = default_catalog();
+  sg::ServiceGraph sg = sg::make_chain("svc", "a", {"firewall"}, "b", 10, 50);
+  const Decomposition& rule = cat.decompositions_of("firewall")[0];
+  EXPECT_EQ(apply_decomposition(sg, "ghost", rule).error().code,
+            ErrorCode::kNotFound);
+}
+
+TEST(ExpandAll, RecursiveExpansionConverges) {
+  NfCatalog cat = default_catalog();
+  sg::ServiceGraph sg =
+      sg::make_chain("svc", "a", {"secure-gw"}, "b", 100, 50);
+  auto applied = expand_all(sg, cat);
+  ASSERT_TRUE(applied.ok()) << applied.error().to_string();
+  // secure-gw -> firewall+ids, then firewall -> acl+state: 2 applications.
+  EXPECT_EQ(*applied, 2u);
+  EXPECT_TRUE(sg.validate().empty());
+  auto seq = sg.nf_sequence_for(sg.requirements()[0]);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, (std::vector<std::string>{
+                      "secure-gw0.fw.acl", "secure-gw0.fw.state",
+                      "secure-gw0.ids"}));
+  // All remaining types are atomic.
+  for (const auto& [id, nf] : sg.nfs()) {
+    EXPECT_TRUE(cat.decompositions_of(nf.type).empty()) << nf.type;
+  }
+}
+
+TEST(ExpandAll, NoDecomposablesIsNoop) {
+  NfCatalog cat = default_catalog();
+  sg::ServiceGraph sg = sg::make_chain("svc", "a", {"nat", "dpi"}, "b", 10, 50);
+  sg::ServiceGraph before = sg;
+  auto applied = expand_all(sg, cat);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 0u);
+  EXPECT_EQ(sg, before);
+}
+
+TEST(ExpandAll, ChooserCanKeepAbstract) {
+  NfCatalog cat = default_catalog();
+  sg::ServiceGraph sg =
+      sg::make_chain("svc", "a", {"firewall"}, "b", 10, 50);
+  auto applied = expand_all(
+      sg, cat,
+      [](const sg::SgNf&, const std::vector<Decomposition>&) {
+        return nullptr;  // keep everything abstract
+      });
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 0u);
+  EXPECT_NE(sg.find_nf("firewall0"), nullptr);
+}
+
+TEST(ExpandAll, RandomChooserIsDeterministicPerSeed) {
+  NfCatalog cat = default_catalog();
+  const auto run = [&cat](std::uint64_t seed) {
+    Rng rng(seed);
+    sg::ServiceGraph sg =
+        sg::make_chain("svc", "a", {"secure-gw"}, "b", 10, 50);
+    auto applied = expand_all(sg, cat, random_chooser(rng));
+    EXPECT_TRUE(applied.ok());
+    std::vector<std::string> ids;
+    for (const auto& [id, nf] : sg.nfs()) ids.push_back(id);
+    return ids;
+  };
+  EXPECT_EQ(run(7), run(7));
+  // Both secure-gw rules are reachable across seeds.
+  bool saw_vpn = false, saw_fw = false;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    for (const std::string& id : run(seed)) {
+      saw_vpn |= id.find(".vpn") != std::string::npos;
+      saw_fw |= id.find(".fw") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(saw_vpn);
+  EXPECT_TRUE(saw_fw);
+}
+
+TEST(ExpandAll, DepthLimitDetectsNonConvergence) {
+  NfCatalog cat;
+  ASSERT_TRUE(cat.register_type(NfType{"a", {1, 1, 1}, 2, ""}).ok());
+  ASSERT_TRUE(cat.register_type(NfType{"b", {1, 1, 1}, 2, ""}).ok());
+  // a -> b and b -> a: mutual recursion never converges.
+  Decomposition ab;
+  ab.id = "ab";
+  ab.target_type = "a";
+  ab.components = {{"x", "b", 2}};
+  ab.port_map = {{0, {"x", 0}}, {1, {"x", 1}}};
+  ASSERT_TRUE(cat.register_decomposition(ab).ok());
+  Decomposition ba;
+  ba.id = "ba";
+  ba.target_type = "b";
+  ba.components = {{"y", "a", 2}};
+  ba.port_map = {{0, {"y", 0}}, {1, {"y", 1}}};
+  ASSERT_TRUE(cat.register_decomposition(ba).ok());
+
+  sg::ServiceGraph sg = sg::make_chain("svc", "in", {"a"}, "out", 1, 100);
+  auto applied = expand_all(sg, cat, {}, 4);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.error().code, ErrorCode::kInfeasible);
+}
+
+}  // namespace
+}  // namespace unify::catalog

@@ -1,0 +1,201 @@
+#include "core/unify_api.h"
+
+#include <gtest/gtest.h>
+
+#include "core/config_translate.h"
+#include "mapping/chain_dp_mapper.h"
+#include "model/nffg_builder.h"
+
+namespace unify::core {
+namespace {
+
+class AcceptAllAdapter final : public adapters::DomainAdapter {
+ public:
+  AcceptAllAdapter(std::string name, model::Nffg view)
+      : name_(std::move(name)), view_(std::move(view)) {}
+  [[nodiscard]] const std::string& domain() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] Result<model::Nffg> fetch_view() override { return view_; }
+  Result<void> apply(const model::Nffg&) override {
+    return Result<void>::success();
+  }
+  [[nodiscard]] std::uint64_t native_operations() const noexcept override {
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  model::Nffg view_;
+};
+
+model::Nffg leaf_view(const std::string& bb, const std::string& sap1,
+                      const std::string& sap2) {
+  model::Nffg g{bb + "-view"};
+  EXPECT_TRUE(
+      g.add_bisbis(model::make_bisbis(bb, {16, 16384, 200}, 4, 0.05)).ok());
+  model::attach_sap(g, sap1, bb, 0, {1000, 0.1});
+  model::attach_sap(g, sap2, bb, 1, {1000, 0.1});
+  return g;
+}
+
+/// A leaf orchestration domain behind its own virtualizer.
+struct LeafDomain {
+  explicit LeafDomain(const std::string& name) {
+    ro = std::make_unique<ResourceOrchestrator>(
+        name, std::make_shared<mapping::ChainDpMapper>(),
+        catalog::default_catalog());
+    EXPECT_TRUE(
+        ro->add_domain(std::make_unique<AcceptAllAdapter>(
+                           name + "-infra",
+                           leaf_view(name + "-bb", name + "-sap", "xp")))
+            .ok());
+    EXPECT_TRUE(ro->initialize().ok());
+    virtualizer = std::make_unique<Virtualizer>(
+        *ro, ViewPolicy::kSingleBisBis, name + ".big");
+  }
+  std::unique_ptr<ResourceOrchestrator> ro;
+  std::unique_ptr<Virtualizer> virtualizer;
+};
+
+TEST(UnifyApi, GetConfigOverRpc) {
+  SimClock clock;
+  LeafDomain leaf("leaf");
+  auto adapter = make_unify_link(*leaf.virtualizer, clock, "child");
+  auto view = adapter->fetch_view();
+  ASSERT_TRUE(view.ok()) << view.error().to_string();
+  EXPECT_EQ(view->bisbis().size(), 1u);
+  EXPECT_NE(view->find_bisbis("leaf.big"), nullptr);
+  EXPECT_NE(view->find_sap("leaf-sap"), nullptr);
+  EXPECT_GT(adapter->native_operations(), 0u);
+}
+
+TEST(UnifyApi, EditConfigOverRpcDeploys) {
+  SimClock clock;
+  LeafDomain leaf("leaf");
+  auto adapter = make_unify_link(*leaf.virtualizer, clock, "child");
+  auto view = adapter->fetch_view();
+  ASSERT_TRUE(view.ok());
+
+  const sg::ServiceGraph sg =
+      sg::make_chain("svc", "leaf-sap", {"nat"}, "xp", 10, 100);
+  auto desired = service_graph_to_config(sg, *view, "leaf.big");
+  ASSERT_TRUE(desired.ok());
+  ASSERT_TRUE(adapter->apply(*desired).ok());
+  // The child RO really deployed it.
+  EXPECT_EQ(leaf.ro->deployments().size(), 1u);
+  EXPECT_TRUE(leaf.ro->global_view().find_nf("nat0").has_value());
+}
+
+TEST(UnifyApi, ErrorsPropagateNorth) {
+  SimClock clock;
+  LeafDomain leaf("leaf");
+  auto adapter = make_unify_link(*leaf.virtualizer, clock, "child");
+  auto view = adapter->fetch_view();
+  ASSERT_TRUE(view.ok());
+  // Impossible demand -> child RO fails -> error crosses the RPC boundary.
+  model::Nffg desired = *view;
+  ASSERT_TRUE(desired
+                  .place_nf("leaf.big",
+                            model::make_nf("x", "nat", {9999, 1, 1}, 2),
+                            true)
+                  .ok());
+  ASSERT_TRUE(desired
+                  .add_flowrule("leaf.big",
+                                model::Flowrule{"l", {"leaf.big", 0},
+                                                {"x", 0}, "", "", 1})
+                  .ok());
+  auto r = adapter->apply(desired);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInfeasible);
+}
+
+TEST(UnifyApi, TwoLevelRecursion) {
+  // Two leaf UNIFY domains under a parent RO, service deployed at the top
+  // crosses both children — the paper's stacked multi-level control
+  // hierarchy.
+  SimClock clock;
+  LeafDomain left("left");
+  LeafDomain right("right");
+
+  auto parent = std::make_unique<ResourceOrchestrator>(
+      "parent", std::make_shared<mapping::ChainDpMapper>(),
+      catalog::default_catalog());
+  ASSERT_TRUE(
+      parent->add_domain(make_unify_link(*left.virtualizer, clock, "left"))
+          .ok());
+  ASSERT_TRUE(
+      parent->add_domain(make_unify_link(*right.virtualizer, clock, "right"))
+          .ok());
+  ASSERT_TRUE(parent->initialize().ok());
+  // The shared stitching SAP "xp" fused the two children.
+  EXPECT_NE(parent->global_view().find_link("xd-xp"), nullptr);
+
+  const auto request = parent->deploy(sg::make_chain(
+      "svc", "left-sap", {"nat", "dpi"}, "right-sap", 10, 100));
+  ASSERT_TRUE(request.ok()) << request.error().to_string();
+
+  // Every NF landed in exactly one child RO (possibly both used).
+  const std::size_t total = left.ro->global_view().stats().nf_count +
+                            right.ro->global_view().stats().nf_count;
+  EXPECT_EQ(total, 2u);
+
+  // Teardown propagates down the hierarchy too.
+  ASSERT_TRUE(parent->remove("svc").ok());
+  EXPECT_EQ(left.ro->global_view().stats().nf_count, 0u);
+  EXPECT_EQ(right.ro->global_view().stats().nf_count, 0u);
+}
+
+TEST(UnifyApi, ThreeLevelRecursion) {
+  SimClock clock;
+  LeafDomain leaf("leaf");
+
+  auto mid = std::make_unique<ResourceOrchestrator>(
+      "mid", std::make_shared<mapping::ChainDpMapper>(),
+      catalog::default_catalog());
+  ASSERT_TRUE(
+      mid->add_domain(make_unify_link(*leaf.virtualizer, clock, "leaf"))
+          .ok());
+  ASSERT_TRUE(mid->initialize().ok());
+  auto mid_virt = std::make_unique<Virtualizer>(
+      *mid, ViewPolicy::kSingleBisBis, "mid.big");
+
+  auto top = std::make_unique<ResourceOrchestrator>(
+      "top", std::make_shared<mapping::ChainDpMapper>(),
+      catalog::default_catalog());
+  ASSERT_TRUE(
+      top->add_domain(make_unify_link(*mid_virt, clock, "mid")).ok());
+  ASSERT_TRUE(top->initialize().ok());
+
+  const auto request = top->deploy(
+      sg::make_chain("svc", "leaf-sap", {"nat"}, "xp", 10, 100));
+  ASSERT_TRUE(request.ok()) << request.error().to_string();
+  // The NF bubbled all the way down to the leaf's infrastructure view.
+  EXPECT_EQ(leaf.ro->global_view().stats().nf_count, 1u);
+}
+
+TEST(UnifyApi, ClientTimesOutWithoutServer) {
+  SimClock clock;
+  auto [north, south] = proto::make_channel_pair(clock, 100);
+  UnifyClientAdapter adapter("lonely", north, clock,
+                             /*rpc_timeout_us=*/5000);
+  south.reset();  // no server will ever answer
+  auto view = adapter.fetch_view();
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.error().code, ErrorCode::kTimeout);
+}
+
+TEST(UnifyApi, AdapterKeepAliveOwnsServer) {
+  SimClock clock;
+  LeafDomain leaf("leaf");
+  // make_unify_link ties the server lifetime to the adapter: the adapter
+  // keeps working even though nothing else references the server.
+  std::unique_ptr<adapters::DomainAdapter> adapter =
+      make_unify_link(*leaf.virtualizer, clock, "child");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(adapter->fetch_view().ok());
+  }
+}
+
+}  // namespace
+}  // namespace unify::core

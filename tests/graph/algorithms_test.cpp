@@ -1,0 +1,237 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace unify::graph {
+namespace {
+
+struct None {};
+struct W {
+  double w = 1;
+};
+using G = Digraph<None, W>;
+
+EdgeScanFn weight_scan(const G& g) {
+  return scan_digraph(g, [](EdgeId, const G::Edge& e) { return e.data.w; });
+}
+
+// Small diamond: 0 -> 1 -> 3 (cost 1+1), 0 -> 2 -> 3 (cost 2+2).
+G diamond() {
+  G g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(0, 1, {1});
+  g.add_edge(1, 3, {1});
+  g.add_edge(0, 2, {2});
+  g.add_edge(2, 3, {2});
+  return g;
+}
+
+TEST(ShortestPath, PicksCheaperBranch) {
+  G g = diamond();
+  auto p = shortest_path(g.node_capacity(), 0, 3, weight_scan(g));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->cost, 2.0);
+  EXPECT_EQ(p->nodes, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(p->hop_count(), 2u);
+}
+
+TEST(ShortestPath, SourceEqualsTarget) {
+  G g = diamond();
+  auto p = shortest_path(g.node_capacity(), 2, 2, weight_scan(g));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->cost, 0.0);
+  EXPECT_EQ(p->nodes, (std::vector<NodeId>{2}));
+  EXPECT_TRUE(p->edges.empty());
+}
+
+TEST(ShortestPath, UnreachableReturnsNullopt) {
+  G g;
+  g.add_node();
+  g.add_node();
+  EXPECT_FALSE(shortest_path(g.node_capacity(), 0, 1, weight_scan(g)));
+}
+
+TEST(ShortestPath, NegativeWeightMasksEdge) {
+  G g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1, {-1});  // masked: e.g. no residual bandwidth
+  EXPECT_FALSE(shortest_path(g.node_capacity(), 0, 1, weight_scan(g)));
+}
+
+TEST(ShortestPath, PrefersParallelEdgeWithLowerWeight) {
+  G g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1, {7});
+  const auto cheap = g.add_edge(0, 1, {3});
+  auto p = shortest_path(g.node_capacity(), 0, 1, weight_scan(g));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->cost, 3.0);
+  ASSERT_EQ(p->edges.size(), 1u);
+  EXPECT_EQ(p->edges[0], cheap);
+}
+
+TEST(ShortestPath, ZeroWeightEdgesUsable) {
+  G g;
+  for (int i = 0; i < 3; ++i) g.add_node();
+  g.add_edge(0, 1, {0});
+  g.add_edge(1, 2, {0});
+  auto p = shortest_path(g.node_capacity(), 0, 2, weight_scan(g));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->cost, 0.0);
+  EXPECT_EQ(p->hop_count(), 2u);
+}
+
+TEST(ShortestPathTree, DistancesAndReconstruction) {
+  G g = diamond();
+  auto tree = shortest_path_tree(g.node_capacity(), 0, weight_scan(g));
+  EXPECT_EQ(tree.dist[0], 0.0);
+  EXPECT_EQ(tree.dist[1], 1.0);
+  EXPECT_EQ(tree.dist[2], 2.0);
+  EXPECT_EQ(tree.dist[3], 2.0);
+  auto p = tree.path_to(0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodes, (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(ShortestPathTree, UnreachableIsInf) {
+  G g;
+  g.add_node();
+  g.add_node();
+  auto tree = shortest_path_tree(g.node_capacity(), 0, weight_scan(g));
+  EXPECT_EQ(tree.dist[1], kInf);
+  EXPECT_FALSE(tree.path_to(0, 1).has_value());
+}
+
+TEST(KShortest, EnumeratesInCostOrder) {
+  G g = diamond();
+  auto paths =
+      k_shortest_paths(g.node_capacity(), 0, 3, 5, weight_scan(g));
+  ASSERT_EQ(paths.size(), 2u);  // only two loopless paths exist
+  EXPECT_EQ(paths[0].cost, 2.0);
+  EXPECT_EQ(paths[1].cost, 4.0);
+  EXPECT_EQ(paths[1].nodes, (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(KShortest, KLimitsCount) {
+  G g = diamond();
+  auto paths =
+      k_shortest_paths(g.node_capacity(), 0, 3, 1, weight_scan(g));
+  EXPECT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(
+      k_shortest_paths(g.node_capacity(), 0, 3, 0, weight_scan(g)).empty());
+}
+
+TEST(KShortest, ParallelEdgesAreDistinctPaths) {
+  G g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1, {1});
+  g.add_edge(0, 1, {2});
+  auto paths =
+      k_shortest_paths(g.node_capacity(), 0, 1, 5, weight_scan(g));
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].cost, 1.0);
+  EXPECT_EQ(paths[1].cost, 2.0);
+}
+
+TEST(KShortest, GridHasManyPaths) {
+  // 3x3 grid, unit weights, top-left to bottom-right.
+  G g;
+  for (int i = 0; i < 9; ++i) g.add_node();
+  auto id = [](int r, int c) { return static_cast<NodeId>(r * 3 + c); };
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      if (c + 1 < 3) g.add_edge(id(r, c), id(r, c + 1), {1});
+      if (r + 1 < 3) g.add_edge(id(r, c), id(r + 1, c), {1});
+    }
+  }
+  auto paths =
+      k_shortest_paths(g.node_capacity(), id(0, 0), id(2, 2), 6,
+                       weight_scan(g));
+  ASSERT_EQ(paths.size(), 6u);  // C(4,2) = 6 monotone lattice paths
+  for (const auto& p : paths) EXPECT_EQ(p.cost, 4.0);
+  // All paths distinct.
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_FALSE(paths[i] == paths[j]);
+    }
+  }
+}
+
+TEST(KShortest, UnreachableGivesEmpty) {
+  G g;
+  g.add_node();
+  g.add_node();
+  EXPECT_TRUE(
+      k_shortest_paths(g.node_capacity(), 0, 1, 3, weight_scan(g)).empty());
+}
+
+TEST(Reachability, ForwardOnly) {
+  G g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(0, 1, {1});
+  g.add_edge(1, 2, {1});
+  g.add_edge(3, 0, {1});
+  auto seen = reachable_from(g.node_capacity(), 0, weight_scan(g));
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_FALSE(seen[3]);  // only reaches 0 via out-edge, not vice versa
+}
+
+TEST(Reachability, MaskedEdgesBlock) {
+  G g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1, {-1});
+  auto seen = reachable_from(g.node_capacity(), 0, weight_scan(g));
+  EXPECT_FALSE(seen[1]);
+}
+
+TEST(WeakComponents, GroupsUndirectedly) {
+  G g;
+  for (int i = 0; i < 5; ++i) g.add_node();
+  g.add_edge(0, 1, {1});
+  g.add_edge(2, 1, {1});  // 0,1,2 weakly connected
+  g.add_edge(3, 4, {1});  // 3,4 another component
+  auto scan_out = weight_scan(g);
+  auto scan_in = [&g](NodeId node, const EdgeVisitFn& visit) {
+    for (const EdgeId e : g.in_edges(node)) {
+      visit(e, g.edge(e).from, g.edge(e).data.w);
+    }
+  };
+  auto comp =
+      weak_components(g.node_capacity(), g.node_ids(), scan_out, scan_in);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+// Property sweep: on a ring of n nodes with unit weights, the distance from
+// 0 to m is min(m, n-m) when edges go both directions.
+class RingShortest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingShortest, DistanceMatchesFormula) {
+  const int n = GetParam();
+  G g;
+  for (int i = 0; i < n; ++i) g.add_node();
+  for (int i = 0; i < n; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n), {1});
+    g.add_edge(static_cast<NodeId>((i + 1) % n), static_cast<NodeId>(i), {1});
+  }
+  auto tree = shortest_path_tree(g.node_capacity(), 0, weight_scan(g));
+  for (int m = 0; m < n; ++m) {
+    EXPECT_EQ(tree.dist[m], std::min(m, n - m)) << "n=" << n << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingShortest,
+                         ::testing::Values(2, 3, 4, 5, 8, 13, 32));
+
+}  // namespace
+}  // namespace unify::graph

@@ -1,0 +1,158 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace unify::graph {
+namespace {
+
+struct NodeInfo {
+  std::string name;
+};
+struct EdgeInfo {
+  double bw = 0;
+};
+using G = Digraph<NodeInfo, EdgeInfo>;
+
+TEST(Digraph, StartsEmpty) {
+  G g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Digraph, AddNodesAssignsSequentialIds) {
+  G g;
+  EXPECT_EQ(g.add_node({"a"}), 0u);
+  EXPECT_EQ(g.add_node({"b"}), 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.node(0).name, "a");
+  EXPECT_EQ(g.node(1).name, "b");
+}
+
+TEST(Digraph, AddEdgeConnects) {
+  G g;
+  const auto a = g.add_node({"a"});
+  const auto b = g.add_node({"b"});
+  const auto e = g.add_edge(a, b, {10.0});
+  EXPECT_EQ(g.edge(e).from, a);
+  EXPECT_EQ(g.edge(e).to, b);
+  EXPECT_EQ(g.edge(e).data.bw, 10.0);
+  ASSERT_EQ(g.out_edges(a).size(), 1u);
+  ASSERT_EQ(g.in_edges(b).size(), 1u);
+  EXPECT_TRUE(g.out_edges(b).empty());
+}
+
+TEST(Digraph, ParallelEdgesAllowed) {
+  G g;
+  const auto a = g.add_node();
+  const auto b = g.add_node();
+  const auto e1 = g.add_edge(a, b, {1});
+  const auto e2 = g.add_edge(a, b, {2});
+  EXPECT_NE(e1, e2);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.out_edges(a).size(), 2u);
+}
+
+TEST(Digraph, SelfLoop) {
+  G g;
+  const auto a = g.add_node();
+  const auto e = g.add_edge(a, a, {5});
+  EXPECT_EQ(g.edge(e).from, a);
+  EXPECT_EQ(g.edge(e).to, a);
+  EXPECT_EQ(g.out_edges(a).size(), 1u);
+  EXPECT_EQ(g.in_edges(a).size(), 1u);
+}
+
+TEST(Digraph, RemoveEdge) {
+  G g;
+  const auto a = g.add_node();
+  const auto b = g.add_node();
+  const auto e = g.add_edge(a, b);
+  g.remove_edge(e);
+  EXPECT_FALSE(g.has_edge(e));
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.out_edges(a).empty());
+  EXPECT_TRUE(g.in_edges(b).empty());
+}
+
+TEST(Digraph, RemoveNodeRemovesIncidentEdges) {
+  G g;
+  const auto a = g.add_node();
+  const auto b = g.add_node();
+  const auto c = g.add_node();
+  const auto ab = g.add_edge(a, b);
+  const auto bc = g.add_edge(b, c);
+  const auto ca = g.add_edge(c, a);
+  g.remove_node(b);
+  EXPECT_FALSE(g.has_node(b));
+  EXPECT_FALSE(g.has_edge(ab));
+  EXPECT_FALSE(g.has_edge(bc));
+  EXPECT_TRUE(g.has_edge(ca));
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, RemoveNodeWithSelfLoop) {
+  G g;
+  const auto a = g.add_node();
+  g.add_edge(a, a);
+  g.remove_node(a);
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Digraph, IdsNotReusedAfterRemoval) {
+  G g;
+  const auto a = g.add_node({"a"});
+  g.remove_node(a);
+  const auto b = g.add_node({"b"});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(g.has_node(a));
+  EXPECT_TRUE(g.has_node(b));
+  EXPECT_EQ(g.node_capacity(), 2u);
+}
+
+TEST(Digraph, NodeIdsListsOnlyLive) {
+  G g;
+  const auto a = g.add_node();
+  const auto b = g.add_node();
+  const auto c = g.add_node();
+  g.remove_node(b);
+  EXPECT_EQ(g.node_ids(), (std::vector<NodeId>{a, c}));
+}
+
+TEST(Digraph, EdgeIdsListsOnlyLive) {
+  G g;
+  const auto a = g.add_node();
+  const auto b = g.add_node();
+  const auto e1 = g.add_edge(a, b);
+  const auto e2 = g.add_edge(b, a);
+  g.remove_edge(e1);
+  EXPECT_EQ(g.edge_ids(), (std::vector<EdgeId>{e2}));
+}
+
+TEST(Digraph, FindEdge) {
+  G g;
+  const auto a = g.add_node();
+  const auto b = g.add_node();
+  EXPECT_FALSE(g.find_edge(a, b).has_value());
+  const auto e = g.add_edge(a, b);
+  ASSERT_TRUE(g.find_edge(a, b).has_value());
+  EXPECT_EQ(*g.find_edge(a, b), e);
+  EXPECT_FALSE(g.find_edge(b, a).has_value());
+}
+
+TEST(Digraph, MutableNodeAndEdgeData) {
+  G g;
+  const auto a = g.add_node({"a"});
+  const auto b = g.add_node({"b"});
+  const auto e = g.add_edge(a, b, {1.0});
+  g.node(a).name = "renamed";
+  g.edge(e).data.bw = 99.0;
+  EXPECT_EQ(g.node(a).name, "renamed");
+  EXPECT_EQ(g.edge(e).data.bw, 99.0);
+}
+
+}  // namespace
+}  // namespace unify::graph

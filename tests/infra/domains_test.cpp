@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "infra/cloud.h"
+#include "infra/emu_network.h"
+#include "infra/sdn_network.h"
+#include "infra/universal_node.h"
+
+namespace unify::infra {
+namespace {
+
+using model::LinkAttrs;
+using model::Resources;
+
+// ------------------------------------------------------------ SdnNetwork
+
+TEST(SdnNetwork, FlowOpsChargeLatency) {
+  SimClock clock;
+  SdnNetwork net(clock, "sdn1", SdnConfig{500});
+  ASSERT_TRUE(net.add_switch("s1", 4).ok());
+  ASSERT_TRUE(net.install_flow("s1", FlowEntry{"e", 0, "", 1, "", 0}).ok());
+  EXPECT_EQ(clock.now(), 500);
+  ASSERT_TRUE(net.remove_flow("s1", "e").ok());
+  EXPECT_EQ(clock.now(), 1000);
+  EXPECT_EQ(net.flow_ops(), 2u);
+  EXPECT_EQ(net.install_flow("zz", FlowEntry{}).error().code,
+            ErrorCode::kNotFound);
+}
+
+TEST(SdnNetwork, RecordsTopologyForViews) {
+  SimClock clock;
+  SdnNetwork net(clock, "sdn1");
+  ASSERT_TRUE(net.add_switch("s1", 4).ok());
+  ASSERT_TRUE(net.add_switch("s2", 4).ok());
+  ASSERT_TRUE(net.connect("s1", 1, "s2", 1, {1000, 2.5}).ok());
+  ASSERT_TRUE(net.attach_sap("sapA", "s1", 0, {1000, 0.1}).ok());
+  ASSERT_EQ(net.wires().size(), 1u);
+  EXPECT_EQ(net.wires()[0].attrs.delay, 2.5);
+  ASSERT_EQ(net.saps().size(), 1u);
+  EXPECT_EQ(net.saps()[0].sap, "sapA");
+}
+
+// ----------------------------------------------------------------- Cloud
+
+TEST(Cloud, SchedulerPicksLeastLoaded) {
+  SimClock clock;
+  Cloud cloud(clock, "dc1");
+  ASSERT_TRUE(cloud.add_hypervisor("hv1", {8, 8192, 100}).ok());
+  ASSERT_TRUE(cloud.add_hypervisor("hv2", {8, 8192, 100}).ok());
+  ASSERT_TRUE(cloud.boot_vm("vm1", "firewall", {4, 1024, 10}, 2).ok());
+  ASSERT_TRUE(cloud.boot_vm("vm2", "nat", {1, 512, 5}, 2).ok());
+  // vm1 loaded hv1 to 50% cpu, so vm2 must land on hv2.
+  EXPECT_NE(cloud.find_vm("vm1")->host, cloud.find_vm("vm2")->host);
+}
+
+TEST(Cloud, VmLifecycleAndBootLatency) {
+  SimClock clock;
+  CloudConfig cfg;
+  cfg.vm_boot_us = 1'000'000;
+  Cloud cloud(clock, "dc1", cfg);
+  ASSERT_TRUE(cloud.add_hypervisor("hv1", {8, 8192, 100}).ok());
+  ASSERT_TRUE(cloud.boot_vm("vm1", "dpi", {2, 2048, 8}, 2).ok());
+  EXPECT_EQ(cloud.find_vm("vm1")->status, VmStatus::kBuild);
+  clock.run_until_idle();
+  EXPECT_EQ(cloud.find_vm("vm1")->status, VmStatus::kActive);
+  EXPECT_EQ(cloud.total_allocated(), (Resources{2, 2048, 8}));
+  ASSERT_TRUE(cloud.delete_vm("vm1").ok());
+  EXPECT_EQ(cloud.find_vm("vm1")->status, VmStatus::kDeleted);
+  EXPECT_TRUE(cloud.total_allocated().is_zero());
+  EXPECT_EQ(cloud.delete_vm("vm1").error().code, ErrorCode::kNotFound);
+}
+
+TEST(Cloud, RejectsWhenFull) {
+  SimClock clock;
+  Cloud cloud(clock, "dc1");
+  ASSERT_TRUE(cloud.add_hypervisor("hv1", {2, 2048, 10}).ok());
+  ASSERT_TRUE(cloud.boot_vm("vm1", "x", {2, 1024, 5}, 1).ok());
+  auto r = cloud.boot_vm("vm2", "x", {1, 512, 1}, 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kResourceExhausted);
+}
+
+TEST(Cloud, SteeringBetweenExternalAndVm) {
+  SimClock clock;
+  Cloud cloud(clock, "dc1");
+  ASSERT_TRUE(cloud.add_hypervisor("hv1", {8, 8192, 100}).ok());
+  ASSERT_TRUE(cloud.boot_vm("vm1", "fw", {1, 512, 1}, 2).ok());
+  clock.run_until_idle();
+  ASSERT_TRUE(
+      cloud.install_steering("r1", "ext0", "", "vm1:0", "chain-a").ok());
+  ASSERT_TRUE(
+      cloud.install_steering("r2", "vm1:1", "chain-a", "ext1", "-").ok());
+  auto trace = cloud.fabric().trace("ext0");
+  EXPECT_FALSE(trace.dropped) << trace.drop_reason;
+  EXPECT_EQ(trace.egress_endpoint, "vm1:0");
+  auto trace2 = cloud.fabric().trace("vm1:1", "chain-a");
+  EXPECT_EQ(trace2.egress_endpoint, "ext1");
+  EXPECT_EQ(trace2.hops.back().tag_after, "");
+  // Unknown endpoint rejected.
+  EXPECT_EQ(
+      cloud.install_steering("r3", "ext9", "", "vm1:0", "").error().code,
+      ErrorCode::kNotFound);
+  ASSERT_TRUE(cloud.remove_steering("r1").ok());
+}
+
+// --------------------------------------------------------- UniversalNode
+
+TEST(UniversalNode, ContainerLifecycle) {
+  SimClock clock;
+  UnConfig cfg;
+  cfg.container_start_us = 250'000;
+  UniversalNode un(clock, "un1", {16, 16384, 100}, cfg);
+  ASSERT_TRUE(un.start_container("fw0", "firewall", {2, 1024, 4}, 2).ok());
+  EXPECT_EQ(clock.now(), 250'000);
+  ASSERT_NE(un.find_container("fw0"), nullptr);
+  EXPECT_EQ(un.find_container("fw0")->status, ContainerStatus::kRunning);
+  EXPECT_EQ(un.allocated(), (Resources{2, 1024, 4}));
+  ASSERT_TRUE(un.stop_container("fw0").ok());
+  EXPECT_TRUE(un.allocated().is_zero());
+  EXPECT_EQ(un.stop_container("fw0").error().code, ErrorCode::kNotFound);
+}
+
+TEST(UniversalNode, CapacityEnforced) {
+  SimClock clock;
+  UniversalNode un(clock, "un1", {2, 2048, 10});
+  ASSERT_TRUE(un.start_container("a", "x", {2, 1024, 4}, 1).ok());
+  auto r = un.start_container("b", "x", {1, 512, 1}, 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kResourceExhausted);
+  // Stopping frees capacity for reuse (new container id).
+  ASSERT_TRUE(un.stop_container("a").ok());
+  EXPECT_TRUE(un.start_container("b", "x", {1, 512, 1}, 1).ok());
+}
+
+TEST(UniversalNode, LsiSteeringTrace) {
+  SimClock clock;
+  UniversalNode un(clock, "un1", {16, 16384, 100});
+  ASSERT_TRUE(un.start_container("fw0", "firewall", {2, 1024, 4}, 2).ok());
+  ASSERT_TRUE(un.add_flowrule("r1", "ext0", "", "fw0:0", "").ok());
+  ASSERT_TRUE(un.add_flowrule("r2", "fw0:1", "", "ext1", "").ok());
+  auto in = un.fabric().trace("ext0");
+  EXPECT_EQ(in.egress_endpoint, "fw0:0");
+  auto out = un.fabric().trace("fw0:1");
+  EXPECT_EQ(out.egress_endpoint, "ext1");
+  ASSERT_TRUE(un.remove_flowrule("r1").ok());
+  EXPECT_EQ(un.remove_flowrule("zz").error().code, ErrorCode::kNotFound);
+}
+
+TEST(UniversalNode, FlowModsAreFast) {
+  SimClock clock;
+  UniversalNode un(clock, "un1", {16, 16384, 100});
+  const SimTime before = clock.now();
+  ASSERT_TRUE(un.add_flowrule("r", "ext0", "", "ext1", "").ok());
+  EXPECT_EQ(clock.now() - before, 50);  // DPDK-scale, not OpenFlow-scale
+}
+
+// ------------------------------------------------------------ EmuNetwork
+
+TEST(EmuNetwork, ClickProcessesRunBesideSwitches) {
+  SimClock clock;
+  EmuNetwork emu(clock, "mn1");
+  ASSERT_TRUE(emu.add_switch("s1", 4, {4, 4096, 20}).ok());
+  ASSERT_TRUE(emu.add_switch("s2", 4, {4, 4096, 20}).ok());
+  ASSERT_TRUE(emu.connect("s1", 1, "s2", 1, {1000, 1.0}).ok());
+  ASSERT_TRUE(emu.attach_sap("sapA", "s1", 0, {1000, 0.1}).ok());
+
+  ASSERT_TRUE(emu.start_click("nf0", "nat", "s1", {1, 256, 1}, 2).ok());
+  ASSERT_NE(emu.find_click("nf0"), nullptr);
+  EXPECT_TRUE(emu.find_click("nf0")->running);
+  EXPECT_EQ(emu.ees().at("s1").allocated, (Resources{1, 256, 1}));
+
+  // NF ports live in the EE port block (after public port 4).
+  const auto& ports = emu.find_click("nf0")->switch_ports;
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_GE(ports[0], 4);
+
+  // Steer sapA -> nf0 through the switch.
+  ASSERT_TRUE(
+      emu.install_flow("s1", FlowEntry{"r", 0, "", ports[0], "", 0}).ok());
+  auto trace = emu.fabric().trace("sapA");
+  EXPECT_EQ(trace.egress_endpoint, "nf0:0");
+
+  ASSERT_TRUE(emu.stop_click("nf0").ok());
+  EXPECT_TRUE(emu.ees().at("s1").allocated.is_zero());
+}
+
+TEST(EmuNetwork, EeCapacityAndPortLimits) {
+  SimClock clock;
+  EmuConfig cfg;
+  cfg.ee_ports_per_switch = 2;
+  EmuNetwork emu(clock, "mn1", cfg);
+  ASSERT_TRUE(emu.add_switch("s1", 2, {2, 1024, 10}).ok());
+  // Capacity exceeded.
+  EXPECT_EQ(
+      emu.start_click("big", "x", "s1", {9, 0, 0}, 1).error().code,
+      ErrorCode::kResourceExhausted);
+  // Ports exhausted (2 EE ports, ask for 3).
+  EXPECT_EQ(
+      emu.start_click("wide", "x", "s1", {1, 1, 1}, 3).error().code,
+      ErrorCode::kResourceExhausted);
+  // Unknown EE.
+  EXPECT_EQ(emu.start_click("nf", "x", "zz", {1, 1, 1}, 1).error().code,
+            ErrorCode::kNotFound);
+}
+
+TEST(EmuNetwork, OperationLatencies) {
+  SimClock clock;
+  EmuConfig cfg;
+  cfg.click_start_us = 120'000;
+  cfg.flow_mod_latency_us = 700;
+  EmuNetwork emu(clock, "mn1", cfg);
+  ASSERT_TRUE(emu.add_switch("s1", 4, {4, 4096, 20}).ok());
+  ASSERT_TRUE(emu.start_click("nf0", "nat", "s1", {1, 256, 1}, 2).ok());
+  EXPECT_EQ(clock.now(), 120'000);
+  ASSERT_TRUE(
+      emu.install_flow("s1", FlowEntry{"r", 0, "", 1, "", 0}).ok());
+  EXPECT_EQ(clock.now(), 120'700);
+  EXPECT_EQ(emu.operations(), 2u);
+}
+
+}  // namespace
+}  // namespace unify::infra

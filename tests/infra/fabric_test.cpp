@@ -1,0 +1,159 @@
+#include "infra/fabric.h"
+
+#include <gtest/gtest.h>
+
+namespace unify::infra {
+namespace {
+
+Fabric two_switches() {
+  Fabric f;
+  EXPECT_TRUE(f.add_switch("s1", 4).ok());
+  EXPECT_TRUE(f.add_switch("s2", 4).ok());
+  EXPECT_TRUE(f.connect("s1", 1, "s2", 1).ok());
+  EXPECT_TRUE(f.attach("sap1", "s1", 0).ok());
+  EXPECT_TRUE(f.attach("sap2", "s2", 0).ok());
+  return f;
+}
+
+TEST(FlowSwitch, InstallAndLookup) {
+  FlowSwitch sw("s", 4);
+  ASSERT_TRUE(sw.install(FlowEntry{"e1", 0, "", 1, "", 0}).ok());
+  const FlowEntry* hit = sw.lookup(0, "");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->out_port, 1);
+  EXPECT_EQ(sw.lookup(2, ""), nullptr);
+}
+
+TEST(FlowSwitch, TagMatching) {
+  FlowSwitch sw("s", 4);
+  ASSERT_TRUE(sw.install(FlowEntry{"tagged", 0, "red", 1, "", 0}).ok());
+  ASSERT_TRUE(sw.install(FlowEntry{"wild", 0, "", 2, "", 0}).ok());
+  // Exact tag beats nothing special here: both match "red" but priorities
+  // equal -> first installed wins only if priority higher; check explicit.
+  const FlowEntry* red = sw.lookup(0, "red");
+  ASSERT_NE(red, nullptr);
+  // Wildcard matches unknown tags.
+  const FlowEntry* blue = sw.lookup(0, "blue");
+  ASSERT_NE(blue, nullptr);
+  EXPECT_EQ(blue->id, "wild");
+}
+
+TEST(FlowSwitch, PriorityWins) {
+  FlowSwitch sw("s", 4);
+  ASSERT_TRUE(sw.install(FlowEntry{"low", 0, "", 1, "", 1}).ok());
+  ASSERT_TRUE(sw.install(FlowEntry{"high", 0, "", 2, "", 9}).ok());
+  EXPECT_EQ(sw.lookup(0, "")->id, "high");
+}
+
+TEST(FlowSwitch, RejectsBadEntries) {
+  FlowSwitch sw("s", 2);
+  EXPECT_EQ(sw.install(FlowEntry{"", 0, "", 1, "", 0}).error().code,
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(sw.install(FlowEntry{"e", 5, "", 1, "", 0}).error().code,
+            ErrorCode::kInvalidArgument);
+  ASSERT_TRUE(sw.install(FlowEntry{"e", 0, "", 1, "", 0}).ok());
+  EXPECT_EQ(sw.install(FlowEntry{"e", 1, "", 0, "", 0}).error().code,
+            ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(sw.remove("e").ok());
+  EXPECT_EQ(sw.remove("e").error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(sw.stats().flow_mods, 2u);  // only successful install + remove
+}
+
+TEST(Fabric, WiringChecks) {
+  Fabric f = two_switches();
+  // Port already wired.
+  EXPECT_EQ(f.connect("s1", 1, "s2", 2).error().code,
+            ErrorCode::kAlreadyExists);
+  // Attach on wired port.
+  EXPECT_EQ(f.attach("x", "s1", 1).error().code, ErrorCode::kAlreadyExists);
+  // Unknown switch / port.
+  EXPECT_EQ(f.connect("zz", 0, "s2", 2).error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(f.attach("y", "s1", 9).error().code,
+            ErrorCode::kInvalidArgument);
+  // Duplicate endpoint.
+  EXPECT_EQ(f.attach("sap1", "s2", 2).error().code,
+            ErrorCode::kAlreadyExists);
+  ASSERT_TRUE(f.attachment("sap1").has_value());
+  EXPECT_EQ(f.attachment("sap1")->first, "s1");
+  EXPECT_FALSE(f.attachment("nope").has_value());
+}
+
+TEST(FabricTrace, EndToEndAcrossSwitches) {
+  Fabric f = two_switches();
+  ASSERT_TRUE(
+      f.find_switch("s1")->install(FlowEntry{"a", 0, "", 1, "t7", 0}).ok());
+  ASSERT_TRUE(
+      f.find_switch("s2")->install(FlowEntry{"b", 1, "t7", 0, "-", 0}).ok());
+  auto trace = f.trace("sap1");
+  EXPECT_FALSE(trace.dropped) << trace.drop_reason;
+  EXPECT_EQ(trace.egress_endpoint, "sap2");
+  ASSERT_EQ(trace.hops.size(), 2u);
+  EXPECT_EQ(trace.hops[0].switch_id, "s1");
+  EXPECT_EQ(trace.hops[0].tag_after, "t7");
+  EXPECT_EQ(trace.hops[1].tag_after, "");  // stripped at egress
+}
+
+TEST(FabricTrace, DropsWithoutMatch) {
+  Fabric f = two_switches();
+  auto trace = f.trace("sap1");
+  EXPECT_TRUE(trace.dropped);
+  EXPECT_NE(trace.drop_reason.find("no match"), std::string::npos);
+}
+
+TEST(FabricTrace, DropsOnUnconnectedPort) {
+  Fabric f = two_switches();
+  ASSERT_TRUE(
+      f.find_switch("s1")->install(FlowEntry{"a", 0, "", 3, "", 0}).ok());
+  auto trace = f.trace("sap1");
+  EXPECT_TRUE(trace.dropped);
+  EXPECT_NE(trace.drop_reason.find("unconnected"), std::string::npos);
+}
+
+TEST(FabricTrace, LoopGuardTrips) {
+  Fabric f;
+  ASSERT_TRUE(f.add_switch("s1", 4).ok());
+  ASSERT_TRUE(f.add_switch("s2", 4).ok());
+  ASSERT_TRUE(f.connect("s1", 1, "s2", 1).ok());
+  ASSERT_TRUE(f.connect("s1", 2, "s2", 2).ok());
+  ASSERT_TRUE(f.attach("in", "s1", 0).ok());
+  // s1: in->1; s2: 1->2; s1: 2->1 ... ping-pong forever.
+  ASSERT_TRUE(f.find_switch("s1")->install(FlowEntry{"a", 0, "", 1, "", 0}).ok());
+  ASSERT_TRUE(f.find_switch("s2")->install(FlowEntry{"b", 1, "", 2, "", 0}).ok());
+  ASSERT_TRUE(f.find_switch("s1")->install(FlowEntry{"c", 2, "", 1, "", 0}).ok());
+  auto trace = f.trace("in");
+  EXPECT_TRUE(trace.dropped);
+  EXPECT_NE(trace.drop_reason.find("hop limit"), std::string::npos);
+}
+
+TEST(FabricTrace, UnknownAttachment) {
+  Fabric f = two_switches();
+  auto trace = f.trace("ghost");
+  EXPECT_TRUE(trace.dropped);
+}
+
+TEST(FabricTrace, TagRewriteMidPath) {
+  Fabric f;
+  ASSERT_TRUE(f.add_switch("s", 4).ok());
+  ASSERT_TRUE(f.attach("a", "s", 0).ok());
+  ASSERT_TRUE(f.attach("b", "s", 1).ok());
+  ASSERT_TRUE(
+      f.find_switch("s")->install(FlowEntry{"r", 0, "old", 1, "new", 0}).ok());
+  auto trace = f.trace("a", "old");
+  EXPECT_FALSE(trace.dropped);
+  EXPECT_EQ(trace.hops[0].tag_after, "new");
+  EXPECT_EQ(trace.egress_endpoint, "b");
+}
+
+TEST(FabricTrace, CountsPackets) {
+  Fabric f = two_switches();
+  ASSERT_TRUE(
+      f.find_switch("s1")->install(FlowEntry{"a", 0, "", 1, "", 0}).ok());
+  ASSERT_TRUE(
+      f.find_switch("s2")->install(FlowEntry{"b", 1, "", 0, "", 0}).ok());
+  (void)f.trace("sap1");
+  (void)f.trace("sap1");
+  EXPECT_EQ(f.find_switch("s1")->stats().packets_switched, 2u);
+}
+
+}  // namespace
+}  // namespace unify::infra

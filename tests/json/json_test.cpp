@@ -1,0 +1,240 @@
+#include "json/json.h"
+
+#include <gtest/gtest.h>
+
+namespace unify::json {
+namespace {
+
+// ------------------------------------------------------------ value model
+
+TEST(JsonValue, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), Type::kNull);
+}
+
+TEST(JsonValue, ScalarConstruction) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(3.5).is_number());
+  EXPECT_TRUE(Value(7).is_number());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_EQ(Value(3.5).as_number(), 3.5);
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+}
+
+TEST(JsonValue, DeepCopy) {
+  Object obj;
+  obj.set("list", Array{1, 2, 3});
+  Value a{std::move(obj)};
+  Value b = a;
+  b.as_object()["list"].as_array().push_back(Value{4});
+  EXPECT_EQ(a.as_object().find("list")->as_array().size(), 3u);
+  EXPECT_EQ(b.as_object().find("list")->as_array().size(), 4u);
+}
+
+TEST(JsonObject, PreservesInsertionOrder) {
+  Object obj;
+  obj.set("zulu", 1);
+  obj.set("alpha", 2);
+  obj.set("mike", 3);
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : obj) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"zulu", "alpha", "mike"}));
+}
+
+TEST(JsonObject, SetOverwritesInPlace) {
+  Object obj;
+  obj.set("a", 1);
+  obj.set("b", 2);
+  obj.set("a", 9);
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.find("a")->as_int(), 9);
+}
+
+TEST(JsonObject, EraseAndContains) {
+  Object obj;
+  obj.set("a", 1);
+  EXPECT_TRUE(obj.contains("a"));
+  EXPECT_TRUE(obj.erase("a"));
+  EXPECT_FALSE(obj.contains("a"));
+  EXPECT_FALSE(obj.erase("a"));
+}
+
+TEST(JsonObject, SubscriptCreatesNull) {
+  Object obj;
+  Value& v = obj["fresh"];
+  EXPECT_TRUE(v.is_null());
+  EXPECT_TRUE(obj.contains("fresh"));
+}
+
+TEST(JsonValue, EqualityIsOrderInsensitiveForObjects) {
+  Object a, b;
+  a.set("x", 1);
+  a.set("y", 2);
+  b.set("y", 2);
+  b.set("x", 1);
+  EXPECT_EQ(Value{std::move(a)}, Value{std::move(b)});
+}
+
+TEST(JsonValue, EqualityIsOrderSensitiveForArrays) {
+  EXPECT_NE((Value{Array{1, 2}}), (Value{Array{2, 1}}));
+  EXPECT_EQ((Value{Array{1, 2}}), (Value{Array{1, 2}}));
+}
+
+TEST(JsonValue, LenientGetters) {
+  Object obj;
+  obj.set("name", "fw0");
+  obj.set("cpu", 4);
+  obj.set("up", true);
+  Value v{std::move(obj)};
+  EXPECT_EQ(v.get_string("name"), "fw0");
+  EXPECT_EQ(v.get_int("cpu"), 4);
+  EXPECT_TRUE(v.get_bool("up"));
+  EXPECT_EQ(v.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(v.get_number("missing", 2.5), 2.5);
+  EXPECT_EQ(v.get_int("name", -1), -1);  // wrong type -> fallback
+  EXPECT_EQ(Value{3}.get("x"), nullptr);  // non-object
+}
+
+// ----------------------------------------------------------------- dump
+
+TEST(JsonDump, Scalars) {
+  EXPECT_EQ(Value{}.dump(), "null");
+  EXPECT_EQ(Value{true}.dump(), "true");
+  EXPECT_EQ(Value{false}.dump(), "false");
+  EXPECT_EQ(Value{42}.dump(), "42");
+  EXPECT_EQ(Value{2.5}.dump(), "2.5");
+  EXPECT_EQ(Value{"hey"}.dump(), "\"hey\"");
+}
+
+TEST(JsonDump, EscapesSpecials) {
+  EXPECT_EQ(Value{"a\"b\\c\nd"}.dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(Value{std::string("\x01", 1)}.dump(), "\"\\u0001\"");
+}
+
+TEST(JsonDump, NestedStructure) {
+  Object inner;
+  inner.set("id", "nf1");
+  Object outer;
+  outer.set("nfs", Array{Value{std::move(inner)}});
+  outer.set("count", 1);
+  EXPECT_EQ(Value{std::move(outer)}.dump(),
+            R"({"nfs":[{"id":"nf1"}],"count":1})");
+}
+
+TEST(JsonDump, EmptyContainers) {
+  EXPECT_EQ(Value{Array{}}.dump(), "[]");
+  EXPECT_EQ(Value{Object{}}.dump(), "{}");
+}
+
+TEST(JsonDump, PrettyIndents) {
+  Object obj;
+  obj.set("a", 1);
+  EXPECT_EQ(Value{std::move(obj)}.dump_pretty(), "{\n  \"a\": 1\n}");
+}
+
+// ---------------------------------------------------------------- parse
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_EQ(parse("true")->as_bool(), true);
+  EXPECT_EQ(parse("false")->as_bool(), false);
+  EXPECT_EQ(parse("42")->as_int(), 42);
+  EXPECT_EQ(parse("-17")->as_int(), -17);
+  EXPECT_EQ(parse("2.5")->as_number(), 2.5);
+  EXPECT_EQ(parse("1e3")->as_number(), 1000.0);
+  EXPECT_EQ(parse("1.5E-2")->as_number(), 0.015);
+  EXPECT_EQ(parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, WhitespaceTolerated) {
+  auto r = parse("  {\n \"a\" : [ 1 , 2 ] }\t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->get("a")->as_array().size(), 2u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b")")->as_string(), "a\"b");
+  EXPECT_EQ(parse(R"("tab\there")")->as_string(), "tab\there");
+  EXPECT_EQ(parse(R"("A")")->as_string(), "A");
+  EXPECT_EQ(parse(R"("é")")->as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(parse(R"("中")")->as_string(), "\xe4\xb8\xad");  // 中
+  EXPECT_EQ(parse(R"("😀")")->as_string(),
+            "\xf0\x9f\x98\x80");  // 😀 via surrogate pair
+}
+
+TEST(JsonParse, RejectsBadSurrogates) {
+  EXPECT_FALSE(parse(R"("\ud83d")").ok());
+  EXPECT_FALSE(parse(R"("\ude00")").ok());
+  EXPECT_FALSE(parse(R"("\ud83dxx")").ok());
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "01", "1.", "1e", "\"unterminated",
+        "{\"a\" 1}", "[1 2]", "{1:2}", "nulll", "[]x", "\"\x01\"", "+1",
+        "--1", "1e+"}) {
+    EXPECT_FALSE(parse(bad).ok()) << "input: " << bad;
+  }
+}
+
+TEST(JsonParse, ErrorCarriesOffset) {
+  auto r = parse("[1, &]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kProtocol);
+  EXPECT_NE(r.error().message.find("byte 4"), std::string::npos);
+}
+
+TEST(JsonParse, DeepNestingGuard) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(parse(deep).ok());
+}
+
+TEST(JsonParse, AcceptableNestingWorks) {
+  std::string nested(100, '[');
+  nested += "5";
+  nested += std::string(100, ']');
+  EXPECT_TRUE(parse(nested).ok());
+}
+
+TEST(JsonRoundTrip, ComplexDocument) {
+  const char* doc =
+      R"({"id":"bisbis-1","resources":{"cpu":8,"mem":16384,"storage":100.5},)"
+      R"("ports":[{"id":0,"sap":"sap1"},{"id":1,"sap":null}],)"
+      R"("up":true,"note":"a\nb"})";
+  auto first = parse(doc);
+  ASSERT_TRUE(first.ok());
+  auto second = parse(first->dump());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(first->dump(), second->dump());
+}
+
+TEST(JsonRoundTrip, PrettyParsesBack) {
+  Object obj;
+  obj.set("xs", Array{1, Value{"two"}, Value{Object{}}});
+  Value v{std::move(obj)};
+  auto r = parse(v.dump_pretty());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, v);
+}
+
+// Property-style sweep: numbers round-trip through dump/parse.
+class JsonNumberRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(JsonNumberRoundTrip, Exact) {
+  const double value = GetParam();
+  auto parsed = parse(Value{value}.dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->as_number(), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, JsonNumberRoundTrip,
+                         ::testing::Values(0.0, 1.0, -1.0, 0.5, -0.25, 1e6,
+                                           123456789.0, 3.14159, 1e-6,
+                                           42.42));
+
+}  // namespace
+}  // namespace unify::json

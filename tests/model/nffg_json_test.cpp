@@ -1,0 +1,133 @@
+#include "model/nffg_json.h"
+
+#include <gtest/gtest.h>
+
+#include "model/nffg_builder.h"
+
+namespace unify::model {
+namespace {
+
+Nffg rich_graph() {
+  Nffg g{"dc-view", "demo"};
+  BisBis bb1 = make_bisbis("bb1", {8, 8192, 100}, 4, 0.05);
+  bb1.name = "universal-node-1";
+  bb1.nf_types = {"firewall", "nat"};
+  EXPECT_TRUE(g.add_bisbis(std::move(bb1)).ok());
+  EXPECT_TRUE(g.add_bisbis(make_bisbis("bb2", {4, 4096, 50}, 4)).ok());
+  connect(g, "bb1", 1, "bb2", 1, {1000, 1.5});
+  attach_sap(g, "sap1", "bb1", 0);
+  EXPECT_TRUE(
+      g.place_nf("bb1", make_nf("fw0", "firewall", {2, 1024, 10}, 2)).ok());
+  EXPECT_TRUE(g.add_flowrule("bb1", Flowrule{"r1", {"bb1", 0}, {"fw0", 0},
+                                             "", "tag-a", 100})
+                  .ok());
+  EXPECT_TRUE(g.add_flowrule("bb1", Flowrule{"r2", {"fw0", 1}, {"bb1", 1},
+                                             "tag-a", "-", 100})
+                  .ok());
+  g.find_link("l-bb1-bb2")->reserved = 100;
+  return g;
+}
+
+TEST(PortRefCodec, RoundTrip) {
+  const PortRef ref{"node-7", 3};
+  auto parsed = port_ref_from_string(port_ref_to_string(ref));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, ref);
+}
+
+TEST(PortRefCodec, RejectsMalformed) {
+  for (const char* bad : {"", "noport", ":3", "node:", "node:x", "node:3x"}) {
+    EXPECT_FALSE(port_ref_from_string(bad).ok()) << bad;
+  }
+}
+
+TEST(PortRefCodec, LastColonWins) {
+  // Node ids may not contain ':', but the parser uses the last colon so a
+  // numeric suffix is always the port.
+  auto parsed = port_ref_from_string("a:b:2");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->node, "a:b");
+  EXPECT_EQ(parsed->port, 2);
+}
+
+TEST(NffgJson, RoundTripPreservesEverything) {
+  const Nffg original = rich_graph();
+  const std::string wire = to_json_string(original);
+  auto decoded = nffg_from_json_string(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(*decoded, original);
+  // And the re-serialization is byte-identical (stable ordering).
+  EXPECT_EQ(to_json_string(*decoded), wire);
+}
+
+TEST(NffgJson, RoundTripThroughPretty) {
+  const Nffg original = rich_graph();
+  auto decoded = nffg_from_json_string(to_json(original).dump_pretty());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(NffgJson, EmptyGraph) {
+  auto decoded = nffg_from_json_string(to_json_string(Nffg{"empty"}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id(), "empty");
+  EXPECT_TRUE(decoded->bisbis().empty());
+  EXPECT_TRUE(decoded->saps().empty());
+  EXPECT_TRUE(decoded->links().empty());
+}
+
+TEST(NffgJson, DecodedGraphValidates) {
+  auto decoded = nffg_from_json_string(to_json_string(rich_graph()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->validate().empty());
+}
+
+TEST(NffgJson, RejectsNonObject) {
+  EXPECT_FALSE(nffg_from_json(json::Value{3}).ok());
+  EXPECT_FALSE(nffg_from_json_string("[1,2]").ok());
+}
+
+TEST(NffgJson, RejectsBadShape) {
+  // nodes must be an array.
+  EXPECT_FALSE(nffg_from_json_string(R"({"id":"x","nodes":{}})").ok());
+  // link with unknown endpoint.
+  const char* dangling =
+      R"({"id":"x","links":[{"id":"l","from":"a:0","to":"b:0",)"
+      R"("bandwidth":1,"delay":1}]})";
+  auto r = nffg_from_json_string(dangling);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  // flowrule with malformed port ref.
+  const char* bad_ref =
+      R"({"id":"x","nodes":[{"id":"bb","resources":{"cpu":1},)"
+      R"("ports":[{"id":0}],"flowrules":[{"id":"r","in":"junk","out":"bb:0"}]}]})";
+  EXPECT_FALSE(nffg_from_json_string(bad_ref).ok());
+  // unknown NF status.
+  const char* bad_status =
+      R"({"id":"x","nodes":[{"id":"bb","resources":{"cpu":4},)"
+      R"("ports":[{"id":0}],"nfs":[{"id":"n","type":"t","status":"zombie"}]}]})";
+  EXPECT_FALSE(nffg_from_json_string(bad_status).ok());
+}
+
+TEST(NffgJson, OvercommittedViewStillDecodes) {
+  // Serialized operational state may be transiently overcommitted; decode
+  // must not reject it (validation is a separate, explicit step).
+  Nffg g{"x"};
+  ASSERT_TRUE(g.add_bisbis(make_bisbis("bb", {1, 1, 1}, 1)).ok());
+  ASSERT_TRUE(g.place_nf("bb", make_nf("big", "t", {50, 0, 0}), true).ok());
+  auto decoded = nffg_from_json_string(to_json_string(g));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->validate().empty());
+}
+
+TEST(NffgJson, OmitsDefaults) {
+  Nffg g{"x"};
+  ASSERT_TRUE(g.add_bisbis(make_bisbis("bb", {1, 1, 1}, 1)).ok());
+  const std::string wire = to_json_string(g);
+  EXPECT_EQ(wire.find("internal_delay"), std::string::npos);
+  EXPECT_EQ(wire.find("nf_types"), std::string::npos);
+  EXPECT_EQ(wire.find("\"name\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unify::model

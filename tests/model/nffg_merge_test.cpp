@@ -1,0 +1,141 @@
+#include "model/nffg_merge.h"
+
+#include <gtest/gtest.h>
+
+#include "model/nffg_builder.h"
+
+namespace unify::model {
+namespace {
+
+/// A domain with one BiS-BiS: a customer SAP and optionally a stitching SAP.
+Nffg domain_view(const std::string& bb_id, const std::string& customer_sap,
+                 const std::string& stitch_sap) {
+  Nffg g{bb_id + "-view"};
+  EXPECT_TRUE(g.add_bisbis(make_bisbis(bb_id, {8, 8192, 100}, 4)).ok());
+  if (!customer_sap.empty()) {
+    attach_sap(g, customer_sap, bb_id, 0, {1000, 0.1});
+  }
+  if (!stitch_sap.empty()) {
+    attach_sap(g, stitch_sap, bb_id, 1, {500, 2.0});
+  }
+  return g;
+}
+
+TEST(Merge, SingleDomainPassesThrough) {
+  auto merged = merge_views({{"d1", domain_view("bb1", "sap1", "")}});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->bisbis().size(), 1u);
+  EXPECT_EQ(merged->saps().size(), 1u);
+  EXPECT_EQ(merged->find_bisbis("bb1")->domain, "d1");
+  EXPECT_TRUE(merged->validate().empty());
+}
+
+TEST(Merge, SharedSapBecomesInterDomainLink) {
+  auto merged = merge_views({{"d1", domain_view("bb1", "sap1", "x-point")},
+                             {"d2", domain_view("bb2", "sap2", "x-point")}});
+  ASSERT_TRUE(merged.ok());
+  // Stitching SAP consumed.
+  EXPECT_EQ(merged->find_sap("x-point"), nullptr);
+  EXPECT_EQ(merged->saps().size(), 2u);
+  // Replaced by a bidirectional link pair bb1:1 <-> bb2:1.
+  const Link* xd = merged->find_link("xd-x-point");
+  ASSERT_NE(xd, nullptr);
+  EXPECT_NE(merged->find_link("xd-x-point-back"), nullptr);
+  EXPECT_EQ(xd->from.node, "bb1");
+  EXPECT_EQ(xd->to.node, "bb2");
+  // bandwidth=min(500,500), delay=2+2.
+  EXPECT_EQ(xd->attrs.bandwidth, 500);
+  EXPECT_EQ(xd->attrs.delay, 4.0);
+  EXPECT_TRUE(merged->validate().empty());
+}
+
+TEST(Merge, DomainsStamped) {
+  auto merged = merge_views({{"sdn", domain_view("bb1", "sap1", "xp")},
+                             {"cloud", domain_view("bb2", "sap2", "xp")}});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->find_bisbis("bb1")->domain, "sdn");
+  EXPECT_EQ(merged->find_bisbis("bb2")->domain, "cloud");
+  EXPECT_EQ(domains_of(*merged),
+            (std::vector<std::string>{"cloud", "sdn"}));
+}
+
+TEST(Merge, ThreeWaySharedSapRejected) {
+  auto merged = merge_views({{"d1", domain_view("bb1", "", "xp")},
+                             {"d2", domain_view("bb2", "", "xp")},
+                             {"d3", domain_view("bb3", "", "xp")}});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Merge, DuplicateBisBisIdRejected) {
+  auto merged = merge_views({{"d1", domain_view("bb", "sap1", "")},
+                             {"d2", domain_view("bb", "sap2", "")}});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.error().code, ErrorCode::kAlreadyExists);
+}
+
+TEST(Merge, UnattachedStitchSapRejected) {
+  Nffg lonely{"lonely"};
+  ASSERT_TRUE(lonely.add_sap(Sap{"xp", ""}).ok());  // SAP with no link
+  auto merged =
+      merge_views({{"d1", domain_view("bb1", "", "xp")}, {"d2", lonely}});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.error().message.find("not attached"), std::string::npos);
+}
+
+TEST(Merge, AsymmetricStitchAttrs) {
+  Nffg d1{"d1"};
+  ASSERT_TRUE(d1.add_bisbis(make_bisbis("bb1", {1, 1, 1}, 2)).ok());
+  attach_sap(d1, "xp", "bb1", 0, {100, 1.0});
+  Nffg d2{"d2"};
+  ASSERT_TRUE(d2.add_bisbis(make_bisbis("bb2", {1, 1, 1}, 2)).ok());
+  attach_sap(d2, "xp", "bb2", 0, {300, 2.5});
+  auto merged = merge_views({{"d1", d1}, {"d2", d2}});
+  ASSERT_TRUE(merged.ok());
+  const Link* xd = merged->find_link("xd-xp");
+  ASSERT_NE(xd, nullptr);
+  EXPECT_EQ(xd->attrs.bandwidth, 100);  // min
+  EXPECT_EQ(xd->attrs.delay, 3.5);      // sum
+}
+
+TEST(Merge, NfsAndFlowrulesSurvive) {
+  Nffg d1 = domain_view("bb1", "sap1", "xp");
+  ASSERT_TRUE(d1.place_nf("bb1", make_nf("fw", "fw", {1, 1, 1}, 2)).ok());
+  ASSERT_TRUE(
+      d1.add_flowrule("bb1", Flowrule{"r", {"bb1", 0}, {"fw", 0}, "", "", 0})
+          .ok());
+  auto merged =
+      merge_views({{"d1", d1}, {"d2", domain_view("bb2", "sap2", "xp")}});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->find_nf("fw").has_value());
+  EXPECT_NE(merged->find_bisbis("bb1")->find_flowrule("r"), nullptr);
+}
+
+TEST(Slice, ExtractsDomainSubgraph) {
+  auto merged = merge_views({{"d1", domain_view("bb1", "sap1", "xp")},
+                             {"d2", domain_view("bb2", "sap2", "xp")}});
+  ASSERT_TRUE(merged.ok());
+  const Nffg s1 = slice_for_domain(*merged, "d1");
+  EXPECT_NE(s1.find_bisbis("bb1"), nullptr);
+  EXPECT_EQ(s1.find_bisbis("bb2"), nullptr);
+  EXPECT_NE(s1.find_sap("sap1"), nullptr);
+  EXPECT_EQ(s1.find_sap("sap2"), nullptr);
+  // The inter-domain link is not inside either slice.
+  EXPECT_EQ(s1.find_link("xd-xp"), nullptr);
+  // sap1 attachment links survive.
+  EXPECT_NE(s1.find_link("l-sap1"), nullptr);
+  EXPECT_NE(s1.find_link("l-sap1-back"), nullptr);
+  EXPECT_TRUE(s1.validate().empty());
+}
+
+TEST(Slice, UnknownDomainGivesEmpty) {
+  auto merged = merge_views({{"d1", domain_view("bb1", "sap1", "")}});
+  ASSERT_TRUE(merged.ok());
+  const Nffg s = slice_for_domain(*merged, "nope");
+  EXPECT_TRUE(s.bisbis().empty());
+  EXPECT_TRUE(s.saps().empty());
+  EXPECT_TRUE(s.links().empty());
+}
+
+}  // namespace
+}  // namespace unify::model

@@ -1,0 +1,193 @@
+#include "service/service_layer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/config_translate.h"
+#include "core/resource_orchestrator.h"
+#include "core/unify_api.h"
+#include "core/virtualizer.h"
+#include "mapping/chain_dp_mapper.h"
+#include "model/nffg_builder.h"
+
+namespace unify::service {
+namespace {
+
+class AcceptAllAdapter final : public adapters::DomainAdapter {
+ public:
+  AcceptAllAdapter(std::string name, model::Nffg view)
+      : name_(std::move(name)), view_(std::move(view)) {}
+  [[nodiscard]] const std::string& domain() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] Result<model::Nffg> fetch_view() override { return view_; }
+  Result<void> apply(const model::Nffg&) override {
+    return Result<void>::success();
+  }
+  [[nodiscard]] std::uint64_t native_operations() const noexcept override {
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  model::Nffg view_;
+};
+
+/// Minimal one-RO stack: service layer -> unify -> virtualizer -> RO ->
+/// fake infra domain.
+struct Stack {
+  Stack() {
+    model::Nffg view{"infra-view"};
+    EXPECT_TRUE(
+        view.add_bisbis(model::make_bisbis("bb", {16, 16384, 200}, 4)).ok());
+    model::attach_sap(view, "sap1", "bb", 0, {1000, 0.1});
+    model::attach_sap(view, "sap2", "bb", 1, {1000, 0.1});
+    ro = std::make_unique<core::ResourceOrchestrator>(
+        "ro", std::make_shared<mapping::ChainDpMapper>(),
+        catalog::default_catalog());
+    EXPECT_TRUE(ro->add_domain(std::make_unique<AcceptAllAdapter>(
+                                   "infra", std::move(view)))
+                    .ok());
+    EXPECT_TRUE(ro->initialize().ok());
+    virtualizer = std::make_unique<core::Virtualizer>(
+        *ro, core::ViewPolicy::kSingleBisBis);
+    layer = std::make_unique<ServiceLayer>(
+        core::make_unify_link(*virtualizer, clock, "north"));
+  }
+  SimClock clock;
+  std::unique_ptr<core::ResourceOrchestrator> ro;
+  std::unique_ptr<core::Virtualizer> virtualizer;
+  std::unique_ptr<ServiceLayer> layer;
+};
+
+TEST(PrefixElements, PrefixesEverythingButSaps) {
+  const sg::ServiceGraph sg =
+      sg::make_chain("svc", "a", {"nat"}, "b", 10, 50);
+  const sg::ServiceGraph prefixed = prefix_elements(sg, "r1");
+  EXPECT_TRUE(prefixed.has_sap("a"));
+  EXPECT_NE(prefixed.find_nf("r1.nat0"), nullptr);
+  EXPECT_EQ(prefixed.find_nf("nat0"), nullptr);
+  EXPECT_NE(prefixed.find_link("r1.cl0"), nullptr);
+  ASSERT_EQ(prefixed.requirements().size(), 1u);
+  EXPECT_EQ(prefixed.requirements()[0].id, "r1.e2e");
+  EXPECT_TRUE(prefixed.validate().empty());
+}
+
+TEST(ServiceLayer, SubmitDeploysAndTracks) {
+  Stack stack;
+  const auto id = stack.layer->submit(
+      sg::make_chain("svc", "sap1", {"nat", "dpi"}, "sap2", 10, 100));
+  ASSERT_TRUE(id.ok()) << id.error().to_string();
+  EXPECT_EQ(*id, "svc");
+  EXPECT_EQ(stack.layer->requests().at("svc").state,
+            RequestState::kDeployed);
+  // NFs deployed below under the prefixed ids.
+  EXPECT_TRUE(stack.ro->global_view().find_nf("svc.nat0").has_value());
+  EXPECT_TRUE(stack.ro->global_view().find_nf("svc.dpi1").has_value());
+}
+
+TEST(ServiceLayer, StatusesRollUp) {
+  Stack stack;
+  ASSERT_TRUE(stack.layer
+                  ->submit(sg::make_chain("svc", "sap1", {"nat"}, "sap2", 10,
+                                          100))
+                  .ok());
+  auto statuses = stack.layer->nf_statuses("svc");
+  ASSERT_TRUE(statuses.ok()) << statuses.error().to_string();
+  ASSERT_EQ(statuses->size(), 1u);
+  EXPECT_EQ(statuses->count("nat0"), 1u);  // unprefixed for the user
+  auto ready = stack.layer->is_ready("svc");
+  ASSERT_TRUE(ready.ok());
+  EXPECT_FALSE(*ready);  // fake infra never reports running
+}
+
+TEST(ServiceLayer, MultipleIndependentServices) {
+  Stack stack;
+  ASSERT_TRUE(stack.layer
+                  ->submit(sg::make_chain("a", "sap1", {"nat"}, "sap2", 10,
+                                          100))
+                  .ok());
+  ASSERT_TRUE(stack.layer
+                  ->submit(sg::make_chain("b", "sap1", {"dpi"}, "sap2", 10,
+                                          100))
+                  .ok());
+  EXPECT_EQ(stack.ro->deployments().size(), 2u);
+  EXPECT_TRUE(stack.ro->global_view().find_nf("a.nat0").has_value());
+  EXPECT_TRUE(stack.ro->global_view().find_nf("b.dpi0").has_value());
+
+  ASSERT_TRUE(stack.layer->remove("a").ok());
+  EXPECT_FALSE(stack.ro->global_view().find_nf("a.nat0").has_value());
+  EXPECT_TRUE(stack.ro->global_view().find_nf("b.dpi0").has_value());
+  EXPECT_EQ(stack.layer->requests().at("a").state, RequestState::kRemoved);
+}
+
+TEST(ServiceLayer, RejectsBadRequests) {
+  Stack stack;
+  // Unknown SAP.
+  auto bad_sap = stack.layer->submit(
+      sg::make_chain("x", "ghost", {"nat"}, "sap2", 10, 100));
+  ASSERT_FALSE(bad_sap.ok());
+  EXPECT_EQ(bad_sap.error().code, ErrorCode::kNotFound);
+  // Empty id.
+  EXPECT_FALSE(
+      stack.layer->submit(sg::make_chain("", "sap1", {}, "sap2", 1, 9)).ok());
+  // Duplicate id.
+  ASSERT_TRUE(stack.layer
+                  ->submit(sg::make_chain("dup", "sap1", {}, "sap2", 1, 100))
+                  .ok());
+  EXPECT_EQ(stack.layer
+                ->submit(sg::make_chain("dup", "sap1", {}, "sap2", 1, 100))
+                .error()
+                .code,
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(ServiceLayer, FailedDeploymentRollsBack) {
+  Stack stack;
+  ASSERT_TRUE(stack.layer
+                  ->submit(sg::make_chain("ok", "sap1", {"nat"}, "sap2", 10,
+                                          100))
+                  .ok());
+  // Infeasible: resource demand beyond the substrate.
+  sg::ServiceGraph greedy{"greedy"};
+  ASSERT_TRUE(greedy.add_sap("sap1").ok());
+  ASSERT_TRUE(greedy.add_sap("sap2").ok());
+  ASSERT_TRUE(greedy
+                  .add_nf(sg::SgNf{"x", "nat", 2,
+                                   model::Resources{9999, 1, 1}})
+                  .ok());
+  ASSERT_TRUE(
+      greedy.add_link(sg::SgLink{"l1", {"sap1", 0}, {"x", 0}, 1}).ok());
+  ASSERT_TRUE(
+      greedy.add_link(sg::SgLink{"l2", {"x", 1}, {"sap2", 0}, 1}).ok());
+  auto failed = stack.layer->submit(greedy);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(stack.layer->requests().at("greedy").state,
+            RequestState::kFailed);
+  EXPECT_FALSE(stack.layer->requests().at("greedy").error.empty());
+  // The earlier service is untouched.
+  EXPECT_EQ(stack.ro->deployments().size(), 1u);
+  EXPECT_TRUE(stack.ro->global_view().find_nf("ok.nat0").has_value());
+  // And the layer still works.
+  EXPECT_TRUE(stack.layer
+                  ->submit(sg::make_chain("after", "sap1", {"dpi"}, "sap2",
+                                          10, 100))
+                  .ok());
+}
+
+TEST(ServiceLayer, RemoveUnknownFails) {
+  Stack stack;
+  EXPECT_EQ(stack.layer->remove("nope").error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(stack.layer->nf_statuses("nope").error().code,
+            ErrorCode::kNotFound);
+}
+
+TEST(ServiceLayer, ViewIsSingleBisBis) {
+  Stack stack;
+  auto view = stack.layer->view();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->bisbis().size(), 1u);
+  EXPECT_EQ(view->saps().size(), 2u);
+}
+
+}  // namespace
+}  // namespace unify::service

@@ -1,0 +1,80 @@
+#include "sg/sg_json.h"
+
+#include <gtest/gtest.h>
+
+namespace unify::sg {
+namespace {
+
+TEST(SgJson, RoundTripChain) {
+  ServiceGraph sg =
+      make_chain("svc", "sap1", {"firewall", "nat"}, "sap2", 100, 20);
+  auto decoded = sg_from_json_string(to_json_string(sg));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(*decoded, sg);
+  EXPECT_EQ(to_json_string(*decoded), to_json_string(sg));
+}
+
+TEST(SgJson, RoundTripWithOverridesAndInfiniteDelay) {
+  ServiceGraph sg{"svc"};
+  ASSERT_TRUE(sg.add_sap("a", "ingress").ok());
+  ASSERT_TRUE(sg.add_sap("b").ok());
+  ASSERT_TRUE(
+      sg.add_nf(SgNf{"nf", "dpi", 4, model::Resources{9, 999, 9}}).ok());
+  ASSERT_TRUE(sg.add_link(SgLink{"l1", {"a", 0}, {"nf", 0}, 10}).ok());
+  ASSERT_TRUE(sg.add_link(SgLink{"l2", {"nf", 1}, {"b", 0}, 10}).ok());
+  // No max_delay -> infinity must survive the round trip.
+  ASSERT_TRUE(sg.add_requirement(
+                    {"r", "a", "b",
+                     std::numeric_limits<double>::infinity(), 10})
+                  .ok());
+  auto decoded = sg_from_json_string(to_json_string(sg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, sg);
+  EXPECT_EQ(decoded->requirements()[0].max_delay,
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(decoded->find_nf("nf")->requirement_override,
+            (model::Resources{9, 999, 9}));
+}
+
+TEST(SgJson, ParsesHandWrittenRequest) {
+  const char* doc = R"({
+    "id": "customer-7",
+    "saps": [{"id":"u"},{"id":"net"}],
+    "nfs":  [{"id":"fw","type":"firewall"},
+             {"id":"pf","type":"parental-filter","ports":2}],
+    "links":[{"id":"c1","from":"u:0","to":"fw:0","bandwidth":50},
+             {"id":"c2","from":"fw:1","to":"pf:0","bandwidth":50},
+             {"id":"c3","from":"pf:1","to":"net:0","bandwidth":50}],
+    "requirements":[{"id":"q","from":"u","to":"net",
+                     "max_delay":30,"min_bandwidth":50}]})";
+  auto sg = sg_from_json_string(doc);
+  ASSERT_TRUE(sg.ok()) << sg.error().to_string();
+  EXPECT_TRUE(sg->validate().empty());
+  auto seq = sg->nf_sequence_for(sg->requirements()[0]);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, (std::vector<std::string>{"fw", "pf"}));
+}
+
+TEST(SgJson, RejectsMalformed) {
+  EXPECT_FALSE(sg_from_json_string("3").ok());
+  EXPECT_FALSE(sg_from_json_string(R"({"id":"x","nfs":3})").ok());
+  // Dangling link endpoint.
+  EXPECT_FALSE(sg_from_json_string(
+                   R"({"id":"x","links":[{"id":"l","from":"a:0","to":"b:0"}]})")
+                   .ok());
+  // Requirement on unknown SAP.
+  EXPECT_FALSE(
+      sg_from_json_string(
+          R"({"id":"x","saps":[{"id":"a"}],)"
+          R"("requirements":[{"id":"r","from":"a","to":"zz"}]})")
+          .ok());
+}
+
+TEST(SgJson, EmptyGraphRoundTrips) {
+  auto decoded = sg_from_json_string(to_json_string(ServiceGraph{"e"}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id(), "e");
+}
+
+}  // namespace
+}  // namespace unify::sg

@@ -1,0 +1,64 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace unify::log {
+namespace {
+
+struct Captured {
+  Level level;
+  std::string line;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_level(Level::kTrace);
+    set_sink([this](Level level, std::string_view line) {
+      records_.push_back({level, std::string(line)});
+    });
+  }
+  void TearDown() override {
+    set_sink(nullptr);
+    set_level(Level::kWarn);
+  }
+  std::vector<Captured> records_;
+};
+
+TEST_F(LogTest, WritesTagAndMessage) {
+  write(Level::kInfo, "orch.ro", "mapped 3 NFs");
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].line, "orch.ro: mapped 3 NFs");
+  EXPECT_EQ(records_[0].level, Level::kInfo);
+}
+
+TEST_F(LogTest, LevelFiltersRecords) {
+  set_level(Level::kError);
+  write(Level::kInfo, "t", "dropped");
+  write(Level::kError, "t", "kept");
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].line, "t: kept");
+}
+
+TEST_F(LogTest, MacroStreamsValues) {
+  UNIFY_LOG(kDebug, "adapter.sdn") << "installed " << 4 << " flowrules";
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].line, "adapter.sdn: installed 4 flowrules");
+}
+
+TEST_F(LogTest, MacroSkipsDisabledLevels) {
+  set_level(Level::kWarn);
+  UNIFY_LOG(kTrace, "t") << "invisible";
+  EXPECT_TRUE(records_.empty());
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(to_string(Level::kTrace), "trace");
+  EXPECT_STREQ(to_string(Level::kError), "error");
+}
+
+}  // namespace
+}  // namespace unify::log

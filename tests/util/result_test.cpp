@@ -1,0 +1,99 @@
+#include "util/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace unify {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Error{ErrorCode::kNotFound, "nf7"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "nf7");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ErrorCodeAndMessageConstructor) {
+  Result<std::string> r{ErrorCode::kTimeout, "rpc 12"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().to_string(), "timeout: rpc 12");
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 9);
+}
+
+TEST(Result, VoidSuccessAndError) {
+  Result<void> good = Result<void>::success();
+  EXPECT_TRUE(good.ok());
+  Result<void> bad{ErrorCode::kRejected, "domain d1 said no"};
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kRejected);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> half(int x) {
+  if (x % 2 != 0) return Error{ErrorCode::kInvalidArgument, "odd"};
+  return x / 2;
+}
+
+Result<int> quarter(int x) {
+  UNIFY_ASSIGN_OR_RETURN(int h, half(x));
+  UNIFY_ASSIGN_OR_RETURN(int q, half(h));
+  return q;
+}
+
+Result<void> check_even(int x) {
+  UNIFY_RETURN_IF_ERROR(half(x));
+  return Result<void>::success();
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  auto ok = quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  auto bad = quarter(6);  // 6/2=3, then 3 is odd
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Result, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(check_even(4).ok());
+  EXPECT_FALSE(check_even(5).ok());
+}
+
+TEST(Result, ErrorCodeNames) {
+  EXPECT_STREQ(to_string(ErrorCode::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(ErrorCode::kResourceExhausted),
+               "resource_exhausted");
+  EXPECT_STREQ(to_string(ErrorCode::kProtocol), "protocol");
+}
+
+TEST(Result, ErrorEquality) {
+  Error a{ErrorCode::kNotFound, "x"};
+  Error b{ErrorCode::kNotFound, "x"};
+  Error c{ErrorCode::kNotFound, "y"};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace unify

@@ -1,0 +1,107 @@
+#include "util/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace unify {
+namespace {
+
+TEST(SimClock, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(SimClock, AdvanceMovesTime) {
+  SimClock clock;
+  clock.advance(250);
+  EXPECT_EQ(clock.now(), 250);
+  clock.advance(0);
+  EXPECT_EQ(clock.now(), 250);
+}
+
+TEST(SimClock, TimerFiresAtDeadline) {
+  SimClock clock;
+  SimTime fired_at = -1;
+  clock.schedule_in(100, [&] { fired_at = clock.now(); });
+  clock.advance(99);
+  EXPECT_EQ(fired_at, -1);
+  clock.advance(1);
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(SimClock, TimersFireInDeadlineOrder) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.schedule_in(30, [&] { order.push_back(3); });
+  clock.schedule_in(10, [&] { order.push_back(1); });
+  clock.schedule_in(20, [&] { order.push_back(2); });
+  clock.advance(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimClock, EqualDeadlinesFifo) {
+  SimClock clock;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    clock.schedule_in(10, [&order, i] { order.push_back(i); });
+  }
+  clock.advance(10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimClock, TimerSeesAdvancedNow) {
+  SimClock clock;
+  clock.advance(5);
+  SimTime seen = -1;
+  clock.schedule_in(10, [&] { seen = clock.now(); });
+  clock.advance(20);
+  EXPECT_EQ(seen, 15);
+  EXPECT_EQ(clock.now(), 25);
+}
+
+TEST(SimClock, TimersCanScheduleTimers) {
+  SimClock clock;
+  std::vector<SimTime> fire_times;
+  clock.schedule_in(10, [&] {
+    fire_times.push_back(clock.now());
+    clock.schedule_in(10, [&] { fire_times.push_back(clock.now()); });
+  });
+  clock.advance(30);
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(SimClock, RunUntilIdleDrainsChains) {
+  SimClock clock;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) clock.schedule_in(7, chain);
+  };
+  clock.schedule_in(7, chain);
+  const std::size_t fired = clock.run_until_idle();
+  EXPECT_EQ(fired, 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(clock.now(), 35);
+  EXPECT_EQ(clock.pending_timers(), 0u);
+}
+
+TEST(SimClock, NegativeDelayClampsToNow) {
+  SimClock clock;
+  clock.advance(50);
+  SimTime fired_at = -1;
+  clock.schedule_in(-20, [&] { fired_at = clock.now(); });
+  clock.advance(0);
+  EXPECT_EQ(fired_at, 50);
+}
+
+TEST(SimClock, PendingTimersCount) {
+  SimClock clock;
+  clock.schedule_in(1, [] {});
+  clock.schedule_in(2, [] {});
+  EXPECT_EQ(clock.pending_timers(), 2u);
+  clock.advance(1);
+  EXPECT_EQ(clock.pending_timers(), 1u);
+}
+
+}  // namespace
+}  // namespace unify

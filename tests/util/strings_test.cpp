@@ -1,0 +1,65 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace unify::strings {
+namespace {
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, EmptyInput) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Join, RoundTripsSplit) {
+  const std::vector<std::string> pieces{"sap1", "fw", "nat", "sap2"};
+  EXPECT_EQ(join(pieces, "->"), "sap1->fw->nat->sap2");
+  EXPECT_EQ(split(join(pieces, ";"), ';'), pieces);
+}
+
+TEST(Join, Empty) { EXPECT_EQ(join({}, ","), ""); }
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("bisbis-3", "bisbis"));
+  EXPECT_FALSE(starts_with("bis", "bisbis"));
+  EXPECT_TRUE(ends_with("domain.sdn", ".sdn"));
+  EXPECT_FALSE(ends_with("sdn", "domain.sdn"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(FormatDouble, IntegralWithoutDecimals) {
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(-17.0), "-17");
+  EXPECT_EQ(format_double(0.0), "0");
+}
+
+TEST(FormatDouble, Fractional) {
+  EXPECT_EQ(format_double(0.25), "0.25");
+  EXPECT_EQ(format_double(1.5), "1.5");
+}
+
+}  // namespace
+}  // namespace unify::strings

@@ -1,0 +1,56 @@
+#include "viz/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "model/nffg_builder.h"
+
+namespace unify::viz {
+namespace {
+
+model::Nffg sample_nffg() {
+  model::Nffg g{"g"};
+  EXPECT_TRUE(
+      g.add_bisbis(model::make_bisbis("bb1", {8, 8192, 100}, 4)).ok());
+  model::attach_sap(g, "sap1", "bb1", 0);
+  EXPECT_TRUE(
+      g.place_nf("bb1", model::make_nf("fw", "firewall", {2, 1024, 4}))
+          .ok());
+  return g;
+}
+
+TEST(Dot, NffgContainsAllElements) {
+  const std::string dot = to_dot(sample_nffg());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"sap1\""), std::string::npos);
+  EXPECT_NE(dot.find("\"bb1\""), std::string::npos);
+  EXPECT_NE(dot.find("fw:firewall"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(dot.front(), 'd');
+  EXPECT_EQ(dot[dot.size() - 2], '}');
+}
+
+TEST(Dot, ServiceGraphContainsChain) {
+  const sg::ServiceGraph sg =
+      sg::make_chain("svc", "a", {"nat"}, "b", 10, 30);
+  const std::string dot = to_dot(sg);
+  EXPECT_NE(dot.find("\"nat0\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("<=30ms"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotes) {
+  model::Nffg g{"we\"ird"};
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("\\\""), std::string::npos);
+}
+
+TEST(SummaryTable, ReportsCounts) {
+  const std::string table = summary_table(sample_nffg());
+  EXPECT_NE(table.find("1 BiS-BiS"), std::string::npos);
+  EXPECT_NE(table.find("1 SAPs"), std::string::npos);
+  EXPECT_NE(table.find("capacity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unify::viz

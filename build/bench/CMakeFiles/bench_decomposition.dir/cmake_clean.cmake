@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decomposition.dir/bench_decomposition.cpp.o"
+  "CMakeFiles/bench_decomposition.dir/bench_decomposition.cpp.o.d"
+  "bench_decomposition"
+  "bench_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

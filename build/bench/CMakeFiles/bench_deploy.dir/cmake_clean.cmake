@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deploy.dir/bench_deploy.cpp.o"
+  "CMakeFiles/bench_deploy.dir/bench_deploy.cpp.o.d"
+  "bench_deploy"
+  "bench_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_embedding.dir/bench_embedding.cpp.o"
+  "CMakeFiles/bench_embedding.dir/bench_embedding.cpp.o.d"
+  "bench_embedding"
+  "bench_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol.dir/bench_protocol.cpp.o"
+  "CMakeFiles/bench_protocol.dir/bench_protocol.cpp.o.d"
+  "bench_protocol"
+  "bench_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recursion.dir/bench_recursion.cpp.o"
+  "CMakeFiles/bench_recursion.dir/bench_recursion.cpp.o.d"
+  "bench_recursion"
+  "bench_recursion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recursion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_virtualization.dir/bench_virtualization.cpp.o"
+  "CMakeFiles/bench_virtualization.dir/bench_virtualization.cpp.o.d"
+  "bench_virtualization"
+  "bench_virtualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_from_json.dir/deploy_from_json.cpp.o"
+  "CMakeFiles/deploy_from_json.dir/deploy_from_json.cpp.o.d"
+  "deploy_from_json"
+  "deploy_from_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_from_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

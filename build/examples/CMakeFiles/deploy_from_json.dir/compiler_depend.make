@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deploy_from_json.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_playground.dir/embedding_playground.cpp.o"
+  "CMakeFiles/embedding_playground.dir/embedding_playground.cpp.o.d"
+  "embedding_playground"
+  "embedding_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

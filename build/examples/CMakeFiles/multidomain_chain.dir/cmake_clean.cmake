@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidomain_chain.dir/multidomain_chain.cpp.o"
+  "CMakeFiles/multidomain_chain.dir/multidomain_chain.cpp.o.d"
+  "multidomain_chain"
+  "multidomain_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidomain_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_decomposition.dir/recursive_decomposition.cpp.o"
+  "CMakeFiles/recursive_decomposition.dir/recursive_decomposition.cpp.o.d"
+  "recursive_decomposition"
+  "recursive_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

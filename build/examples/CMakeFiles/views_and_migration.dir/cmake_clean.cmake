@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/views_and_migration.dir/views_and_migration.cpp.o"
+  "CMakeFiles/views_and_migration.dir/views_and_migration.cpp.o.d"
+  "views_and_migration"
+  "views_and_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/views_and_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for views_and_migration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for views_and_migration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("json")
+subdirs("graph")
+subdirs("model")
+subdirs("sg")
+subdirs("catalog")
+subdirs("mapping")
+subdirs("proto")
+subdirs("telemetry")
+subdirs("infra")
+subdirs("adapters")
+subdirs("core")
+subdirs("service")
+subdirs("viz")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_adapters.dir/base_adapter.cpp.o"
+  "CMakeFiles/unify_adapters.dir/base_adapter.cpp.o.d"
+  "CMakeFiles/unify_adapters.dir/cloud_adapter.cpp.o"
+  "CMakeFiles/unify_adapters.dir/cloud_adapter.cpp.o.d"
+  "CMakeFiles/unify_adapters.dir/emu_adapter.cpp.o"
+  "CMakeFiles/unify_adapters.dir/emu_adapter.cpp.o.d"
+  "CMakeFiles/unify_adapters.dir/pox_controller.cpp.o"
+  "CMakeFiles/unify_adapters.dir/pox_controller.cpp.o.d"
+  "CMakeFiles/unify_adapters.dir/remote_sdn_adapter.cpp.o"
+  "CMakeFiles/unify_adapters.dir/remote_sdn_adapter.cpp.o.d"
+  "CMakeFiles/unify_adapters.dir/sdn_adapter.cpp.o"
+  "CMakeFiles/unify_adapters.dir/sdn_adapter.cpp.o.d"
+  "CMakeFiles/unify_adapters.dir/un_adapter.cpp.o"
+  "CMakeFiles/unify_adapters.dir/un_adapter.cpp.o.d"
+  "libunify_adapters.a"
+  "libunify_adapters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_adapters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unify_adapters.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog_json.cpp" "src/catalog/CMakeFiles/unify_catalog.dir/catalog_json.cpp.o" "gcc" "src/catalog/CMakeFiles/unify_catalog.dir/catalog_json.cpp.o.d"
+  "/root/repo/src/catalog/decomposition.cpp" "src/catalog/CMakeFiles/unify_catalog.dir/decomposition.cpp.o" "gcc" "src/catalog/CMakeFiles/unify_catalog.dir/decomposition.cpp.o.d"
+  "/root/repo/src/catalog/nf_catalog.cpp" "src/catalog/CMakeFiles/unify_catalog.dir/nf_catalog.cpp.o" "gcc" "src/catalog/CMakeFiles/unify_catalog.dir/nf_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/unify_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/unify_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/unify_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/unify_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/unify_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_catalog.dir/catalog_json.cpp.o"
+  "CMakeFiles/unify_catalog.dir/catalog_json.cpp.o.d"
+  "CMakeFiles/unify_catalog.dir/decomposition.cpp.o"
+  "CMakeFiles/unify_catalog.dir/decomposition.cpp.o.d"
+  "CMakeFiles/unify_catalog.dir/nf_catalog.cpp.o"
+  "CMakeFiles/unify_catalog.dir/nf_catalog.cpp.o.d"
+  "libunify_catalog.a"
+  "libunify_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_translate.cpp" "src/core/CMakeFiles/unify_core.dir/config_translate.cpp.o" "gcc" "src/core/CMakeFiles/unify_core.dir/config_translate.cpp.o.d"
+  "/root/repo/src/core/pinned_mapper.cpp" "src/core/CMakeFiles/unify_core.dir/pinned_mapper.cpp.o" "gcc" "src/core/CMakeFiles/unify_core.dir/pinned_mapper.cpp.o.d"
+  "/root/repo/src/core/resource_orchestrator.cpp" "src/core/CMakeFiles/unify_core.dir/resource_orchestrator.cpp.o" "gcc" "src/core/CMakeFiles/unify_core.dir/resource_orchestrator.cpp.o.d"
+  "/root/repo/src/core/unify_api.cpp" "src/core/CMakeFiles/unify_core.dir/unify_api.cpp.o" "gcc" "src/core/CMakeFiles/unify_core.dir/unify_api.cpp.o.d"
+  "/root/repo/src/core/virtualizer.cpp" "src/core/CMakeFiles/unify_core.dir/virtualizer.cpp.o" "gcc" "src/core/CMakeFiles/unify_core.dir/virtualizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/unify_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/unify_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/unify_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/unify_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapters/CMakeFiles/unify_adapters.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/unify_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/unify_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/unify_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/unify_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/unify_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/unify_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

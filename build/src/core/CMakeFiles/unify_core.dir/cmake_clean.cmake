@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_core.dir/config_translate.cpp.o"
+  "CMakeFiles/unify_core.dir/config_translate.cpp.o.d"
+  "CMakeFiles/unify_core.dir/pinned_mapper.cpp.o"
+  "CMakeFiles/unify_core.dir/pinned_mapper.cpp.o.d"
+  "CMakeFiles/unify_core.dir/resource_orchestrator.cpp.o"
+  "CMakeFiles/unify_core.dir/resource_orchestrator.cpp.o.d"
+  "CMakeFiles/unify_core.dir/unify_api.cpp.o"
+  "CMakeFiles/unify_core.dir/unify_api.cpp.o.d"
+  "CMakeFiles/unify_core.dir/virtualizer.cpp.o"
+  "CMakeFiles/unify_core.dir/virtualizer.cpp.o.d"
+  "libunify_core.a"
+  "libunify_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

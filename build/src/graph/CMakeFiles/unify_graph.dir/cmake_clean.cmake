@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/unify_graph.dir/algorithms.cpp.o.d"
+  "libunify_graph.a"
+  "libunify_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infra/cloud.cpp" "src/infra/CMakeFiles/unify_infra.dir/cloud.cpp.o" "gcc" "src/infra/CMakeFiles/unify_infra.dir/cloud.cpp.o.d"
+  "/root/repo/src/infra/emu_network.cpp" "src/infra/CMakeFiles/unify_infra.dir/emu_network.cpp.o" "gcc" "src/infra/CMakeFiles/unify_infra.dir/emu_network.cpp.o.d"
+  "/root/repo/src/infra/fabric.cpp" "src/infra/CMakeFiles/unify_infra.dir/fabric.cpp.o" "gcc" "src/infra/CMakeFiles/unify_infra.dir/fabric.cpp.o.d"
+  "/root/repo/src/infra/sdn_network.cpp" "src/infra/CMakeFiles/unify_infra.dir/sdn_network.cpp.o" "gcc" "src/infra/CMakeFiles/unify_infra.dir/sdn_network.cpp.o.d"
+  "/root/repo/src/infra/topologies.cpp" "src/infra/CMakeFiles/unify_infra.dir/topologies.cpp.o" "gcc" "src/infra/CMakeFiles/unify_infra.dir/topologies.cpp.o.d"
+  "/root/repo/src/infra/universal_node.cpp" "src/infra/CMakeFiles/unify_infra.dir/universal_node.cpp.o" "gcc" "src/infra/CMakeFiles/unify_infra.dir/universal_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/unify_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/unify_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/unify_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/unify_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/unify_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

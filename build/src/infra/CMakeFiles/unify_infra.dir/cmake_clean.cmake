@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_infra.dir/cloud.cpp.o"
+  "CMakeFiles/unify_infra.dir/cloud.cpp.o.d"
+  "CMakeFiles/unify_infra.dir/emu_network.cpp.o"
+  "CMakeFiles/unify_infra.dir/emu_network.cpp.o.d"
+  "CMakeFiles/unify_infra.dir/fabric.cpp.o"
+  "CMakeFiles/unify_infra.dir/fabric.cpp.o.d"
+  "CMakeFiles/unify_infra.dir/sdn_network.cpp.o"
+  "CMakeFiles/unify_infra.dir/sdn_network.cpp.o.d"
+  "CMakeFiles/unify_infra.dir/topologies.cpp.o"
+  "CMakeFiles/unify_infra.dir/topologies.cpp.o.d"
+  "CMakeFiles/unify_infra.dir/universal_node.cpp.o"
+  "CMakeFiles/unify_infra.dir/universal_node.cpp.o.d"
+  "libunify_infra.a"
+  "libunify_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_json.dir/json.cpp.o"
+  "CMakeFiles/unify_json.dir/json.cpp.o.d"
+  "libunify_json.a"
+  "libunify_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/annealing_mapper.cpp" "src/mapping/CMakeFiles/unify_mapping.dir/annealing_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/unify_mapping.dir/annealing_mapper.cpp.o.d"
+  "/root/repo/src/mapping/backtracking_mapper.cpp" "src/mapping/CMakeFiles/unify_mapping.dir/backtracking_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/unify_mapping.dir/backtracking_mapper.cpp.o.d"
+  "/root/repo/src/mapping/baseline_mappers.cpp" "src/mapping/CMakeFiles/unify_mapping.dir/baseline_mappers.cpp.o" "gcc" "src/mapping/CMakeFiles/unify_mapping.dir/baseline_mappers.cpp.o.d"
+  "/root/repo/src/mapping/chain_dp_mapper.cpp" "src/mapping/CMakeFiles/unify_mapping.dir/chain_dp_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/unify_mapping.dir/chain_dp_mapper.cpp.o.d"
+  "/root/repo/src/mapping/context.cpp" "src/mapping/CMakeFiles/unify_mapping.dir/context.cpp.o" "gcc" "src/mapping/CMakeFiles/unify_mapping.dir/context.cpp.o.d"
+  "/root/repo/src/mapping/decomp_aware_mapper.cpp" "src/mapping/CMakeFiles/unify_mapping.dir/decomp_aware_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/unify_mapping.dir/decomp_aware_mapper.cpp.o.d"
+  "/root/repo/src/mapping/greedy_mapper.cpp" "src/mapping/CMakeFiles/unify_mapping.dir/greedy_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/unify_mapping.dir/greedy_mapper.cpp.o.d"
+  "/root/repo/src/mapping/mapper.cpp" "src/mapping/CMakeFiles/unify_mapping.dir/mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/unify_mapping.dir/mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/unify_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/unify_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/unify_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/unify_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/unify_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/unify_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

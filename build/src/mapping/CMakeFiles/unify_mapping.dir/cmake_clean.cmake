@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_mapping.dir/annealing_mapper.cpp.o"
+  "CMakeFiles/unify_mapping.dir/annealing_mapper.cpp.o.d"
+  "CMakeFiles/unify_mapping.dir/backtracking_mapper.cpp.o"
+  "CMakeFiles/unify_mapping.dir/backtracking_mapper.cpp.o.d"
+  "CMakeFiles/unify_mapping.dir/baseline_mappers.cpp.o"
+  "CMakeFiles/unify_mapping.dir/baseline_mappers.cpp.o.d"
+  "CMakeFiles/unify_mapping.dir/chain_dp_mapper.cpp.o"
+  "CMakeFiles/unify_mapping.dir/chain_dp_mapper.cpp.o.d"
+  "CMakeFiles/unify_mapping.dir/context.cpp.o"
+  "CMakeFiles/unify_mapping.dir/context.cpp.o.d"
+  "CMakeFiles/unify_mapping.dir/decomp_aware_mapper.cpp.o"
+  "CMakeFiles/unify_mapping.dir/decomp_aware_mapper.cpp.o.d"
+  "CMakeFiles/unify_mapping.dir/greedy_mapper.cpp.o"
+  "CMakeFiles/unify_mapping.dir/greedy_mapper.cpp.o.d"
+  "CMakeFiles/unify_mapping.dir/mapper.cpp.o"
+  "CMakeFiles/unify_mapping.dir/mapper.cpp.o.d"
+  "libunify_mapping.a"
+  "libunify_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

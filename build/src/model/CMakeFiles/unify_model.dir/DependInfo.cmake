@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/nffg.cpp" "src/model/CMakeFiles/unify_model.dir/nffg.cpp.o" "gcc" "src/model/CMakeFiles/unify_model.dir/nffg.cpp.o.d"
+  "/root/repo/src/model/nffg_diff.cpp" "src/model/CMakeFiles/unify_model.dir/nffg_diff.cpp.o" "gcc" "src/model/CMakeFiles/unify_model.dir/nffg_diff.cpp.o.d"
+  "/root/repo/src/model/nffg_json.cpp" "src/model/CMakeFiles/unify_model.dir/nffg_json.cpp.o" "gcc" "src/model/CMakeFiles/unify_model.dir/nffg_json.cpp.o.d"
+  "/root/repo/src/model/nffg_merge.cpp" "src/model/CMakeFiles/unify_model.dir/nffg_merge.cpp.o" "gcc" "src/model/CMakeFiles/unify_model.dir/nffg_merge.cpp.o.d"
+  "/root/repo/src/model/nffg_validate.cpp" "src/model/CMakeFiles/unify_model.dir/nffg_validate.cpp.o" "gcc" "src/model/CMakeFiles/unify_model.dir/nffg_validate.cpp.o.d"
+  "/root/repo/src/model/topology_index.cpp" "src/model/CMakeFiles/unify_model.dir/topology_index.cpp.o" "gcc" "src/model/CMakeFiles/unify_model.dir/topology_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/unify_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/unify_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/unify_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

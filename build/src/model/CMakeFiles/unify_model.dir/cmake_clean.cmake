@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_model.dir/nffg.cpp.o"
+  "CMakeFiles/unify_model.dir/nffg.cpp.o.d"
+  "CMakeFiles/unify_model.dir/nffg_diff.cpp.o"
+  "CMakeFiles/unify_model.dir/nffg_diff.cpp.o.d"
+  "CMakeFiles/unify_model.dir/nffg_json.cpp.o"
+  "CMakeFiles/unify_model.dir/nffg_json.cpp.o.d"
+  "CMakeFiles/unify_model.dir/nffg_merge.cpp.o"
+  "CMakeFiles/unify_model.dir/nffg_merge.cpp.o.d"
+  "CMakeFiles/unify_model.dir/nffg_validate.cpp.o"
+  "CMakeFiles/unify_model.dir/nffg_validate.cpp.o.d"
+  "CMakeFiles/unify_model.dir/topology_index.cpp.o"
+  "CMakeFiles/unify_model.dir/topology_index.cpp.o.d"
+  "libunify_model.a"
+  "libunify_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

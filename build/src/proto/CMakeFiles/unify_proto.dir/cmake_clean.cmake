@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_proto.dir/channel.cpp.o"
+  "CMakeFiles/unify_proto.dir/channel.cpp.o.d"
+  "CMakeFiles/unify_proto.dir/framing.cpp.o"
+  "CMakeFiles/unify_proto.dir/framing.cpp.o.d"
+  "CMakeFiles/unify_proto.dir/openflow.cpp.o"
+  "CMakeFiles/unify_proto.dir/openflow.cpp.o.d"
+  "CMakeFiles/unify_proto.dir/rpc.cpp.o"
+  "CMakeFiles/unify_proto.dir/rpc.cpp.o.d"
+  "libunify_proto.a"
+  "libunify_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

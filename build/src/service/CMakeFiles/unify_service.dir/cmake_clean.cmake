@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_service.dir/fig1.cpp.o"
+  "CMakeFiles/unify_service.dir/fig1.cpp.o.d"
+  "CMakeFiles/unify_service.dir/service_layer.cpp.o"
+  "CMakeFiles/unify_service.dir/service_layer.cpp.o.d"
+  "libunify_service.a"
+  "libunify_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sg/service_graph.cpp" "src/sg/CMakeFiles/unify_sg.dir/service_graph.cpp.o" "gcc" "src/sg/CMakeFiles/unify_sg.dir/service_graph.cpp.o.d"
+  "/root/repo/src/sg/sg_json.cpp" "src/sg/CMakeFiles/unify_sg.dir/sg_json.cpp.o" "gcc" "src/sg/CMakeFiles/unify_sg.dir/sg_json.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/unify_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/unify_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/unify_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/unify_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

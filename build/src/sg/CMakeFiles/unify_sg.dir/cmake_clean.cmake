@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_sg.dir/service_graph.cpp.o"
+  "CMakeFiles/unify_sg.dir/service_graph.cpp.o.d"
+  "CMakeFiles/unify_sg.dir/sg_json.cpp.o"
+  "CMakeFiles/unify_sg.dir/sg_json.cpp.o.d"
+  "libunify_sg.a"
+  "libunify_sg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_sg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for unify_sg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/unify_telemetry.dir/metrics.cpp.o.d"
+  "libunify_telemetry.a"
+  "libunify_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_util.dir/log.cpp.o"
+  "CMakeFiles/unify_util.dir/log.cpp.o.d"
+  "CMakeFiles/unify_util.dir/sim_clock.cpp.o"
+  "CMakeFiles/unify_util.dir/sim_clock.cpp.o.d"
+  "CMakeFiles/unify_util.dir/strings.cpp.o"
+  "CMakeFiles/unify_util.dir/strings.cpp.o.d"
+  "libunify_util.a"
+  "libunify_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_viz.dir/dot.cpp.o"
+  "CMakeFiles/unify_viz.dir/dot.cpp.o.d"
+  "libunify_viz.a"
+  "libunify_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapter_tests.dir/adapters/adapters_test.cpp.o"
+  "CMakeFiles/adapter_tests.dir/adapters/adapters_test.cpp.o.d"
+  "CMakeFiles/adapter_tests.dir/adapters/remote_sdn_test.cpp.o"
+  "CMakeFiles/adapter_tests.dir/adapters/remote_sdn_test.cpp.o.d"
+  "adapter_tests"
+  "adapter_tests.pdb"
+  "adapter_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapter_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

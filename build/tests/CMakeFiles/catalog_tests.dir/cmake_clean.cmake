@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_tests.dir/catalog/catalog_test.cpp.o"
+  "CMakeFiles/catalog_tests.dir/catalog/catalog_test.cpp.o.d"
+  "catalog_tests"
+  "catalog_tests.pdb"
+  "catalog_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/config_translate_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/config_translate_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/orchestrator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/orchestrator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/resilience_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/resilience_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/unify_api_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/unify_api_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/virtualizer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/virtualizer_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

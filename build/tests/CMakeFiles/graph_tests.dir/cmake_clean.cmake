@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tests.dir/graph/algorithms_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/algorithms_test.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/graph_test.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/graph_test.cpp.o.d"
+  "graph_tests"
+  "graph_tests.pdb"
+  "graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/infra/domains_test.cpp" "tests/CMakeFiles/infra_tests.dir/infra/domains_test.cpp.o" "gcc" "tests/CMakeFiles/infra_tests.dir/infra/domains_test.cpp.o.d"
+  "/root/repo/tests/infra/fabric_test.cpp" "tests/CMakeFiles/infra_tests.dir/infra/fabric_test.cpp.o" "gcc" "tests/CMakeFiles/infra_tests.dir/infra/fabric_test.cpp.o.d"
+  "/root/repo/tests/infra/topologies_test.cpp" "tests/CMakeFiles/infra_tests.dir/infra/topologies_test.cpp.o" "gcc" "tests/CMakeFiles/infra_tests.dir/infra/topologies_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/infra/CMakeFiles/unify_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/unify_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/unify_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/unify_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/unify_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/unify_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_tests.dir/infra/domains_test.cpp.o"
+  "CMakeFiles/infra_tests.dir/infra/domains_test.cpp.o.d"
+  "CMakeFiles/infra_tests.dir/infra/fabric_test.cpp.o"
+  "CMakeFiles/infra_tests.dir/infra/fabric_test.cpp.o.d"
+  "CMakeFiles/infra_tests.dir/infra/topologies_test.cpp.o"
+  "CMakeFiles/infra_tests.dir/infra/topologies_test.cpp.o.d"
+  "infra_tests"
+  "infra_tests.pdb"
+  "infra_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

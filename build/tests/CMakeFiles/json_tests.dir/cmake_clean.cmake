@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_tests.dir/json/json_property_test.cpp.o"
+  "CMakeFiles/json_tests.dir/json/json_property_test.cpp.o.d"
+  "CMakeFiles/json_tests.dir/json/json_test.cpp.o"
+  "CMakeFiles/json_tests.dir/json/json_test.cpp.o.d"
+  "json_tests"
+  "json_tests.pdb"
+  "json_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

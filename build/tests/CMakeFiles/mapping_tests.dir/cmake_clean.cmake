@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_tests.dir/mapping/extensions_test.cpp.o"
+  "CMakeFiles/mapping_tests.dir/mapping/extensions_test.cpp.o.d"
+  "CMakeFiles/mapping_tests.dir/mapping/mapping_property_test.cpp.o"
+  "CMakeFiles/mapping_tests.dir/mapping/mapping_property_test.cpp.o.d"
+  "CMakeFiles/mapping_tests.dir/mapping/mapping_test.cpp.o"
+  "CMakeFiles/mapping_tests.dir/mapping/mapping_test.cpp.o.d"
+  "mapping_tests"
+  "mapping_tests.pdb"
+  "mapping_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

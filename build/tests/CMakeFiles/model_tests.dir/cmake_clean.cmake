@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_tests.dir/model/nffg_diff_test.cpp.o"
+  "CMakeFiles/model_tests.dir/model/nffg_diff_test.cpp.o.d"
+  "CMakeFiles/model_tests.dir/model/nffg_json_test.cpp.o"
+  "CMakeFiles/model_tests.dir/model/nffg_json_test.cpp.o.d"
+  "CMakeFiles/model_tests.dir/model/nffg_merge_test.cpp.o"
+  "CMakeFiles/model_tests.dir/model/nffg_merge_test.cpp.o.d"
+  "CMakeFiles/model_tests.dir/model/nffg_property_test.cpp.o"
+  "CMakeFiles/model_tests.dir/model/nffg_property_test.cpp.o.d"
+  "CMakeFiles/model_tests.dir/model/nffg_test.cpp.o"
+  "CMakeFiles/model_tests.dir/model/nffg_test.cpp.o.d"
+  "CMakeFiles/model_tests.dir/model/topology_index_test.cpp.o"
+  "CMakeFiles/model_tests.dir/model/topology_index_test.cpp.o.d"
+  "model_tests"
+  "model_tests.pdb"
+  "model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_tests.dir/proto/channel_test.cpp.o"
+  "CMakeFiles/proto_tests.dir/proto/channel_test.cpp.o.d"
+  "CMakeFiles/proto_tests.dir/proto/framing_test.cpp.o"
+  "CMakeFiles/proto_tests.dir/proto/framing_test.cpp.o.d"
+  "CMakeFiles/proto_tests.dir/proto/rpc_test.cpp.o"
+  "CMakeFiles/proto_tests.dir/proto/rpc_test.cpp.o.d"
+  "proto_tests"
+  "proto_tests.pdb"
+  "proto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for proto_tests.
+# This may be replaced when dependencies are built.

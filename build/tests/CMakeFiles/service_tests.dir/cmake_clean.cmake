@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_tests.dir/service/churn_test.cpp.o"
+  "CMakeFiles/service_tests.dir/service/churn_test.cpp.o.d"
+  "CMakeFiles/service_tests.dir/service/fig1_test.cpp.o"
+  "CMakeFiles/service_tests.dir/service/fig1_test.cpp.o.d"
+  "CMakeFiles/service_tests.dir/service/service_layer_test.cpp.o"
+  "CMakeFiles/service_tests.dir/service/service_layer_test.cpp.o.d"
+  "service_tests"
+  "service_tests.pdb"
+  "service_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_tests.dir/sg/service_graph_test.cpp.o"
+  "CMakeFiles/sg_tests.dir/sg/service_graph_test.cpp.o.d"
+  "CMakeFiles/sg_tests.dir/sg/sg_json_test.cpp.o"
+  "CMakeFiles/sg_tests.dir/sg/sg_json_test.cpp.o.d"
+  "sg_tests"
+  "sg_tests.pdb"
+  "sg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_tests.dir/telemetry/metrics_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/metrics_test.cpp.o.d"
+  "telemetry_tests"
+  "telemetry_tests.pdb"
+  "telemetry_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

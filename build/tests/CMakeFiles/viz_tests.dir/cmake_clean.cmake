@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viz_tests.dir/viz/dot_test.cpp.o"
+  "CMakeFiles/viz_tests.dir/viz/dot_test.cpp.o.d"
+  "viz_tests"
+  "viz_tests.pdb"
+  "viz_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viz_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/json_tests[1]_include.cmake")
+include("/root/repo/build/tests/graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/model_tests[1]_include.cmake")
+include("/root/repo/build/tests/sg_tests[1]_include.cmake")
+include("/root/repo/build/tests/catalog_tests[1]_include.cmake")
+include("/root/repo/build/tests/mapping_tests[1]_include.cmake")
+include("/root/repo/build/tests/proto_tests[1]_include.cmake")
+include("/root/repo/build/tests/infra_tests[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapter_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/service_tests[1]_include.cmake")
+include("/root/repo/build/tests/viz_tests[1]_include.cmake")

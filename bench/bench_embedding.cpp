@@ -7,6 +7,7 @@
 // policy as the variable.
 #include <benchmark/benchmark.h>
 
+#include "core/resource_orchestrator.h"
 #include "infra/topologies.h"
 #include "mapping/annealing_mapper.h"
 #include "mapping/backtracking_mapper.h"
@@ -138,10 +139,87 @@ void fill_args(benchmark::internal::Benchmark* bench) {
   }
 }
 
+/// Canned-view adapter so the RO front-end can be benchmarked without real
+/// domains.
+class StaticAdapter final : public adapters::DomainAdapter {
+ public:
+  StaticAdapter(std::string name, model::Nffg view)
+      : name_(std::move(name)), view_(std::move(view)) {}
+  const std::string& domain() const noexcept override { return name_; }
+  Result<model::Nffg> fetch_view() override { return view_; }
+  Result<void> apply(const model::Nffg&) override {
+    return Result<void>::success();
+  }
+  std::uint64_t native_operations() const noexcept override { return 0; }
+
+ private:
+  std::string name_;
+  model::Nffg view_;
+};
+
+std::unique_ptr<core::ResourceOrchestrator> batch_ro() {
+  auto ro = std::make_unique<core::ResourceOrchestrator>(
+      "ro", std::make_shared<mapping::ChainDpMapper>(),
+      catalog::default_catalog());
+  (void)ro->add_domain(std::make_unique<StaticAdapter>(
+      "d1", infra::topo::leaf_spine(2, 8, 2)));
+  (void)ro->initialize();
+  return ro;
+}
+
+/// Batch throughput: the same `requests` independent chains deployed
+/// through a sequential deploy() loop (workers == 0) or through
+/// map_batch() on a worker pool. Args: {requests, workers}.
+void BM_BatchDeploy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  std::vector<sg::ServiceGraph> requests;
+  for (int i = 0; i < n; ++i) {
+    const std::string id = "svc" + std::to_string(i);
+    requests.push_back(service::prefix_elements(
+        sg::make_chain(id, "sap1",
+                       {i % 2 == 0 ? "fw-lite" : "monitor"}, "sap2", 10,
+                       1000),
+        id));
+  }
+
+  std::size_t failures = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto ro = batch_ro();  // fresh view per lap; setup excluded
+    state.ResumeTiming();
+    if (workers == 0) {
+      for (const sg::ServiceGraph& request : requests) {
+        if (!ro->deploy(request).ok()) ++failures;
+      }
+    } else {
+      for (const auto& result :
+           ro->map_batch(requests, static_cast<std::size_t>(workers))) {
+        if (!result.ok()) ++failures;
+      }
+    }
+  }
+  state.SetLabel(workers == 0 ? "sequential"
+                              : "batch/w" + std::to_string(workers));
+  state.counters["failed"] = static_cast<double>(failures);
+  state.counters["chains_per_s"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void batch_args(benchmark::internal::Benchmark* bench) {
+  for (const int n : {8, 32}) {
+    for (const int workers : {0, 1, 2, 4}) {
+      bench->Args({n, workers});
+    }
+  }
+}
+
 BENCHMARK(BM_MapChain)->Apply(map_args)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_FillUntilRejection)
     ->Apply(fill_args)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchDeploy)->Apply(batch_args)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,160 @@
+// E5 — the path engine under the microscope.
+//
+// Three layers of the same query, bottom up: the devirtualized
+// allocation-free kernel with a reused workspace, the type-erased
+// EdgeScanFn shim kept for API compatibility, and the memoized
+// Context::distance() front most mappers actually call. The spread between
+// them is the price of std::function indirection and the payoff of the
+// (src, dst, bandwidth)-keyed cache; a route/unroute cycle shows what
+// invalidation costs when reservations churn.
+#include <benchmark/benchmark.h>
+
+#include "graph/algorithms.h"
+#include "graph/path_kernel.h"
+#include "infra/topologies.h"
+#include "mapping/context.h"
+#include "model/topology_index.h"
+
+namespace {
+
+using namespace unify;
+
+model::Nffg make_substrate(int nodes) {
+  Rng rng(11);
+  return infra::topo::random_connected(nodes, 3.0, 2, rng);
+}
+
+/// Devirtualized kernel: template scan, reused workspace, no per-call
+/// allocations once warm.
+void BM_KernelDijkstra(benchmark::State& state) {
+  const model::Nffg substrate = make_substrate(static_cast<int>(state.range(0)));
+  const model::TopologyIndex index(substrate);
+  const auto src = index.node_of("sap1");
+  const auto dst = index.node_of("sap2");
+  const auto scan = index.delay_scan(10);
+  graph::PathWorkspace workspace;
+  for (auto _ : state) {
+    auto path = graph::shortest_path(workspace, index.graph().node_capacity(),
+                                     src, dst, scan);
+    benchmark::DoNotOptimize(path);
+  }
+  state.SetLabel("n=" + std::to_string(state.range(0)));
+}
+
+/// Same query through the legacy EdgeScanFn shim: identical algorithm, but
+/// every edge visit crosses two std::function boundaries.
+void BM_ShimDijkstra(benchmark::State& state) {
+  const model::Nffg substrate = make_substrate(static_cast<int>(state.range(0)));
+  const model::TopologyIndex index(substrate);
+  const auto src = index.node_of("sap1");
+  const auto dst = index.node_of("sap2");
+  const graph::EdgeScanFn scan = index.scan_by_delay(10);
+  for (auto _ : state) {
+    auto path = graph::shortest_path(index.graph().node_capacity(), src, dst,
+                                     scan);
+    benchmark::DoNotOptimize(path);
+  }
+  state.SetLabel("n=" + std::to_string(state.range(0)));
+}
+
+/// Distance-only kernel variant (no path reconstruction).
+void BM_KernelDistance(benchmark::State& state) {
+  const model::Nffg substrate = make_substrate(static_cast<int>(state.range(0)));
+  const model::TopologyIndex index(substrate);
+  const auto src = index.node_of("sap1");
+  const auto dst = index.node_of("sap2");
+  const auto scan = index.delay_scan(10);
+  graph::PathWorkspace workspace;
+  for (auto _ : state) {
+    const double d = graph::shortest_distance(
+        workspace, index.graph().node_capacity(), src, dst, scan);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetLabel("n=" + std::to_string(state.range(0)));
+}
+
+/// Context::distance() with a hot cache: after the first lap every query is
+/// a lookup. This is the mapper-visible cost of repeated cost estimates.
+void BM_ContextDistanceWarm(benchmark::State& state) {
+  const model::Nffg substrate = make_substrate(static_cast<int>(state.range(0)));
+  const sg::ServiceGraph sg =
+      sg::make_chain("svc", "sap1", {"fw-lite"}, "sap2", 10, 10000);
+  const catalog::NfCatalog cat = catalog::default_catalog();
+  mapping::Context ctx(sg, substrate, cat);
+  for (auto _ : state) {
+    const double d = ctx.distance("sap1", "sap2", 10);
+    benchmark::DoNotOptimize(d);
+  }
+  const auto& stats = ctx.path_cache_stats();
+  state.counters["hits"] = static_cast<double>(stats.hits);
+  state.counters["misses"] = static_cast<double>(stats.misses);
+  state.SetLabel("n=" + std::to_string(state.range(0)));
+}
+
+/// Cache-defeating variant: every query uses a fresh bandwidth class, so
+/// each one is a miss (kernel run + insertion). Upper bound on the cost of
+/// a query mix with no reuse.
+void BM_ContextDistanceCold(benchmark::State& state) {
+  const model::Nffg substrate = make_substrate(static_cast<int>(state.range(0)));
+  const sg::ServiceGraph sg =
+      sg::make_chain("svc", "sap1", {"fw-lite"}, "sap2", 10, 10000);
+  const catalog::NfCatalog cat = catalog::default_catalog();
+  mapping::Context ctx(sg, substrate, cat);
+  double bw = 0;
+  for (auto _ : state) {
+    bw += 1e-7;  // distinct key every iteration; floor stays ~0
+    const double d = ctx.distance("sap1", "sap2", bw);
+    benchmark::DoNotOptimize(d);
+  }
+  const auto& stats = ctx.path_cache_stats();
+  state.counters["misses"] = static_cast<double>(stats.misses);
+  state.SetLabel("n=" + std::to_string(state.range(0)));
+}
+
+/// A full place/route/unroute cycle: route reserves bandwidth and evicts
+/// crossing entries, unroute releases and flushes. Invalidation counters
+/// tell how much of the cache churns per cycle.
+void BM_RouteUnrouteCycle(benchmark::State& state) {
+  const model::Nffg substrate = make_substrate(static_cast<int>(state.range(0)));
+  const sg::ServiceGraph sg =
+      sg::make_chain("svc", "sap1", {"fw-lite", "monitor"}, "sap2", 10, 10000);
+  const catalog::NfCatalog cat = catalog::default_catalog();
+  mapping::Context ctx(sg, substrate, cat);
+  const auto hosts1 = ctx.candidates(*sg.find_nf("fw-lite0"));
+  const auto hosts2 = ctx.candidates(*sg.find_nf("monitor1"));
+  if (hosts1.empty() || hosts2.empty()) {
+    state.SkipWithError("no feasible hosts");
+    return;
+  }
+  if (!ctx.place("fw-lite0", hosts1.front()).ok() ||
+      !ctx.place("monitor1", hosts2.back()).ok()) {
+    state.SkipWithError("placement failed");
+    return;
+  }
+  for (auto _ : state) {
+    // Warm the cache like a mapper probing alternatives would...
+    benchmark::DoNotOptimize(ctx.distance("sap1", "sap2", 10));
+    // ...then commit and roll back a routing.
+    if (!ctx.route_all().ok()) {
+      state.SkipWithError("routing failed");
+      return;
+    }
+    for (const sg::SgLink& link : sg.links()) ctx.unroute(link.id);
+  }
+  const auto& stats = ctx.path_cache_stats();
+  state.counters["invalidations"] = static_cast<double>(stats.invalidations);
+  state.counters["hits"] = static_cast<double>(stats.hits);
+  state.counters["misses"] = static_cast<double>(stats.misses);
+  state.SetLabel("n=" + std::to_string(state.range(0)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_KernelDijkstra)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ShimDijkstra)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_KernelDistance)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ContextDistanceWarm)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ContextDistanceCold)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_RouteUnrouteCycle)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -183,14 +183,7 @@ bench/CMakeFiles/bench_embedding.dir/bench_embedding.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/infra/topologies.h /root/repo/src/model/nffg.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/model/resources.h /root/repo/src/util/strings.h \
- /root/repo/src/util/result.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/util/rng.h \
- /root/repo/src/mapping/annealing_mapper.h \
- /root/repo/src/mapping/mapper.h /usr/include/c++/12/memory \
+ /root/repo/src/core/resource_orchestrator.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -219,16 +212,29 @@ bench/CMakeFiles/bench_embedding.dir/bench_embedding.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/adapters/domain_adapter.h /root/repo/src/model/nffg.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/model/resources.h /root/repo/src/util/strings.h \
+ /root/repo/src/util/result.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/catalog/nf_catalog.h \
  /root/repo/src/catalog/decomposition.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/sg/service_graph.h \
+ /root/repo/src/sg/service_graph.h /root/repo/src/util/rng.h \
+ /root/repo/src/core/pinned_mapper.h /root/repo/src/mapping/mapper.h \
+ /root/repo/src/mapping/decomp_aware_mapper.h \
+ /root/repo/src/model/nffg_merge.h /root/repo/src/telemetry/metrics.h \
+ /root/repo/src/util/sim_clock.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/infra/topologies.h \
+ /root/repo/src/mapping/annealing_mapper.h \
  /root/repo/src/mapping/backtracking_mapper.h \
  /root/repo/src/mapping/baseline_mappers.h \
  /root/repo/src/mapping/chain_dp_mapper.h \
  /root/repo/src/mapping/greedy_mapper.h \
- /root/repo/src/service/service_layer.h \
- /root/repo/src/adapters/domain_adapter.h
+ /root/repo/src/service/service_layer.h

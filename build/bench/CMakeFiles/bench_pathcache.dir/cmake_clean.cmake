@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pathcache.dir/bench_pathcache.cpp.o"
+  "CMakeFiles/bench_pathcache.dir/bench_pathcache.cpp.o.d"
+  "bench_pathcache"
+  "bench_pathcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pathcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,3 +4,19 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_virtualization_smoke "/root/repo/build/bench/bench_virtualization" "--benchmark_list_tests=true")
+set_tests_properties(bench_virtualization_smoke PROPERTIES  LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;6;add_test;/root/repo/bench/CMakeLists.txt;10;unify_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_deploy_smoke "/root/repo/build/bench/bench_deploy" "--benchmark_list_tests=true")
+set_tests_properties(bench_deploy_smoke PROPERTIES  LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;6;add_test;/root/repo/bench/CMakeLists.txt;11;unify_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_embedding_smoke "/root/repo/build/bench/bench_embedding" "--benchmark_list_tests=true")
+set_tests_properties(bench_embedding_smoke PROPERTIES  LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;6;add_test;/root/repo/bench/CMakeLists.txt;12;unify_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_recursion_smoke "/root/repo/build/bench/bench_recursion" "--benchmark_list_tests=true")
+set_tests_properties(bench_recursion_smoke PROPERTIES  LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;6;add_test;/root/repo/bench/CMakeLists.txt;13;unify_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_decomposition_smoke "/root/repo/build/bench/bench_decomposition" "--benchmark_list_tests=true")
+set_tests_properties(bench_decomposition_smoke PROPERTIES  LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;6;add_test;/root/repo/bench/CMakeLists.txt;14;unify_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_protocol_smoke "/root/repo/build/bench/bench_protocol" "--benchmark_list_tests=true")
+set_tests_properties(bench_protocol_smoke PROPERTIES  LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;6;add_test;/root/repo/bench/CMakeLists.txt;15;unify_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_delta_smoke "/root/repo/build/bench/bench_delta" "--benchmark_list_tests=true")
+set_tests_properties(bench_delta_smoke PROPERTIES  LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;6;add_test;/root/repo/bench/CMakeLists.txt;16;unify_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_pathcache_smoke "/root/repo/build/bench/bench_pathcache" "--benchmark_list_tests=true")
+set_tests_properties(bench_pathcache_smoke PROPERTIES  LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;6;add_test;/root/repo/bench/CMakeLists.txt;17;unify_add_bench;/root/repo/bench/CMakeLists.txt;0;")

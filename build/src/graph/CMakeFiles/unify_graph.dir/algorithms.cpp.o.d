@@ -120,4 +120,5 @@ src/graph/CMakeFiles/unify_graph.dir/algorithms.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h
+ /usr/include/c++/12/bits/stl_multiset.h \
+ /root/repo/src/graph/path_kernel.h

@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sg/CMakeFiles/unify_sg.dir/DependInfo.cmake"
   "/root/repo/build/src/catalog/CMakeFiles/unify_catalog.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/unify_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/unify_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/json/CMakeFiles/unify_json.dir/DependInfo.cmake"
   )
 

@@ -245,6 +245,10 @@ src/mapping/CMakeFiles/unify_mapping.dir/annealing_mapper.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/mapping/context.h /root/repo/src/model/topology_index.h \
+ /root/repo/src/mapping/context.h /root/repo/src/graph/path_kernel.h \
  /root/repo/src/graph/algorithms.h /root/repo/src/graph/graph.h \
+ /root/repo/src/model/topology_index.h /root/repo/src/telemetry/metrics.h \
+ /root/repo/src/util/sim_clock.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/mapping/greedy_mapper.h

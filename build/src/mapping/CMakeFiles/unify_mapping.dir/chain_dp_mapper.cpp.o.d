@@ -225,5 +225,9 @@ src/mapping/CMakeFiles/unify_mapping.dir/chain_dp_mapper.cpp.o: \
  /root/repo/src/util/rng.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/mapping/context.h \
- /root/repo/src/model/topology_index.h /root/repo/src/graph/algorithms.h \
- /root/repo/src/graph/graph.h
+ /root/repo/src/graph/path_kernel.h /root/repo/src/graph/algorithms.h \
+ /root/repo/src/graph/graph.h /root/repo/src/model/topology_index.h \
+ /root/repo/src/telemetry/metrics.h /root/repo/src/util/sim_clock.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h

@@ -223,5 +223,9 @@ src/mapping/CMakeFiles/unify_mapping.dir/greedy_mapper.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/util/rng.h /root/repo/src/mapping/context.h \
- /root/repo/src/model/topology_index.h /root/repo/src/graph/algorithms.h \
- /root/repo/src/graph/graph.h
+ /root/repo/src/graph/path_kernel.h /root/repo/src/graph/algorithms.h \
+ /root/repo/src/graph/graph.h /root/repo/src/model/topology_index.h \
+ /root/repo/src/telemetry/metrics.h /root/repo/src/util/sim_clock.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h

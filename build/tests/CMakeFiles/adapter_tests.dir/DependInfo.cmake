@@ -18,12 +18,12 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/mapping/CMakeFiles/unify_mapping.dir/DependInfo.cmake"
   "/root/repo/build/src/proto/CMakeFiles/unify_proto.dir/DependInfo.cmake"
   "/root/repo/build/src/infra/CMakeFiles/unify_infra.dir/DependInfo.cmake"
-  "/root/repo/build/src/telemetry/CMakeFiles/unify_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/catalog/CMakeFiles/unify_catalog.dir/DependInfo.cmake"
   "/root/repo/build/src/sg/CMakeFiles/unify_sg.dir/DependInfo.cmake"
   "/root/repo/build/src/model/CMakeFiles/unify_model.dir/DependInfo.cmake"
   "/root/repo/build/src/json/CMakeFiles/unify_json.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/unify_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/unify_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/unify_util.dir/DependInfo.cmake"
   )
 

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/map_batch_test.cpp" "tests/CMakeFiles/concurrency_tests.dir/core/map_batch_test.cpp.o" "gcc" "tests/CMakeFiles/concurrency_tests.dir/core/map_batch_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/concurrency_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/concurrency_tests.dir/util/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/unify_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/unify_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/unify_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/unify_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapters/CMakeFiles/unify_adapters.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/unify_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sg/CMakeFiles/unify_sg.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/unify_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/unify_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/unify_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/unify_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/unify_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/unify_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

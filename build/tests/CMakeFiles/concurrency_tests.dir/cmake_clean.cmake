@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_tests.dir/core/map_batch_test.cpp.o"
+  "CMakeFiles/concurrency_tests.dir/core/map_batch_test.cpp.o.d"
+  "CMakeFiles/concurrency_tests.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/concurrency_tests.dir/util/thread_pool_test.cpp.o.d"
+  "concurrency_tests"
+  "concurrency_tests.pdb"
+  "concurrency_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

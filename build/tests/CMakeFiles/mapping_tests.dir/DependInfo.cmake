@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/mapping/extensions_test.cpp" "tests/CMakeFiles/mapping_tests.dir/mapping/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/mapping_tests.dir/mapping/extensions_test.cpp.o.d"
   "/root/repo/tests/mapping/mapping_property_test.cpp" "tests/CMakeFiles/mapping_tests.dir/mapping/mapping_property_test.cpp.o" "gcc" "tests/CMakeFiles/mapping_tests.dir/mapping/mapping_property_test.cpp.o.d"
   "/root/repo/tests/mapping/mapping_test.cpp" "tests/CMakeFiles/mapping_tests.dir/mapping/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/mapping_tests.dir/mapping/mapping_test.cpp.o.d"
+  "/root/repo/tests/mapping/path_cache_test.cpp" "tests/CMakeFiles/mapping_tests.dir/mapping/path_cache_test.cpp.o" "gcc" "tests/CMakeFiles/mapping_tests.dir/mapping/path_cache_test.cpp.o.d"
   )
 
 # Targets to which this target links.

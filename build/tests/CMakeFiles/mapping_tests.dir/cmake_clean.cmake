@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mapping_tests.dir/mapping/mapping_property_test.cpp.o.d"
   "CMakeFiles/mapping_tests.dir/mapping/mapping_test.cpp.o"
   "CMakeFiles/mapping_tests.dir/mapping/mapping_test.cpp.o.d"
+  "CMakeFiles/mapping_tests.dir/mapping/path_cache_test.cpp.o"
+  "CMakeFiles/mapping_tests.dir/mapping/path_cache_test.cpp.o.d"
   "mapping_tests"
   "mapping_tests.pdb"
   "mapping_tests[1]_tests.cmake"

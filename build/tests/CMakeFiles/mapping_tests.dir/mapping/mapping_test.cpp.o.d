@@ -303,8 +303,12 @@ tests/CMakeFiles/mapping_tests.dir/mapping/mapping_test.cpp.o: \
  /root/repo/src/mapping/backtracking_mapper.h \
  /root/repo/src/mapping/baseline_mappers.h \
  /root/repo/src/mapping/chain_dp_mapper.h \
- /root/repo/src/mapping/context.h /root/repo/src/model/topology_index.h \
+ /root/repo/src/mapping/context.h /root/repo/src/graph/path_kernel.h \
  /root/repo/src/graph/algorithms.h /root/repo/src/graph/graph.h \
+ /root/repo/src/model/topology_index.h /root/repo/src/telemetry/metrics.h \
+ /root/repo/src/util/sim_clock.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/mapping/decomp_aware_mapper.h \
  /root/repo/src/mapping/greedy_mapper.h \
  /root/repo/src/model/nffg_builder.h

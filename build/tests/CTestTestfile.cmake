@@ -18,3 +18,4 @@ include("/root/repo/build/tests/adapter_tests[1]_include.cmake")
 include("/root/repo/build/tests/core_tests[1]_include.cmake")
 include("/root/repo/build/tests/service_tests[1]_include.cmake")
 include("/root/repo/build/tests/viz_tests[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_tests[1]_include.cmake")

@@ -1,6 +1,9 @@
 #include "core/resource_orchestrator.h"
 
+#include <optional>
+
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace unify::core {
 
@@ -50,8 +53,8 @@ Result<void> ResourceOrchestrator::initialize() {
   return Result<void>::success();
 }
 
-Result<std::string> ResourceOrchestrator::deploy(
-    const sg::ServiceGraph& request) {
+Result<void> ResourceOrchestrator::admit(
+    const sg::ServiceGraph& request) const {
   if (!initialized_) {
     return Error{ErrorCode::kUnavailable, "RO not initialized"};
   }
@@ -74,7 +77,12 @@ Result<std::string> ResourceOrchestrator::deploy(
                    "NF id " + nf_id + " already deployed"};
     }
   }
+  return Result<void>::success();
+}
 
+Result<ResourceOrchestrator::Deployment> ResourceOrchestrator::prepare(
+    const sg::ServiceGraph& request, const model::Nffg& view,
+    PrepareStats& stats) const {
   // Map (with decomposition when enabled).
   Deployment deployment;
   deployment.request_id = request.id();
@@ -83,24 +91,109 @@ Result<std::string> ResourceOrchestrator::deploy(
     mapping::DecompAwareMapper decomp(mapper_,
                                       options_.max_decomposition_combinations);
     UNIFY_ASSIGN_OR_RETURN(mapping::DecompResult result,
-                           decomp.map_with_decomposition(request, view_,
+                           decomp.map_with_decomposition(request, view,
                                                          catalog_));
     deployment.expanded = std::move(result.expanded);
     deployment.mapping = std::move(result.mapping);
-    metrics_.add("ro.decomposition_combinations",
-                 result.combinations_tried);
+    stats.decomposition_combinations = result.combinations_tried;
   } else {
     sg::ServiceGraph expanded = request;
     UNIFY_ASSIGN_OR_RETURN(const std::size_t applied,
                            catalog::expand_all(expanded, catalog_));
-    metrics_.add("ro.pre_expansions", applied);
+    stats.pre_expansions = applied;
     UNIFY_ASSIGN_OR_RETURN(mapping::Mapping mapping,
-                           mapper_->map(expanded, view_, catalog_));
+                           mapper_->map(expanded, view, catalog_));
     deployment.expanded = std::move(expanded);
     deployment.mapping = std::move(mapping);
   }
+  return deployment;
+}
 
+Result<std::string> ResourceOrchestrator::deploy(
+    const sg::ServiceGraph& request) {
+  UNIFY_RETURN_IF_ERROR(admit(request));
+  PrepareStats stats;
+  UNIFY_ASSIGN_OR_RETURN(Deployment deployment,
+                         prepare(request, view_, stats));
+  if (options_.use_decomposition) {
+    metrics_.add("ro.decomposition_combinations",
+                 stats.decomposition_combinations);
+  } else {
+    metrics_.add("ro.pre_expansions", stats.pre_expansions);
+  }
   return commit(std::move(deployment));
+}
+
+std::vector<Result<std::string>> ResourceOrchestrator::map_batch(
+    const std::vector<sg::ServiceGraph>& requests, std::size_t workers) {
+  std::vector<Result<std::string>> results;
+  results.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    results.emplace_back(Error{ErrorCode::kInternal, "request not processed"});
+  }
+  if (requests.empty()) return results;
+
+  // Speculative phase: map every admissible request against the current
+  // view in parallel. Workers only read view_/catalog_ (the mappers copy
+  // the substrate into private Contexts) and write disjoint slots, so the
+  // only synchronization needed is the pool join.
+  std::vector<std::optional<Result<Deployment>>> prepared(requests.size());
+  std::vector<PrepareStats> stats(requests.size());
+  const std::size_t pool_size =
+      util::ThreadPool::clamp_workers(workers, requests.size());
+  {
+    util::ThreadPool pool(pool_size);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (const auto admitted = admit(requests[i]); !admitted.ok()) {
+        results[i] = admitted.error();
+        continue;
+      }
+      pool.submit([this, &requests, &prepared, &stats, i] {
+        prepared[i] = prepare(requests[i], view_, stats[i]);
+      });
+    }
+    pool.wait_idle();
+  }
+
+  // Commit phase: strictly sequential, in request order. Earlier commits
+  // change the view, so each speculative mapping is re-validated and
+  // re-mapped on conflict (optimistic concurrency).
+  telemetry::Registry batch_metrics;
+  batch_metrics.add("ro.batch_requests", requests.size());
+  batch_metrics.set_gauge("ro.batch_workers",
+                          static_cast<double>(pool_size));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!prepared[i].has_value()) continue;  // rejected by admit()
+    // Earlier commits may have taken this request id or its NF ids.
+    if (const auto admitted = admit(requests[i]); !admitted.ok()) {
+      results[i] = admitted.error();
+      continue;
+    }
+    Result<Deployment> outcome = std::move(*prepared[i]);
+    if (outcome.ok() &&
+        !mapping::verify_mapping(outcome->expanded, view_, catalog_,
+                                 outcome->mapping)
+             .ok()) {
+      // A previous commit consumed resources the speculative mapping
+      // relies on; re-map against the current view.
+      batch_metrics.add("ro.batch_conflicts");
+      outcome = prepare(requests[i], view_, stats[i]);
+      if (outcome.ok()) batch_metrics.add("ro.batch_remaps");
+    }
+    if (!outcome.ok()) {
+      results[i] = outcome.error();
+      continue;
+    }
+    if (options_.use_decomposition) {
+      batch_metrics.add("ro.decomposition_combinations",
+                        stats[i].decomposition_combinations);
+    } else {
+      batch_metrics.add("ro.pre_expansions", stats[i].pre_expansions);
+    }
+    results[i] = commit(std::move(outcome).value());
+  }
+  metrics_.merge(batch_metrics);
+  return results;
 }
 
 Result<std::string> ResourceOrchestrator::deploy_pinned(

@@ -8,6 +8,7 @@
 // the resulting configuration per domain and pushes each slice south.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -67,6 +68,24 @@ class ResourceOrchestrator {
   /// domains that succeeded.
   Result<std::string> deploy(const sg::ServiceGraph& request);
 
+  /// Maps a batch of service graphs concurrently, then deploys them.
+  ///
+  /// Embedding is the expensive phase and reads only the (unchanging)
+  /// global view, so every request is mapped speculatively in parallel on a
+  /// fixed-size worker pool (`workers` threads; 0 = hardware concurrency,
+  /// capped at the batch size), each worker running the mapper on its own
+  /// substrate copy. Commits then happen strictly sequentially in request
+  /// order: each speculative mapping is re-validated against the view as
+  /// left by the earlier commits, and re-mapped on the spot when the
+  /// validation detects a resource conflict. The outcome is deterministic
+  /// (independent of thread scheduling) and matches the equivalent
+  /// sequential deploy() loop whenever the requests do not contend for the
+  /// same substrate resources.
+  ///
+  /// Returns one Result per request, index-aligned with `requests`.
+  std::vector<Result<std::string>> map_batch(
+      const std::vector<sg::ServiceGraph>& requests, std::size_t workers = 0);
+
   /// Deploys with placements fixed by the caller (full-view client did the
   /// embedding): NF hosts come from `pins`, only links are routed, no
   /// decomposition is applied.
@@ -110,6 +129,21 @@ class ResourceOrchestrator {
   }
 
  private:
+  /// Mapping-phase counters produced by prepare(); folded into metrics_ by
+  /// the (single-threaded) caller so prepare() can run on worker threads.
+  struct PrepareStats {
+    std::uint64_t decomposition_combinations = 0;
+    std::uint64_t pre_expansions = 0;
+  };
+
+  /// Admission checks with no side effects: id set and unused, graph
+  /// structurally valid, NF ids free in `view`.
+  Result<void> admit(const sg::ServiceGraph& request) const;
+  /// The pure mapping phase of deploy(): expansion/decomposition plus
+  /// embedding against `view`. Thread-safe (const, touches no RO state).
+  Result<Deployment> prepare(const sg::ServiceGraph& request,
+                             const model::Nffg& view,
+                             PrepareStats& stats) const;
   Result<std::string> commit(Deployment deployment);
   Result<void> push_slices();
 

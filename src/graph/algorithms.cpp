@@ -4,6 +4,8 @@
 #include <queue>
 #include <set>
 
+#include "graph/path_kernel.h"
+
 namespace unify::graph {
 
 namespace {
@@ -19,6 +21,14 @@ struct QueueItem {
 
 using MinQueue =
     std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
+
+/// Workspace reused by every EdgeScanFn-based query on this thread; callers
+/// that want a private workspace (or a devirtualized scan) use the kernel
+/// in path_kernel.h directly.
+PathWorkspace& scratch_workspace() {
+  thread_local PathWorkspace workspace;
+  return workspace;
+}
 
 }  // namespace
 
@@ -72,45 +82,10 @@ std::optional<Path> ShortestPathTree::path_to(NodeId source,
 
 std::optional<Path> shortest_path(std::size_t node_capacity, NodeId source,
                                   NodeId target, const EdgeScanFn& scan) {
-  // Early-exit Dijkstra.
-  if (source >= node_capacity || target >= node_capacity) return std::nullopt;
-  std::vector<double> dist(node_capacity, kInf);
-  std::vector<EdgeId> parent_edge(node_capacity, kInvalidId);
-  std::vector<NodeId> parent_node(node_capacity, kInvalidId);
-  std::vector<bool> done(node_capacity, false);
-  dist[source] = 0;
-  MinQueue queue;
-  queue.push({0, source});
-  while (!queue.empty()) {
-    const auto [d, node] = queue.top();
-    queue.pop();
-    if (done[node]) continue;
-    done[node] = true;
-    if (node == target) break;
-    scan(node, [&](EdgeId edge, NodeId to, double weight) {
-      if (weight < 0 || to >= node_capacity || done[to]) return;
-      const double candidate = d + weight;
-      if (candidate < dist[to]) {
-        dist[to] = candidate;
-        parent_edge[to] = edge;
-        parent_node[to] = node;
-        queue.push({candidate, to});
-      }
-    });
-  }
-  if (dist[target] == kInf) return std::nullopt;
-  Path path;
-  path.cost = dist[target];
-  NodeId cur = target;
-  while (cur != source) {
-    path.nodes.push_back(cur);
-    path.edges.push_back(parent_edge[cur]);
-    cur = parent_node[cur];
-  }
-  path.nodes.push_back(source);
-  std::reverse(path.nodes.begin(), path.nodes.end());
-  std::reverse(path.edges.begin(), path.edges.end());
-  return path;
+  // Compatibility shim: same early-exit Dijkstra, run on the reusable
+  // kernel workspace.
+  return shortest_path(scratch_workspace(), node_capacity, source, target,
+                       scan);
 }
 
 std::vector<Path> k_shortest_paths(std::size_t node_capacity, NodeId source,

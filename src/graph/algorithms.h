@@ -5,6 +5,11 @@
 // residual-capacity-aware cost without copying the graph. Edges reported
 // with a negative weight are treated as unusable (filtered out), which is
 // how mappers mask links without residual bandwidth.
+//
+// shortest_path here is a compatibility shim over the allocation-free
+// template kernel in path_kernel.h; hot callers (the mapping layer) use
+// the kernel directly with a concrete scan functor and a reusable
+// PathWorkspace.
 #pragma once
 
 #include <functional>

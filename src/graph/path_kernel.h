@@ -1,0 +1,180 @@
+// Allocation-free shortest-path kernel.
+//
+// The EdgeScanFn-based engine in algorithms.h pays twice on the embedding
+// hot path: every Dijkstra run allocates fresh distance/parent/heap arrays,
+// and every edge relaxation goes through two std::function indirections.
+// This header provides the fast variant used by the mappers: a template
+// over the scan functor (fully inlinable, no virtual dispatch) driving a
+// PathWorkspace whose arrays are sized once per substrate and logically
+// reset by bumping an epoch counter instead of refilling.
+//
+// Semantics are identical to graph::shortest_path (same deterministic
+// (dist, node) tie-break, same negative-weight edge masking); the
+// EdgeScanFn overloads in algorithms.h are thin shims over this kernel.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/algorithms.h"
+
+namespace unify::graph {
+
+/// Reusable scratch space for shortest-path runs. Arrays grow to the
+/// largest node capacity seen and are never shrunk; per-run reset costs
+/// O(1) (an epoch bump) instead of O(nodes). Not thread-safe: use one
+/// workspace per thread (mapping Contexts own one each).
+class PathWorkspace {
+ public:
+  /// Per-node search state, valid only while the matching epoch stamp is
+  /// current.
+  struct NodeState {
+    double dist = 0;
+    EdgeId parent_edge = kInvalidId;
+    NodeId parent_node = kInvalidId;
+    std::uint64_t seen = 0;  ///< dist/parents valid iff == epoch
+    std::uint64_t done = 0;  ///< node settled iff == epoch
+  };
+
+  struct HeapItem {
+    double dist;
+    NodeId node;
+  };
+
+  /// Starts a new search over `node_capacity` node ids.
+  void begin(std::size_t node_capacity) {
+    if (nodes_.size() < node_capacity) nodes_.resize(node_capacity);
+    ++epoch_;
+    heap_.clear();
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return nodes_.size(); }
+
+  std::vector<NodeState> nodes_;
+  std::vector<HeapItem> heap_;
+
+ private:
+  std::uint64_t epoch_ = 0;
+};
+
+namespace detail {
+
+/// Heap comparator reproducing the MinQueue ordering of algorithms.cpp:
+/// the heap's "largest" element (the one std::pop_heap extracts) is the
+/// item with the smallest (dist, node) pair.
+struct HeapAfter {
+  bool operator()(const PathWorkspace::HeapItem& a,
+                  const PathWorkspace::HeapItem& b) const noexcept {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    return a.node > b.node;
+  }
+};
+
+}  // namespace detail
+
+/// Early-exit Dijkstra from `source` to `target` over `scan`, which must be
+/// callable as scan(NodeId, visit) with visit(EdgeId, NodeId to, double
+/// weight); negative weights mask edges. Returns nullopt when unreachable.
+template <typename ScanFn>
+[[nodiscard]] std::optional<Path> shortest_path(PathWorkspace& ws,
+                                                std::size_t node_capacity,
+                                                NodeId source, NodeId target,
+                                                ScanFn&& scan) {
+  if (source >= node_capacity || target >= node_capacity) return std::nullopt;
+  ws.begin(node_capacity);
+  const std::uint64_t epoch = ws.epoch();
+  auto& nodes = ws.nodes_;
+  auto& heap = ws.heap_;
+
+  nodes[source].dist = 0;
+  nodes[source].parent_edge = kInvalidId;
+  nodes[source].parent_node = kInvalidId;
+  nodes[source].seen = epoch;
+  heap.push_back({0, source});
+
+  const detail::HeapAfter after;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), after);
+    const auto [d, node] = heap.back();
+    heap.pop_back();
+    if (nodes[node].done == epoch) continue;
+    nodes[node].done = epoch;
+    if (node == target) break;
+    scan(node, [&](EdgeId edge, NodeId to, double weight) {
+      if (weight < 0 || to >= node_capacity) return;
+      PathWorkspace::NodeState& state = nodes[to];
+      if (state.done == epoch) return;
+      const double candidate = d + weight;
+      if (state.seen != epoch || candidate < state.dist) {
+        state.dist = candidate;
+        state.parent_edge = edge;
+        state.parent_node = node;
+        state.seen = epoch;
+        heap.push_back({candidate, to});
+        std::push_heap(heap.begin(), heap.end(), after);
+      }
+    });
+  }
+
+  if (nodes[target].seen != epoch) return std::nullopt;
+  Path path;
+  path.cost = nodes[target].dist;
+  NodeId cur = target;
+  while (cur != source) {
+    path.nodes.push_back(cur);
+    path.edges.push_back(nodes[cur].parent_edge);
+    cur = nodes[cur].parent_node;
+  }
+  path.nodes.push_back(source);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+/// Distance-only variant: the cost of the shortest path, kInf when
+/// unreachable. Skips path reconstruction, so a query allocates nothing
+/// once the workspace is warm.
+template <typename ScanFn>
+[[nodiscard]] double shortest_distance(PathWorkspace& ws,
+                                       std::size_t node_capacity,
+                                       NodeId source, NodeId target,
+                                       ScanFn&& scan) {
+  if (source >= node_capacity || target >= node_capacity) return kInf;
+  if (source == target) return 0;
+  ws.begin(node_capacity);
+  const std::uint64_t epoch = ws.epoch();
+  auto& nodes = ws.nodes_;
+  auto& heap = ws.heap_;
+
+  nodes[source].dist = 0;
+  nodes[source].seen = epoch;
+  heap.push_back({0, source});
+
+  const detail::HeapAfter after;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), after);
+    const auto [d, node] = heap.back();
+    heap.pop_back();
+    if (nodes[node].done == epoch) continue;
+    nodes[node].done = epoch;
+    if (node == target) return d;
+    scan(node, [&](EdgeId, NodeId to, double weight) {
+      if (weight < 0 || to >= node_capacity) return;
+      PathWorkspace::NodeState& state = nodes[to];
+      if (state.done == epoch) return;
+      const double candidate = d + weight;
+      if (state.seen != epoch || candidate < state.dist) {
+        state.dist = candidate;
+        state.seen = epoch;
+        heap.push_back({candidate, to});
+        std::push_heap(heap.begin(), heap.end(), after);
+      }
+    });
+  }
+  return kInf;
+}
+
+}  // namespace unify::graph

@@ -16,14 +16,24 @@ double objective(const Mapping& m, double delay_weight) {
   return m.stats.bandwidth_hops + delay_weight * delay;
 }
 
-/// Evaluates a complete placement: route everything, check requirements,
-/// return the finished mapping. nullopt when infeasible.
-std::optional<Mapping> evaluate(
-    const sg::ServiceGraph& sg, const model::Nffg& substrate,
-    const catalog::NfCatalog& catalog,
-    const std::map<std::string, std::string>& placement) {
-  Context ctx(sg, substrate, catalog);
+/// Re-synchronizes the persistent context to `placement`: tears every route
+/// down, moves the placements that differ, re-routes and re-checks. Returns
+/// the finished mapping, or nullopt when the placement is infeasible (the
+/// context is then left partially synced; re-sync to a known-good placement
+/// to recover). The end state is identical to evaluating `placement` on a
+/// fresh Context — placement order does not affect the substrate state and
+/// routing order is the SG link order either way — but skips the substrate
+/// copy, index rebuild and cold path cache a fresh Context would pay.
+std::optional<Mapping> resync(
+    Context& ctx, const std::map<std::string, std::string>& placement) {
+  for (const sg::SgLink& link : ctx.sg().links()) ctx.unroute(link.id);
+  const std::map<std::string, std::string> current = ctx.placements();
+  for (const auto& [nf, host] : current) {
+    const auto want = placement.find(nf);
+    if (want == placement.end() || want->second != host) ctx.unplace(nf);
+  }
   for (const auto& [nf, host] : placement) {
+    if (ctx.placements().count(nf) != 0) continue;
     if (!ctx.place(nf, host).ok()) return std::nullopt;
   }
   if (!ctx.route_all().ok()) return std::nullopt;
@@ -46,8 +56,18 @@ Result<Mapping> AnnealingMapper::map(const sg::ServiceGraph& sg,
   Mapping current = best;
   double current_cost = best_cost;
 
+  // One context for the whole annealing run; every candidate placement is
+  // evaluated by re-syncing it instead of copying the substrate anew.
+  Context ctx(sg, substrate, catalog);
+  if (!resync(ctx, current_placement).has_value()) {
+    // The greedy placement routed on an identical substrate moments ago;
+    // never expected, but fall back to it rather than crash.
+    best.mapper_name = name();
+    return best;
+  }
+
   // Collect NF ids and, per NF, its candidate hosts on the empty substrate
-  // (capacity feasibility of the full placement is re-checked by evaluate).
+  // (capacity feasibility of the full placement is re-checked by resync).
   std::vector<std::string> nf_ids;
   for (const auto& [nf_id, nf] : sg.nfs()) nf_ids.push_back(nf_id);
   Context probe(sg, substrate, catalog);
@@ -68,7 +88,10 @@ Result<Mapping> AnnealingMapper::map(const sg::ServiceGraph& sg,
 
     auto moved = current_placement;
     moved[nf] = new_host;
-    const auto candidate = evaluate(sg, substrate, catalog, moved);
+    // No rollback on failure or reject: a resync's end state depends only
+    // on its target placement, and the next candidate's resync tears the
+    // context down first anyway.
+    const auto candidate = resync(ctx, moved);
     if (!candidate.has_value()) continue;
     const double cost = objective(*candidate, options_.delay_weight);
     const double delta = cost - current_cost;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "graph/algorithms.h"
+#include "util/log.h"
 
 namespace unify::mapping {
 
@@ -14,7 +15,15 @@ Context::Context(const sg::ServiceGraph& sg, const model::Nffg& substrate,
 }
 
 Result<model::Resources> Context::footprint(const sg::SgNf& nf) const {
-  return catalog_->footprint(nf.type, nf.requirement_override);
+  const auto key =
+      std::make_tuple(nf.type, nf.requirement_override.cpu,
+                      nf.requirement_override.mem,
+                      nf.requirement_override.storage);
+  const auto it = footprint_cache_.find(key);
+  if (it != footprint_cache_.end()) return it->second;
+  auto resolved = catalog_->footprint(nf.type, nf.requirement_override);
+  if (resolved.ok()) footprint_cache_.emplace(key, *resolved);
+  return resolved;
 }
 
 std::vector<std::string> Context::candidates(const sg::SgNf& nf) const {
@@ -107,6 +116,56 @@ Result<std::string> Context::node_of(const std::string& sg_node) const {
   return it->second;
 }
 
+const Context::PathEntry& Context::cached_path(graph::NodeId from,
+                                               graph::NodeId to,
+                                               double min_bw) const {
+  const PathKey key{from, to, min_bw};
+  const auto it = path_cache_.find(key);
+  if (it != path_cache_.end()) {
+    ++cache_stats_.hits;
+    return it->second;
+  }
+  ++cache_stats_.misses;
+  PathEntry entry;
+  auto path = graph::shortest_path(workspace_, index_->graph().node_capacity(),
+                                   from, to, index_->delay_scan(min_bw));
+  if (path.has_value()) {
+    entry.reachable = true;
+    entry.delay = model::path_delay(*index_, *path);
+    entry.path = std::move(*path);
+  }
+  return path_cache_.emplace(key, std::move(entry)).first->second;
+}
+
+void Context::invalidate_paths_crossing(
+    const std::vector<graph::EdgeId>& edges) {
+  for (auto it = path_cache_.begin(); it != path_cache_.end();) {
+    const auto& cached = it->second.path.edges;
+    const bool crosses =
+        it->second.reachable &&
+        std::any_of(cached.begin(), cached.end(), [&](graph::EdgeId e) {
+          return std::binary_search(edges.begin(), edges.end(), e);
+        });
+    if (crosses) {
+      ++cache_stats_.invalidations;
+      it = path_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Context::invalidate_paths_above(double floor_threshold) {
+  for (auto it = path_cache_.begin(); it != path_cache_.end();) {
+    if (std::get<2>(it->first) > floor_threshold) {
+      it = path_cache_.erase(it);
+      ++cache_stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
 Result<PathInfo> Context::route(const sg::SgLink& link) {
   if (paths_.count(link.id) != 0) {
     return Error{ErrorCode::kAlreadyExists, "SG link " + link.id};
@@ -117,19 +176,25 @@ Result<PathInfo> Context::route(const sg::SgLink& link) {
   if (from != to) {
     const auto from_id = index_->node_of(from);
     const auto to_id = index_->node_of(to);
-    const auto path = graph::shortest_path(
-        index_->graph().node_capacity(), from_id, to_id,
-        index_->scan_by_delay(link.bandwidth));
-    if (!path.has_value()) {
+    const PathEntry& entry = cached_path(from_id, to_id, link.bandwidth);
+    if (!entry.reachable) {
       return Error{ErrorCode::kInfeasible,
                    "no path " + from + " -> " + to + " with " +
                        strings::format_double(link.bandwidth) + " Mbit/s"};
     }
-    info.delay = model::path_delay(*index_, *path);
-    for (const graph::EdgeId e : path->edges) {
+    info.delay = entry.delay;
+    // Snapshot before invalidation below evicts the entry we read from.
+    std::vector<graph::EdgeId> edges = entry.path.edges;
+    for (const graph::EdgeId e : edges) {
       const std::string& link_id = index_->graph().edge(e).data.link_id;
       info.links.push_back(link_id);
       work_.find_link(link_id)->reserved += link.bandwidth;
+    }
+    if (link.bandwidth > 0 && !edges.empty()) {
+      // Reservations only shrink residuals: cached paths not crossing the
+      // touched links stay optimal; those crossing them may now be masked.
+      std::sort(edges.begin(), edges.end());
+      invalidate_paths_crossing(edges);
     }
   }
   paths_.emplace(link.id, info);
@@ -140,10 +205,31 @@ void Context::unroute(const std::string& sg_link_id) {
   const auto it = paths_.find(sg_link_id);
   if (it == paths_.end()) return;
   const sg::SgLink* link = sg_->find_link(sg_link_id);
-  for (const std::string& substrate_link : it->second.links) {
-    work_.find_link(substrate_link)->reserved -= link->bandwidth;
+  bool released = false;
+  // A release on a link only unmasks it for queries whose bandwidth floor
+  // exceeded its pre-release residual; entries at or below the smallest
+  // such residual see an unchanged masked graph and stay valid.
+  double stale_above = graph::kInf;
+  if (link == nullptr) {
+    UNIFY_LOG(kWarn, "mapping.ctx")
+        << "unroute: SG link " << sg_link_id
+        << " not in service graph; dropping path without releasing bandwidth";
+  } else if (link->bandwidth > 0) {
+    for (const std::string& substrate_link : it->second.links) {
+      model::Link* reserved_on = work_.find_link(substrate_link);
+      if (reserved_on == nullptr) {
+        UNIFY_LOG(kWarn, "mapping.ctx")
+            << "unroute " << sg_link_id << ": substrate link "
+            << substrate_link << " vanished; skipping release";
+        continue;
+      }
+      stale_above = std::min(stale_above, reserved_on->residual_bandwidth());
+      reserved_on->reserved -= link->bandwidth;
+      released = true;
+    }
   }
   paths_.erase(it);
+  if (released) invalidate_paths_above(stale_above);
 }
 
 Result<void> Context::route_all() {
@@ -186,10 +272,8 @@ double Context::distance(const std::string& from, const std::string& to,
   if (from_id == graph::kInvalidId || to_id == graph::kInvalidId) {
     return graph::kInf;
   }
-  const auto path =
-      graph::shortest_path(index_->graph().node_capacity(), from_id, to_id,
-                           index_->scan_by_delay(min_bw));
-  return path.has_value() ? path->cost : graph::kInf;
+  const PathEntry& entry = cached_path(from_id, to_id, min_bw);
+  return entry.reachable ? entry.path.cost : graph::kInf;
 }
 
 Mapping Context::finish(std::string mapper_name) const {
@@ -211,6 +295,13 @@ Mapping Context::finish(std::string mapper_name) const {
         link->bandwidth * static_cast<double>(info.links.size());
   }
   return m;
+}
+
+void Context::publish_cache_metrics(telemetry::Registry& registry) const {
+  registry.add("mapping.path_cache.hits", cache_stats_.hits);
+  registry.add("mapping.path_cache.misses", cache_stats_.misses);
+  registry.add("mapping.path_cache.invalidations",
+               cache_stats_.invalidations);
 }
 
 }  // namespace unify::mapping

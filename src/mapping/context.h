@@ -1,27 +1,54 @@
 // Shared mapping machinery: a mutable working copy of the substrate plus
 // placement/routing primitives with undo, used by every Mapper
 // implementation.
+//
+// Path queries (route / distance) run on the allocation-free kernel
+// (graph/path_kernel.h) through a devirtualized scan and are memoized in a
+// per-Context cache keyed by (src, dst, bandwidth). Invalidation follows
+// the monotonicity of reservations: reserving bandwidth (route) can only
+// mask edges, so it evicts exactly the entries whose path crosses the
+// touched links; releasing bandwidth (unroute) can only unmask a link for
+// queries demanding more than its pre-release residual, so it evicts the
+// entries whose bandwidth floor exceeds the smallest such residual.
+// Hit/miss/invalidation counters are kept in PathCacheStats and can be
+// published into a telemetry::Registry.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "catalog/nf_catalog.h"
+#include "graph/path_kernel.h"
 #include "mapping/mapper.h"
 #include "model/nffg.h"
 #include "model/topology_index.h"
 #include "sg/service_graph.h"
+#include "telemetry/metrics.h"
 #include "util/result.h"
 
 namespace unify::mapping {
+
+/// Counters of the per-Context path cache.
+struct PathCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;  ///< entries evicted by route/unroute
+};
 
 class Context {
  public:
   /// Copies the substrate; the original is never touched.
   Context(const sg::ServiceGraph& sg, const model::Nffg& substrate,
           const catalog::NfCatalog& catalog);
+
+  // The topology index and path cache hold pointers into work_; moving or
+  // copying a Context would dangle them.
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
 
   [[nodiscard]] const sg::ServiceGraph& sg() const noexcept { return *sg_; }
   [[nodiscard]] const model::Nffg& work() const noexcept { return work_; }
@@ -34,7 +61,8 @@ class Context {
   [[nodiscard]] std::vector<std::string> candidates(
       const sg::SgNf& nf) const;
 
-  /// Resolved footprint of an SG NF (override or catalog).
+  /// Resolved footprint of an SG NF (override or catalog), memoized per
+  /// (type, override).
   [[nodiscard]] Result<model::Resources> footprint(const sg::SgNf& nf) const;
 
   /// Places `nf_id` on `host` (capacity, type and placement constraints
@@ -76,17 +104,57 @@ class Context {
   [[nodiscard]] double distance(const std::string& from, const std::string& to,
                                 double min_bw) const;
 
+  /// Current NF placements (nf id -> hosting BiS-BiS).
+  [[nodiscard]] const std::map<std::string, std::string>& placements()
+      const noexcept {
+    return placements_;
+  }
+
   /// Assembles the final Mapping (placements, paths, per-requirement
   /// delays, stats). Call after route_all()+check_requirements() succeed.
   [[nodiscard]] Mapping finish(std::string mapper_name) const;
 
+  [[nodiscard]] const PathCacheStats& path_cache_stats() const noexcept {
+    return cache_stats_;
+  }
+  /// Adds the cache counters to `registry` under
+  /// "mapping.path_cache.{hits,misses,invalidations}".
+  void publish_cache_metrics(telemetry::Registry& registry) const;
+
  private:
+  /// (src node, dst node, bandwidth floor) -> memoized shortest path.
+  using PathKey = std::tuple<graph::NodeId, graph::NodeId, double>;
+  struct PathEntry {
+    bool reachable = false;
+    graph::Path path;  ///< empty when !reachable
+    double delay = 0;  ///< path_delay of `path`
+  };
+
+  /// Returns the cached (or freshly computed) shortest path under the
+  /// current residuals. The reference is valid until the next route/unroute.
+  const PathEntry& cached_path(graph::NodeId from, graph::NodeId to,
+                               double min_bw) const;
+  /// Evicts entries whose path crosses any of `edges` (sorted ids).
+  void invalidate_paths_crossing(const std::vector<graph::EdgeId>& edges);
+  /// Evicts entries whose bandwidth floor exceeds `floor_threshold` —
+  /// a release can only unmask a link for queries demanding more than its
+  /// pre-release residual; everyone else sees an unchanged masked graph.
+  void invalidate_paths_above(double floor_threshold);
+
   const sg::ServiceGraph* sg_;
   const catalog::NfCatalog* catalog_;
   model::Nffg work_;
   std::optional<model::TopologyIndex> index_;  // built over work_
   std::map<std::string, std::string> placements_;  // nf -> host
   std::map<std::string, PathInfo> paths_;          // sg link -> path
+
+  mutable graph::PathWorkspace workspace_;
+  mutable std::map<PathKey, PathEntry> path_cache_;
+  mutable PathCacheStats cache_stats_;
+  /// (type, override cpu/mem/storage) -> resolved footprint.
+  mutable std::map<std::tuple<std::string, double, double, double>,
+                   model::Resources>
+      footprint_cache_;
 };
 
 }  // namespace unify::mapping

@@ -26,6 +26,10 @@ namespace unify::mapping {
 struct PathInfo {
   std::vector<std::string> links;
   double delay = 0;  ///< link delays + transited BiS-BiS internal delays
+
+  friend bool operator==(const PathInfo& a, const PathInfo& b) noexcept {
+    return a.links == b.links && a.delay == b.delay;
+  }
 };
 
 struct MappingStats {
@@ -33,6 +37,9 @@ struct MappingStats {
   double bandwidth_hops = 0;        ///< Σ bandwidth × hops (substrate load)
   std::size_t nodes_used = 0;       ///< distinct hosting BiS-BiS
   std::size_t nfs_placed = 0;
+
+  friend bool operator==(const MappingStats& a,
+                         const MappingStats& b) noexcept = default;
 };
 
 /// The result of a mapping: placements + routed paths + verified delays.
@@ -42,6 +49,8 @@ struct Mapping {
   std::map<std::string, PathInfo> link_paths;      ///< SG link -> path
   std::map<std::string, double> requirement_delay; ///< requirement -> ms
   MappingStats stats;
+
+  friend bool operator==(const Mapping& a, const Mapping& b) = default;
 };
 
 struct MapperOptions {

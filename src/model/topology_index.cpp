@@ -4,16 +4,22 @@ namespace unify::model {
 
 TopologyIndex::TopologyIndex(const Nffg& nffg) : nffg_(&nffg) {
   for (const auto& [id, bb] : nffg.bisbis()) {
-    index_.emplace(id, graph_.add_node(TopoNode{id, false}));
+    index_.emplace(id,
+                   graph_.add_node(TopoNode{id, false, bb.internal_delay}));
   }
   for (const auto& [id, sap] : nffg.saps()) {
-    index_.emplace(id, graph_.add_node(TopoNode{id, true}));
+    index_.emplace(id, graph_.add_node(TopoNode{id, true, 0}));
   }
   for (const auto& [id, link] : nffg.links()) {
     const auto from = index_.find(link.from.node);
     const auto to = index_.find(link.to.node);
     if (from == index_.end() || to == index_.end()) continue;  // dangling
-    graph_.add_edge(from->second, to->second, TopoEdge{id});
+    // Weight charges the internal switching delay of the node the edge
+    // arrives at (0 for SAPs); endpoint asymmetry is negligible for
+    // ranking paths.
+    const double weight =
+        link.attrs.delay + graph_.node(to->second).internal_delay;
+    graph_.add_edge(from->second, to->second, TopoEdge{id, &link, weight});
   }
 }
 
@@ -22,27 +28,10 @@ graph::NodeId TopologyIndex::node_of(const std::string& id) const noexcept {
   return it == index_.end() ? graph::kInvalidId : it->second;
 }
 
-const Link& TopologyIndex::link_of(graph::EdgeId edge) const noexcept {
-  return *nffg_->find_link(graph_.edge(edge).data.link_id);
-}
-
 graph::EdgeScanFn TopologyIndex::scan_by_delay(double min_bw) const {
-  return [this, min_bw](graph::NodeId node,
-                        const graph::EdgeVisitFn& visit) {
-    for (const graph::EdgeId e : graph_.out_edges(node)) {
-      const auto& edge = graph_.edge(e);
-      const Link& link = link_of(e);
-      if (link.residual_bandwidth() < min_bw) {
-        continue;
-      }
-      double weight = link.attrs.delay;
-      // Charge the internal switching delay of the node we arrive at (if it
-      // is a BiS-BiS); endpoint asymmetry is negligible for ranking paths.
-      if (const BisBis* bb = nffg_->find_bisbis(graph_.node(edge.to).id)) {
-        weight += bb->internal_delay;
-      }
-      visit(e, edge.to, weight);
-    }
+  return [scan = delay_scan(min_bw)](graph::NodeId node,
+                                     const graph::EdgeVisitFn& visit) {
+    scan(node, visit);
   };
 }
 
@@ -51,10 +40,7 @@ graph::EdgeScanFn TopologyIndex::scan_by_hops(double min_bw) const {
                         const graph::EdgeVisitFn& visit) {
     for (const graph::EdgeId e : graph_.out_edges(node)) {
       const auto& edge = graph_.edge(e);
-      const Link& link = link_of(e);
-      if (link.residual_bandwidth() < min_bw) {
-        continue;
-      }
+      if (edge.data.link->residual_bandwidth() < min_bw) continue;
       visit(e, edge.to, 1.0);
     }
   };
@@ -67,10 +53,7 @@ double path_delay(const TopologyIndex& index, const graph::Path& path) {
   }
   // Internal delay of transited BiS-BiS nodes (exclude both endpoints).
   for (std::size_t i = 1; i + 1 < path.nodes.size(); ++i) {
-    if (const BisBis* bb =
-            index.nffg().find_bisbis(index.id_of(path.nodes[i]))) {
-      total += bb->internal_delay;
-    }
+    total += index.graph().node(path.nodes[i]).internal_delay;
   }
   return total;
 }

@@ -3,11 +3,15 @@
 // Mapping algorithms need shortest paths over the BiS-BiS/SAP topology with
 // varying edge weights (delay, hops, residual-bandwidth masking). The index
 // translates the string-keyed NFFG into a graph::Digraph once, then offers
-// weight adapters on top.
+// weight adapters on top. Each edge caches a pointer to its Link and its
+// static delay weight (link delay + head-node internal delay) so a scan
+// touches no string maps.
 //
 // Lifetime: the index borrows the Nffg. It stays valid while the topology
-// (nodes, links) is unchanged; link *reservations* may change freely — the
-// scan adapters read residual bandwidth through the live Nffg.
+// (nodes, links) and the static attributes (link delay, internal delay) are
+// unchanged; link *reservations* may change freely — the scan adapters read
+// residual bandwidth through the cached Link pointers, which stay valid
+// because Nffg stores links in a node-based std::map.
 #pragma once
 
 #include <map>
@@ -22,10 +26,13 @@ namespace unify::model {
 struct TopoNode {
   std::string id;
   bool is_sap = false;
+  double internal_delay = 0;  ///< BiS-BiS crossing delay; 0 for SAPs
 };
 
 struct TopoEdge {
   std::string link_id;
+  const Link* link = nullptr;  ///< borrowed from the indexed Nffg
+  double delay_weight = 0;     ///< link delay + head-node internal delay
 };
 
 class TopologyIndex {
@@ -42,10 +49,34 @@ class TopologyIndex {
   [[nodiscard]] const std::string& id_of(graph::NodeId node) const noexcept {
     return graph_.node(node).id;
   }
-  [[nodiscard]] const Link& link_of(graph::EdgeId edge) const noexcept;
+  [[nodiscard]] const Link& link_of(graph::EdgeId edge) const noexcept {
+    return *graph_.edge(edge).data.link;
+  }
+
+  /// Devirtualized delay scanner for the path kernel (path_kernel.h):
+  /// weighs each link by its delay plus the head node's internal delay,
+  /// masking links whose residual bandwidth < min_bw. A concrete functor so
+  /// the kernel inlines the whole edge relaxation.
+  struct DelayScan {
+    const Graph* graph;
+    double min_bw;
+
+    template <typename Visit>
+    void operator()(graph::NodeId node, Visit&& visit) const {
+      for (const graph::EdgeId e : graph->out_edges(node)) {
+        const auto& edge = graph->edge(e);
+        if (edge.data.link->residual_bandwidth() < min_bw) continue;
+        visit(e, edge.to, edge.data.delay_weight);
+      }
+    }
+  };
+  [[nodiscard]] DelayScan delay_scan(double min_bw) const noexcept {
+    return DelayScan{&graph_, min_bw};
+  }
 
   /// Edge scan weighting each link by its delay plus the head node's
   /// internal delay, masking links whose residual bandwidth < `min_bw`.
+  /// Type-erased shim over delay_scan() for the EdgeScanFn algorithms.
   [[nodiscard]] graph::EdgeScanFn scan_by_delay(double min_bw) const;
 
   /// Edge scan with unit weight per hop, same bandwidth masking.

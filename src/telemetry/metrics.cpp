@@ -9,6 +9,11 @@ void Summary::observe(double value) {
   sum_ += value;
 }
 
+void Summary::merge(const Summary& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sum_ += other.sum_;
+}
+
 double Summary::min() const noexcept {
   return values_.empty()
              ? 0

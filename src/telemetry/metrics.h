@@ -28,6 +28,10 @@ class Summary {
   /// p in [0,1]; nearest-rank. 0 when empty.
   [[nodiscard]] double percentile(double p) const;
 
+  /// Appends every observation of `other` (for folding per-worker
+  /// summaries into one).
+  void merge(const Summary& other);
+
  private:
   std::vector<double> values_;
   double sum_ = 0;
@@ -60,6 +64,20 @@ class Registry {
   [[nodiscard]] const std::map<std::string, std::uint64_t>& counters()
       const noexcept {
     return counters_;
+  }
+
+  /// Folds `other` into this registry: counters add up, gauges take the
+  /// other's value, summaries concatenate observations. Used to aggregate
+  /// registries filled privately by batch/worker code into the long-lived
+  /// one (Registry itself is not thread-safe).
+  void merge(const Registry& other) {
+    for (const auto& [name, value] : other.counters_) {
+      counters_[name] += value;
+    }
+    for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+    for (const auto& [name, summary] : other.summaries_) {
+      summaries_[name].merge(summary);
+    }
   }
 
   void reset() {

@@ -44,6 +44,41 @@ TEST(Registry, CountersAndGauges) {
   EXPECT_EQ(r.gauge("unknown"), 0.0);
 }
 
+TEST(Registry, MergeFoldsPrivateRegistries) {
+  // The batch-deploy pattern: workers fill a local registry, the caller
+  // folds it into the long-lived one after joining.
+  Registry main;
+  main.add("requests", 3);
+  main.set_gauge("workers", 2);
+  main.summary("latency").observe(10);
+
+  Registry scratch;
+  scratch.add("requests", 2);
+  scratch.add("conflicts");
+  scratch.set_gauge("workers", 4);
+  scratch.summary("latency").observe(30);
+
+  main.merge(scratch);
+  EXPECT_EQ(main.counter("requests"), 5u);   // counters add up
+  EXPECT_EQ(main.counter("conflicts"), 1u);  // new names appear
+  EXPECT_EQ(main.gauge("workers"), 4.0);     // gauges take the newer value
+  ASSERT_NE(main.find_summary("latency"), nullptr);
+  EXPECT_EQ(main.find_summary("latency")->count(), 2u);
+  EXPECT_EQ(main.find_summary("latency")->sum(), 40.0);
+}
+
+TEST(Summary, MergeAppendsObservations) {
+  Summary a;
+  a.observe(1);
+  a.observe(5);
+  Summary b;
+  b.observe(3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 9.0);
+  EXPECT_EQ(a.max(), 5.0);
+}
+
 TEST(Registry, SummariesAndReset) {
   Registry r;
   r.summary("latency").observe(5);

@@ -1,0 +1,106 @@
+// E7 — batch admission at the service layer (PR 2 tentpole).
+//
+// Each iteration deploys a wave of independent chains (one per SAP route)
+// and tears it down again, either as N sequential submit() calls or as ONE
+// submit_batch() — the latter validates in parallel on the shared
+// orchestration pool and pushes one merged edit-config whose services the
+// RO embeds concurrently via map_batch. Series: wall time per wave vs wave
+// width; counters: mean submit_batch wall time as measured by the
+// service.batch.wall_ms telemetry summary.
+#include <benchmark/benchmark.h>
+
+#include "service/fig1.h"
+#include "telemetry/metrics.h"
+#include "util/orchestration_pool.h"
+
+namespace {
+
+using namespace unify;
+
+const std::vector<std::pair<std::string, std::string>> kRoutes{
+    {"sap1", "sap2"}, {"sap2", "sap3"}, {"sap3", "sap1"}};
+
+std::vector<sg::ServiceGraph> wave(std::uint64_t iteration, int width) {
+  std::vector<sg::ServiceGraph> services;
+  services.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const auto& route = kRoutes[static_cast<std::size_t>(i) % kRoutes.size()];
+    services.push_back(sg::make_chain(
+        "w" + std::to_string(iteration) + "s" + std::to_string(i),
+        route.first, {i % 2 == 0 ? "nat" : "monitor"}, route.second, 5, 100));
+  }
+  return services;
+}
+
+void run_wave_cycle(benchmark::State& state, bool batched) {
+  auto stack = service::make_fig1_stack();
+  if (!stack.ok()) {
+    state.SkipWithError("stack assembly failed");
+    return;
+  }
+  service::Fig1Stack& s = **stack;
+  const int width = static_cast<int>(state.range(0));
+
+  std::uint64_t iteration = 0;
+  for (auto _ : state) {
+    const auto services = wave(iteration++, width);
+    if (batched) {
+      const auto results = s.service_layer->submit_batch(services);
+      for (const auto& result : results) {
+        if (!result.ok()) {
+          state.SkipWithError(result.error().to_string().c_str());
+          return;
+        }
+      }
+    } else {
+      for (const sg::ServiceGraph& service : services) {
+        const auto result = s.service_layer->submit(service);
+        if (!result.ok()) {
+          state.SkipWithError(result.error().to_string().c_str());
+          return;
+        }
+      }
+    }
+    s.clock.run_until_idle();
+    for (const sg::ServiceGraph& service : services) {
+      if (!s.service_layer->remove(service.id()).ok()) {
+        state.SkipWithError("teardown failed");
+        return;
+      }
+    }
+    s.clock.run_until_idle();
+  }
+
+  if (batched && iteration > 0) {
+    const telemetry::Summary* wall =
+        s.service_layer->metrics().find_summary("service.batch.wall_ms");
+    if (wall != nullptr) state.counters["batch_wall_ms_mean"] = wall->mean();
+    state.counters["pool_workers"] = static_cast<double>(
+        util::OrchestrationPool::process_pool().workers());
+  }
+}
+
+void BM_SequentialSubmits(benchmark::State& state) {
+  run_wave_cycle(state, /*batched=*/false);
+}
+
+void BM_SubmitBatch(benchmark::State& state) {
+  run_wave_cycle(state, /*batched=*/true);
+}
+
+BENCHMARK(BM_SequentialSubmits)
+    ->Arg(1)
+    ->Arg(3)
+    ->Arg(6)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SubmitBatch)
+    ->Arg(1)
+    ->Arg(3)
+    ->Arg(6)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

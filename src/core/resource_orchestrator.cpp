@@ -3,9 +3,14 @@
 #include <optional>
 
 #include "util/log.h"
-#include "util/thread_pool.h"
+#include "util/orchestration_pool.h"
 
 namespace unify::core {
+
+util::OrchestrationPool& ResourceOrchestrator::pool() const noexcept {
+  return options_.pool != nullptr ? *options_.pool
+                                  : util::OrchestrationPool::process_pool();
+}
 
 ResourceOrchestrator::ResourceOrchestrator(
     std::string name, std::shared_ptr<const mapping::Mapper> mapper,
@@ -134,26 +139,23 @@ std::vector<Result<std::string>> ResourceOrchestrator::map_batch(
   if (requests.empty()) return results;
 
   // Speculative phase: map every admissible request against the current
-  // view in parallel. Workers only read view_/catalog_ (the mappers copy
-  // the substrate into private Contexts) and write disjoint slots, so the
-  // only synchronization needed is the pool join.
+  // view in parallel on the shared pool. Workers only read view_/catalog_
+  // (the mappers copy the substrate into private Contexts) and write
+  // disjoint slots, so the only synchronization needed is the batch join.
   std::vector<std::optional<Result<Deployment>>> prepared(requests.size());
   std::vector<PrepareStats> stats(requests.size());
-  const std::size_t pool_size =
-      util::ThreadPool::clamp_workers(workers, requests.size());
-  {
-    util::ThreadPool pool(pool_size);
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      if (const auto admitted = admit(requests[i]); !admitted.ok()) {
-        results[i] = admitted.error();
-        continue;
-      }
-      pool.submit([this, &requests, &prepared, &stats, i] {
-        prepared[i] = prepare(requests[i], view_, stats[i]);
-      });
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (const auto admitted = admit(requests[i]); !admitted.ok()) {
+      results[i] = admitted.error();
+      continue;
     }
-    pool.wait_idle();
+    tasks.push_back([this, &requests, &prepared, &stats, i] {
+      prepared[i] = prepare(requests[i], view_, stats[i]);
+    });
   }
+  const std::size_t pool_size = pool().run_all(std::move(tasks), workers);
 
   // Commit phase: strictly sequential, in request order. Earlier commits
   // change the view, so each speculative mapping is re-validated and
@@ -162,6 +164,11 @@ std::vector<Result<std::string>> ResourceOrchestrator::map_batch(
   batch_metrics.add("ro.batch_requests", requests.size());
   batch_metrics.set_gauge("ro.batch_workers",
                           static_cast<double>(pool_size));
+  batch_metrics.set_gauge("ro.batch_pool_workers",
+                          static_cast<double>(pool().workers()));
+  batch_metrics.set_gauge("ro.batch_pools_constructed",
+                          static_cast<double>(
+                              util::OrchestrationPool::constructed()));
   for (std::size_t i = 0; i < requests.size(); ++i) {
     if (!prepared[i].has_value()) continue;  // rejected by admit()
     // Earlier commits may have taken this request id or its NF ids.

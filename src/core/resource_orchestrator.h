@@ -25,12 +25,21 @@
 #include "telemetry/metrics.h"
 #include "util/result.h"
 
+namespace unify::util {
+class OrchestrationPool;
+}  // namespace unify::util
+
 namespace unify::core {
 
 struct RoOptions {
   /// Enumerate NF decompositions during mapping (paper showcase iii).
   bool use_decomposition = true;
   std::size_t max_decomposition_combinations = 32;
+  /// Worker pool for batch mapping; nullptr selects the shared
+  /// process-scoped pool (util::OrchestrationPool::process_pool()). One
+  /// pool serves every RO and service layer in the process — inject a
+  /// private instance only for isolation in tests.
+  util::OrchestrationPool* pool = nullptr;
 };
 
 class ResourceOrchestrator {
@@ -71,20 +80,25 @@ class ResourceOrchestrator {
   /// Maps a batch of service graphs concurrently, then deploys them.
   ///
   /// Embedding is the expensive phase and reads only the (unchanging)
-  /// global view, so every request is mapped speculatively in parallel on a
-  /// fixed-size worker pool (`workers` threads; 0 = hardware concurrency,
-  /// capped at the batch size), each worker running the mapper on its own
-  /// substrate copy. Commits then happen strictly sequentially in request
-  /// order: each speculative mapping is re-validated against the view as
-  /// left by the earlier commits, and re-mapped on the spot when the
-  /// validation detects a resource conflict. The outcome is deterministic
-  /// (independent of thread scheduling) and matches the equivalent
-  /// sequential deploy() loop whenever the requests do not contend for the
-  /// same substrate resources.
+  /// global view, so every request is mapped speculatively in parallel on
+  /// the shared OrchestrationPool (`workers` caps this batch's parallelism;
+  /// 0 = the pool's full width; 1 runs inline), each worker running the
+  /// mapper on its own substrate copy. Commits then happen strictly
+  /// sequentially in request order: each speculative mapping is
+  /// re-validated against the view as left by the earlier commits, and
+  /// re-mapped on the spot when the validation detects a resource
+  /// conflict. The outcome is deterministic (independent of thread
+  /// scheduling) and matches the equivalent sequential deploy() loop
+  /// whenever the requests do not contend for the same substrate
+  /// resources.
   ///
   /// Returns one Result per request, index-aligned with `requests`.
   std::vector<Result<std::string>> map_batch(
       const std::vector<sg::ServiceGraph>& requests, std::size_t workers = 0);
+
+  /// The worker pool batch mapping runs on (shared process pool unless one
+  /// was injected through RoOptions).
+  [[nodiscard]] util::OrchestrationPool& pool() const noexcept;
 
   /// Deploys with placements fixed by the caller (full-view client did the
   /// embedding): NF hosts come from `pins`, only links are routed, no

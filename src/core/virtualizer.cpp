@@ -288,10 +288,22 @@ Result<void> Virtualizer::edit_config(const model::Nffg& desired) {
     nfs_by_component[component].push_back(nf);
   }
 
-  // --- 5. deploy every component as one service.
+  // --- 5. deploy every component as one service. Components are built
+  // first and then handed to the RO as one wave: map_batch embeds them in
+  // parallel on the shared pool and commits sequentially in component
+  // order, so the result is identical to the old per-component deploy loop
+  // while the expensive mapping phase overlaps.
   std::set<int> components;
   for (const auto& [c, links] : links_by_component) components.insert(c);
   for (const auto& [c, nfs] : nfs_by_component) components.insert(c);
+  std::vector<sg::ServiceGraph> subs;
+  std::vector<ClientService> sub_services;
+  // Request numbers appear in installed flowrule ids and steering tags, so
+  // numbers consumed by components that end up NOT deployed must be
+  // recycled: a client that retries after a failed edit (the service
+  // layer's batch fallback does exactly that) has to produce the same data
+  // plane as one that never attempted the failed edit.
+  const int first_request = next_request_;
   for (const int component : components) {
     sg::ServiceGraph sub{ro_->name() + "-r" + std::to_string(next_request_)};
     ClientService service;
@@ -328,14 +340,52 @@ Result<void> Virtualizer::edit_config(const model::Nffg& desired) {
         service.req_ids.insert(req.id);
       }
     }
-    Result<std::string> request =
-        policy_ == ViewPolicy::kFull
-            ? ro_->deploy_pinned(sub, incoming.pinned_hosts)
-            : ro_->deploy(sub);
-    UNIFY_RETURN_IF_ERROR(request);
-    service.ro_request = *request;
+    service.ro_request = sub.id();
     ++next_request_;
-    services_.emplace(service.ro_request, std::move(service));
+    subs.push_back(std::move(sub));
+    sub_services.push_back(std::move(service));
+  }
+
+  if (policy_ == ViewPolicy::kFull) {
+    // Pinned deployments carry the client's placements; no batch API (the
+    // client already did the expensive embedding), deploy sequentially.
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      const auto pinned = ro_->deploy_pinned(subs[i], incoming.pinned_hosts);
+      if (!pinned.ok()) {
+        next_request_ = first_request + static_cast<int>(i);
+        return pinned.error();
+      }
+      services_.emplace(sub_services[i].ro_request,
+                        std::move(sub_services[i]));
+    }
+  } else if (subs.size() == 1) {
+    const auto deployed = ro_->deploy(subs[0]);
+    if (!deployed.ok()) {
+      next_request_ = first_request;
+      return deployed.error();
+    }
+    services_.emplace(sub_services[0].ro_request, std::move(sub_services[0]));
+  } else if (!subs.empty()) {
+    const std::vector<Result<std::string>> deployed = ro_->map_batch(subs);
+    std::optional<Error> first_failure;
+    for (std::size_t i = 0; i < deployed.size(); ++i) {
+      if (deployed[i].ok()) continue;
+      first_failure = deployed[i].error();
+      break;
+    }
+    if (first_failure.has_value()) {
+      // edit-config is all-or-nothing over its wave of new services: undo
+      // the components that did deploy, then report the first failure.
+      for (std::size_t i = 0; i < deployed.size(); ++i) {
+        if (deployed[i].ok()) (void)ro_->remove(*deployed[i]);
+      }
+      next_request_ = first_request;
+      return *first_failure;
+    }
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      services_.emplace(sub_services[i].ro_request,
+                        std::move(sub_services[i]));
+    }
   }
 
   accepted_ = desired;

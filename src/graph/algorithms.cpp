@@ -2,25 +2,12 @@
 
 #include <algorithm>
 #include <queue>
-#include <set>
 
 #include "graph/path_kernel.h"
 
 namespace unify::graph {
 
 namespace {
-
-struct QueueItem {
-  double dist;
-  NodeId node;
-  friend bool operator>(const QueueItem& a, const QueueItem& b) noexcept {
-    if (a.dist != b.dist) return a.dist > b.dist;
-    return a.node > b.node;  // deterministic tie-break
-  }
-};
-
-using MinQueue =
-    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
 
 /// Workspace reused by every EdgeScanFn-based query on this thread; callers
 /// that want a private workspace (or a devirtualized scan) use the kernel
@@ -34,33 +21,11 @@ PathWorkspace& scratch_workspace() {
 
 ShortestPathTree shortest_path_tree(std::size_t node_capacity, NodeId source,
                                     const EdgeScanFn& scan) {
-  ShortestPathTree tree;
-  tree.dist.assign(node_capacity, kInf);
-  tree.parent_edge.assign(node_capacity, kInvalidId);
-  tree.parent_node.assign(node_capacity, kInvalidId);
-  if (source >= node_capacity) return tree;
-
-  std::vector<bool> done(node_capacity, false);
-  tree.dist[source] = 0;
-  MinQueue queue;
-  queue.push({0, source});
-  while (!queue.empty()) {
-    const auto [dist, node] = queue.top();
-    queue.pop();
-    if (done[node]) continue;
-    done[node] = true;
-    scan(node, [&](EdgeId edge, NodeId to, double weight) {
-      if (weight < 0 || to >= node_capacity || done[to]) return;
-      const double candidate = dist + weight;
-      if (candidate < tree.dist[to]) {
-        tree.dist[to] = candidate;
-        tree.parent_edge[to] = edge;
-        tree.parent_node[to] = node;
-        queue.push({candidate, to});
-      }
-    });
-  }
-  return tree;
+  // Compatibility shim: full Dijkstra on the reusable kernel workspace,
+  // exported into the legacy dense representation.
+  PathWorkspace& workspace = scratch_workspace();
+  shortest_path_tree(workspace, node_capacity, source, scan);
+  return export_shortest_path_tree(workspace, node_capacity);
 }
 
 std::optional<Path> ShortestPathTree::path_to(NodeId source,
@@ -91,87 +56,9 @@ std::optional<Path> shortest_path(std::size_t node_capacity, NodeId source,
 std::vector<Path> k_shortest_paths(std::size_t node_capacity, NodeId source,
                                    NodeId target, std::size_t k,
                                    const EdgeScanFn& scan) {
-  std::vector<Path> result;
-  if (k == 0) return result;
-
-  auto masked_scan = [&](const std::vector<bool>& banned_nodes,
-                         const std::set<EdgeId>& banned_edges) {
-    return [&, banned_nodes, banned_edges](NodeId node,
-                                           const EdgeVisitFn& visit) {
-      scan(node, [&](EdgeId edge, NodeId to, double weight) {
-        if (banned_edges.count(edge) != 0) return;
-        if (to < banned_nodes.size() && banned_nodes[to]) return;
-        visit(edge, to, weight);
-      });
-    };
-  };
-
-  auto first = shortest_path(node_capacity, source, target, scan);
-  if (!first) return result;
-  result.push_back(std::move(*first));
-
-  // Candidate pool ordered by cost then edge sequence (deterministic).
-  auto cmp = [](const Path& a, const Path& b) {
-    if (a.cost != b.cost) return a.cost < b.cost;
-    return a.edges < b.edges;
-  };
-  std::vector<Path> candidates;
-
-  while (result.size() < k) {
-    const Path& prev = result.back();
-    // Deviate at every node of the previous path (classic Yen).
-    for (std::size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
-      const NodeId spur_node = prev.nodes[i];
-      // Root = prev.nodes[0..i].
-      std::set<EdgeId> banned_edges;
-      for (const Path& p : result) {
-        if (p.nodes.size() > i &&
-            std::equal(p.nodes.begin(), p.nodes.begin() + static_cast<long>(i) + 1,
-                       prev.nodes.begin())) {
-          if (i < p.edges.size()) banned_edges.insert(p.edges[i]);
-        }
-      }
-      std::vector<bool> banned_nodes(node_capacity, false);
-      for (std::size_t j = 0; j < i; ++j) banned_nodes[prev.nodes[j]] = true;
-
-      auto spur = shortest_path(node_capacity, spur_node, target,
-                                masked_scan(banned_nodes, banned_edges));
-      if (!spur) continue;
-
-      Path total;
-      total.nodes.assign(prev.nodes.begin(),
-                         prev.nodes.begin() + static_cast<long>(i));
-      total.edges.assign(prev.edges.begin(),
-                         prev.edges.begin() + static_cast<long>(i));
-      total.nodes.insert(total.nodes.end(), spur->nodes.begin(),
-                         spur->nodes.end());
-      total.edges.insert(total.edges.end(), spur->edges.begin(),
-                         spur->edges.end());
-      // Root cost: recompute from the weights seen during the spur search is
-      // unavailable; accumulate by re-scanning each root edge.
-      double root_cost = 0;
-      for (std::size_t j = 0; j < i; ++j) {
-        const EdgeId want = prev.edges[j];
-        double w = 0;
-        scan(prev.nodes[j], [&](EdgeId edge, NodeId, double weight) {
-          if (edge == want) w = weight;
-        });
-        root_cost += w;
-      }
-      total.cost = root_cost + spur->cost;
-
-      if (std::find(result.begin(), result.end(), total) == result.end() &&
-          std::find(candidates.begin(), candidates.end(), total) ==
-              candidates.end()) {
-        candidates.push_back(std::move(total));
-      }
-    }
-    if (candidates.empty()) break;
-    auto best = std::min_element(candidates.begin(), candidates.end(), cmp);
-    result.push_back(std::move(*best));
-    candidates.erase(best);
-  }
-  return result;
+  // Compatibility shim over the kernel-templated Yen in path_kernel.h.
+  return k_shortest_paths(scratch_workspace(), node_capacity, source, target,
+                          k, scan);
 }
 
 std::vector<bool> reachable_from(std::size_t node_capacity, NodeId source,

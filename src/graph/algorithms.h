@@ -6,9 +6,10 @@
 // with a negative weight are treated as unusable (filtered out), which is
 // how mappers mask links without residual bandwidth.
 //
-// shortest_path here is a compatibility shim over the allocation-free
-// template kernel in path_kernel.h; hot callers (the mapping layer) use
-// the kernel directly with a concrete scan functor and a reusable
+// shortest_path, shortest_path_tree and k_shortest_paths here are
+// compatibility shims over the allocation-free template kernel in
+// path_kernel.h; hot callers (the mapping layer, batch workers) use the
+// kernel directly with a concrete scan functor and a reusable
 // PathWorkspace.
 #pragma once
 

@@ -1,7 +1,12 @@
 #include "service/service_layer.h"
 
+#include <chrono>
+#include <functional>
+#include <set>
+
 #include "core/config_translate.h"
 #include "util/log.h"
+#include "util/orchestration_pool.h"
 
 namespace unify::service {
 
@@ -47,8 +52,13 @@ sg::ServiceGraph prefix_elements(const sg::ServiceGraph& graph,
   return out;
 }
 
-ServiceLayer::ServiceLayer(std::unique_ptr<adapters::DomainAdapter> client)
-    : client_(std::move(client)) {}
+ServiceLayer::ServiceLayer(std::unique_ptr<adapters::DomainAdapter> client,
+                           util::OrchestrationPool* pool)
+    : client_(std::move(client)), pool_(pool) {}
+
+util::OrchestrationPool& ServiceLayer::pool() const noexcept {
+  return pool_ != nullptr ? *pool_ : util::OrchestrationPool::process_pool();
+}
 
 Result<void> ServiceLayer::ensure_view() {
   if (view_.has_value()) return Result<void>::success();
@@ -101,18 +111,8 @@ Result<void> ServiceLayer::push_config() {
   return client_->apply(config);
 }
 
-Result<std::string> ServiceLayer::submit(const sg::ServiceGraph& request) {
-  UNIFY_RETURN_IF_ERROR(ensure_view());
-  if (request.id().empty()) {
-    return Error{ErrorCode::kInvalidArgument, "service graph needs an id"};
-  }
-  if (const auto it = requests_.find(request.id());
-      it != requests_.end()) {
-    if (it->second.state == RequestState::kDeployed) {
-      return Error{ErrorCode::kAlreadyExists, "request " + request.id()};
-    }
-    requests_.erase(it);  // failed/removed ids may be reused
-  }
+std::optional<Error> ServiceLayer::validate_request(
+    const sg::ServiceGraph& request) const {
   if (const auto problems = request.validate(); !problems.empty()) {
     return Error{ErrorCode::kInvalidArgument, problems.front()};
   }
@@ -123,7 +123,10 @@ Result<std::string> ServiceLayer::submit(const sg::ServiceGraph& request) {
                    "SAP " + sap_id + " unknown to the orchestration layer"};
     }
   }
+  return std::nullopt;
+}
 
+Result<std::string> ServiceLayer::commit_one(const sg::ServiceGraph& request) {
   requests_.emplace(request.id(), ServiceRequest{request.id(), request,
                                                  RequestState::kDeployed, ""});
   if (const auto pushed = push_config(); !pushed.ok()) {
@@ -141,6 +144,138 @@ Result<std::string> ServiceLayer::submit(const sg::ServiceGraph& request) {
   }
   UNIFY_LOG(kInfo, "service") << "request " << request.id() << " deployed";
   return request.id();
+}
+
+Result<std::string> ServiceLayer::submit(const sg::ServiceGraph& request) {
+  UNIFY_RETURN_IF_ERROR(ensure_view());
+  if (request.id().empty()) {
+    return Error{ErrorCode::kInvalidArgument, "service graph needs an id"};
+  }
+  if (const auto it = requests_.find(request.id());
+      it != requests_.end()) {
+    if (it->second.state == RequestState::kDeployed) {
+      return Error{ErrorCode::kAlreadyExists, "request " + request.id()};
+    }
+    requests_.erase(it);  // failed/removed ids may be reused
+  }
+  if (auto invalid = validate_request(request); invalid.has_value()) {
+    return *std::move(invalid);
+  }
+  return commit_one(request);
+}
+
+std::vector<Result<std::string>> ServiceLayer::submit_batch(
+    const std::vector<sg::ServiceGraph>& requests) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<Result<std::string>> results;
+  results.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    results.emplace_back(Error{ErrorCode::kInternal, "request not processed"});
+  }
+  if (requests.empty()) return results;
+  metrics_.add("service.batch.requests", requests.size());
+
+  if (const auto ready = ensure_view(); !ready.ok()) {
+    for (auto& result : results) result = ready.error();
+    return results;
+  }
+
+  // Phase 1 — admission. Id bookkeeping reads/mutates requests_ and runs
+  // inline; the per-request structural validation and SAP checks are pure
+  // against the fetched view and fan out on the shared pool.
+  std::vector<bool> admitted(requests.size(), false);
+  std::vector<std::optional<Error>> invalid(requests.size());
+  std::vector<std::function<void()>> checks;
+  std::set<std::string> batch_ids;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const sg::ServiceGraph& request = requests[i];
+    if (request.id().empty()) {
+      results[i] = Error{ErrorCode::kInvalidArgument,
+                         "service graph needs an id"};
+      continue;
+    }
+    if (!batch_ids.insert(request.id()).second) {
+      results[i] = Error{ErrorCode::kAlreadyExists,
+                         "request " + request.id() +
+                             " duplicated within the batch"};
+      continue;
+    }
+    if (const auto it = requests_.find(request.id()); it != requests_.end()) {
+      if (it->second.state == RequestState::kDeployed) {
+        results[i] = Error{ErrorCode::kAlreadyExists, "request " + request.id()};
+        continue;
+      }
+      requests_.erase(it);  // failed/removed ids may be reused
+    }
+    admitted[i] = true;
+    checks.push_back([this, &requests, &invalid, i] {
+      invalid[i] = validate_request(requests[i]);
+    });
+  }
+  pool().run_all(std::move(checks));
+  std::size_t admitted_count = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!admitted[i]) continue;
+    if (invalid[i].has_value()) {
+      results[i] = *invalid[i];
+      admitted[i] = false;
+      continue;
+    }
+    ++admitted_count;
+  }
+  metrics_.add("service.batch.admitted", admitted_count);
+  metrics_.set_gauge("service.batch.pools_constructed",
+                     static_cast<double>(util::OrchestrationPool::constructed()));
+
+  const auto finish = [&] {
+    const auto wall = std::chrono::steady_clock::now() - wall_start;
+    metrics_.summary("service.batch.wall_ms")
+        .observe(std::chrono::duration<double, std::milli>(wall).count());
+    return results;
+  };
+  if (admitted_count == 0) return finish();
+
+  // Phase 2 — optimistic wave commit: one merged edit-config carries every
+  // admitted request; the virtualizer below deploys the wave's services
+  // through ResourceOrchestrator::map_batch (parallel embedding on the
+  // same shared pool). Commit order inside the wave is deterministic.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!admitted[i]) continue;
+    requests_.emplace(requests[i].id(),
+                      ServiceRequest{requests[i].id(), requests[i],
+                                     RequestState::kDeployed, ""});
+  }
+  if (const auto pushed = push_config(); pushed.ok()) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (admitted[i]) results[i] = requests[i].id();
+    }
+    metrics_.add("service.batch.committed", admitted_count);
+    UNIFY_LOG(kInfo, "service")
+        << "batch of " << admitted_count << " requests deployed in one wave";
+    return finish();
+  }
+
+  // Phase 3 — the wave contains at least one poisonous request. Withdraw
+  // it entirely, restore the pre-batch configuration, then commit the
+  // admitted requests one by one in request order: each gets submit()'s
+  // per-request rollback, so its batch-mates deploy regardless.
+  metrics_.add("service.batch.wave_fallbacks");
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (admitted[i]) requests_.erase(requests[i].id());
+  }
+  if (const auto restore = push_config(); !restore.ok()) {
+    UNIFY_LOG(kError, "service")
+        << "batch rollback push failed: " << restore.error().to_string();
+  }
+  std::size_t committed = 0, rolled_back = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!admitted[i]) continue;
+    results[i] = commit_one(requests[i]);
+    ++(results[i].ok() ? committed : rolled_back);
+  }
+  metrics_.add("service.batch.committed", committed);
+  metrics_.add("service.batch.rolled_back", rolled_back);
+  return finish();
 }
 
 Result<void> ServiceLayer::update(const sg::ServiceGraph& request) {

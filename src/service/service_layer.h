@@ -11,11 +11,18 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "adapters/domain_adapter.h"
 #include "sg/service_graph.h"
+#include "telemetry/metrics.h"
 #include "util/result.h"
+
+namespace unify::util {
+class OrchestrationPool;
+}  // namespace unify::util
 
 namespace unify::service {
 
@@ -33,13 +40,35 @@ class ServiceLayer {
  public:
   /// `client` speaks the Unify interface to the orchestration layer below
   /// (normally a UnifyClientAdapter; any DomainAdapter works, which also
-  /// makes the service layer trivially testable against a fake).
-  explicit ServiceLayer(std::unique_ptr<adapters::DomainAdapter> client);
+  /// makes the service layer trivially testable against a fake). `pool`
+  /// carries the batch admission work of submit_batch; nullptr selects the
+  /// shared process-scoped util::OrchestrationPool — the same pool the RO
+  /// below maps batches on, so exactly one pool exists per process.
+  explicit ServiceLayer(std::unique_ptr<adapters::DomainAdapter> client,
+                        util::OrchestrationPool* pool = nullptr);
 
   /// Validates and deploys a service request. The request id is the
   /// service graph id. On failure the previous configuration is restored
   /// and the request is recorded as kFailed.
   Result<std::string> submit(const sg::ServiceGraph& request);
+
+  /// Admits, validates and deploys a whole wave of service requests.
+  ///
+  /// Structural validation fans out on the shared OrchestrationPool, then
+  /// the wave is committed optimistically with ONE merged edit-config —
+  /// the virtualizer below hands the new services to
+  /// ResourceOrchestrator::map_batch, which embeds them in parallel on the
+  /// same pool. When the wave push fails (at least one request is
+  /// infeasible), the layer falls back to committing the admitted
+  /// requests sequentially in request order with per-request rollback, so
+  /// a failed request never poisons its batch-mates: the outcome per
+  /// request is exactly what a sequential submit() loop would produce.
+  ///
+  /// Returns one Result per request, index-aligned with `requests`.
+  /// Telemetry: service.batch.{requests,admitted,committed,rolled_back}
+  /// counters and the service.batch.wall_ms summary in metrics().
+  std::vector<Result<std::string>> submit_batch(
+      const std::vector<sg::ServiceGraph>& requests);
 
   /// Tears the service down (pushes the remaining services' config).
   Result<void> remove(const std::string& request_id);
@@ -64,15 +93,29 @@ class ServiceLayer {
   /// The view the service orchestrator works against (fetched lazily).
   [[nodiscard]] Result<model::Nffg> view();
 
+  /// Batch/deployment counters (service.batch.*).
+  [[nodiscard]] telemetry::Registry& metrics() noexcept { return metrics_; }
+
  private:
   Result<void> ensure_view();
   Result<void> push_config();
   [[nodiscard]] sg::ServiceGraph merged_active() const;
+  /// Pure per-request checks (structure + SAP existence against the
+  /// fetched view). Thread-safe; submit_batch runs these on the pool.
+  [[nodiscard]] std::optional<Error> validate_request(
+      const sg::ServiceGraph& request) const;
+  /// Records `request` as deployed and pushes; on failure marks it
+  /// kFailed and restores the previous configuration. Assumes admission
+  /// and validation already passed.
+  Result<std::string> commit_one(const sg::ServiceGraph& request);
+  [[nodiscard]] util::OrchestrationPool& pool() const noexcept;
 
   std::unique_ptr<adapters::DomainAdapter> client_;
+  util::OrchestrationPool* pool_;
   std::map<std::string, ServiceRequest> requests_;
   std::optional<model::Nffg> view_;
   std::string big_node_;
+  telemetry::Registry metrics_;
 };
 
 /// Clones `graph` with every NF, link and requirement id prefixed by

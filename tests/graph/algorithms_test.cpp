@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/graph.h"
+#include "graph/path_kernel.h"
 
 namespace unify::graph {
 namespace {
@@ -232,6 +233,88 @@ TEST_P(RingShortest, DistanceMatchesFormula) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, RingShortest,
                          ::testing::Values(2, 3, 4, 5, 8, 13, 32));
+
+// --- kernel-direct coverage: the templates in path_kernel.h that the
+// EdgeScanFn functions above shim onto.
+
+TEST(PathKernel, TreeExportMatchesShim) {
+  G g = diamond();
+  PathWorkspace ws;
+  shortest_path_tree(ws, g.node_capacity(), 0, weight_scan(g));
+  const ShortestPathTree exported =
+      export_shortest_path_tree(ws, g.node_capacity());
+  const ShortestPathTree shim =
+      shortest_path_tree(g.node_capacity(), 0, weight_scan(g));
+  EXPECT_EQ(exported.dist, shim.dist);
+  EXPECT_EQ(exported.parent_edge, shim.parent_edge);
+  EXPECT_EQ(exported.parent_node, shim.parent_node);
+  auto p = exported.path_to(0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodes, (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(PathKernel, TreeExportMarksUnreachableFromStaleEpochs) {
+  // Warm the workspace with a run from 0 (everything reachable), then run
+  // from 3 (nothing reachable): stale stamps from the first run must not
+  // leak into the export.
+  G g = diamond();
+  PathWorkspace ws;
+  shortest_path_tree(ws, g.node_capacity(), 0, weight_scan(g));
+  shortest_path_tree(ws, g.node_capacity(), 3, weight_scan(g));
+  const ShortestPathTree tree =
+      export_shortest_path_tree(ws, g.node_capacity());
+  EXPECT_EQ(tree.dist[3], 0.0);
+  for (NodeId v : {NodeId{0}, NodeId{1}, NodeId{2}}) {
+    EXPECT_EQ(tree.dist[v], kInf) << "node " << v;
+    EXPECT_EQ(tree.parent_edge[v], kInvalidId) << "node " << v;
+  }
+}
+
+TEST(PathKernel, YenReusesWorkspaceAcrossQueries) {
+  G g = diamond();
+  PathWorkspace ws;
+  // Interleave tree and Yen queries on one workspace; each must be
+  // unaffected by the previous run's state.
+  for (int round = 0; round < 3; ++round) {
+    auto paths =
+        k_shortest_paths(ws, g.node_capacity(), 0, 3, 5, weight_scan(g));
+    ASSERT_EQ(paths.size(), 2u) << "round " << round;
+    EXPECT_EQ(paths[0].cost, 2.0);
+    EXPECT_EQ(paths[1].cost, 4.0);
+    shortest_path_tree(ws, g.node_capacity(), 1, weight_scan(g));
+    const ShortestPathTree tree =
+        export_shortest_path_tree(ws, g.node_capacity());
+    EXPECT_EQ(tree.dist[3], 1.0) << "round " << round;
+    EXPECT_EQ(tree.dist[0], kInf) << "round " << round;
+  }
+}
+
+TEST(PathKernel, WorkspaceGrowsToLargestCapacity) {
+  PathWorkspace ws;
+  G small = diamond();
+  shortest_path_tree(ws, small.node_capacity(), 0, weight_scan(small));
+  EXPECT_EQ(ws.capacity(), small.node_capacity());
+
+  G big;
+  for (int i = 0; i < 40; ++i) big.add_node();
+  for (int i = 0; i + 1 < 40; ++i) {
+    big.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), {1});
+  }
+  shortest_path_tree(ws, big.node_capacity(), 0, weight_scan(big));
+  EXPECT_EQ(ws.capacity(), big.node_capacity());
+  const ShortestPathTree tree =
+      export_shortest_path_tree(ws, big.node_capacity());
+  EXPECT_EQ(tree.dist[39], 39.0);
+
+  // Shrinking back to the small graph keeps the larger arrays but must
+  // still bound results by the query's node_capacity.
+  shortest_path_tree(ws, small.node_capacity(), 0, weight_scan(small));
+  EXPECT_EQ(ws.capacity(), big.node_capacity());
+  const ShortestPathTree again =
+      export_shortest_path_tree(ws, small.node_capacity());
+  EXPECT_EQ(again.dist.size(), small.node_capacity());
+  EXPECT_EQ(again.dist[3], 2.0);
+}
 
 }  // namespace
 }  // namespace unify::graph

@@ -44,6 +44,10 @@ Result<void> BaseAdapter::apply(const model::Nffg& desired) {
   }
   UNIFY_LOG(kDebug, "adapter") << domain() << ": applying delta of "
                                << delta.size() << " operations";
+  // Mark the deployed config as (possibly) changed before issuing ops: a
+  // partial failure below must not leave the domain looking clean to the
+  // dirty-tracking layer above. No-op deltas stay epoch-stable.
+  if (delta.size() > 0) bump_epoch();
   // Removals free resources first; every successful native op is mirrored
   // into deployed_ immediately so a partial failure leaves an accurate
   // record.

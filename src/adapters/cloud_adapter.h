@@ -28,6 +28,10 @@ class CloudAdapter final : public BaseAdapter {
   [[nodiscard]] std::uint64_t native_operations() const noexcept override {
     return cloud_->api_calls();
   }
+  /// Serialized with every other adapter driving the same simulated clock.
+  [[nodiscard]] const void* exclusion_key() const noexcept override {
+    return &cloud_->clock();
+  }
   [[nodiscard]] std::string bisbis_id() const {
     return domain() + ".dc";
   }

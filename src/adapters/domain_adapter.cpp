@@ -1,0 +1,34 @@
+#include "adapters/domain_adapter.h"
+
+namespace unify::adapters {
+
+Result<PushTicket> DomainAdapter::begin_apply(const model::Nffg& desired) {
+  if (pending_.has_value()) {
+    return Error{ErrorCode::kUnavailable,
+                 "push already in flight in domain " + domain()};
+  }
+  PushTicket ticket{next_ticket_++};
+  pending_.emplace(ticket.id, desired);
+  return ticket;
+}
+
+Result<void> DomainAdapter::await(const PushTicket& ticket) {
+  if (!pending_.has_value()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "await without begin_apply in domain " + domain()};
+  }
+  if (pending_->first != ticket.id) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "stale push ticket " + std::to_string(ticket.id) +
+                     " for domain " + domain()};
+  }
+  const model::Nffg desired = std::move(pending_->second);
+  pending_.reset();
+  // Bump whatever the outcome: a partially failed apply may have mutated
+  // the domain, so it must not look clean to the orchestrator above.
+  auto applied = apply(desired);
+  bump_epoch();
+  return applied;
+}
+
+}  // namespace unify::adapters

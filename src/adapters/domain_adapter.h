@@ -6,14 +6,31 @@
 // domain's native operations (flow-mods, VM boots, container starts, Click
 // processes). The resource orchestrator treats every domain uniformly
 // through this interface — that is the paper's core claim.
+//
+// Southbound pushes are transactional: begin_apply() opens a push for a
+// desired config and returns a PushTicket, await() blocks until the domain
+// acknowledged (or rejected) it. The base class implements both on top of
+// the legacy synchronous apply() hook, so concrete adapters migrate to a
+// native split (issue early, collect late) incrementally. view_epoch()
+// lets the orchestrator above skip domains whose config cannot have
+// drifted since the last acknowledged push.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "model/nffg.h"
 #include "util/result.h"
 
 namespace unify::adapters {
+
+/// Opaque handle for one in-flight southbound push transaction.
+struct PushTicket {
+  std::uint64_t id = 0;
+};
 
 class DomainAdapter {
  public:
@@ -26,14 +43,63 @@ class DomainAdapter {
   /// statuses) and installed flowrules.
   [[nodiscard]] virtual Result<model::Nffg> fetch_view() = 0;
 
-  /// Drives the domain towards `desired` (a config over this domain's
-  /// view): computes the delta against the currently deployed config and
-  /// issues native operations. Partial failure leaves the deployed config
-  /// reflecting what actually succeeded.
+  // -- southbound push transaction ---------------------------------------
+
+  /// Opens a push transaction driving the domain towards `desired` (a
+  /// config over this domain's view). At most one transaction may be open
+  /// per adapter; a second begin_apply() before await() fails with
+  /// kUnavailable. The default implementation records the config and
+  /// defers all work to await(); native adapters issue the request here.
+  virtual Result<PushTicket> begin_apply(const model::Nffg& desired);
+
+  /// Blocks until the push behind `ticket` completed. Partial failure
+  /// leaves the deployed config reflecting what actually succeeded (the
+  /// next push computes its delta from that state). Closes the
+  /// transaction whatever the outcome.
+  virtual Result<void> await(const PushTicket& ticket);
+
+  /// True while a begin_apply() transaction has not been await()-ed.
+  [[nodiscard]] bool push_in_flight() const noexcept {
+    return pending_.has_value();
+  }
+
+  /// Monotonic counter that changes whenever the domain's deployed config
+  /// may have changed (any apply attempt that reached the domain). The
+  /// orchestrator records the epoch alongside the bytes of each
+  /// acknowledged slice: a domain is clean — and its push skipped — only
+  /// while both still match.
+  [[nodiscard]] virtual std::uint64_t view_epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Adapters whose operations drive shared single-threaded machinery (a
+  /// SimClock-driven channel or infrastructure simulator) return the same
+  /// key; the push engine serializes same-key adapters inside one worker
+  /// and parallelizes across keys. nullptr = safe to run concurrently
+  /// with any other adapter.
+  [[nodiscard]] virtual const void* exclusion_key() const noexcept {
+    return nullptr;
+  }
+
+  /// Legacy synchronous entry point the default begin_apply()/await()
+  /// shim wraps: computes the delta against the currently deployed config
+  /// and issues native operations, blocking until done.
   virtual Result<void> apply(const model::Nffg& desired) = 0;
 
   /// Native operations issued so far (flow-mods + lifecycle ops).
   [[nodiscard]] virtual std::uint64_t native_operations() const noexcept = 0;
+
+ protected:
+  /// Derived adapters call this whenever their deployed config may have
+  /// changed (the default await() shim does it for them).
+  void bump_epoch() noexcept {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::uint64_t> epoch_{0};
+  std::uint64_t next_ticket_ = 1;
+  std::optional<std::pair<std::uint64_t, model::Nffg>> pending_;
 };
 
 }  // namespace unify::adapters

@@ -19,6 +19,10 @@ class EmuAdapter final : public BaseAdapter {
   [[nodiscard]] std::uint64_t native_operations() const noexcept override {
     return emu_->operations();
   }
+  /// Serialized with every other adapter driving the same simulated clock.
+  [[nodiscard]] const void* exclusion_key() const noexcept override {
+    return &emu_->clock();
+  }
 
  protected:
   [[nodiscard]] Result<model::Nffg> build_skeleton() override;

@@ -1,10 +1,15 @@
 // Fault-injecting decorator around any DomainAdapter: fails the next N
-// operations, or every operation with a seeded probability. Used to test
-// the orchestration stack's behaviour under domain failures (rejected
-// configs, unreachable controllers) without special-casing the simulators.
+// operations, every n-th operation, or every operation with a seeded
+// probability, and can charge a host-time latency per operation. Used to
+// test the orchestration stack's behaviour under domain failures (rejected
+// configs, unreachable controllers) and to make retry/backoff and
+// parallel-push paths measurable deterministically, without
+// special-casing the simulators.
 #pragma once
 
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "adapters/domain_adapter.h"
 #include "util/rng.h"
@@ -24,6 +29,17 @@ class FaultyAdapter final : public DomainAdapter {
   }
   /// Every operation fails independently with this probability.
   void set_failure_rate(double rate) { failure_rate_ = rate; }
+  /// Every n-th operation fails with `code` (transient-then-recover: the
+  /// operations in between succeed, so a retrying caller converges).
+  /// n <= 0 disables.
+  void flaky_every(int n, ErrorCode code = ErrorCode::kUnavailable) {
+    flaky_every_ = n;
+    code_ = code;
+  }
+  /// Host-time latency charged to every operation, failing or not
+  /// (simulates slow southbound control channels; makes sequential vs
+  /// parallel push wall-time measurable). 0 disables.
+  void set_latency_us(std::int64_t us) { latency_us_ = us; }
 
   [[nodiscard]] const std::string& domain() const noexcept override {
     return inner_->domain();
@@ -39,16 +55,34 @@ class FaultyAdapter final : public DomainAdapter {
   [[nodiscard]] std::uint64_t native_operations() const noexcept override {
     return inner_->native_operations();
   }
+  /// The decorated adapter's exclusion constraints still hold underneath.
+  [[nodiscard]] const void* exclusion_key() const noexcept override {
+    return inner_->exclusion_key();
+  }
   [[nodiscard]] std::uint64_t injected_failures() const noexcept {
     return injected_;
+  }
+  [[nodiscard]] std::uint64_t operations_seen() const noexcept {
+    return operations_;
   }
 
  private:
   Result<void> maybe_fail(const char* op) {
+    ++operations_;
+    if (latency_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+    }
     if (fail_next_ > 0) {
       --fail_next_;
       ++injected_;
       return Error{code_, std::string(op) + " failed (injected) in domain " +
+                              inner_->domain()};
+    }
+    if (flaky_every_ > 0 &&
+        operations_ % static_cast<std::uint64_t>(flaky_every_) == 0) {
+      ++injected_;
+      return Error{code_, std::string(op) + " failed (injected, every " +
+                              std::to_string(flaky_every_) + "th) in " +
                               inner_->domain()};
     }
     if (failure_rate_ > 0 && rng_.next_bool(failure_rate_)) {
@@ -62,9 +96,12 @@ class FaultyAdapter final : public DomainAdapter {
   std::unique_ptr<DomainAdapter> inner_;
   Rng rng_;
   int fail_next_ = 0;
+  int flaky_every_ = 0;
   double failure_rate_ = 0;
+  std::int64_t latency_us_ = 0;
   ErrorCode code_ = ErrorCode::kUnavailable;
   std::uint64_t injected_ = 0;
+  std::uint64_t operations_ = 0;
 };
 
 }  // namespace unify::adapters

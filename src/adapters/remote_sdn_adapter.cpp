@@ -9,7 +9,8 @@ RemoteSdnAdapter::RemoteSdnAdapter(std::string domain_name,
                                    std::shared_ptr<proto::Endpoint> endpoint,
                                    SimClock& clock)
     : domain_(std::move(domain_name)),
-      peer_(std::move(endpoint), clock, domain_ + "-of-client") {}
+      peer_(std::move(endpoint), clock, domain_ + "-of-client"),
+      clock_(&clock) {}
 
 std::string RemoteSdnAdapter::local(const std::string& node) const {
   const std::string prefix = domain_ + ".";

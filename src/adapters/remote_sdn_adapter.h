@@ -28,6 +28,11 @@ class RemoteSdnAdapter final : public BaseAdapter {
   [[nodiscard]] std::uint64_t native_operations() const noexcept override {
     return flow_mods_sent_;
   }
+  /// Serialized with every other adapter driving the same simulated clock
+  /// (the control channel's RPCs pump it).
+  [[nodiscard]] const void* exclusion_key() const noexcept override {
+    return clock_;
+  }
 
   /// Ties helper objects' lifetime (e.g. the PoxController) to this
   /// adapter.
@@ -53,6 +58,7 @@ class RemoteSdnAdapter final : public BaseAdapter {
 
   std::string domain_;
   proto::RpcPeer peer_;
+  SimClock* clock_ = nullptr;
   std::uint64_t flow_mods_sent_ = 0;
   std::vector<std::shared_ptr<void>> dependencies_;
 };

@@ -21,6 +21,10 @@ class SdnAdapter final : public BaseAdapter {
   [[nodiscard]] std::uint64_t native_operations() const noexcept override {
     return net_->flow_ops();
   }
+  /// Serialized with every other adapter driving the same simulated clock.
+  [[nodiscard]] const void* exclusion_key() const noexcept override {
+    return &net_->clock();
+  }
 
  protected:
   [[nodiscard]] Result<model::Nffg> build_skeleton() override;

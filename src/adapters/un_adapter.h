@@ -24,6 +24,10 @@ class UnAdapter final : public BaseAdapter {
   [[nodiscard]] std::uint64_t native_operations() const noexcept override {
     return un_->operations();
   }
+  /// Serialized with every other adapter driving the same simulated clock.
+  [[nodiscard]] const void* exclusion_key() const noexcept override {
+    return &un_->clock();
+  }
   [[nodiscard]] std::string bisbis_id() const { return domain() + ".un"; }
 
  protected:

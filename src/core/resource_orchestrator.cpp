@@ -1,7 +1,12 @@
 #include "core/resource_orchestrator.h"
 
+#include <algorithm>
+#include <chrono>
+#include <numeric>
 #include <optional>
+#include <thread>
 
+#include "model/nffg_json.h"
 #include "util/log.h"
 #include "util/orchestration_pool.h"
 
@@ -44,13 +49,25 @@ Result<void> ResourceOrchestrator::initialize() {
   if (adapters_.empty()) {
     return Error{ErrorCode::kInvalidArgument, "RO has no domains"};
   }
+  // All domain views are fetched concurrently (the merge itself stays on
+  // the caller thread); domain order in the merge is preserved, so the
+  // result is identical to the old sequential loop.
+  std::vector<Result<model::Nffg>> fetched = fetch_views_parallel();
+  MultiError failures;
   std::vector<model::DomainView> views;
-  for (const auto& adapter : adapters_) {
-    UNIFY_ASSIGN_OR_RETURN(model::Nffg view, adapter->fetch_view());
-    views.push_back(model::DomainView{adapter->domain(), std::move(view)});
+  views.reserve(adapters_.size());
+  for (std::size_t i = 0; i < adapters_.size(); ++i) {
+    if (!fetched[i].ok()) {
+      failures.add(adapters_[i]->domain(), fetched[i].error());
+      continue;
+    }
+    views.push_back(model::DomainView{adapters_[i]->domain(),
+                                      std::move(fetched[i]).value()});
   }
+  if (!failures.empty()) return failures.to_error();
   UNIFY_ASSIGN_OR_RETURN(view_, model::merge_views(views));
   view_.set_id(name_ + "-global-view");
+  push_state_.assign(adapters_.size(), DomainPushState{});
   initialized_ = true;
   UNIFY_LOG(kInfo, "orch.ro")
       << name_ << ": merged " << adapters_.size() << " domains into "
@@ -322,20 +339,189 @@ Result<void> ResourceOrchestrator::refresh_domain(const std::string& domain) {
   return Error{ErrorCode::kNotFound, "domain " + domain};
 }
 
-Result<void> ResourceOrchestrator::push_slices() {
-  for (const auto& adapter : adapters_) {
-    const model::Nffg slice =
-        model::slice_for_domain(view_, adapter->domain());
-    UNIFY_RETURN_IF_ERROR(adapter->apply(slice));
-    metrics_.add("ro.slice_pushes");
+std::vector<std::vector<std::size_t>> ResourceOrchestrator::exclusion_groups(
+    const std::vector<std::size_t>& indices) const {
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<const void*> keys;  // index-aligned with groups
+  for (const std::size_t index : indices) {
+    const void* key = adapters_[index]->exclusion_key();
+    if (key != nullptr) {
+      bool merged = false;
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (keys[g] == key) {
+          groups[g].push_back(index);
+          merged = true;
+          break;
+        }
+      }
+      if (merged) continue;
+    }
+    groups.push_back({index});
+    keys.push_back(key);
   }
+  return groups;
+}
+
+void ResourceOrchestrator::push_one(std::size_t index,
+                                    const model::Nffg& slice,
+                                    PushOutcome& outcome) const {
+  adapters::DomainAdapter& adapter = *adapters_[index];
+  const int max_attempts = std::max(1, options_.push.max_attempts);
+  std::int64_t backoff_us = options_.push.backoff_initial_us;
+  for (int attempt = 1;; ++attempt) {
+    outcome.attempts = attempt;
+    auto applied = [&]() -> Result<void> {
+      UNIFY_ASSIGN_OR_RETURN(const adapters::PushTicket ticket,
+                             adapter.begin_apply(slice));
+      return adapter.await(ticket);
+    }();
+    if (applied.ok()) {
+      outcome.result = Result<void>::success();
+      return;
+    }
+    const ErrorCode code = applied.error().code;
+    const bool transient =
+        code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout;
+    if (!transient || attempt >= max_attempts) {
+      outcome.result = std::move(applied);
+      return;
+    }
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+    backoff_us = static_cast<std::int64_t>(
+        static_cast<double>(backoff_us) * options_.push.backoff_multiplier);
+  }
+}
+
+Result<void> ResourceOrchestrator::push_slices() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (push_state_.size() != adapters_.size()) {
+    push_state_.assign(adapters_.size(), DomainPushState{});
+  }
+  // Caller thread: compute each domain's slice and its canonical bytes,
+  // and decide dirtiness against the last acknowledged push. A domain is
+  // clean only when the bytes match AND its view_epoch() is unchanged
+  // (an epoch bump means the domain mutated since the ack).
+  std::vector<model::Nffg> slices;
+  slices.reserve(adapters_.size());
+  std::vector<std::string> slice_bytes(adapters_.size());
+  std::vector<std::size_t> dirty;
+  std::uint64_t skipped = 0;
+  for (std::size_t i = 0; i < adapters_.size(); ++i) {
+    slices.push_back(model::slice_for_domain(view_, adapters_[i]->domain()));
+    slice_bytes[i] = model::to_json(slices[i]).dump();
+    const DomainPushState& state = push_state_[i];
+    if (options_.push.skip_clean && state.valid &&
+        state.acked_epoch == adapters_[i]->view_epoch() &&
+        state.acked_bytes == slice_bytes[i]) {
+      ++skipped;
+      continue;
+    }
+    dirty.push_back(i);
+  }
+  metrics_.add("ro.push.skipped_clean", skipped);
+
+  if (!dirty.empty()) {
+    // Fan out: one pool task per exclusion group (adapters sharing
+    // simulated machinery stay sequential within their group). Workers
+    // write only their own PushOutcome slot; everything else is folded on
+    // the caller thread after the join. The join is tasks-completed, so a
+    // child RO reached through a UnifyClientAdapter can fan its own pushes
+    // out on the same pool without deadlocking the parent.
+    metrics_.add("ro.push.fanout", dirty.size());
+    const auto groups = exclusion_groups(dirty);
+    std::vector<PushOutcome> outcomes(adapters_.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      tasks.push_back([this, &groups, &slices, &outcomes, g] {
+        for (const std::size_t index : groups[g]) {
+          push_one(index, slices[index], outcomes[index]);
+        }
+      });
+    }
+    pool().run_all(std::move(tasks), options_.push.parallelism);
+
+    MultiError failures;
+    std::uint64_t retries = 0;
+    for (const std::size_t i : dirty) {
+      const PushOutcome& outcome = outcomes[i];
+      if (outcome.attempts > 1) {
+        retries += static_cast<std::uint64_t>(outcome.attempts - 1);
+      }
+      if (outcome.result.ok()) {
+        push_state_[i] = DomainPushState{slice_bytes[i],
+                                         adapters_[i]->view_epoch(), true};
+        metrics_.add("ro.slice_pushes");
+      } else {
+        // Unknown domain state (a failed apply may have landed partially):
+        // never consider it clean until a push succeeds.
+        push_state_[i].valid = false;
+        failures.add(adapters_[i]->domain(), outcome.result.error());
+      }
+    }
+    if (retries > 0) metrics_.add("ro.push.retries", retries);
+    const auto wall = std::chrono::steady_clock::now() - wall_start;
+    metrics_.summary("ro.push.wall_ms")
+        .observe(std::chrono::duration<double, std::milli>(wall).count());
+    if (!failures.empty()) {
+      metrics_.add("ro.push.partial_failures", failures.size());
+      UNIFY_LOG(kWarn, "orch.ro")
+          << name_ << ": " << failures.size() << "/" << dirty.size()
+          << " domain pushes failed";
+      return failures.to_error();
+    }
+    return Result<void>::success();
+  }
+  const auto wall = std::chrono::steady_clock::now() - wall_start;
+  metrics_.summary("ro.push.wall_ms")
+      .observe(std::chrono::duration<double, std::milli>(wall).count());
   return Result<void>::success();
 }
 
+std::vector<Result<model::Nffg>> ResourceOrchestrator::fetch_views_parallel() {
+  std::vector<Result<model::Nffg>> results;
+  results.reserve(adapters_.size());
+  for (std::size_t i = 0; i < adapters_.size(); ++i) {
+    results.emplace_back(
+        Error{ErrorCode::kInternal, "domain view not fetched"});
+  }
+  std::vector<std::size_t> all(adapters_.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto groups = exclusion_groups(all);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    tasks.push_back([this, &groups, &results, g] {
+      for (const std::size_t index : groups[g]) {
+        results[index] = adapters_[index]->fetch_view();
+      }
+    });
+  }
+  pool().run_all(std::move(tasks), options_.push.parallelism);
+  return results;
+}
+
+Result<void> ResourceOrchestrator::resync_domains() {
+  if (!initialized_) {
+    return Error{ErrorCode::kUnavailable, "RO not initialized"};
+  }
+  metrics_.add("ro.resyncs");
+  return push_slices();
+}
+
 Result<void> ResourceOrchestrator::sync_statuses() {
-  for (const auto& adapter : adapters_) {
-    UNIFY_ASSIGN_OR_RETURN(const model::Nffg domain_view,
-                           adapter->fetch_view());
+  // Fetch concurrently, fold into the view sequentially (in domain order,
+  // so the merged result is identical to the old sequential loop).
+  std::vector<Result<model::Nffg>> fetched = fetch_views_parallel();
+  MultiError failures;
+  for (std::size_t i = 0; i < adapters_.size(); ++i) {
+    if (!fetched[i].ok()) {
+      failures.add(adapters_[i]->domain(), fetched[i].error());
+      continue;
+    }
+    const model::Nffg& domain_view = *fetched[i];
     for (const auto& [bb_id, bb] : domain_view.bisbis()) {
       model::BisBis* mine = view_.find_bisbis(bb_id);
       if (mine == nullptr) continue;
@@ -345,6 +531,7 @@ Result<void> ResourceOrchestrator::sync_statuses() {
       }
     }
   }
+  if (!failures.empty()) return failures.to_error();
   return Result<void>::success();
 }
 

@@ -31,15 +31,37 @@ class OrchestrationPool;
 
 namespace unify::core {
 
+/// Southbound push behaviour (per-domain retry, fan-out width, dirty
+/// tracking). All knobs are per-RO; the defaults reproduce a plain
+/// attempt-once push with clean-domain skipping.
+struct PushPolicy {
+  /// Total tries per domain per fan-out. Retries happen only on
+  /// kUnavailable/kTimeout (transient transport faults); rejections and
+  /// semantic errors surface immediately.
+  int max_attempts = 1;
+  /// Host-time sleep before the first retry; doubles (times
+  /// backoff_multiplier) on each further one.
+  std::int64_t backoff_initial_us = 200;
+  double backoff_multiplier = 2.0;
+  /// Caps concurrently pushed exclusion groups (0 = pool width, 1 =
+  /// strictly sequential in domain order).
+  std::size_t parallelism = 0;
+  /// Skip domains whose slice is byte-identical to the last acknowledged
+  /// push at an unchanged adapter view_epoch(). Disable for ablation.
+  bool skip_clean = true;
+};
+
 struct RoOptions {
   /// Enumerate NF decompositions during mapping (paper showcase iii).
   bool use_decomposition = true;
   std::size_t max_decomposition_combinations = 32;
-  /// Worker pool for batch mapping; nullptr selects the shared
-  /// process-scoped pool (util::OrchestrationPool::process_pool()). One
-  /// pool serves every RO and service layer in the process — inject a
-  /// private instance only for isolation in tests.
+  /// Worker pool for batch mapping and the southbound push fan-out;
+  /// nullptr selects the shared process-scoped pool
+  /// (util::OrchestrationPool::process_pool()). One pool serves every RO
+  /// and service layer in the process — inject a private instance only
+  /// for isolation in tests.
   util::OrchestrationPool* pool = nullptr;
+  PushPolicy push;
 };
 
 class ResourceOrchestrator {
@@ -125,6 +147,11 @@ class ResourceOrchestrator {
   /// Pulls NF operational statuses up from the domains into the view.
   Result<void> sync_statuses();
 
+  /// Recomputes every domain's slice from the current view and pushes the
+  /// dirty ones south (same fan-out engine deploy()/remove() use). Useful
+  /// after out-of-band view edits and as the bench driver.
+  Result<void> resync_domains();
+
   /// Status of one NF by instance id (searches the view).
   [[nodiscard]] std::optional<model::NfStatus> nf_status(
       const std::string& nf_id) const;
@@ -159,7 +186,44 @@ class ResourceOrchestrator {
                              const model::Nffg& view,
                              PrepareStats& stats) const;
   Result<std::string> commit(Deployment deployment);
+
+  /// Last acknowledged push per domain (index-aligned with adapters_):
+  /// canonical slice bytes + the adapter view_epoch() they were accepted
+  /// at. A domain is clean when both still match.
+  struct DomainPushState {
+    std::string acked_bytes;
+    std::uint64_t acked_epoch = 0;
+    bool valid = false;
+  };
+
+  /// Outcome of one domain's push task, filled in by a pool worker.
+  /// Workers write only their own slot; the caller folds after the join.
+  struct PushOutcome {
+    Result<void> result = Result<void>::success();
+    int attempts = 0;
+  };
+
+  /// Pushes `slice` to adapters_[index] with the configured retry policy
+  /// (transient kUnavailable/kTimeout errors only). Runs on pool workers:
+  /// touches the adapter and `outcome`, nothing else on the RO.
+  void push_one(std::size_t index, const model::Nffg& slice,
+                PushOutcome& outcome) const;
+
+  /// The southbound fan-out: splits the view per domain, skips clean
+  /// domains, groups the rest by adapters' exclusion_key() (adapters
+  /// sharing simulated machinery must not run concurrently) and pushes
+  /// each group as one pool task. Every domain is attempted even when
+  /// others fail; failures are aggregated into one MultiError.
   Result<void> push_slices();
+
+  /// Fetches every domain's view concurrently on the pool (same exclusion
+  /// grouping as push_slices). Results are index-aligned with adapters_.
+  std::vector<Result<model::Nffg>> fetch_views_parallel();
+
+  /// Groups adapter indices by exclusion_key(): null keys get singleton
+  /// groups, equal non-null keys share one (ordered) group.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> exclusion_groups(
+      const std::vector<std::size_t>& indices) const;
 
   std::string name_;
   std::shared_ptr<const mapping::Mapper> mapper_;
@@ -167,6 +231,7 @@ class ResourceOrchestrator {
   RoOptions options_;
   std::vector<std::unique_ptr<adapters::DomainAdapter>> adapters_;
   std::vector<std::string> domain_names_;
+  std::vector<DomainPushState> push_state_;
   model::Nffg view_;
   bool initialized_ = false;
   std::map<std::string, Deployment> deployments_;

@@ -37,6 +37,7 @@ UnifyClientAdapter::UnifyClientAdapter(
     SimClock& clock, SimTime rpc_timeout_us)
     : domain_(std::move(domain_name)),
       peer_(std::move(endpoint), clock, domain_ + "-unify-client"),
+      clock_(&clock),
       rpc_timeout_us_(rpc_timeout_us) {}
 
 Result<model::Nffg> UnifyClientAdapter::fetch_view() {
@@ -51,15 +52,50 @@ Result<model::Nffg> UnifyClientAdapter::fetch_view() {
   return model::nffg_from_json(*config);
 }
 
-Result<void> UnifyClientAdapter::apply(const model::Nffg& desired) {
+Result<adapters::PushTicket> UnifyClientAdapter::begin_apply(
+    const model::Nffg& desired) {
+  if (inflight_.has_value()) {
+    return Error{ErrorCode::kUnavailable,
+                 "push already in flight in domain " + domain_};
+  }
   json::Object params;
   params.set("config", model::to_json(desired));
-  UNIFY_ASSIGN_OR_RETURN(
-      const json::Value reply,
-      peer_.call_and_wait("edit-config", json::Value{std::move(params)},
-                          rpc_timeout_us_));
-  (void)reply;
+  auto slot = std::make_shared<std::optional<Result<json::Value>>>();
+  peer_.call("edit-config", json::Value{std::move(params)},
+             [slot](Result<json::Value> reply) { *slot = std::move(reply); },
+             rpc_timeout_us_);
+  inflight_ = InflightPush{next_push_id_++, std::move(slot)};
+  return adapters::PushTicket{inflight_->id};
+}
+
+Result<void> UnifyClientAdapter::await(const adapters::PushTicket& ticket) {
+  if (!inflight_.has_value() || inflight_->id != ticket.id) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "stale push ticket " + std::to_string(ticket.id) +
+                     " for domain " + domain_};
+  }
+  const auto slot = inflight_->slot;
+  inflight_.reset();
+  // Drive the simulation until the child's acknowledgment (or the RPC
+  // timeout timer) fires — this is where the child stack runs.
+  while (!slot->has_value() && clock_->pending_timers() > 0) {
+    clock_->run_until_idle();
+  }
+  // Whatever happened, the edit-config reached the wire: the child's
+  // config may have changed, so this domain must not look clean.
+  bump_epoch();
+  if (!slot->has_value()) {
+    return Error{ErrorCode::kUnavailable,
+                 "no response and no pending timers (peer gone?)"};
+  }
+  if (!(*slot)->ok()) return (*slot)->error();
   return Result<void>::success();
+}
+
+Result<void> UnifyClientAdapter::apply(const model::Nffg& desired) {
+  UNIFY_ASSIGN_OR_RETURN(const adapters::PushTicket ticket,
+                         begin_apply(desired));
+  return await(ticket);
 }
 
 std::unique_ptr<UnifyClientAdapter> make_unify_link(Virtualizer& child,

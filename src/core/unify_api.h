@@ -13,6 +13,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "adapters/domain_adapter.h"
 #include "core/virtualizer.h"
@@ -46,9 +48,23 @@ class UnifyClientAdapter final : public adapters::DomainAdapter {
     return domain_;
   }
   [[nodiscard]] Result<model::Nffg> fetch_view() override;
+
+  /// Native transactional push: begin_apply issues the edit-config RPC and
+  /// returns immediately; await drives the channel until the child's
+  /// acknowledgment (or timeout) lands. The child virtualizer runs its own
+  /// orchestration — recursively fanning its domain pushes out on the same
+  /// shared pool — inside that drive, which is the architecture's
+  /// recursion point.
+  Result<adapters::PushTicket> begin_apply(const model::Nffg& desired) override;
+  Result<void> await(const adapters::PushTicket& ticket) override;
   Result<void> apply(const model::Nffg& desired) override;
+
   [[nodiscard]] std::uint64_t native_operations() const noexcept override {
     return peer_.counters().messages_sent;
+  }
+  /// Serialized with every other adapter driving the same simulated clock.
+  [[nodiscard]] const void* exclusion_key() const noexcept override {
+    return clock_;
   }
 
   /// Attaches an owned object (e.g. the matching UnifyServer + child
@@ -60,7 +76,15 @@ class UnifyClientAdapter final : public adapters::DomainAdapter {
  private:
   std::string domain_;
   proto::RpcPeer peer_;
+  SimClock* clock_;
   SimTime rpc_timeout_us_;
+  /// One in-flight edit-config: ticket id + where the response lands.
+  struct InflightPush {
+    std::uint64_t id = 0;
+    std::shared_ptr<std::optional<Result<json::Value>>> slot;
+  };
+  std::optional<InflightPush> inflight_;
+  std::uint64_t next_push_id_ = 1;
   std::vector<std::shared_ptr<void>> dependencies_;
 };
 

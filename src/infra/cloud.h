@@ -51,6 +51,9 @@ class Cloud {
   Cloud(SimClock& clock, std::string name, CloudConfig config = {});
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// The simulated time base every operation of this domain is charged
+  /// against (shared machinery: concurrent control must serialize on it).
+  [[nodiscard]] SimClock& clock() const noexcept { return *clock_; }
 
   Result<void> add_hypervisor(const std::string& id,
                               model::Resources capacity);

@@ -47,6 +47,9 @@ class EmuNetwork {
   EmuNetwork(SimClock& clock, std::string name, EmuConfig config = {});
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// The simulated time base every operation of this domain is charged
+  /// against (shared machinery: concurrent control must serialize on it).
+  [[nodiscard]] SimClock& clock() const noexcept { return *clock_; }
 
   /// Adds a switch with `fabric_ports` inter-switch/SAP ports plus the
   /// configured EE port block, and an EE with `ee_capacity` beside it.

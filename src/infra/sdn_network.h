@@ -26,6 +26,9 @@ class SdnNetwork {
   SdnNetwork(SimClock& clock, std::string name, SdnConfig config = {});
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// The simulated time base every operation of this domain is charged
+  /// against (shared machinery: concurrent control must serialize on it).
+  [[nodiscard]] SimClock& clock() const noexcept { return *clock_; }
 
   // ------------------------------------------------- topology (build-time)
   Result<void> add_switch(const std::string& id, int port_count);

@@ -45,6 +45,9 @@ class UniversalNode {
                 UnConfig config = {});
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// The simulated time base every operation of this domain is charged
+  /// against (shared machinery: concurrent control must serialize on it).
+  [[nodiscard]] SimClock& clock() const noexcept { return *clock_; }
   [[nodiscard]] model::Resources capacity() const noexcept {
     return capacity_;
   }

@@ -108,7 +108,12 @@ Result<void> ServiceLayer::push_config() {
   UNIFY_ASSIGN_OR_RETURN(
       const model::Nffg config,
       core::service_graph_to_config(merged_active(), *view_, big_node_));
-  return client_->apply(config);
+  // Transactional push: issue the edit-config, then block on the ack. The
+  // split buys nothing for a single southbound client yet, but keeps the
+  // service layer on the same contract the RO drives its domains with.
+  UNIFY_ASSIGN_OR_RETURN(const adapters::PushTicket ticket,
+                         client_->begin_apply(config));
+  return client_->await(ticket);
 }
 
 std::optional<Error> ServiceLayer::validate_request(

@@ -12,6 +12,7 @@
 #include <string>
 #include <utility>
 #include <variant>
+#include <vector>
 
 namespace unify {
 
@@ -65,6 +66,47 @@ struct Error {
   friend bool operator==(const Error& a, const Error& b) {
     return a.code == b.code && a.message == b.message;
   }
+};
+
+/// Aggregates errors from a fan-out (one slice push per domain, one view
+/// fetch per domain, ...) where every branch is attempted regardless of the
+/// others' outcomes. Each entry carries the scope it failed in (a domain
+/// name) plus the branch's own Error; to_error() collapses the collection
+/// into one Error a Result can carry north.
+class MultiError {
+ public:
+  void add(std::string scope, Error error) {
+    entries_.emplace_back(std::move(scope), std::move(error));
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, Error>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+  /// A single entry keeps its code verbatim (message prefixed with the
+  /// scope, so "which domain" survives propagation); several entries take
+  /// the first entry's code and a joined message listing every failure.
+  /// Precondition: !empty().
+  [[nodiscard]] Error to_error() const {
+    assert(!empty());
+    if (entries_.size() == 1) {
+      const auto& [scope, error] = entries_.front();
+      return Error{error.code, "[" + scope + "] " + error.message};
+    }
+    std::string message =
+        std::to_string(entries_.size()) + " failures:";
+    for (const auto& [scope, error] : entries_) {
+      message += " [" + scope + "] " + error.to_string() + ";";
+    }
+    message.pop_back();
+    return Error{entries_.front().second.code, std::move(message)};
+  }
+
+ private:
+  std::vector<std::pair<std::string, Error>> entries_;
 };
 
 /// Result<T> holds either a T or an Error. Construction from either side is

@@ -95,5 +95,42 @@ TEST(Result, ErrorEquality) {
   EXPECT_FALSE(a == c);
 }
 
+TEST(MultiError, StartsEmpty) {
+  MultiError errors;
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(errors.size(), 0u);
+}
+
+TEST(MultiError, SingleEntryPreservesCode) {
+  // Callers assert on codes (kRejected vs kUnavailable decides retry and
+  // rollback behaviour), so a lone failure must keep its code verbatim.
+  MultiError errors;
+  errors.add("d1", Error{ErrorCode::kRejected, "says no"});
+  const Error e = errors.to_error();
+  EXPECT_EQ(e.code, ErrorCode::kRejected);
+  EXPECT_EQ(e.message, "[d1] says no");
+}
+
+TEST(MultiError, AggregatesAllScopes) {
+  MultiError errors;
+  errors.add("d1", Error{ErrorCode::kUnavailable, "down"});
+  errors.add("d3", Error{ErrorCode::kTimeout, "slow"});
+  EXPECT_EQ(errors.size(), 2u);
+  const Error e = errors.to_error();
+  EXPECT_EQ(e.code, ErrorCode::kUnavailable);  // first entry's code
+  EXPECT_NE(e.message.find("2 failures"), std::string::npos);
+  EXPECT_NE(e.message.find("[d1]"), std::string::npos);
+  EXPECT_NE(e.message.find("[d3]"), std::string::npos);
+  EXPECT_NE(e.message.find("timeout"), std::string::npos);
+}
+
+TEST(MultiError, EntriesAreInspectable) {
+  MultiError errors;
+  errors.add("left", Error{ErrorCode::kNotFound, "gone"});
+  ASSERT_EQ(errors.entries().size(), 1u);
+  EXPECT_EQ(errors.entries().front().first, "left");
+  EXPECT_EQ(errors.entries().front().second.code, ErrorCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace unify

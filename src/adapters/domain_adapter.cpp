@@ -31,4 +31,11 @@ Result<void> DomainAdapter::await(const PushTicket& ticket) {
   return applied;
 }
 
+Result<void> DomainAdapter::probe() {
+  // A fetch that answers at all proves the control channel is alive; the
+  // fetched view is discarded (readmission re-fetches via resync).
+  UNIFY_RETURN_IF_ERROR(fetch_view());
+  return Result<void>::success();
+}
+
 }  // namespace unify::adapters

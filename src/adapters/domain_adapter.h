@@ -59,9 +59,17 @@ class DomainAdapter {
   virtual Result<void> await(const PushTicket& ticket);
 
   /// True while a begin_apply() transaction has not been await()-ed.
-  [[nodiscard]] bool push_in_flight() const noexcept {
+  /// Virtual so decorators (FaultyAdapter) can forward to the inner
+  /// adapter's transaction state instead of their own idle shim.
+  [[nodiscard]] virtual bool push_in_flight() const noexcept {
     return pending_.has_value();
   }
+
+  /// Cheap liveness probe used by the health manager to half-open a
+  /// tripped circuit. Must not mutate domain state. The default is a
+  /// lightweight fetch_view ping (every concrete adapter inherits it);
+  /// adapters with a native keepalive can override.
+  virtual Result<void> probe();
 
   /// Monotonic counter that changes whenever the domain's deployed config
   /// may have changed (any apply attempt that reached the domain). The

@@ -48,6 +48,27 @@ class FaultyAdapter final : public DomainAdapter {
     UNIFY_RETURN_IF_ERROR(maybe_fail("fetch_view"));
     return inner_->fetch_view();
   }
+  // Transactional path forwarded natively so fault injection exercises the
+  // exact code path real adapters use (latency + fault checks charge on
+  // begin_apply — the "issue" side — await only collects).
+  Result<PushTicket> begin_apply(const model::Nffg& desired) override {
+    UNIFY_RETURN_IF_ERROR(maybe_fail("begin_apply"));
+    return inner_->begin_apply(desired);
+  }
+  Result<void> await(const PushTicket& ticket) override {
+    return inner_->await(ticket);
+  }
+  [[nodiscard]] bool push_in_flight() const noexcept override {
+    return inner_->push_in_flight();
+  }
+  [[nodiscard]] std::uint64_t view_epoch() const noexcept override {
+    return inner_->view_epoch();
+  }
+  Result<void> probe() override {
+    UNIFY_RETURN_IF_ERROR(maybe_fail("probe"));
+    return inner_->probe();
+  }
+  /// Legacy sync hook, kept for callers that bypass the ticket API.
   Result<void> apply(const model::Nffg& desired) override {
     UNIFY_RETURN_IF_ERROR(maybe_fail("apply"));
     return inner_->apply(desired);

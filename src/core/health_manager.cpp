@@ -1,0 +1,150 @@
+#include "core/health_manager.h"
+
+#include <utility>
+
+#include "util/log.h"
+
+namespace unify::core {
+namespace {
+
+bool is_transient(ErrorCode code) noexcept {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout;
+}
+
+}  // namespace
+
+const char* to_string(DomainHealth health) noexcept {
+  switch (health) {
+    case DomainHealth::kHealthy:
+      return "healthy";
+    case DomainHealth::kDegraded:
+      return "degraded";
+    case DomainHealth::kDown:
+      return "down";
+    case DomainHealth::kProbing:
+      return "probing";
+  }
+  return "unknown";
+}
+
+void HealthManager::reset(HealthPolicy policy, std::vector<std::string> domains) {
+  policy_ = policy;
+  records_.clear();
+  records_.reserve(domains.size());
+  for (auto& domain : domains) {
+    DomainRecord record;
+    record.domain = std::move(domain);
+    records_.push_back(std::move(record));
+  }
+}
+
+bool HealthManager::record_failure(std::size_t index, const Error& error) {
+  if (index >= records_.size()) return false;
+  auto& rec = records_[index];
+  rec.failures_total += 1;
+  rec.last_error = error.to_string();
+  // An open circuit already excludes the domain; stray observations from a
+  // heal probe or a racing fetch must not double-count.
+  if (rec.health == DomainHealth::kDown || rec.health == DomainHealth::kProbing) {
+    return false;
+  }
+  if (!is_transient(error.code)) {
+    // The domain answered (with a rejection): it is alive.
+    rec.consecutive_failures = 0;
+    return false;
+  }
+  rec.consecutive_failures += 1;
+  if (!policy_.enabled) return false;
+  if (rec.consecutive_failures >= policy_.failure_threshold) {
+    return open_circuit(index, error.to_string());
+  }
+  if (rec.consecutive_failures >= policy_.degrade_after) {
+    rec.health = DomainHealth::kDegraded;
+  }
+  return false;
+}
+
+void HealthManager::record_success(std::size_t index) {
+  if (index >= records_.size()) return;
+  auto& rec = records_[index];
+  if (rec.health == DomainHealth::kDown || rec.health == DomainHealth::kProbing) {
+    // Readmission goes through close_circuit() so the orchestrator can
+    // unmask capacity and resync first; a bare success can't short it.
+    return;
+  }
+  rec.consecutive_failures = 0;
+  rec.health = DomainHealth::kHealthy;
+}
+
+bool HealthManager::open_circuit(std::size_t index, const std::string& reason) {
+  if (index >= records_.size()) return false;
+  auto& rec = records_[index];
+  if (rec.health == DomainHealth::kDown || rec.health == DomainHealth::kProbing) {
+    return false;
+  }
+  rec.health = DomainHealth::kDown;
+  rec.circuit_opens += 1;
+  rec.last_error = reason;
+  UNIFY_LOG(kWarn, "core.health")
+      << "circuit open for domain '" << rec.domain << "': " << reason;
+  return true;
+}
+
+void HealthManager::begin_probe(std::size_t index) {
+  if (index >= records_.size()) return;
+  auto& rec = records_[index];
+  if (rec.health != DomainHealth::kDown) return;
+  rec.health = DomainHealth::kProbing;
+  rec.probes += 1;
+}
+
+void HealthManager::probe_failed(std::size_t index, const Error& error) {
+  if (index >= records_.size()) return;
+  auto& rec = records_[index];
+  if (rec.health != DomainHealth::kProbing) return;
+  rec.health = DomainHealth::kDown;
+  rec.probe_failures += 1;
+  rec.failures_total += 1;
+  rec.last_error = error.to_string();
+}
+
+void HealthManager::close_circuit(std::size_t index) {
+  if (index >= records_.size()) return;
+  auto& rec = records_[index];
+  rec.health = DomainHealth::kHealthy;
+  rec.consecutive_failures = 0;
+  UNIFY_LOG(kInfo, "core.health")
+      << "circuit closed for domain '" << rec.domain << "'";
+}
+
+bool HealthManager::admits(std::size_t index) const noexcept {
+  if (index >= records_.size()) return true;
+  const auto health = records_[index].health;
+  return health != DomainHealth::kDown && health != DomainHealth::kProbing;
+}
+
+DomainHealth HealthManager::health(std::size_t index) const noexcept {
+  if (index >= records_.size()) return DomainHealth::kHealthy;
+  return records_[index].health;
+}
+
+const HealthManager::DomainRecord& HealthManager::record(std::size_t index) const {
+  return records_.at(index);
+}
+
+std::vector<std::size_t> HealthManager::open_circuits() const {
+  std::vector<std::size_t> open;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (!admits(i)) open.push_back(i);
+  }
+  return open;
+}
+
+bool HealthManager::any_open() const noexcept {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (!admits(i)) return true;
+  }
+  return false;
+}
+
+}  // namespace unify::core

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <numeric>
 #include <optional>
+#include <set>
 #include <thread>
+#include <utility>
 
 #include "model/nffg_json.h"
 #include "util/log.h"
@@ -68,6 +70,9 @@ Result<void> ResourceOrchestrator::initialize() {
   UNIFY_ASSIGN_OR_RETURN(view_, model::merge_views(views));
   view_.set_id(name_ + "-global-view");
   push_state_.assign(adapters_.size(), DomainPushState{});
+  health_.reset(options_.health, domain_names_);
+  mask_ = ViewMask{};
+  metrics_.set_gauge("ro.health.down_domains", 0);
   initialized_ = true;
   UNIFY_LOG(kInfo, "orch.ro")
       << name_ << ": merged " << adapters_.size() << " domains into "
@@ -244,6 +249,7 @@ Result<std::string> ResourceOrchestrator::commit(Deployment deployment) {
   // Materialize into the global view, then push per-domain slices.
   UNIFY_RETURN_IF_ERROR(mapping::install_mapping(
       view_, deployment.expanded, catalog_, deployment.mapping));
+  deployment.sequence = next_sequence_++;
   metrics_.add("ro.deployments");
   metrics_.summary("ro.nfs_per_request")
       .observe(static_cast<double>(deployment.mapping.stats.nfs_placed));
@@ -319,8 +325,14 @@ Result<void> ResourceOrchestrator::redeploy(const std::string& request_id) {
 }
 
 Result<void> ResourceOrchestrator::refresh_domain(const std::string& domain) {
-  for (const auto& adapter : adapters_) {
+  for (std::size_t i = 0; i < adapters_.size(); ++i) {
+    const auto& adapter = adapters_[i];
     if (adapter->domain() != domain) continue;
+    if (!health_.admits(i)) {
+      return Error{ErrorCode::kUnavailable,
+                   "circuit open for domain " + domain +
+                       "; heal() readmits it after a successful probe"};
+    }
     UNIFY_ASSIGN_OR_RETURN(const model::Nffg fresh, adapter->fetch_view());
     for (const auto& [bb_id, bb] : fresh.bisbis()) {
       model::BisBis* mine = view_.find_bisbis(bb_id);
@@ -408,9 +420,17 @@ Result<void> ResourceOrchestrator::push_slices() {
   std::vector<std::string> slice_bytes(adapters_.size());
   std::vector<std::size_t> dirty;
   std::uint64_t skipped = 0;
+  std::uint64_t gated = 0;
   for (std::size_t i = 0; i < adapters_.size(); ++i) {
     slices.push_back(model::slice_for_domain(view_, adapters_[i]->domain()));
     slice_bytes[i] = model::to_json(slices[i]).dump();
+    if (!health_.admits(i)) {
+      // Circuit open: no retry storms against a dead domain. Its
+      // push_state_ was invalidated when the circuit opened, so the slice
+      // is re-pushed by the readmission resync.
+      ++gated;
+      continue;
+    }
     const DomainPushState& state = push_state_[i];
     if (options_.push.skip_clean && state.valid &&
         state.acked_epoch == adapters_[i]->view_epoch() &&
@@ -421,6 +441,7 @@ Result<void> ResourceOrchestrator::push_slices() {
     dirty.push_back(i);
   }
   metrics_.add("ro.push.skipped_clean", skipped);
+  if (gated > 0) metrics_.add("ro.health.pushes_gated", gated);
 
   if (!dirty.empty()) {
     // Fan out: one pool task per exclusion group (adapters sharing
@@ -460,6 +481,7 @@ Result<void> ResourceOrchestrator::push_slices() {
         push_state_[i].valid = false;
         failures.add(adapters_[i]->domain(), outcome.result.error());
       }
+      note_southbound_outcome(i, outcome.result);
     }
     if (retries > 0) metrics_.add("ro.push.retries", retries);
     const auto wall = std::chrono::steady_clock::now() - wall_start;
@@ -487,8 +509,16 @@ std::vector<Result<model::Nffg>> ResourceOrchestrator::fetch_views_parallel() {
     results.emplace_back(
         Error{ErrorCode::kInternal, "domain view not fetched"});
   }
-  std::vector<std::size_t> all(adapters_.size());
-  std::iota(all.begin(), all.end(), std::size_t{0});
+  std::vector<std::size_t> all;
+  all.reserve(adapters_.size());
+  for (std::size_t i = 0; i < adapters_.size(); ++i) {
+    if (!health_.admits(i)) {
+      results[i] = Error{ErrorCode::kUnavailable,
+                         "circuit open for domain " + domain_names_[i]};
+      continue;
+    }
+    all.push_back(i);
+  }
   const auto groups = exclusion_groups(all);
   std::vector<std::function<void()>> tasks;
   tasks.reserve(groups.size());
@@ -517,10 +547,18 @@ Result<void> ResourceOrchestrator::sync_statuses() {
   std::vector<Result<model::Nffg>> fetched = fetch_views_parallel();
   MultiError failures;
   for (std::size_t i = 0; i < adapters_.size(); ++i) {
+    if (!health_.admits(i)) {
+      // Known-down domain: its NFs keep their last known statuses (the
+      // healing pass stamps them kFailed when it gives up on them) and the
+      // sync itself still succeeds for the survivors.
+      continue;
+    }
     if (!fetched[i].ok()) {
+      note_southbound_outcome(i, fetched[i].error());
       failures.add(adapters_[i]->domain(), fetched[i].error());
       continue;
     }
+    note_southbound_outcome(i, Result<void>::success());
     const model::Nffg& domain_view = *fetched[i];
     for (const auto& [bb_id, bb] : domain_view.bisbis()) {
       model::BisBis* mine = view_.find_bisbis(bb_id);
@@ -533,6 +571,209 @@ Result<void> ResourceOrchestrator::sync_statuses() {
   }
   if (!failures.empty()) return failures.to_error();
   return Result<void>::success();
+}
+
+void ResourceOrchestrator::note_southbound_outcome(std::size_t index,
+                                                  const Result<void>& result) {
+  if (result.ok()) {
+    health_.record_success(index);
+    return;
+  }
+  if (health_.record_failure(index, result.error())) {
+    metrics_.add("ro.health.circuit_opens");
+    push_state_[index].valid = false;
+    remask_view();
+  }
+}
+
+void ResourceOrchestrator::remask_view() {
+  // Restore everything previously masked, then re-mask from scratch for
+  // the currently open circuits. Rebuilding wholesale keeps the
+  // bookkeeping correct when adjacent domains go down and recover in any
+  // interleaving (a per-domain mask would save already-zeroed values).
+  for (const auto& [bb_id, capacity] : mask_.bb_capacity) {
+    if (model::BisBis* bb = view_.find_bisbis(bb_id); bb != nullptr) {
+      bb->capacity = capacity;
+    }
+  }
+  for (const auto& [link_id, bandwidth] : mask_.link_bandwidth) {
+    if (model::Link* link = view_.find_link(link_id); link != nullptr) {
+      link->attrs.bandwidth = bandwidth;
+    }
+  }
+  mask_ = ViewMask{};
+
+  std::set<std::string> down;
+  for (const std::size_t i : health_.open_circuits()) {
+    down.insert(domain_names_[i]);
+  }
+  metrics_.set_gauge("ro.health.down_domains",
+                     static_cast<double>(down.size()));
+  if (down.empty()) return;
+
+  const auto in_down_domain = [&](const std::string& node_id) {
+    const model::BisBis* bb = view_.find_bisbis(node_id);
+    return bb != nullptr && down.count(bb->domain) != 0;
+  };
+  for (auto& [bb_id, bb] : view_.bisbis()) {
+    if (down.count(bb.domain) == 0) continue;
+    mask_.bb_capacity.emplace(bb_id, bb.capacity);
+    // Zero capacity (not capacity = allocated): residual stays <= 0 even
+    // while healing uninstalls strand-ed placements, so the mapper can
+    // never sneak a new NF onto the dead domain mid-pass.
+    bb.capacity = model::Resources{};
+  }
+  for (auto& [link_id, link] : view_.links()) {
+    if (!in_down_domain(link.from.node) && !in_down_domain(link.to.node)) {
+      continue;
+    }
+    mask_.link_bandwidth.emplace(link_id, link.attrs.bandwidth);
+    link.attrs.bandwidth = 0;
+  }
+}
+
+bool ResourceOrchestrator::touches_domains(
+    const Deployment& deployment, const std::set<std::string>& down) const {
+  if (down.empty()) return false;
+  const auto bb_down = [&](const std::string& bb_id) {
+    const model::BisBis* bb = view_.find_bisbis(bb_id);
+    return bb != nullptr && down.count(bb->domain) != 0;
+  };
+  for (const auto& [nf_id, host] : deployment.mapping.nf_host) {
+    if (bb_down(host)) return true;
+  }
+  for (const auto& [sg_link, path] : deployment.mapping.link_paths) {
+    for (const std::string& link_id : path.links) {
+      const model::Link* link = view_.find_link(link_id);
+      if (link == nullptr) continue;
+      if (bb_down(link->from.node) || bb_down(link->to.node)) return true;
+    }
+  }
+  return false;
+}
+
+void ResourceOrchestrator::set_deployment_nf_status(
+    const Deployment& deployment, model::NfStatus status) {
+  for (const auto& [nf_id, host] : deployment.mapping.nf_host) {
+    model::BisBis* bb = view_.find_bisbis(host);
+    if (bb == nullptr) continue;
+    const auto it = bb->nfs.find(nf_id);
+    if (it != bb->nfs.end()) it->second.status = status;
+  }
+}
+
+Result<void> ResourceOrchestrator::open_circuit(const std::string& domain,
+                                                const std::string& reason) {
+  if (!initialized_) {
+    return Error{ErrorCode::kUnavailable, "RO not initialized"};
+  }
+  for (std::size_t i = 0; i < domain_names_.size(); ++i) {
+    if (domain_names_[i] != domain) continue;
+    if (!health_.open_circuit(i, reason)) {
+      return Error{ErrorCode::kAlreadyExists,
+                   "circuit already open for domain " + domain};
+    }
+    metrics_.add("ro.health.circuit_opens");
+    push_state_[i].valid = false;
+    remask_view();
+    return Result<void>::success();
+  }
+  return Error{ErrorCode::kNotFound, "domain " + domain};
+}
+
+Result<ResourceOrchestrator::HealReport> ResourceOrchestrator::heal() {
+  if (!initialized_) {
+    return Error{ErrorCode::kUnavailable, "RO not initialized"};
+  }
+  HealReport report;
+
+  // Phase 1: half-open probe every down domain. A responsive domain is
+  // readmitted immediately — capacity unmasked via remask_view(), dirty
+  // push state — so the re-embedding below can already use its capacity.
+  bool any_readmitted = false;
+  for (const std::size_t i : health_.open_circuits()) {
+    health_.begin_probe(i);
+    metrics_.add("ro.health.probes");
+    if (const auto probed = adapters_[i]->probe(); probed.ok()) {
+      health_.close_circuit(i);
+      metrics_.add("ro.health.circuit_closes");
+      push_state_[i].valid = false;
+      report.readmitted.push_back(domain_names_[i]);
+      any_readmitted = true;
+    } else {
+      health_.probe_failed(i, probed.error());
+      metrics_.add("ro.health.probe_failures");
+      report.still_down.push_back(domain_names_[i]);
+    }
+  }
+  remask_view();
+
+  std::set<std::string> down;
+  for (const std::size_t i : health_.open_circuits()) {
+    down.insert(domain_names_[i]);
+  }
+
+  // Phase 2: walk deployments in submission order. Stranded ones (an NF or
+  // a routed link on a still-down domain) are re-embedded onto surviving
+  // capacity; ones stranded no longer (their domain came back) recover.
+  std::vector<std::pair<std::uint64_t, std::string>> order;
+  order.reserve(deployments_.size());
+  for (const auto& [id, dep] : deployments_) {
+    order.emplace_back(dep.sequence, id);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [sequence, id] : order) {
+    auto it = deployments_.find(id);
+    if (it == deployments_.end()) continue;
+    if (!touches_domains(it->second, down)) {
+      if (it->second.degraded) {
+        // The domain that stranded this request returned before we managed
+        // to re-place it: the old placement is intact and the readmission
+        // resync below re-pushes it. Statuses restart their lifecycle.
+        it->second.degraded = false;
+        it->second.degraded_reason.clear();
+        set_deployment_nf_status(it->second, model::NfStatus::kRequested);
+        metrics_.add("ro.health.recovered");
+        report.recovered.push_back(id);
+      }
+      continue;
+    }
+    if (const auto redone = redeploy(id); redone.ok()) {
+      const auto healed = deployments_.find(id);
+      if (healed != deployments_.end()) {
+        // redeploy() committed a fresh Deployment; healing must not let a
+        // re-embedding reshuffle the submission order of later passes.
+        healed->second.sequence = sequence;
+        healed->second.degraded = false;
+        healed->second.degraded_reason.clear();
+      }
+      metrics_.add("ro.health.heals");
+      report.healed.push_back(id);
+    } else {
+      metrics_.add("ro.health.heal_failures");
+      report.degraded.push_back(id);
+      const auto still = deployments_.find(id);
+      if (still != deployments_.end()) {
+        // Unrecoverable for now: keep the deployment (its NFs may well be
+        // running wherever the domain still is), surface it as degraded
+        // and retry on the next pass.
+        still->second.degraded = true;
+        still->second.degraded_reason = redone.error().to_string();
+        set_deployment_nf_status(still->second, model::NfStatus::kFailed);
+      }
+      UNIFY_LOG(kWarn, "orch.ro")
+          << name_ << ": heal could not re-place " << id << ": "
+          << redone.error().to_string();
+    }
+  }
+
+  // Phase 3: push readmitted domains back to a byte-consistent slice.
+  if (any_readmitted) {
+    if (const auto resynced = resync_domains(); !resynced.ok()) {
+      report.resync_error = resynced.error();
+    }
+  }
+  return report;
 }
 
 std::optional<model::NfStatus> ResourceOrchestrator::nf_status(

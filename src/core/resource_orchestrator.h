@@ -11,11 +11,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "adapters/domain_adapter.h"
 #include "catalog/nf_catalog.h"
+#include "core/health_manager.h"
 #include "core/pinned_mapper.h"
 #include "mapping/decomp_aware_mapper.h"
 #include "mapping/mapper.h"
@@ -62,6 +65,8 @@ struct RoOptions {
   /// for isolation in tests.
   util::OrchestrationPool* pool = nullptr;
   PushPolicy push;
+  /// Per-domain circuit breaking (DESIGN.md §10).
+  HealthPolicy health;
 };
 
 class ResourceOrchestrator {
@@ -89,6 +94,13 @@ class ResourceOrchestrator {
     sg::ServiceGraph original;  ///< the request as submitted
     sg::ServiceGraph expanded;  ///< post-decomposition service graph
     mapping::Mapping mapping;
+    /// Submission order; the healing pass re-embeds stranded deployments
+    /// oldest-first so early tenants win contention for surviving capacity.
+    std::uint64_t sequence = 0;
+    /// Set when healing could not re-place this deployment off a down
+    /// domain: it is kept (not torn down) and retried on the next heal().
+    bool degraded = false;
+    std::string degraded_reason;
   };
 
   /// Maps and deploys a service graph. On success the placement is pushed
@@ -151,6 +163,39 @@ class ResourceOrchestrator {
   /// dirty ones south (same fan-out engine deploy()/remove() use). Useful
   /// after out-of-band view edits and as the bench driver.
   Result<void> resync_domains();
+
+  // -- domain health ------------------------------------------------------
+
+  /// Per-domain circuit-breaker state (fed by every southbound outcome).
+  [[nodiscard]] const HealthManager& health() const noexcept {
+    return health_;
+  }
+
+  /// Forces a domain's circuit open (operator drain / out-of-band failure
+  /// signal): the domain leaves the push/fetch fan-out and its capacity is
+  /// masked out of the global view until heal() readmits it.
+  Result<void> open_circuit(const std::string& domain,
+                            const std::string& reason);
+
+  /// Outcome of one healing pass (request/domain ids, in processing order).
+  struct HealReport {
+    std::vector<std::string> readmitted;  ///< domains whose probe succeeded
+    std::vector<std::string> still_down;  ///< domains whose probe failed
+    std::vector<std::string> healed;      ///< requests re-embedded onto survivors
+    std::vector<std::string> degraded;    ///< requests that could not be re-placed
+    std::vector<std::string> recovered;   ///< degraded requests whose domain returned
+    /// Failure of the final readmission resync, if any (the heal itself
+    /// still counts: placements and health state are already updated).
+    std::optional<Error> resync_error;
+  };
+
+  /// One pass of the healing loop: half-open probe every down domain
+  /// (readmitting responsive ones — capacity unmasked, slice resynced),
+  /// then walk deployments in submission order and re-embed every one with
+  /// an NF or routed link on a still-down domain via redeploy(). Requests
+  /// that cannot be re-placed are marked degraded — kept, not torn down —
+  /// and retried on the next pass. Deterministic for a given fault pattern.
+  Result<HealReport> heal();
 
   /// Status of one NF by instance id (searches the view).
   [[nodiscard]] std::optional<model::NfStatus> nf_status(
@@ -225,6 +270,34 @@ class ResourceOrchestrator {
   [[nodiscard]] std::vector<std::vector<std::size_t>> exclusion_groups(
       const std::vector<std::size_t>& indices) const;
 
+  /// Capacity/bandwidth masked out of view_ while circuits are open, keyed
+  /// by node/link id so the original values can be restored on readmission.
+  struct ViewMask {
+    std::map<std::string, model::Resources> bb_capacity;
+    std::map<std::string, double> link_bandwidth;
+  };
+
+  /// Rebuilds the view mask from scratch for the currently open circuits:
+  /// restores every previously masked value, then zeroes the capacity of
+  /// all BiS-BiS on down domains and the bandwidth of every link touching
+  /// them. Idempotent and order-independent, so adjacent domains may go
+  /// down and recover in any order.
+  void remask_view();
+
+  /// Feeds one domain's push/fetch outcome into the health manager,
+  /// remasking the view when this observation opened the circuit.
+  void note_southbound_outcome(std::size_t index, const Result<void>& result);
+
+  /// True when the deployment has an NF placed on — or a routed path
+  /// crossing — any of `down` (domain names).
+  [[nodiscard]] bool touches_domains(
+      const Deployment& deployment,
+      const std::set<std::string>& down) const;
+
+  /// Overwrites the view statuses of every NF of this deployment.
+  void set_deployment_nf_status(const Deployment& deployment,
+                                model::NfStatus status);
+
   std::string name_;
   std::shared_ptr<const mapping::Mapper> mapper_;
   catalog::NfCatalog catalog_;
@@ -235,6 +308,9 @@ class ResourceOrchestrator {
   model::Nffg view_;
   bool initialized_ = false;
   std::map<std::string, Deployment> deployments_;
+  std::uint64_t next_sequence_ = 1;
+  HealthManager health_;
+  ViewMask mask_;
   telemetry::Registry metrics_;
 };
 

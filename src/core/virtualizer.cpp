@@ -213,7 +213,19 @@ Result<void> Virtualizer::edit_config(const model::Nffg& desired) {
       ++it;
       continue;
     }
-    UNIFY_RETURN_IF_ERROR(ro_->remove(service.ro_request));
+    if (const auto removed = ro_->remove(service.ro_request);
+        !removed.ok() &&
+        ro_->deployments().count(service.ro_request) != 0) {
+      // The deployment survived (removal really did not happen): bail out
+      // with books intact so the whole edit can be retried.
+      return removed.error();
+    }
+    // Removal is committed in the RO's books even when its southbound push
+    // failed (the RO re-pushes the full slice on the next fan-out, and a
+    // persistently failing domain trips the circuit breaker) — and a
+    // kNotFound means it was already gone. Treating either as removed
+    // keeps this virtualizer's books aligned with the RO instead of
+    // wedging every future edit on a phantom service.
     freed_elements.insert(service.nf_ids.begin(), service.nf_ids.end());
     freed_elements.insert(service.link_ids.begin(), service.link_ids.end());
     it = services_.erase(it);

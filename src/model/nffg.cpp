@@ -62,6 +62,16 @@ Resources BisBis::residual() const noexcept { return capacity - allocated(); }
 
 // ----------------------------------------------------------------- Nffg
 
+void Nffg::clear_service_state() {
+  for (auto& [id, bb] : bisbis_) {
+    bb.nfs.clear();
+    bb.flowrules.clear();
+  }
+  for (auto& [id, link] : links_) link.reserved = 0;
+  hints_.clear();
+  constraints_.clear();
+}
+
 bool Nffg::has_node(const std::string& id) const noexcept {
   return bisbis_.count(id) != 0 || saps_.count(id) != 0;
 }

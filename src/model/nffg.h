@@ -277,6 +277,13 @@ class Nffg {
 
   // ------------------------------------------------------------- whole
 
+  /// Strips all service state — NFs, flowrules, hints, placement
+  /// constraints and link reservations — leaving pure infrastructure
+  /// (BiS-BiSes, SAPs and links at full capacity). Used by layers that
+  /// re-derive the full service configuration themselves and need a clean
+  /// base even when the fetched view still carries deployed services.
+  void clear_service_state();
+
   /// True when any node kind already uses `id`.
   [[nodiscard]] bool has_node(const std::string& id) const noexcept;
 

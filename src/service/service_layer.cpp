@@ -13,11 +13,21 @@ namespace unify::service {
 const char* to_string(RequestState state) noexcept {
   switch (state) {
     case RequestState::kDeployed: return "deployed";
+    case RequestState::kDegraded: return "degraded";
     case RequestState::kFailed:   return "failed";
     case RequestState::kRemoved:  return "removed";
   }
   return "unknown";
 }
+
+namespace {
+/// A request that still owns southbound resources: its config must stay in
+/// every push (degraded services are kept running wherever they still run,
+/// never torn down by a reconciliation push).
+bool is_active(RequestState state) noexcept {
+  return state == RequestState::kDeployed || state == RequestState::kDegraded;
+}
+}  // namespace
 
 sg::ServiceGraph prefix_elements(const sg::ServiceGraph& graph,
                                  const std::string& prefix) {
@@ -70,6 +80,11 @@ Result<void> ServiceLayer::ensure_view() {
                  "service layer expects a single-BiS-BiS view, got " +
                      std::to_string(view.bisbis().size()) + " nodes"};
   }
+  // The view is the config BASE: the layer re-derives every active
+  // service's NFs, flowrules and hints itself (merged_active), so any the
+  // layer below still reports — e.g. on a re-fetch after a failed
+  // rollback — must be stripped or the rebuild would collide with them.
+  view.clear_service_state();
   big_node_ = view.bisbis().begin()->first;
   view_ = std::move(view);
   return Result<void>::success();
@@ -83,7 +98,7 @@ Result<model::Nffg> ServiceLayer::view() {
 sg::ServiceGraph ServiceLayer::merged_active() const {
   sg::ServiceGraph merged{"active-services"};
   for (const auto& [id, request] : requests_) {
-    if (request.state != RequestState::kDeployed) continue;
+    if (!is_active(request.state)) continue;
     const sg::ServiceGraph prefixed = prefix_elements(request.graph, id);
     for (const auto& [sap_id, name] : prefixed.saps()) {
       if (!merged.has_sap(sap_id)) (void)merged.add_sap(sap_id, name);
@@ -105,15 +120,42 @@ sg::ServiceGraph ServiceLayer::merged_active() const {
 }
 
 Result<void> ServiceLayer::push_config() {
+  // Re-fetches the view when a failed rollback dropped it (rollback_failed).
+  UNIFY_RETURN_IF_ERROR(ensure_view());
   UNIFY_ASSIGN_OR_RETURN(
       const model::Nffg config,
       core::service_graph_to_config(merged_active(), *view_, big_node_));
   // Transactional push: issue the edit-config, then block on the ack. The
   // split buys nothing for a single southbound client yet, but keeps the
   // service layer on the same contract the RO drives its domains with.
-  UNIFY_ASSIGN_OR_RETURN(const adapters::PushTicket ticket,
-                         client_->begin_apply(config));
-  return client_->await(ticket);
+  const auto pushed = [&]() -> Result<void> {
+    UNIFY_ASSIGN_OR_RETURN(const adapters::PushTicket ticket,
+                           client_->begin_apply(config));
+    return client_->await(ticket);
+  }();
+  if (pushed.ok()) {
+    client_failures_ = 0;
+  } else if (pushed.error().code == ErrorCode::kUnavailable ||
+             pushed.error().code == ErrorCode::kTimeout) {
+    ++client_failures_;
+  }
+  return pushed;
+}
+
+Error ServiceLayer::rollback_failed(const char* op, const Error& original,
+                                    const Error& restore) {
+  // The restore push did not land: whatever the layer below is actually
+  // running may no longer match merged_active(). Drop the cached view so
+  // the next operation re-fetches ground truth, and surface both failures
+  // under kRollbackFailed so the caller knows the data plane may diverge.
+  view_.reset();
+  metrics_.add("service.rollback_failures");
+  UNIFY_LOG(kError, "service")
+      << op << " rollback push failed: " << restore.to_string();
+  return Error{ErrorCode::kRollbackFailed,
+               std::string(op) + " failed (" + original.to_string() +
+                   ") AND the restore push failed (" + restore.to_string() +
+                   "): data plane may diverge from the service books"};
 }
 
 std::optional<Error> ServiceLayer::validate_request(
@@ -140,8 +182,7 @@ Result<std::string> ServiceLayer::commit_one(const sg::ServiceGraph& request) {
     failed.state = RequestState::kFailed;
     failed.error = pushed.error().to_string();
     if (const auto restore = push_config(); !restore.ok()) {
-      UNIFY_LOG(kError, "service")
-          << "rollback push failed: " << restore.error().to_string();
+      return rollback_failed("deployment", pushed.error(), restore.error());
     }
     return Error{pushed.error().code,
                  "deployment of " + request.id() +
@@ -240,6 +281,26 @@ std::vector<Result<std::string>> ServiceLayer::submit_batch(
   };
   if (admitted_count == 0) return finish();
 
+  // The layer below has been failing transiently: one cheap probe decides
+  // whether to commit the wave at all. Rejecting up front is much cheaper
+  // than pushing a doomed merged config and unwinding it per request.
+  if (client_suspect_after_ > 0 && client_failures_ >= client_suspect_after_) {
+    metrics_.add("service.health.probes");
+    if (const auto probed = client_->probe(); !probed.ok()) {
+      metrics_.add("service.health.batches_rejected");
+      const Error rejected{ErrorCode::kUnavailable,
+                           "orchestration layer unhealthy (" +
+                               std::to_string(client_failures_) +
+                               " consecutive push failures; probe: " +
+                               probed.error().to_string() + ")"};
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (admitted[i]) results[i] = rejected;
+      }
+      return finish();
+    }
+    client_failures_ = 0;
+  }
+
   // Phase 2 — optimistic wave commit: one merged edit-config carries every
   // admitted request; the virtualizer below deploys the wave's services
   // through ResourceOrchestrator::map_batch (parallel embedding on the
@@ -250,7 +311,8 @@ std::vector<Result<std::string>> ServiceLayer::submit_batch(
                       ServiceRequest{requests[i].id(), requests[i],
                                      RequestState::kDeployed, ""});
   }
-  if (const auto pushed = push_config(); pushed.ok()) {
+  const auto pushed_wave = push_config();
+  if (pushed_wave.ok()) {
     for (std::size_t i = 0; i < requests.size(); ++i) {
       if (admitted[i]) results[i] = requests[i].id();
     }
@@ -265,12 +327,21 @@ std::vector<Result<std::string>> ServiceLayer::submit_batch(
   // admitted requests one by one in request order: each gets submit()'s
   // per-request rollback, so its batch-mates deploy regardless.
   metrics_.add("service.batch.wave_fallbacks");
+  const Error wave_error = pushed_wave.error();
   for (std::size_t i = 0; i < requests.size(); ++i) {
     if (admitted[i]) requests_.erase(requests[i].id());
   }
   if (const auto restore = push_config(); !restore.ok()) {
-    UNIFY_LOG(kError, "service")
-        << "batch rollback push failed: " << restore.error().to_string();
+    // The pre-batch config did not come back: every admitted request fails
+    // with the rollback context instead of entering the sequential
+    // fallback against a data plane in an unknown state.
+    const Error failure =
+        rollback_failed("batch wave", wave_error, restore.error());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (admitted[i]) results[i] = failure;
+    }
+    metrics_.add("service.batch.rolled_back", admitted_count);
+    return finish();
   }
   std::size_t committed = 0, rolled_back = 0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -284,6 +355,7 @@ std::vector<Result<std::string>> ServiceLayer::submit_batch(
 }
 
 Result<void> ServiceLayer::update(const sg::ServiceGraph& request) {
+  UNIFY_RETURN_IF_ERROR(ensure_view());
   const auto it = requests_.find(request.id());
   if (it == requests_.end() ||
       it->second.state != RequestState::kDeployed) {
@@ -303,8 +375,7 @@ Result<void> ServiceLayer::update(const sg::ServiceGraph& request) {
   if (const auto pushed = push_config(); !pushed.ok()) {
     it->second.graph = previous;  // keep the old version running
     if (const auto restore = push_config(); !restore.ok()) {
-      UNIFY_LOG(kError, "service")
-          << "update rollback failed: " << restore.error().to_string();
+      return rollback_failed("update", pushed.error(), restore.error());
     }
     return Error{pushed.error().code,
                  "update of " + request.id() +
@@ -316,23 +387,55 @@ Result<void> ServiceLayer::update(const sg::ServiceGraph& request) {
 
 Result<void> ServiceLayer::remove(const std::string& request_id) {
   const auto it = requests_.find(request_id);
-  if (it == requests_.end() ||
-      it->second.state != RequestState::kDeployed) {
+  if (it == requests_.end() || !is_active(it->second.state)) {
     return Error{ErrorCode::kNotFound, "active request " + request_id};
   }
+  const RequestState before = it->second.state;
   it->second.state = RequestState::kRemoved;
   if (const auto pushed = push_config(); !pushed.ok()) {
-    it->second.state = RequestState::kDeployed;  // keep books consistent
+    it->second.state = before;  // keep books consistent
     return pushed;
   }
   return Result<void>::success();
 }
 
+Result<std::vector<std::string>> ServiceLayer::sync_health() {
+  UNIFY_ASSIGN_OR_RETURN(const model::Nffg config, client_->fetch_view());
+  // Collect per-request failure evidence from the rolled-up view: any NF
+  // with this request's prefix reporting kFailed degrades the request.
+  std::set<std::string> failed_requests;
+  for (const auto& [bb_id, bb] : config.bisbis()) {
+    for (const auto& [nf_id, nf] : bb.nfs) {
+      if (nf.status != model::NfStatus::kFailed) continue;
+      const auto dot = nf_id.find('.');
+      if (dot == std::string::npos) continue;
+      failed_requests.insert(nf_id.substr(0, dot));
+    }
+  }
+  std::vector<std::string> degraded;
+  for (auto& [id, request] : requests_) {
+    if (request.state == RequestState::kDeployed &&
+        failed_requests.count(id) != 0) {
+      request.state = RequestState::kDegraded;
+      request.error = "NF failure reported by the orchestration layer";
+      metrics_.add("service.health.degraded");
+      UNIFY_LOG(kWarn, "service") << "request " << id << " degraded";
+    } else if (request.state == RequestState::kDegraded &&
+               failed_requests.count(id) == 0) {
+      request.state = RequestState::kDeployed;
+      request.error.clear();
+      metrics_.add("service.health.restored");
+      UNIFY_LOG(kInfo, "service") << "request " << id << " restored";
+    }
+    if (request.state == RequestState::kDegraded) degraded.push_back(id);
+  }
+  return degraded;
+}
+
 Result<std::map<std::string, model::NfStatus>> ServiceLayer::nf_statuses(
     const std::string& request_id) {
   const auto it = requests_.find(request_id);
-  if (it == requests_.end() ||
-      it->second.state != RequestState::kDeployed) {
+  if (it == requests_.end() || !is_active(it->second.state)) {
     return Error{ErrorCode::kNotFound, "active request " + request_id};
   }
   UNIFY_ASSIGN_OR_RETURN(const model::Nffg config, client_->fetch_view());

@@ -26,14 +26,17 @@ class OrchestrationPool;
 
 namespace unify::service {
 
-enum class RequestState { kDeployed, kFailed, kRemoved };
+/// kDegraded = the service is still admitted (its config stays in every
+/// push, it is NOT torn down) but the layer below reports at least one of
+/// its NFs failed — typically stranded on a down domain awaiting healing.
+enum class RequestState { kDeployed, kDegraded, kFailed, kRemoved };
 [[nodiscard]] const char* to_string(RequestState state) noexcept;
 
 struct ServiceRequest {
   std::string id;
   sg::ServiceGraph graph;
   RequestState state = RequestState::kDeployed;
-  std::string error;  ///< set when state == kFailed
+  std::string error;  ///< set when state == kFailed / kDegraded
 };
 
 class ServiceLayer {
@@ -93,12 +96,31 @@ class ServiceLayer {
   /// The view the service orchestrator works against (fetched lazily).
   [[nodiscard]] Result<model::Nffg> view();
 
+  /// Reconciles request states with the health the layer below reports:
+  /// a deployed request with any failed NF flips to kDegraded (kept, not
+  /// torn down), a degraded one whose NFs all recovered flips back to
+  /// kDeployed. Returns the ids currently degraded.
+  Result<std::vector<std::string>> sync_health();
+
+  /// After this many consecutive transient push/fetch failures against the
+  /// client, submit_batch() probes the layer below before committing a
+  /// wave and rejects the batch up front when the probe fails (cheaper
+  /// than pushing a doomed wave and unwinding it). 0 disables.
+  void set_client_suspect_after(int failures) noexcept {
+    client_suspect_after_ = failures;
+  }
+
   /// Batch/deployment counters (service.batch.*).
   [[nodiscard]] telemetry::Registry& metrics() noexcept { return metrics_; }
 
  private:
   Result<void> ensure_view();
   Result<void> push_config();
+  /// Builds the kRollbackFailed error for a failed restore push: the data
+  /// plane may diverge from the books, so the cached view is dropped (next
+  /// ensure_view() re-fetches ground truth) and both failures surface.
+  Error rollback_failed(const char* op, const Error& original,
+                        const Error& restore);
   [[nodiscard]] sg::ServiceGraph merged_active() const;
   /// Pure per-request checks (structure + SAP existence against the
   /// fetched view). Thread-safe; submit_batch runs these on the pool.
@@ -115,6 +137,10 @@ class ServiceLayer {
   std::map<std::string, ServiceRequest> requests_;
   std::optional<model::Nffg> view_;
   std::string big_node_;
+  /// Consecutive transient push failures against client_ (reset on any
+  /// successful push); drives the pre-batch suspect probe.
+  int client_failures_ = 0;
+  int client_suspect_after_ = 2;
   telemetry::Registry metrics_;
 };
 

@@ -27,6 +27,8 @@ enum class ErrorCode {
   kProtocol,          ///< framing / codec / RPC violation
   kRejected,          ///< lower layer refused the configuration
   kTimeout,           ///< RPC or deployment deadline exceeded
+  kRollbackFailed,    ///< op failed AND restoring prior state also failed:
+                      ///< data plane may diverge from the control view
   kInternal,          ///< invariant violation inside the library
 };
 
@@ -42,6 +44,7 @@ constexpr const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kProtocol:          return "protocol";
     case ErrorCode::kRejected:          return "rejected";
     case ErrorCode::kTimeout:           return "timeout";
+    case ErrorCode::kRollbackFailed:    return "rollback_failed";
     case ErrorCode::kInternal:          return "internal";
   }
   return "unknown";

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "adapters/faulty_adapter.h"
 #include "core/config_translate.h"
 #include "core/resource_orchestrator.h"
 #include "core/unify_api.h"
@@ -56,6 +59,37 @@ struct Stack {
   SimClock clock;
   std::unique_ptr<core::ResourceOrchestrator> ro;
   std::unique_ptr<core::Virtualizer> virtualizer;
+  std::unique_ptr<ServiceLayer> layer;
+};
+
+/// Same stack, but with a FaultyAdapter between the service layer and the
+/// unify link so push/fetch failures can be injected at the exact seam a
+/// lossy control channel would occupy.
+struct FaultyStack {
+  FaultyStack() {
+    model::Nffg view{"infra-view"};
+    EXPECT_TRUE(
+        view.add_bisbis(model::make_bisbis("bb", {16, 16384, 200}, 4)).ok());
+    model::attach_sap(view, "sap1", "bb", 0, {1000, 0.1});
+    model::attach_sap(view, "sap2", "bb", 1, {1000, 0.1});
+    ro = std::make_unique<core::ResourceOrchestrator>(
+        "ro", std::make_shared<mapping::ChainDpMapper>(),
+        catalog::default_catalog());
+    EXPECT_TRUE(ro->add_domain(std::make_unique<AcceptAllAdapter>(
+                                   "infra", std::move(view)))
+                    .ok());
+    EXPECT_TRUE(ro->initialize().ok());
+    virtualizer = std::make_unique<core::Virtualizer>(
+        *ro, core::ViewPolicy::kSingleBisBis);
+    auto faulty = std::make_unique<adapters::FaultyAdapter>(
+        core::make_unify_link(*virtualizer, clock, "north"));
+    fault = faulty.get();
+    layer = std::make_unique<ServiceLayer>(std::move(faulty));
+  }
+  SimClock clock;
+  std::unique_ptr<core::ResourceOrchestrator> ro;
+  std::unique_ptr<core::Virtualizer> virtualizer;
+  adapters::FaultyAdapter* fault = nullptr;
   std::unique_ptr<ServiceLayer> layer;
 };
 
@@ -187,6 +221,191 @@ TEST(ServiceLayer, ViewIsSingleBisBis) {
   ASSERT_TRUE(view.ok());
   EXPECT_EQ(view->bisbis().size(), 1u);
   EXPECT_EQ(view->saps().size(), 2u);
+}
+
+// ------------------------------------------------- rollback-failure paths
+
+TEST(ServiceLayer, FailedRestoreSurfacesRollbackFailure) {
+  FaultyStack stack;
+  ASSERT_TRUE(stack.layer
+                  ->submit(sg::make_chain("ok", "sap1", {"nat"}, "sap2", 10,
+                                          100))
+                  .ok());
+  // The deployment push AND the rollback push both fail: the layer must
+  // say so instead of silently reporting the original error only.
+  stack.fault->fail_next(2, ErrorCode::kUnavailable);
+  const auto failed = stack.layer->submit(
+      sg::make_chain("bad", "sap1", {"dpi"}, "sap2", 10, 100));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, ErrorCode::kRollbackFailed);
+  EXPECT_NE(failed.error().message.find("restore push failed"),
+            std::string::npos);
+  EXPECT_EQ(stack.layer->requests().at("bad").state, RequestState::kFailed);
+  EXPECT_EQ(stack.layer->metrics().counter("service.rollback_failures"), 1u);
+
+  // The cached view was dropped as suspect: the next operation re-fetches
+  // ground truth and the layer keeps working.
+  ASSERT_TRUE(stack.layer
+                  ->submit(sg::make_chain("after", "sap1", {"nat"}, "sap2",
+                                          10, 100))
+                  .ok());
+  EXPECT_TRUE(stack.ro->global_view().find_nf("ok.nat0").has_value());
+  EXPECT_TRUE(stack.ro->global_view().find_nf("after.nat0").has_value());
+}
+
+TEST(ServiceLayer, UpdateRestoreFailureSurfacesRollbackFailure) {
+  FaultyStack stack;
+  ASSERT_TRUE(stack.layer
+                  ->submit(sg::make_chain("svc", "sap1", {"nat"}, "sap2", 10,
+                                          100))
+                  .ok());
+  stack.fault->fail_next(2, ErrorCode::kTimeout);
+  const auto updated = stack.layer->update(
+      sg::make_chain("svc", "sap1", {"nat", "dpi"}, "sap2", 10, 100));
+  ASSERT_FALSE(updated.ok());
+  EXPECT_EQ(updated.error().code, ErrorCode::kRollbackFailed);
+  // The books keep the previous version running.
+  EXPECT_EQ(stack.layer->requests().at("svc").state, RequestState::kDeployed);
+  EXPECT_EQ(stack.layer->requests().at("svc").graph.nfs().size(), 1u);
+  // With the channel healthy again the same update goes through.
+  ASSERT_TRUE(stack.layer
+                  ->update(sg::make_chain("svc", "sap1", {"nat", "dpi"},
+                                          "sap2", 10, 100))
+                  .ok());
+  EXPECT_TRUE(stack.ro->global_view().find_nf("svc.dpi1").has_value());
+}
+
+TEST(ServiceLayer, BatchWaveRollbackFailureFailsTheWave) {
+  FaultyStack stack;
+  ASSERT_TRUE(stack.layer
+                  ->submit(sg::make_chain("ok", "sap1", {"nat"}, "sap2", 10,
+                                          100))
+                  .ok());
+  stack.fault->fail_next(2, ErrorCode::kUnavailable);
+  const auto results = stack.layer->submit_batch(
+      {sg::make_chain("a", "sap1", {"nat"}, "sap2", 10, 100),
+       sg::make_chain("b", "sap1", {"dpi"}, "sap2", 10, 100)});
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& result : results) {
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::kRollbackFailed);
+  }
+  // The wave never entered the books and the pre-batch service survives.
+  EXPECT_EQ(stack.layer->requests().count("a"), 0u);
+  EXPECT_EQ(stack.layer->requests().count("b"), 0u);
+  EXPECT_EQ(stack.layer->metrics().counter("service.batch.rolled_back"), 2u);
+  EXPECT_TRUE(stack.ro->global_view().find_nf("ok.nat0").has_value());
+}
+
+TEST(ServiceLayer, SuspectClientProbeRejectsBatchUpFront) {
+  FaultyStack stack;
+  stack.layer->set_client_suspect_after(1);
+  ASSERT_TRUE(stack.layer
+                  ->submit(sg::make_chain("ok", "sap1", {"nat"}, "sap2", 10,
+                                          100))
+                  .ok());
+  stack.fault->fail_next(2, ErrorCode::kUnavailable);
+  ASSERT_FALSE(stack.layer
+                   ->submit(sg::make_chain("bad", "sap1", {"nat"}, "sap2",
+                                           10, 100))
+                   .ok());
+  ASSERT_TRUE(stack.layer->view().ok());  // re-fetch before the batch
+
+  // The client is suspect (two consecutive transient failures) and the
+  // probe fails too: the wave is rejected before any push is attempted.
+  stack.fault->fail_next(1, ErrorCode::kUnavailable);
+  const auto rejected = stack.layer->submit_batch(
+      {sg::make_chain("c", "sap1", {"nat"}, "sap2", 10, 100)});
+  ASSERT_EQ(rejected.size(), 1u);
+  ASSERT_FALSE(rejected[0].ok());
+  EXPECT_EQ(rejected[0].error().code, ErrorCode::kUnavailable);
+  EXPECT_NE(rejected[0].error().message.find("probe"), std::string::npos);
+  EXPECT_EQ(stack.layer->metrics().counter("service.health.batches_rejected"),
+            1u);
+  EXPECT_EQ(stack.layer->requests().count("c"), 0u);
+
+  // Channel recovered: the probe passes and the same wave commits.
+  const auto retried = stack.layer->submit_batch(
+      {sg::make_chain("c", "sap1", {"nat"}, "sap2", 10, 100)});
+  ASSERT_EQ(retried.size(), 1u);
+  ASSERT_TRUE(retried[0].ok()) << retried[0].error().to_string();
+}
+
+// ------------------------------------------------------------ sync_health
+
+/// Client fake that replays the last pushed configuration and can report
+/// chosen NFs as failed — the signal sync_health() consumes.
+class StatusClient final : public adapters::DomainAdapter {
+ public:
+  explicit StatusClient(model::Nffg view) : view_(std::move(view)) {}
+  [[nodiscard]] const std::string& domain() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] Result<model::Nffg> fetch_view() override {
+    model::Nffg current = config_.has_value() ? *config_ : view_;
+    for (auto& [bb_id, bb] : current.bisbis()) {
+      for (auto& [nf_id, nf] : bb.nfs) {
+        if (failed_.count(nf_id) != 0) nf.status = model::NfStatus::kFailed;
+      }
+    }
+    return current;
+  }
+  Result<void> apply(const model::Nffg& desired) override {
+    config_ = desired;
+    return Result<void>::success();
+  }
+  [[nodiscard]] std::uint64_t native_operations() const noexcept override {
+    return 0;
+  }
+  void fail_nf(const std::string& nf_id) { failed_.insert(nf_id); }
+  void clear_failures() { failed_.clear(); }
+  [[nodiscard]] const model::Nffg& last_config() const { return *config_; }
+
+ private:
+  std::string name_ = "status-client";
+  model::Nffg view_;
+  std::optional<model::Nffg> config_;
+  std::set<std::string> failed_;
+};
+
+TEST(ServiceLayer, SyncHealthDegradesAndRestoresWithoutTeardown) {
+  model::Nffg view{"client-view"};
+  ASSERT_TRUE(
+      view.add_bisbis(model::make_bisbis("big", {64, 65536, 500}, 4)).ok());
+  model::attach_sap(view, "sap1", "big", 0, {1000, 0.1});
+  model::attach_sap(view, "sap2", "big", 1, {1000, 0.1});
+  auto client = std::make_unique<StatusClient>(std::move(view));
+  StatusClient* handle = client.get();
+  ServiceLayer layer(std::move(client));
+
+  ASSERT_TRUE(
+      layer.submit(sg::make_chain("svc", "sap1", {"nat"}, "sap2", 10, 100))
+          .ok());
+  auto healthy = layer.sync_health();
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_TRUE(healthy->empty());
+
+  // The layer below reports the NF failed: the request degrades but its
+  // configuration is NOT withdrawn — it must survive in every later push
+  // so healing below can still find (and fix) it.
+  handle->fail_nf("svc.nat0");
+  auto degraded = layer.sync_health();
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(*degraded, std::vector<std::string>{"svc"});
+  EXPECT_EQ(layer.requests().at("svc").state, RequestState::kDegraded);
+  ASSERT_TRUE(
+      layer.submit(sg::make_chain("b", "sap1", {"dpi"}, "sap2", 10, 100))
+          .ok());
+  EXPECT_TRUE(handle->last_config().find_nf("svc.nat0").has_value());
+
+  // The NF recovered: the request flips back to deployed.
+  handle->clear_failures();
+  auto restored = layer.sync_health();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+  EXPECT_EQ(layer.requests().at("svc").state, RequestState::kDeployed);
+  EXPECT_EQ(layer.metrics().counter("service.health.degraded"), 1u);
+  EXPECT_EQ(layer.metrics().counter("service.health.restored"), 1u);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "core/health_manager.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/log.h"
@@ -41,6 +42,7 @@ void HealthManager::reset(HealthPolicy policy, std::vector<std::string> domains)
 bool HealthManager::record_failure(std::size_t index, const Error& error) {
   if (index >= records_.size()) return false;
   auto& rec = records_[index];
+  rec.generation += 1;
   rec.failures_total += 1;
   rec.last_error = error.to_string();
   // An open circuit already excludes the domain; stray observations from a
@@ -67,6 +69,7 @@ bool HealthManager::record_failure(std::size_t index, const Error& error) {
 void HealthManager::record_success(std::size_t index) {
   if (index >= records_.size()) return;
   auto& rec = records_[index];
+  rec.generation += 1;
   if (rec.health == DomainHealth::kDown || rec.health == DomainHealth::kProbing) {
     // Readmission goes through close_circuit() so the orchestrator can
     // unmask capacity and resync first; a bare success can't short it.
@@ -82,6 +85,7 @@ bool HealthManager::open_circuit(std::size_t index, const std::string& reason) {
   if (rec.health == DomainHealth::kDown || rec.health == DomainHealth::kProbing) {
     return false;
   }
+  rec.generation += 1;
   rec.health = DomainHealth::kDown;
   rec.circuit_opens += 1;
   rec.last_error = reason;
@@ -94,6 +98,7 @@ void HealthManager::begin_probe(std::size_t index) {
   if (index >= records_.size()) return;
   auto& rec = records_[index];
   if (rec.health != DomainHealth::kDown) return;
+  rec.generation += 1;
   rec.health = DomainHealth::kProbing;
   rec.probes += 1;
 }
@@ -102,6 +107,7 @@ void HealthManager::probe_failed(std::size_t index, const Error& error) {
   if (index >= records_.size()) return;
   auto& rec = records_[index];
   if (rec.health != DomainHealth::kProbing) return;
+  rec.generation += 1;
   rec.health = DomainHealth::kDown;
   rec.probe_failures += 1;
   rec.failures_total += 1;
@@ -111,6 +117,7 @@ void HealthManager::probe_failed(std::size_t index, const Error& error) {
 void HealthManager::close_circuit(std::size_t index) {
   if (index >= records_.size()) return;
   auto& rec = records_[index];
+  rec.generation += 1;
   rec.health = DomainHealth::kHealthy;
   rec.consecutive_failures = 0;
   UNIFY_LOG(kInfo, "core.health")
@@ -126,6 +133,26 @@ bool HealthManager::admits(std::size_t index) const noexcept {
 DomainHealth HealthManager::health(std::size_t index) const noexcept {
   if (index >= records_.size()) return DomainHealth::kHealthy;
   return records_[index].health;
+}
+
+double HealthManager::penalty(std::size_t index) const noexcept {
+  if (index >= records_.size()) return 0.0;
+  const auto& rec = records_[index];
+  switch (rec.health) {
+    case DomainHealth::kHealthy:
+      return 0.0;
+    case DomainHealth::kDegraded:
+      // A non-transient failure resets the streak but leaves the domain
+      // degraded; max(1, streak) keeps the penalty nonzero until a clean
+      // success actually restores it to healthy.
+      return policy_.penalty_per_failure *
+             static_cast<double>(std::max(1, rec.consecutive_failures));
+    case DomainHealth::kProbing:
+      return policy_.probing_penalty;
+    case DomainHealth::kDown:
+      return policy_.down_penalty;
+  }
+  return 0.0;
 }
 
 const HealthManager::DomainRecord& HealthManager::record(std::size_t index) const {

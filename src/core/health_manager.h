@@ -47,6 +47,23 @@ struct HealthPolicy {
   /// Consecutive transient failures that mark the domain degraded (still
   /// in the fan-out, but one step from the breaker).
   int degrade_after = 1;
+  /// Embedding-cost bias (same unit as path delay) charged per consecutive
+  /// transient failure while a domain is degraded, so flaky domains drain
+  /// before their circuit trips. Must stay below probing_penalty even at
+  /// streak == failure_threshold - 1 so a half-open domain never looks
+  /// cheaper than a merely flaky one.
+  double penalty_per_failure = 4.0;
+  /// Bias while a probe is in flight (half-open): almost-but-not-readmitted.
+  double probing_penalty = 32.0;
+  /// Bias while down. Capacity is masked to zero anyway; this is belt and
+  /// braces for force-installed placements that survive the mask.
+  double down_penalty = 64.0;
+  /// heal() maps each stranded deployment's replacement against the masked
+  /// view *before* releasing the old placement (make-before-break): a heal
+  /// pass never reduces the placed-service count and never dips substrate
+  /// capacity below what the survivors need. Set false for the legacy
+  /// uninstall-then-redeploy behaviour (ablation / bench baseline).
+  bool make_before_break = true;
 };
 
 class HealthManager {
@@ -60,6 +77,9 @@ class HealthManager {
     std::uint64_t circuit_opens = 0;
     std::uint64_t probes = 0;
     std::uint64_t probe_failures = 0;
+    /// Bumps on every observation and transition (never regresses); lets
+    /// callers detect "anything happened since I last looked" cheaply.
+    std::uint64_t generation = 0;
     std::string last_error;  ///< most recent failure, for reports/logs
   };
 
@@ -99,6 +119,12 @@ class HealthManager {
   /// the manager is safe to consult before reset() armed it.
   [[nodiscard]] bool admits(std::size_t index) const noexcept;
   [[nodiscard]] DomainHealth health(std::size_t index) const noexcept;
+  /// Embedding-cost bias for the domain: 0 iff healthy, scaled by the
+  /// failure streak while degraded, higher while probing/down (see
+  /// HealthPolicy). The orchestrator projects it onto every BiS-BiS of the
+  /// domain (model::BisBis::health_penalty) so mappers drain flaky domains
+  /// before the breaker trips.
+  [[nodiscard]] double penalty(std::size_t index) const noexcept;
   [[nodiscard]] const DomainRecord& record(std::size_t index) const;
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
   /// Indices whose circuit is open (down or probing), ascending.

@@ -72,6 +72,7 @@ Result<void> ResourceOrchestrator::initialize() {
   push_state_.assign(adapters_.size(), DomainPushState{});
   health_.reset(options_.health, domain_names_);
   mask_ = ViewMask{};
+  refresh_health_penalties();
   metrics_.set_gauge("ro.health.down_domains", 0);
   initialized_ = true;
   UNIFY_LOG(kInfo, "orch.ro")
@@ -577,12 +578,27 @@ void ResourceOrchestrator::note_southbound_outcome(std::size_t index,
                                                   const Result<void>& result) {
   if (result.ok()) {
     health_.record_success(index);
+    refresh_health_penalties();
     return;
   }
   if (health_.record_failure(index, result.error())) {
     metrics_.add("ro.health.circuit_opens");
     push_state_[index].valid = false;
-    remask_view();
+    remask_view();  // refreshes penalties too
+  } else {
+    refresh_health_penalties();
+  }
+}
+
+void ResourceOrchestrator::refresh_health_penalties() {
+  if (domain_names_.empty()) return;
+  std::map<std::string, double> by_domain;
+  for (std::size_t i = 0; i < domain_names_.size(); ++i) {
+    by_domain[domain_names_[i]] = health_.penalty(i);
+  }
+  for (auto& [bb_id, bb] : view_.bisbis()) {
+    const auto it = by_domain.find(bb.domain);
+    bb.health_penalty = it == by_domain.end() ? 0.0 : it->second;
   }
 }
 
@@ -609,6 +625,7 @@ void ResourceOrchestrator::remask_view() {
   }
   metrics_.set_gauge("ro.health.down_domains",
                      static_cast<double>(down.size()));
+  refresh_health_penalties();
   if (down.empty()) return;
 
   const auto in_down_domain = [&](const std::string& node_id) {
@@ -662,6 +679,58 @@ void ResourceOrchestrator::set_deployment_nf_status(
   }
 }
 
+double ResourceOrchestrator::deployment_cpu(const Deployment& deployment) const {
+  double cpu = 0;
+  for (const auto& [nf_id, host] : deployment.mapping.nf_host) {
+    const model::BisBis* bb = view_.find_bisbis(host);
+    if (bb == nullptr) continue;
+    const auto it = bb->nfs.find(nf_id);
+    if (it != bb->nfs.end()) cpu += it->second.requirement.cpu;
+  }
+  return cpu;
+}
+
+Result<void> ResourceOrchestrator::heal_swap(const std::string& id,
+                                             Deployment replacement) {
+  const auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    return Error{ErrorCode::kNotFound, "request " + id};
+  }
+  const Deployment previous = it->second;
+  replacement.sequence = previous.sequence;
+  // Break: the replacement embedding was verified against the view with the
+  // old placement still installed, so releasing the old books now and
+  // installing the replacement can only fail on internal inconsistency.
+  UNIFY_RETURN_IF_ERROR(mapping::uninstall_mapping(view_, previous.expanded,
+                                                   previous.mapping));
+  if (const auto installed = mapping::install_mapping(
+          view_, replacement.expanded, catalog_, replacement.mapping);
+      !installed.ok()) {
+    // Restore forcibly: the old hosts may sit on a masked (zero-capacity)
+    // domain, which is exactly where the stranded placement came from.
+    (void)mapping::install_mapping(view_, previous.expanded, catalog_,
+                                   previous.mapping, /*force_placement=*/true);
+    return installed.error();
+  }
+  it->second = std::move(replacement);
+  if (const auto pushed = push_slices(); !pushed.ok()) {
+    // Swap back so the books keep describing what actually runs; the repush
+    // converges domains that already accepted the new slice.
+    (void)mapping::uninstall_mapping(view_, it->second.expanded,
+                                     it->second.mapping);
+    (void)mapping::install_mapping(view_, previous.expanded, catalog_,
+                                   previous.mapping, /*force_placement=*/true);
+    it->second = previous;
+    if (const auto repush = push_slices(); !repush.ok()) {
+      UNIFY_LOG(kError, "orch.ro")
+          << name_ << ": heal swap rollback push failed: "
+          << repush.error().to_string();
+    }
+    return pushed.error();
+  }
+  return Result<void>::success();
+}
+
 Result<void> ResourceOrchestrator::open_circuit(const std::string& domain,
                                                 const std::string& reason) {
   if (!initialized_) {
@@ -706,6 +775,19 @@ Result<ResourceOrchestrator::HealReport> ResourceOrchestrator::heal() {
       report.still_down.push_back(domain_names_[i]);
     }
   }
+
+  // Phase 1b: liveness-probe degraded (flaky but still admitted) domains.
+  // A pass proves the domain recovered — record_success resets the failure
+  // streak, so its embedding-cost penalty clears and load re-balances — and
+  // a failure feeds the streak, tripping the breaker now rather than on the
+  // next real push.
+  for (std::size_t i = 0; i < adapters_.size(); ++i) {
+    if (health_.health(i) != DomainHealth::kDegraded) continue;
+    metrics_.add("ro.health.probes");
+    const auto probed = adapters_[i]->probe();
+    if (!probed.ok()) metrics_.add("ro.health.probe_failures");
+    note_southbound_outcome(i, probed);
+  }
   remask_view();
 
   std::set<std::string> down;
@@ -722,50 +804,119 @@ Result<ResourceOrchestrator::HealReport> ResourceOrchestrator::heal() {
     order.emplace_back(dep.sequence, id);
   }
   std::sort(order.begin(), order.end());
+  std::vector<std::string> stranded;
   for (const auto& [sequence, id] : order) {
     auto it = deployments_.find(id);
     if (it == deployments_.end()) continue;
-    if (!touches_domains(it->second, down)) {
-      if (it->second.degraded) {
-        // The domain that stranded this request returned before we managed
-        // to re-place it: the old placement is intact and the readmission
-        // resync below re-pushes it. Statuses restart their lifecycle.
-        it->second.degraded = false;
-        it->second.degraded_reason.clear();
-        set_deployment_nf_status(it->second, model::NfStatus::kRequested);
-        metrics_.add("ro.health.recovered");
-        report.recovered.push_back(id);
-      }
+    if (touches_domains(it->second, down)) {
+      stranded.push_back(id);
       continue;
     }
-    if (const auto redone = redeploy(id); redone.ok()) {
-      const auto healed = deployments_.find(id);
-      if (healed != deployments_.end()) {
-        // redeploy() committed a fresh Deployment; healing must not let a
-        // re-embedding reshuffle the submission order of later passes.
-        healed->second.sequence = sequence;
-        healed->second.degraded = false;
-        healed->second.degraded_reason.clear();
-      }
-      metrics_.add("ro.health.heals");
-      report.healed.push_back(id);
-    } else {
-      metrics_.add("ro.health.heal_failures");
-      report.degraded.push_back(id);
-      const auto still = deployments_.find(id);
-      if (still != deployments_.end()) {
-        // Unrecoverable for now: keep the deployment (its NFs may well be
-        // running wherever the domain still is), surface it as degraded
-        // and retry on the next pass.
-        still->second.degraded = true;
-        still->second.degraded_reason = redone.error().to_string();
-        set_deployment_nf_status(still->second, model::NfStatus::kFailed);
-      }
-      UNIFY_LOG(kWarn, "orch.ro")
-          << name_ << ": heal could not re-place " << id << ": "
-          << redone.error().to_string();
+    if (it->second.degraded) {
+      // The domain that stranded this request returned before we managed
+      // to re-place it: the old placement is intact and the readmission
+      // resync below re-pushes it. Statuses restart their lifecycle.
+      it->second.degraded = false;
+      it->second.degraded_reason.clear();
+      set_deployment_nf_status(it->second, model::NfStatus::kRequested);
+      metrics_.add("ro.health.recovered");
+      report.recovered.push_back(id);
     }
   }
+
+  const auto mark_degraded = [&](const std::string& id, const Error& error) {
+    metrics_.add("ro.health.heal_failures");
+    report.degraded.push_back(id);
+    const auto still = deployments_.find(id);
+    if (still != deployments_.end()) {
+      // Unrecoverable for now: keep the deployment (its NFs may well be
+      // running wherever the domain still is), surface it as degraded
+      // and retry on the next pass.
+      still->second.degraded = true;
+      still->second.degraded_reason = error.to_string();
+      set_deployment_nf_status(still->second, model::NfStatus::kFailed);
+    }
+    UNIFY_LOG(kWarn, "orch.ro")
+        << name_ << ": heal could not re-place " << id << ": "
+        << error.to_string();
+  };
+
+  if (options_.health.make_before_break) {
+    // Make: map every stranded deployment's replacement against the masked
+    // view first, in parallel on the shared pool (map_batch's speculative
+    // machinery — workers read only view_/catalog_ and write disjoint
+    // slots). The old placements are still installed, so each replacement
+    // is planned against exactly the capacity the survivors really have,
+    // and NF-id collisions cannot happen: place_nf() rejects a duplicate id
+    // only on the same BiS-BiS, and the stranded hosts are masked to zero.
+    std::vector<std::optional<Result<Deployment>>> prepared(stranded.size());
+    std::vector<PrepareStats> stats(stranded.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(stranded.size());
+    for (std::size_t k = 0; k < stranded.size(); ++k) {
+      const Deployment& dep = deployments_.at(stranded[k]);
+      tasks.push_back([this, &prepared, &stats, &dep, k] {
+        prepared[k] = prepare(dep.original, view_, stats[k]);
+      });
+    }
+    pool().run_all(std::move(tasks));
+
+    // Break: strictly sequential swaps in submission order. Earlier swaps
+    // consume survivor capacity, so each speculative mapping is re-verified
+    // against the current view and re-mapped on conflict before the old
+    // placement is released. On any failure the old books stay untouched
+    // and the service goes degraded.
+    for (std::size_t k = 0; k < stranded.size(); ++k) {
+      const std::string& id = stranded[k];
+      Result<Deployment> outcome = std::move(*prepared[k]);
+      if (outcome.ok() &&
+          !mapping::verify_mapping(outcome->expanded, view_, catalog_,
+                                   outcome->mapping)
+               .ok()) {
+        metrics_.add("ro.health.heal_remaps");
+        outcome = prepare(deployments_.at(id).original, view_, stats[k]);
+      }
+      if (outcome.ok()) {
+        if (const auto swapped = heal_swap(id, std::move(outcome).value());
+            swapped.ok()) {
+          const auto healed = deployments_.find(id);
+          healed->second.degraded = false;
+          healed->second.degraded_reason.clear();
+          metrics_.add("ro.health.heals");
+          report.healed.push_back(id);
+          continue;
+        } else {
+          outcome = swapped.error();
+        }
+      }
+      mark_degraded(id, outcome.error());
+    }
+  } else {
+    // Legacy uninstall-then-redeploy (ablation / bench baseline): between
+    // the uninstall and the re-push the stranded footprint is in flight —
+    // report the worst dip so the make-before-break win stays measurable.
+    for (const std::string& id : stranded) {
+      const std::uint64_t sequence = deployments_.at(id).sequence;
+      report.max_capacity_dip_cpu = std::max(
+          report.max_capacity_dip_cpu, deployment_cpu(deployments_.at(id)));
+      if (const auto redone = redeploy(id); redone.ok()) {
+        const auto healed = deployments_.find(id);
+        if (healed != deployments_.end()) {
+          // redeploy() committed a fresh Deployment; healing must not let a
+          // re-embedding reshuffle the submission order of later passes.
+          healed->second.sequence = sequence;
+          healed->second.degraded = false;
+          healed->second.degraded_reason.clear();
+        }
+        metrics_.add("ro.health.heals");
+        report.healed.push_back(id);
+      } else {
+        mark_degraded(id, redone.error());
+      }
+    }
+  }
+  metrics_.set_gauge("ro.health.heal_max_dip_cpu",
+                     report.max_capacity_dip_cpu);
 
   // Phase 3: push readmitted domains back to a byte-consistent slice.
   if (any_readmitted) {

@@ -184,17 +184,32 @@ class ResourceOrchestrator {
     std::vector<std::string> healed;      ///< requests re-embedded onto survivors
     std::vector<std::string> degraded;    ///< requests that could not be re-placed
     std::vector<std::string> recovered;   ///< degraded requests whose domain returned
+    /// Largest CPU footprint that was simultaneously released-but-not-yet-
+    /// re-placed during this pass. Make-before-break keeps this at 0 (the
+    /// replacement is installed before the old placement is released); the
+    /// legacy uninstall-then-redeploy path reports the biggest stranded
+    /// deployment it had in flight.
+    double max_capacity_dip_cpu = 0;
     /// Failure of the final readmission resync, if any (the heal itself
     /// still counts: placements and health state are already updated).
     std::optional<Error> resync_error;
   };
 
   /// One pass of the healing loop: half-open probe every down domain
-  /// (readmitting responsive ones — capacity unmasked, slice resynced),
-  /// then walk deployments in submission order and re-embed every one with
-  /// an NF or routed link on a still-down domain via redeploy(). Requests
-  /// that cannot be re-placed are marked degraded — kept, not torn down —
-  /// and retried on the next pass. Deterministic for a given fault pattern.
+  /// (readmitting responsive ones — capacity unmasked, slice resynced) and
+  /// liveness-probe every degraded one (a pass clears its failure streak
+  /// and embedding-cost penalty; a failure feeds the streak), then walk
+  /// deployments in submission order and re-embed every one with an NF or
+  /// routed link on a still-down domain. With
+  /// HealthPolicy::make_before_break (the default) the replacement is
+  /// mapped speculatively against the masked view first — in parallel on
+  /// the shared pool, reusing the map_batch machinery — and the old
+  /// placement is released only after its replacement embedding verified,
+  /// so a heal pass never reduces the placed-service count and never dips
+  /// substrate capacity below what the survivors need. Requests that cannot
+  /// be re-placed are marked degraded — kept, not torn down, old books
+  /// untouched — and retried on the next pass. Deterministic for a given
+  /// fault pattern.
   Result<HealReport> heal();
 
   /// Status of one NF by instance id (searches the view).
@@ -297,6 +312,23 @@ class ResourceOrchestrator {
   /// Overwrites the view statuses of every NF of this deployment.
   void set_deployment_nf_status(const Deployment& deployment,
                                 model::NfStatus status);
+
+  /// Projects HealthManager::penalty() onto every BiS-BiS of the view
+  /// (model::BisBis::health_penalty) so mappers bias node selection away
+  /// from flaky domains. Called after every health observation/transition.
+  void refresh_health_penalties();
+
+  /// Make-before-break swap: atomically (w.r.t. the books) replaces the
+  /// deployment `id` with `replacement`, whose mapping was already verified
+  /// against the current view with the old placement still installed. The
+  /// old placement is uninstalled, the replacement installed and pushed; on
+  /// any failure the old placement and books are restored. Preserves the
+  /// deployment's submission sequence.
+  Result<void> heal_swap(const std::string& id, Deployment replacement);
+
+  /// CPU currently booked in the view for this deployment's NFs (the
+  /// capacity a break-before-make heal would put in flight).
+  [[nodiscard]] double deployment_cpu(const Deployment& deployment) const;
 
   std::string name_;
   std::shared_ptr<const mapping::Mapper> mapper_;

@@ -10,10 +10,19 @@ namespace unify::mapping {
 
 namespace {
 
-double objective(const Mapping& m, double delay_weight) {
+double objective(const Mapping& m, double delay_weight,
+                 const model::Nffg& substrate) {
   double delay = 0;
   for (const auto& [req, d] : m.requirement_delay) delay += d;
-  return m.stats.bandwidth_hops + delay_weight * delay;
+  // Health bias: every NF parked on a flaky node makes the placement more
+  // expensive, so annealing drains degraded domains even when hops/delay tie.
+  double penalty = 0;
+  for (const auto& [nf, host] : m.nf_host) {
+    if (const model::BisBis* bb = substrate.find_bisbis(host)) {
+      penalty += bb->health_penalty;
+    }
+  }
+  return m.stats.bandwidth_hops + delay_weight * delay + penalty;
 }
 
 /// Re-synchronizes the persistent context to `placement`: tears every route
@@ -50,7 +59,7 @@ Result<Mapping> AnnealingMapper::map(const sg::ServiceGraph& sg,
   GreedyMapper seeder;
   UNIFY_ASSIGN_OR_RETURN(Mapping best, seeder.map(sg, substrate, catalog));
   if (sg.nfs().empty()) return best;
-  double best_cost = objective(best, options_.delay_weight);
+  double best_cost = objective(best, options_.delay_weight, substrate);
 
   std::map<std::string, std::string> current_placement = best.nf_host;
   Mapping current = best;
@@ -93,7 +102,7 @@ Result<Mapping> AnnealingMapper::map(const sg::ServiceGraph& sg,
     // context down first anyway.
     const auto candidate = resync(ctx, moved);
     if (!candidate.has_value()) continue;
-    const double cost = objective(*candidate, options_.delay_weight);
+    const double cost = objective(*candidate, options_.delay_weight, substrate);
     const double delta = cost - current_cost;
     const bool accept =
         delta <= 0 ||

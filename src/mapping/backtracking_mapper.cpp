@@ -53,7 +53,16 @@ bool dfs(Search& search, std::size_t depth) {
   }
   const std::string& nf_id = search.order[depth];
   const sg::SgNf* nf = search.ctx->sg().find_nf(nf_id);
-  for (const std::string& host : search.ctx->candidates(*nf)) {
+  // candidates() is id-ascending; visit healthy domains first so the first
+  // complete solution drains flaky nodes (stable sort keeps id order as the
+  // tie-break).
+  std::vector<std::string> hosts = search.ctx->candidates(*nf);
+  std::stable_sort(hosts.begin(), hosts.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     return search.ctx->node_penalty(a) <
+                            search.ctx->node_penalty(b);
+                   });
+  for (const std::string& host : hosts) {
     if (!search.ctx->place(nf_id, host).ok()) continue;
     const auto routed = route_ready(search);
     if (routed.has_value() && delays_ok(*search.ctx)) {

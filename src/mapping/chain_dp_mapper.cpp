@@ -53,26 +53,36 @@ Result<void> run_dp(Context& ctx, const sg::E2eRequirement& req,
     }
   }
 
-  // Viterbi.
+  // Viterbi. `cost` is the selection objective (delay + per-host health
+  // penalty, so flaky domains drain before their circuit trips); `delay`
+  // tracks the true accumulated delay of the chosen predecessor chain, so
+  // the max_delay bound is checked on what the wire would actually see.
   std::vector<std::vector<double>> cost(stages.size());
+  std::vector<std::vector<double>> delay(stages.size());
   std::vector<std::vector<int>> back(stages.size());
   for (std::size_t i = 0; i < stages.size(); ++i) {
     cost[i].assign(cands[i].size(), kInf);
+    delay[i].assign(cands[i].size(), kInf);
     back[i].assign(cands[i].size(), -1);
   }
   for (std::size_t j = 0; j < cands[0].size(); ++j) {
-    cost[0][j] =
+    const double d =
         ctx.distance(req.from_sap, cands[0][j], stages[0].in_bandwidth);
+    if (d == kInf) continue;
+    cost[0][j] = d + ctx.node_penalty(cands[0][j]);
+    delay[0][j] = d;
   }
   for (std::size_t i = 1; i < stages.size(); ++i) {
     for (std::size_t j = 0; j < cands[i].size(); ++j) {
+      const double penalty = ctx.node_penalty(cands[i][j]);
       for (std::size_t p = 0; p < cands[i - 1].size(); ++p) {
         if (cost[i - 1][p] == kInf) continue;
         const double step = ctx.distance(cands[i - 1][p], cands[i][j],
                                          stages[i].in_bandwidth);
-        const double total = cost[i - 1][p] + step;
+        const double total = cost[i - 1][p] + step + penalty;
         if (total < cost[i][j]) {
           cost[i][j] = total;
+          delay[i][j] = delay[i - 1][p] + step;
           back[i][j] = static_cast<int>(p);
         }
       }
@@ -81,14 +91,16 @@ Result<void> run_dp(Context& ctx, const sg::E2eRequirement& req,
   // Close the chain towards to_sap.
   const std::size_t tail = stages.size() - 1;
   double best = kInf;
+  double best_delay = kInf;
   int best_j = -1;
   for (std::size_t j = 0; j < cands[tail].size(); ++j) {
     if (cost[tail][j] == kInf) continue;
-    const double total =
-        cost[tail][j] + ctx.distance(cands[tail][j], req.to_sap,
-                                     out_bandwidth);
+    const double hop =
+        ctx.distance(cands[tail][j], req.to_sap, out_bandwidth);
+    const double total = cost[tail][j] + hop;
     if (total < best) {
       best = total;
+      best_delay = delay[tail][j] + hop;
       best_j = static_cast<int>(j);
     }
   }
@@ -96,10 +108,10 @@ Result<void> run_dp(Context& ctx, const sg::E2eRequirement& req,
     return Error{ErrorCode::kInfeasible,
                  "chain for requirement " + req.id + " is disconnected"};
   }
-  if (best > req.max_delay) {
+  if (best_delay > req.max_delay) {
     return Error{ErrorCode::kInfeasible,
                  "requirement " + req.id + ": optimal chain delay " +
-                     strings::format_double(best) + " ms exceeds " +
+                     strings::format_double(best_delay) + " ms exceeds " +
                      strings::format_double(req.max_delay) + " ms"};
   }
   // Trace back.
@@ -149,14 +161,20 @@ Result<Mapping> ChainDpMapper::map(const sg::ServiceGraph& sg,
     }
   }
 
-  // NFs outside every requirement chain: cheapest feasible host.
+  // NFs outside every requirement chain: cheapest feasible host (lowest
+  // health penalty, id as the tie-break — candidates() is id-ascending).
   for (const auto& [nf_id, nf] : sg.nfs()) {
     if (ctx.node_of(nf_id).ok()) continue;
     const auto cands = ctx.candidates(nf);
     if (cands.empty()) {
       return Error{ErrorCode::kInfeasible, "no feasible host for " + nf_id};
     }
-    UNIFY_RETURN_IF_ERROR(ctx.place(nf_id, cands.front()));
+    const auto pick = std::min_element(
+        cands.begin(), cands.end(),
+        [&](const std::string& a, const std::string& b) {
+          return ctx.node_penalty(a) < ctx.node_penalty(b);
+        });
+    UNIFY_RETURN_IF_ERROR(ctx.place(nf_id, *pick));
   }
 
   UNIFY_RETURN_IF_ERROR(ctx.route_all());

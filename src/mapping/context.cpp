@@ -276,6 +276,11 @@ double Context::distance(const std::string& from, const std::string& to,
   return entry.reachable ? entry.path.cost : graph::kInf;
 }
 
+double Context::node_penalty(const std::string& host) const noexcept {
+  const model::BisBis* bb = work_.find_bisbis(host);
+  return bb == nullptr ? 0.0 : bb->health_penalty;
+}
+
 Mapping Context::finish(std::string mapper_name) const {
   Mapping m;
   m.mapper_name = std::move(mapper_name);

@@ -104,6 +104,11 @@ class Context {
   [[nodiscard]] double distance(const std::string& from, const std::string& to,
                                 double min_bw) const;
 
+  /// Health bias of a substrate node (BisBis::health_penalty, 0 for SAPs
+  /// and unknown nodes). Mappers add it to node-selection cost so flaky
+  /// domains drain before their circuit trips (DESIGN.md §10).
+  [[nodiscard]] double node_penalty(const std::string& host) const noexcept;
+
   /// Current NF placements (nf id -> hosting BiS-BiS).
   [[nodiscard]] const std::map<std::string, std::string>& placements()
       const noexcept {

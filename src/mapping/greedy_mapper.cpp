@@ -10,15 +10,15 @@ namespace unify::mapping {
 namespace {
 
 /// Cost of placing on `host` when the previous chain element sits at
-/// `prev_node`: delay distance first, then prefer emptier nodes, then id
-/// for determinism.
+/// `prev_node`: delay distance plus the node's health penalty first, then
+/// prefer emptier nodes, then id for determinism.
 struct HostCost {
-  double distance;
+  double cost;  ///< distance + health penalty
   double utilization;
   std::string host;
 
   friend bool operator<(const HostCost& a, const HostCost& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
+    if (a.cost != b.cost) return a.cost < b.cost;
     if (a.utilization != b.utilization) return a.utilization < b.utilization;
     return a.host < b.host;
   }
@@ -51,8 +51,9 @@ Result<Mapping> GreedyMapper::map(const sg::ServiceGraph& sg,
                               ? 0
                               : ctx.distance(prev_node, host, bandwidth);
       if (dist == std::numeric_limits<double>::infinity()) continue;
-      costs.push_back(HostCost{
-          dist, utilization_of(*ctx.work().find_bisbis(host)), host});
+      costs.push_back(HostCost{dist + ctx.node_penalty(host),
+                               utilization_of(*ctx.work().find_bisbis(host)),
+                               host});
     }
     if (costs.empty()) {
       return Error{ErrorCode::kInfeasible,

@@ -103,6 +103,11 @@ struct BisBis {
   std::map<std::string, NfInstance> nfs;
   std::vector<Flowrule> flowrules;
   double internal_delay = 0;    ///< ms charged for crossing this node
+  /// Embedding-cost bias projected by the orchestrator's health manager
+  /// (0 = healthy domain). Orchestrator-local annotation: deliberately not
+  /// serialized to JSON and not part of Nffg equality, so slices stay
+  /// byte-identical and dirty tracking is unaffected.
+  double health_penalty = 0;
 
   [[nodiscard]] bool has_port(int port) const noexcept;
   [[nodiscard]] bool supports_nf_type(const std::string& type) const noexcept;

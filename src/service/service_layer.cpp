@@ -403,15 +403,33 @@ Result<std::vector<std::string>> ServiceLayer::sync_health() {
   UNIFY_ASSIGN_OR_RETURN(const model::Nffg config, client_->fetch_view());
   // Collect per-request failure evidence from the rolled-up view: any NF
   // with this request's prefix reporting kFailed degrades the request.
+  // Present NFs are tracked too: restoring a degraded request needs all of
+  // its NFs back in the view, not merely an absence of kFailed evidence (a
+  // placement torn down below would otherwise read as "recovered").
   std::set<std::string> failed_requests;
+  std::set<std::string> present_nfs;
   for (const auto& [bb_id, bb] : config.bisbis()) {
     for (const auto& [nf_id, nf] : bb.nfs) {
+      present_nfs.insert(nf_id);
       if (nf.status != model::NfStatus::kFailed) continue;
       const auto dot = nf_id.find('.');
       if (dot == std::string::npos) continue;
       failed_requests.insert(nf_id.substr(0, dot));
     }
   }
+  const auto all_nfs_present = [&](const ServiceRequest& request) {
+    for (const auto& [nf_id, nf] : request.graph.nfs()) {
+      const std::string exact = request.id + "." + nf_id;
+      if (present_nfs.count(exact) != 0) continue;
+      // Decomposition installs "<nf>.<component>" instead of "<nf>".
+      const std::string expanded = exact + ".";
+      const auto it = present_nfs.lower_bound(expanded);
+      if (it == present_nfs.end() || !strings::starts_with(*it, expanded)) {
+        return false;
+      }
+    }
+    return true;
+  };
   std::vector<std::string> degraded;
   for (auto& [id, request] : requests_) {
     if (request.state == RequestState::kDeployed &&
@@ -421,7 +439,7 @@ Result<std::vector<std::string>> ServiceLayer::sync_health() {
       metrics_.add("service.health.degraded");
       UNIFY_LOG(kWarn, "service") << "request " << id << " degraded";
     } else if (request.state == RequestState::kDegraded &&
-               failed_requests.count(id) == 0) {
+               failed_requests.count(id) == 0 && all_nfs_present(request)) {
       request.state = RequestState::kDeployed;
       request.error.clear();
       metrics_.add("service.health.restored");

@@ -98,8 +98,10 @@ class ServiceLayer {
 
   /// Reconciles request states with the health the layer below reports:
   /// a deployed request with any failed NF flips to kDegraded (kept, not
-  /// torn down), a degraded one whose NFs all recovered flips back to
-  /// kDeployed. Returns the ids currently degraded.
+  /// torn down); a degraded one flips back to kDeployed only when all of
+  /// its NFs are present below again and none reports failed (absence of
+  /// failure evidence alone is not recovery — a torn-down placement would
+  /// otherwise read as healthy). Returns the ids currently degraded.
   Result<std::vector<std::string>> sync_health();
 
   /// After this many consecutive transient push/fetch failures against the

@@ -39,6 +39,16 @@ class RecordingAdapter final : public adapters::DomainAdapter {
   }
   Result<void> apply(const model::Nffg& desired) override {
     ++applies_;
+    // Make-before-break: no slice this domain is ever asked to accept may
+    // overcommit its capacity — the RO installs replacements before it
+    // releases old placements, never the other way round.
+    for (const auto& [bb_id, bb] : desired.bisbis()) {
+      const model::Resources res = bb.residual();
+      EXPECT_GE(res.cpu, -1e-9) << name_ << ": " << bb_id << " overcommitted";
+      EXPECT_GE(res.mem, -1e-9) << name_ << ": " << bb_id << " overcommitted";
+      EXPECT_GE(res.storage, -1e-9)
+          << name_ << ": " << bb_id << " overcommitted";
+    }
     last_applied_ = desired;
     return Result<void>::success();
   }
@@ -134,7 +144,21 @@ void check_invariants(ChaosStack& stack, bool books_clean) {
   for (const auto& [id, link] : view.links()) {
     EXPECT_GE(link.reserved, -1e-9) << "link " << id;
   }
-  // 4. Service books point at real state: an active (deployed or
+  // 4. Make-before-break: surviving (admitted) domains are never
+  //    overcommitted — heal installs a replacement before releasing the
+  //    old placement, so residual capacity stays non-negative even with a
+  //    heal pass in the step just executed.
+  for (std::size_t i = 0; i < stack.domains; ++i) {
+    if (!stack.ro->health().admits(i)) continue;
+    const model::BisBis* bb = view.find_bisbis("bb" + std::to_string(i));
+    ASSERT_NE(bb, nullptr);
+    const model::Resources res = bb->residual();
+    EXPECT_GE(res.cpu, -1e-9) << "domain " << i << " cpu overcommitted";
+    EXPECT_GE(res.mem, -1e-9) << "domain " << i << " mem overcommitted";
+    EXPECT_GE(res.storage, -1e-9)
+        << "domain " << i << " storage overcommitted";
+  }
+  // 5. Service books point at real state: an active (deployed or
   //    degraded) request keeps all its NFs installed below.
   if (!books_clean) return;
   for (const auto& [id, request] : stack.layer->requests()) {
@@ -240,11 +264,17 @@ std::string run_soak(std::uint64_t seed, int steps) {
         break;
       }
       case 6: {  // healing pass: probe, re-embed, readmit
+        const std::size_t placed_before = stack.ro->deployments().size();
         const auto healed = stack.ro->heal();
         if (!healed.ok()) {
           ADD_FAILURE() << "heal: " << healed.error().to_string();
           return "aborted";
         }
+        // Make-before-break: a heal pass never reduces the placed-service
+        // count, and never has released-but-not-yet-replaced capacity in
+        // flight.
+        EXPECT_GE(stack.ro->deployments().size(), placed_before);
+        EXPECT_EQ(healed->max_capacity_dip_cpu, 0.0);
         break;
       }
       case 7: {  // status reconciliation up the stack
@@ -268,11 +298,14 @@ std::string run_soak(std::uint64_t seed, int steps) {
     fault->set_failure_rate(0.0);
   }
   for (int round = 0; round < 4 && stack.ro->health().any_open(); ++round) {
+    const std::size_t placed_before = stack.ro->deployments().size();
     const auto healed = stack.ro->heal();
     if (!healed.ok()) {
       ADD_FAILURE() << "final heal: " << healed.error().to_string();
       return "aborted";
     }
+    EXPECT_GE(stack.ro->deployments().size(), placed_before);
+    EXPECT_EQ(healed->max_capacity_dip_cpu, 0.0);
   }
   EXPECT_FALSE(stack.ro->health().any_open());
   EXPECT_TRUE(stack.layer->sync_health().ok());

@@ -254,6 +254,9 @@ TEST(DomainHealth, KillADomainHealsRecoverableAndDegradesStranded) {
   EXPECT_TRUE(healed->readmitted.empty());
   EXPECT_EQ(healed->healed, std::vector<std::string>{"rec"});
   EXPECT_EQ(healed->degraded, std::vector<std::string>{"unrec"});
+  // Make-before-break: the replacement was mapped and installed before the
+  // stranded placement was released, so capacity never dipped in flight.
+  EXPECT_EQ(healed->max_capacity_dip_cpu, 0.0);
 
   // "rec" was re-embedded onto a survivor.
   const auto& rec = stack.ro->deployments().at("rec");
@@ -340,6 +343,62 @@ TEST(DomainHealth, EmbeddingRoutesAroundDownDomain) {
   ASSERT_TRUE(stack.ro->deploy(span_chain("near", 0, 1)).ok());
   EXPECT_NE(stack.ro->deployments().at("near").mapping.nf_host.at("nat0"),
             "bb2");
+}
+
+// ------------------------------------------------- health-aware embedding
+
+TEST(DomainHealth, FlakyDomainDrainsAndRebalancesOnRecovery) {
+  LineStack stack = make_line_ro(2);
+  // One transient fetch failure against d0: degraded (streak 1), circuit
+  // still closed, capacity NOT masked — only the embedding cost is biased.
+  stack.faults[0]->fail_next(1, kUnavailable);
+  EXPECT_FALSE(stack.ro->sync_statuses().ok());
+  EXPECT_EQ(stack.ro->health().health(0), DomainHealth::kDegraded);
+  EXPECT_EQ(stack.ro->global_view().find_bisbis("bb0")->health_penalty, 4.0);
+  EXPECT_EQ(stack.ro->global_view().find_bisbis("bb0")->capacity.cpu, 32);
+
+  // A sap0->sap1 chain traverses the same links whether its NF lands on
+  // bb0 or bb1 (equal true cost); the health bias drains the flaky domain.
+  ASSERT_TRUE(stack.ro->deploy(span_chain("a", 0, 1, "nat")).ok());
+  EXPECT_EQ(stack.ro->deployments().at("a").mapping.nf_host.at("nat0"),
+            "bb1");
+
+  // The successful push just proved d0 alive again: penalty cleared, and
+  // the next equal-cost chain re-balances back onto bb0 (id tie-break).
+  EXPECT_EQ(stack.ro->health().health(0), DomainHealth::kHealthy);
+  EXPECT_EQ(stack.ro->global_view().find_bisbis("bb0")->health_penalty, 0.0);
+  ASSERT_TRUE(stack.ro->deploy(span_chain("b", 0, 1, "dpi")).ok());
+  EXPECT_EQ(stack.ro->deployments().at("b").mapping.nf_host.at("dpi0"),
+            "bb0");
+  // The circuit never opened: draining happened strictly below the breaker.
+  EXPECT_EQ(stack.ro->metrics().counter("ro.health.circuit_opens"), 0u);
+}
+
+TEST(DomainHealth, HealProbesDegradedDomainsAndClearsPenalty) {
+  LineStack stack = make_line_ro(2);
+  stack.faults[0]->fail_next(1, kUnavailable);
+  EXPECT_FALSE(stack.ro->sync_statuses().ok());
+  ASSERT_EQ(stack.ro->health().health(0), DomainHealth::kDegraded);
+  EXPECT_EQ(stack.ro->global_view().find_bisbis("bb0")->health_penalty, 4.0);
+
+  // heal() liveness-probes degraded (not just down) domains: the passing
+  // probe resets the streak, so the cost bias clears without waiting for
+  // the next real push to d0.
+  const auto healed = stack.ro->heal();
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(stack.ro->health().health(0), DomainHealth::kHealthy);
+  EXPECT_EQ(stack.ro->global_view().find_bisbis("bb0")->health_penalty, 0.0);
+  EXPECT_EQ(stack.ro->metrics().counter("ro.health.probes"), 1u);
+  EXPECT_EQ(stack.ro->metrics().counter("ro.health.probe_failures"), 0u);
+
+  // A probe that fails transiently feeds the same streak instead.
+  stack.faults[0]->fail_next(2, kUnavailable);
+  EXPECT_FALSE(stack.ro->sync_statuses().ok());  // degraded again (streak 1)
+  const auto again = stack.ro->heal();           // probe fails: streak 2
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(stack.ro->health().health(0), DomainHealth::kDegraded);
+  EXPECT_EQ(stack.ro->global_view().find_bisbis("bb0")->health_penalty, 8.0);
+  EXPECT_EQ(stack.ro->metrics().counter("ro.health.probe_failures"), 1u);
 }
 
 }  // namespace

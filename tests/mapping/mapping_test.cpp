@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "catalog/decomposition.h"
+#include "mapping/annealing_mapper.h"
 #include "mapping/backtracking_mapper.h"
 #include "mapping/baseline_mappers.h"
 #include "mapping/chain_dp_mapper.h"
@@ -222,6 +223,91 @@ TEST(Greedy, ColocatesUnderOneRoof) {
   // firewall0 -> nat1 link is intra-node.
   EXPECT_TRUE(mapping->link_paths.at("cl1").links.empty());
   EXPECT_EQ(mapping->stats.nodes_used, 1u);
+}
+
+// -------------------------------------------------- health-penalty drain
+
+/// Two equal-cost hosts behind zero-capacity hubs: bb-a and bb-b are
+/// perfectly symmetric (same detour delay, same capacity), so with no
+/// health bias every deterministic mapper breaks the tie by id -> bb-a.
+Nffg equal_cost_pair() {
+  Nffg g{"pair"};
+  EXPECT_TRUE(g.add_bisbis(model::make_bisbis("hub1", {0, 0, 0}, 4)).ok());
+  EXPECT_TRUE(g.add_bisbis(model::make_bisbis("hub2", {0, 0, 0}, 4)).ok());
+  EXPECT_TRUE(
+      g.add_bisbis(model::make_bisbis("bb-a", {8, 8192, 100}, 4)).ok());
+  EXPECT_TRUE(
+      g.add_bisbis(model::make_bisbis("bb-b", {8, 8192, 100}, 4)).ok());
+  model::connect(g, "hub1", 1, "hub2", 1, {1000, 5.0});
+  model::connect(g, "hub1", 2, "bb-a", 0, {1000, 0.5});
+  model::connect(g, "bb-a", 1, "hub2", 2, {1000, 0.5});
+  model::connect(g, "hub1", 3, "bb-b", 0, {1000, 0.5});
+  model::connect(g, "bb-b", 1, "hub2", 3, {1000, 0.5});
+  model::attach_sap(g, "sap1", "hub1", 0, {1000, 0.1});
+  model::attach_sap(g, "sap2", "hub2", 0, {1000, 0.1});
+  return g;
+}
+
+class MapperDrain : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Mapper> make() const {
+    const std::string which = GetParam();
+    if (which == "greedy") return std::make_unique<GreedyMapper>();
+    if (which == "backtracking") return std::make_unique<BacktrackingMapper>();
+    if (which == "annealing") return std::make_unique<AnnealingMapper>();
+    return std::make_unique<ChainDpMapper>();
+  }
+};
+
+TEST_P(MapperDrain, FlakyDomainDrainsAndRebalances) {
+  // A failure streak below the trip threshold projects a health penalty
+  // onto the flaky domain's nodes (ResourceOrchestrator::
+  // refresh_health_penalties); new embeddings must prefer the healthy
+  // equal-cost host, and re-balance once heal() clears the penalty.
+  const NfCatalog cat = catalog::default_catalog();
+  const ServiceGraph sg =
+      sg::make_chain("svc", "sap1", {"nat"}, "sap2", 10, 100);
+  Nffg g = equal_cost_pair();
+
+  auto baseline = make()->map(sg, g, cat);
+  ASSERT_TRUE(baseline.ok()) << baseline.error().to_string();
+  EXPECT_EQ(baseline->nf_host.at("nat0"), "bb-a");
+
+  g.find_bisbis("bb-a")->health_penalty = 4.0;
+  auto drained = make()->map(sg, g, cat);
+  ASSERT_TRUE(drained.ok()) << drained.error().to_string();
+  EXPECT_EQ(drained->nf_host.at("nat0"), "bb-b");
+
+  g.find_bisbis("bb-a")->health_penalty = 0.0;
+  auto rebalanced = make()->map(sg, g, cat);
+  ASSERT_TRUE(rebalanced.ok()) << rebalanced.error().to_string();
+  EXPECT_EQ(rebalanced->nf_host.at("nat0"), "bb-a");
+}
+
+INSTANTIATE_TEST_SUITE_P(Drain, MapperDrain,
+                         ::testing::Values("greedy", "backtracking",
+                                           "annealing", "chain-dp"));
+
+TEST(ChainDp, PenaltyBiasesSelectionButNotDelayBound) {
+  // True chain delay through either host is 1.2 ms; with a 4.0 penalty the
+  // biased DP cost is 5.2. A 2 ms delay budget must still be satisfiable —
+  // the penalty steers selection but the bound is checked on wire delay.
+  const NfCatalog cat = catalog::default_catalog();
+  const ServiceGraph sg =
+      sg::make_chain("svc", "sap1", {"nat"}, "sap2", 10, 2.0);
+  Nffg g = equal_cost_pair();
+  g.find_bisbis("bb-a")->health_penalty = 4.0;
+  auto drained = ChainDpMapper().map(sg, g, cat);
+  ASSERT_TRUE(drained.ok()) << drained.error().to_string();
+  EXPECT_EQ(drained->nf_host.at("nat0"), "bb-b");
+
+  // Both hosts flaky: selection ties again (id order) and the chain must
+  // still fit the budget even though every biased cost exceeds it.
+  g.find_bisbis("bb-b")->health_penalty = 4.0;
+  auto both = ChainDpMapper().map(sg, g, cat);
+  ASSERT_TRUE(both.ok()) << both.error().to_string();
+  EXPECT_EQ(both->nf_host.at("nat0"), "bb-a");
+  EXPECT_LE(both->requirement_delay.at("e2e"), 2.0);
 }
 
 // ---------------------------------------------------------- verify_mapping

@@ -148,6 +148,50 @@ void BM_RouteUnrouteCycle(benchmark::State& state) {
   state.SetLabel("n=" + std::to_string(state.range(0)));
 }
 
+/// Per-entry invalidation payoff: warm the cache with queries across many
+/// SAP pairs, then run a reserve/release cycle on one chain. route() only
+/// evicts entries whose path crosses the reserved links, and unroute()
+/// only evicts entries the release could actually unmask (tracked per
+/// entry), so "invalidations" stays far below the warmed entry count —
+/// before per-entry tracking, every release above the residual threshold
+/// flushed the whole cache.
+void BM_SelectiveInvalidation(benchmark::State& state) {
+  Rng rng(11);
+  const model::Nffg substrate = infra::topo::random_connected(
+      static_cast<int>(state.range(0)), 3.0, 8, rng);
+  const sg::ServiceGraph sg =
+      sg::make_chain("svc", "sap1", {"fw-lite"}, "sap2", 10, 10000);
+  const catalog::NfCatalog cat = catalog::default_catalog();
+  mapping::Context ctx(sg, substrate, cat);
+  const auto hosts = ctx.candidates(*sg.find_nf("fw-lite0"));
+  if (hosts.empty() || !ctx.place("fw-lite0", hosts.front()).ok()) {
+    state.SkipWithError("placement failed");
+    return;
+  }
+  std::uint64_t warmed = 0;
+  for (auto _ : state) {
+    // Warm entries across every SAP pair (distinct cache keys)...
+    for (int a = 1; a <= 8; ++a) {
+      for (int b = a + 1; b <= 8; ++b) {
+        benchmark::DoNotOptimize(ctx.distance("sap" + std::to_string(a),
+                                              "sap" + std::to_string(b), 10));
+        ++warmed;
+      }
+    }
+    // ...then churn one chain's reservations.
+    if (!ctx.route_all().ok()) {
+      state.SkipWithError("routing failed");
+      return;
+    }
+    for (const sg::SgLink& link : sg.links()) ctx.unroute(link.id);
+  }
+  const auto& stats = ctx.path_cache_stats();
+  state.counters["warmed"] = static_cast<double>(warmed);
+  state.counters["invalidations"] = static_cast<double>(stats.invalidations);
+  state.counters["hits"] = static_cast<double>(stats.hits);
+  state.SetLabel("n=" + std::to_string(state.range(0)));
+}
+
 }  // namespace
 
 BENCHMARK(BM_KernelDijkstra)->Arg(16)->Arg(64)->Arg(256);
@@ -156,5 +200,6 @@ BENCHMARK(BM_KernelDistance)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_ContextDistanceWarm)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_ContextDistanceCold)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_RouteUnrouteCycle)->Arg(16)->Arg(64);
+BENCHMARK(BM_SelectiveInvalidation)->Arg(64)->Arg(256);
 
 BENCHMARK_MAIN();

@@ -64,6 +64,13 @@ struct HealthPolicy {
   /// capacity below what the survivors need. Set false for the legacy
   /// uninstall-then-redeploy behaviour (ablation / bench baseline).
   bool make_before_break = true;
+  /// Exponential probe backoff for heal(): after a failed probe the domain
+  /// skips this many heal passes before the next probe; each further
+  /// failure multiplies the window (capped); any success resets it. 0
+  /// disables backoff (probe on every pass, the historical behaviour).
+  int probe_backoff_initial = 0;
+  double probe_backoff_multiplier = 2.0;
+  int probe_backoff_cap = 8;
 };
 
 class HealthManager {
@@ -80,6 +87,14 @@ class HealthManager {
     /// Bumps on every observation and transition (never regresses); lets
     /// callers detect "anything happened since I last looked" cheaply.
     std::uint64_t generation = 0;
+    /// Heal passes left to skip before the next probe (exponential probe
+    /// backoff, HealthPolicy::probe_backoff_initial). Counted down by
+    /// should_probe(); escalated on probe/transport failures; reset by any
+    /// success.
+    int probe_cooldown = 0;
+    /// The backoff window the last failure set (what the next failure
+    /// multiplies from).
+    int probe_backoff = 0;
     std::string last_error;  ///< most recent failure, for reports/logs
   };
 
@@ -111,6 +126,11 @@ class HealthManager {
   /// probing/down -> healthy: the domain is readmitted (the caller unmasks
   /// capacity and resyncs the slice). Resets the failure streak.
   void close_circuit(std::size_t index);
+  /// Exponential probe backoff gate for heal(): true when the domain is
+  /// due for a probe this pass. While a cooldown is pending, one call
+  /// consumes one heal pass and returns false. Always true when backoff is
+  /// disabled (probe_backoff_initial == 0).
+  [[nodiscard]] bool should_probe(std::size_t index);
 
   // -- queries -----------------------------------------------------------
 
@@ -133,6 +153,10 @@ class HealthManager {
   [[nodiscard]] const HealthPolicy& policy() const noexcept { return policy_; }
 
  private:
+  /// Grows (or starts) the record's backoff window and arms the cooldown.
+  /// No-op while backoff is disabled.
+  void escalate_backoff(DomainRecord& rec);
+
   HealthPolicy policy_;
   std::vector<DomainRecord> records_;
 };

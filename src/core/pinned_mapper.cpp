@@ -5,7 +5,7 @@
 namespace unify::core {
 
 Result<mapping::Mapping> PinnedMapper::map(
-    const sg::ServiceGraph& sg, const model::Nffg& substrate,
+    const sg::ServiceGraph& sg, const mapping::SubstrateView& substrate,
     const catalog::NfCatalog& catalog) const {
   mapping::Context ctx(sg, substrate, catalog);
   for (const auto& [nf_id, nf] : sg.nfs()) {

@@ -18,7 +18,7 @@ class PinnedMapper final : public mapping::Mapper {
 
   [[nodiscard]] std::string name() const override { return "pinned"; }
   [[nodiscard]] Result<mapping::Mapping> map(
-      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const sg::ServiceGraph& sg, const mapping::SubstrateView& substrate,
       const catalog::NfCatalog& catalog) const override;
 
  private:

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "model/nffg_hash.h"
 #include "model/nffg_json.h"
 #include "util/log.h"
 #include "util/orchestration_pool.h"
@@ -67,8 +68,9 @@ Result<void> ResourceOrchestrator::initialize() {
                                       std::move(fetched[i]).value()});
   }
   if (!failures.empty()) return failures.to_error();
-  UNIFY_ASSIGN_OR_RETURN(view_, model::merge_views(views));
-  view_.set_id(name_ + "-global-view");
+  UNIFY_ASSIGN_OR_RETURN(model::Nffg merged, model::merge_views(views));
+  merged.set_id(name_ + "-global-view");
+  view_.reset(std::move(merged));
   push_state_.assign(adapters_.size(), DomainPushState{});
   health_.reset(options_.health, domain_names_);
   mask_ = ViewMask{};
@@ -77,7 +79,7 @@ Result<void> ResourceOrchestrator::initialize() {
   initialized_ = true;
   UNIFY_LOG(kInfo, "orch.ro")
       << name_ << ": merged " << adapters_.size() << " domains into "
-      << view_.bisbis().size() << " BiS-BiS nodes";
+      << view_.read().bisbis().size() << " BiS-BiS nodes";
   return Result<void>::success();
 }
 
@@ -100,7 +102,7 @@ Result<void> ResourceOrchestrator::admit(
   // with live deployments up front (callers namespace per request, as the
   // service layer does).
   for (const auto& [nf_id, nf] : request.nfs()) {
-    if (view_.find_nf(nf_id).has_value()) {
+    if (view_.read().find_nf(nf_id).has_value()) {
       return Error{ErrorCode::kAlreadyExists,
                    "NF id " + nf_id + " already deployed"};
     }
@@ -109,7 +111,7 @@ Result<void> ResourceOrchestrator::admit(
 }
 
 Result<ResourceOrchestrator::Deployment> ResourceOrchestrator::prepare(
-    const sg::ServiceGraph& request, const model::Nffg& view,
+    const sg::ServiceGraph& request, const mapping::SubstrateView& view,
     PrepareStats& stats) const {
   // Map (with decomposition when enabled).
   Deployment deployment;
@@ -137,12 +139,18 @@ Result<ResourceOrchestrator::Deployment> ResourceOrchestrator::prepare(
   return deployment;
 }
 
+Result<ResourceOrchestrator::Deployment> ResourceOrchestrator::prepare_current(
+    const sg::ServiceGraph& request, PrepareStats& stats) const {
+  const model::ViewSnapshot snap = view_.snapshot();
+  return prepare(request, snap, stats);
+}
+
 Result<std::string> ResourceOrchestrator::deploy(
     const sg::ServiceGraph& request) {
   UNIFY_RETURN_IF_ERROR(admit(request));
   PrepareStats stats;
   UNIFY_ASSIGN_OR_RETURN(Deployment deployment,
-                         prepare(request, view_, stats));
+                         prepare_current(request, stats));
   if (options_.use_decomposition) {
     metrics_.add("ro.decomposition_combinations",
                  stats.decomposition_combinations);
@@ -161,24 +169,32 @@ std::vector<Result<std::string>> ResourceOrchestrator::map_batch(
   }
   if (requests.empty()) return results;
 
-  // Speculative phase: map every admissible request against the current
-  // view in parallel on the shared pool. Workers only read view_/catalog_
-  // (the mappers copy the substrate into private Contexts) and write
-  // disjoint slots, so the only synchronization needed is the batch join.
+  // Speculative phase: map every admissible request against one frozen
+  // snapshot of the current view in parallel on the shared pool. The
+  // snapshot pins the epoch and shares a single topology index across all
+  // workers (no per-request substrate copies); workers write disjoint
+  // slots, so the only synchronization needed is the batch join. The
+  // snapshot scope ends before the commit loop, so the strictly-sequential
+  // commits mutate the view in place instead of cloning it.
   std::vector<std::optional<Result<Deployment>>> prepared(requests.size());
   std::vector<PrepareStats> stats(requests.size());
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    if (const auto admitted = admit(requests[i]); !admitted.ok()) {
-      results[i] = admitted.error();
-      continue;
+  std::size_t pool_size = 0;
+  {
+    const model::ViewSnapshot snap = view_.snapshot();
+    const mapping::SubstrateView frozen(snap);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (const auto admitted = admit(requests[i]); !admitted.ok()) {
+        results[i] = admitted.error();
+        continue;
+      }
+      tasks.push_back([this, &requests, &prepared, &stats, &frozen, i] {
+        prepared[i] = prepare(requests[i], frozen, stats[i]);
+      });
     }
-    tasks.push_back([this, &requests, &prepared, &stats, i] {
-      prepared[i] = prepare(requests[i], view_, stats[i]);
-    });
+    pool_size = pool().run_all(std::move(tasks), workers);
   }
-  const std::size_t pool_size = pool().run_all(std::move(tasks), workers);
 
   // Commit phase: strictly sequential, in request order. Earlier commits
   // change the view, so each speculative mapping is re-validated and
@@ -201,13 +217,13 @@ std::vector<Result<std::string>> ResourceOrchestrator::map_batch(
     }
     Result<Deployment> outcome = std::move(*prepared[i]);
     if (outcome.ok() &&
-        !mapping::verify_mapping(outcome->expanded, view_, catalog_,
+        !mapping::verify_mapping(outcome->expanded, view_.read(), catalog_,
                                  outcome->mapping)
              .ok()) {
       // A previous commit consumed resources the speculative mapping
       // relies on; re-map against the current view.
       batch_metrics.add("ro.batch_conflicts");
-      outcome = prepare(requests[i], view_, stats[i]);
+      outcome = prepare_current(requests[i], stats[i]);
       if (outcome.ok()) batch_metrics.add("ro.batch_remaps");
     }
     if (!outcome.ok()) {
@@ -241,15 +257,22 @@ Result<std::string> ResourceOrchestrator::deploy_pinned(
   deployment.original = request;
   deployment.expanded = request;
   const PinnedMapper pinned(pins);
-  UNIFY_ASSIGN_OR_RETURN(deployment.mapping,
-                         pinned.map(request, view_, catalog_));
+  {
+    // Snapshot released before commit() so the install mutates in place.
+    const model::ViewSnapshot snap = view_.snapshot();
+    UNIFY_ASSIGN_OR_RETURN(deployment.mapping,
+                           pinned.map(request, snap, catalog_));
+  }
   return commit(std::move(deployment));
 }
 
 Result<std::string> ResourceOrchestrator::commit(Deployment deployment) {
-  // Materialize into the global view, then push per-domain slices.
+  // Materialize into the global view (stamping the shards the mapping
+  // touches so push_slices() can skip the clean ones), then push
+  // per-domain slices.
   UNIFY_RETURN_IF_ERROR(mapping::install_mapping(
-      view_, deployment.expanded, catalog_, deployment.mapping));
+      view_.mut(), deployment.expanded, catalog_, deployment.mapping));
+  view_.bump(touched_domains(deployment.mapping));
   deployment.sequence = next_sequence_++;
   metrics_.add("ro.deployments");
   metrics_.summary("ro.nfs_per_request")
@@ -259,8 +282,9 @@ Result<std::string> ResourceOrchestrator::commit(Deployment deployment) {
   if (const auto pushed = push_slices(); !pushed.ok()) {
     // Roll the whole deployment back: release the view's resources, then
     // re-push so domains that already accepted their slice converge back.
-    (void)mapping::uninstall_mapping(view_, it->second.expanded,
+    (void)mapping::uninstall_mapping(view_.mut(), it->second.expanded,
                                      it->second.mapping);
+    view_.bump(touched_domains(it->second.mapping));
     deployments_.erase(it);
     if (const auto repush = push_slices(); !repush.ok()) {
       UNIFY_LOG(kError, "orch.ro")
@@ -280,8 +304,9 @@ Result<void> ResourceOrchestrator::remove(const std::string& request_id) {
   if (it == deployments_.end()) {
     return Error{ErrorCode::kNotFound, "request " + request_id};
   }
-  UNIFY_RETURN_IF_ERROR(mapping::uninstall_mapping(view_, it->second.expanded,
-                                                   it->second.mapping));
+  UNIFY_RETURN_IF_ERROR(mapping::uninstall_mapping(
+      view_.mut(), it->second.expanded, it->second.mapping));
+  view_.bump(touched_domains(it->second.mapping));
   deployments_.erase(it);
   UNIFY_RETURN_IF_ERROR(push_slices());
   metrics_.add("ro.removals");
@@ -295,8 +320,9 @@ Result<void> ResourceOrchestrator::redeploy(const std::string& request_id) {
   }
   const Deployment previous = it->second;
   // Free the old placement, remap the original request on what remains.
-  UNIFY_RETURN_IF_ERROR(mapping::uninstall_mapping(view_, previous.expanded,
-                                                   previous.mapping));
+  UNIFY_RETURN_IF_ERROR(mapping::uninstall_mapping(
+      view_.mut(), previous.expanded, previous.mapping));
+  view_.bump(touched_domains(previous.mapping));
   deployments_.erase(it);
   auto redone = deploy(previous.original);
   if (!redone.ok()) {
@@ -306,7 +332,7 @@ Result<void> ResourceOrchestrator::redeploy(const std::string& request_id) {
     // the running NFs consume, which is exactly the situation migration
     // exists to resolve.
     if (const auto back = mapping::install_mapping(
-            view_, previous.expanded, catalog_, previous.mapping,
+            view_.mut(), previous.expanded, catalog_, previous.mapping,
             /*force_placement=*/true);
         !back.ok()) {
       return Error{ErrorCode::kInternal,
@@ -315,6 +341,7 @@ Result<void> ResourceOrchestrator::redeploy(const std::string& request_id) {
                        " (original failure: " + redone.error().to_string() +
                        ")"};
     }
+    view_.bump(touched_domains(previous.mapping));
     deployments_.emplace(request_id, previous);
     return Error{redone.error().code,
                  "redeploy of " + request_id +
@@ -335,8 +362,11 @@ Result<void> ResourceOrchestrator::refresh_domain(const std::string& domain) {
                        "; heal() readmits it after a successful probe"};
     }
     UNIFY_ASSIGN_OR_RETURN(const model::Nffg fresh, adapter->fetch_view());
+    // internal_delay is baked into the topology index's edge weights, so a
+    // refresh invalidates the cached index (mut_topology), not just data.
+    model::Nffg& view = view_.mut_topology();
     for (const auto& [bb_id, bb] : fresh.bisbis()) {
-      model::BisBis* mine = view_.find_bisbis(bb_id);
+      model::BisBis* mine = view.find_bisbis(bb_id);
       if (mine == nullptr) {
         return Error{ErrorCode::kInvalidArgument,
                      "domain " + domain + " advertised new BiS-BiS " + bb_id +
@@ -346,6 +376,7 @@ Result<void> ResourceOrchestrator::refresh_domain(const std::string& domain) {
       mine->nf_types = bb.nf_types;
       mine->internal_delay = bb.internal_delay;
     }
+    view_.bump(domain);
     metrics_.add("ro.domain_refreshes");
     return Result<void>::success();
   }
@@ -412,19 +443,25 @@ Result<void> ResourceOrchestrator::push_slices() {
   if (push_state_.size() != adapters_.size()) {
     push_state_.assign(adapters_.size(), DomainPushState{});
   }
-  // Caller thread: compute each domain's slice and its canonical bytes,
-  // and decide dirtiness against the last acknowledged push. A domain is
-  // clean only when the bytes match AND its view_epoch() is unchanged
-  // (an epoch bump means the domain mutated since the ack).
-  std::vector<model::Nffg> slices;
-  slices.reserve(adapters_.size());
-  std::vector<std::string> slice_bytes(adapters_.size());
+  // Caller thread: decide dirtiness per domain against the last
+  // acknowledged push, cheapest test first.
+  //  1. Shard-stamp fast path: if the domain's shard stamp is unchanged
+  //     since the ack (and the adapter epoch is too), no view mutation
+  //     touched the domain — skip without materializing the slice. This is
+  //     what keeps a million-node view from being re-sliced on every push.
+  //  2. Content-hash path: the stamp moved, so cut the slice and hash it.
+  //     If the hash still matches the acked one, the mutations were no-ops
+  //     for this domain — skip the push and refresh the acked stamp so the
+  //     fast path re-arms.
+  // Either way a domain is clean only while its adapter view_epoch() is
+  // unchanged (an epoch bump means the domain mutated since the ack).
+  std::vector<std::optional<model::Nffg>> slices(adapters_.size());
+  std::vector<std::uint64_t> slice_hash(adapters_.size(), 0);
+  std::vector<std::uint64_t> slice_stamp(adapters_.size(), 0);
   std::vector<std::size_t> dirty;
   std::uint64_t skipped = 0;
   std::uint64_t gated = 0;
   for (std::size_t i = 0; i < adapters_.size(); ++i) {
-    slices.push_back(model::slice_for_domain(view_, adapters_[i]->domain()));
-    slice_bytes[i] = model::to_json(slices[i]).dump();
     if (!health_.admits(i)) {
       // Circuit open: no retry storms against a dead domain. Its
       // push_state_ was invalidated when the circuit opened, so the slice
@@ -432,11 +469,23 @@ Result<void> ResourceOrchestrator::push_slices() {
       ++gated;
       continue;
     }
-    const DomainPushState& state = push_state_[i];
-    if (options_.push.skip_clean && state.valid &&
-        state.acked_epoch == adapters_[i]->view_epoch() &&
-        state.acked_bytes == slice_bytes[i]) {
+    DomainPushState& state = push_state_[i];
+    const std::uint64_t stamp = view_.shard_stamp(domain_names_[i]);
+    const std::uint64_t adapter_epoch = adapters_[i]->view_epoch();
+    const bool epoch_clean =
+        options_.push.skip_clean && state.valid &&
+        state.acked_epoch == adapter_epoch;
+    if (epoch_clean && state.acked_stamp == stamp) {
       ++skipped;
+      continue;
+    }
+    slices[i].emplace(
+        model::slice_for_domain(view_.read(), domain_names_[i]));
+    slice_hash[i] = model::content_hash(*slices[i]);
+    slice_stamp[i] = stamp;
+    if (epoch_clean && state.acked_hash == slice_hash[i]) {
+      ++skipped;
+      state.acked_stamp = stamp;
       continue;
     }
     dirty.push_back(i);
@@ -459,7 +508,7 @@ Result<void> ResourceOrchestrator::push_slices() {
     for (std::size_t g = 0; g < groups.size(); ++g) {
       tasks.push_back([this, &groups, &slices, &outcomes, g] {
         for (const std::size_t index : groups[g]) {
-          push_one(index, slices[index], outcomes[index]);
+          push_one(index, *slices[index], outcomes[index]);
         }
       });
     }
@@ -473,7 +522,7 @@ Result<void> ResourceOrchestrator::push_slices() {
         retries += static_cast<std::uint64_t>(outcome.attempts - 1);
       }
       if (outcome.result.ok()) {
-        push_state_[i] = DomainPushState{slice_bytes[i],
+        push_state_[i] = DomainPushState{slice_hash[i], slice_stamp[i],
                                          adapters_[i]->view_epoch(), true};
         metrics_.add("ro.slice_pushes");
       } else {
@@ -561,14 +610,22 @@ Result<void> ResourceOrchestrator::sync_statuses() {
     }
     note_southbound_outcome(i, Result<void>::success());
     const model::Nffg& domain_view = *fetched[i];
+    model::Nffg& view = view_.mut();
+    bool changed = false;
     for (const auto& [bb_id, bb] : domain_view.bisbis()) {
-      model::BisBis* mine = view_.find_bisbis(bb_id);
+      model::BisBis* mine = view.find_bisbis(bb_id);
       if (mine == nullptr) continue;
       for (const auto& [nf_id, nf] : bb.nfs) {
         const auto it = mine->nfs.find(nf_id);
-        if (it != mine->nfs.end()) it->second.status = nf.status;
+        if (it != mine->nfs.end() && it->second.status != nf.status) {
+          it->second.status = nf.status;
+          changed = true;
+        }
       }
     }
+    // Only an actually-changed status dirties the domain's shard; a
+    // no-op sync keeps the push fast path armed.
+    if (changed) view_.bump(adapters_[i]->domain());
   }
   if (!failures.empty()) return failures.to_error();
   return Result<void>::success();
@@ -596,7 +653,9 @@ void ResourceOrchestrator::refresh_health_penalties() {
   for (std::size_t i = 0; i < domain_names_.size(); ++i) {
     by_domain[domain_names_[i]] = health_.penalty(i);
   }
-  for (auto& [bb_id, bb] : view_.bisbis()) {
+  // health_penalty is orchestrator-internal (never serialized into a
+  // slice and excluded from content_hash), so no shard stamp moves here.
+  for (auto& [bb_id, bb] : view_.mut().bisbis()) {
     const auto it = by_domain.find(bb.domain);
     bb.health_penalty = it == by_domain.end() ? 0.0 : it->second;
   }
@@ -607,14 +666,24 @@ void ResourceOrchestrator::remask_view() {
   // the currently open circuits. Rebuilding wholesale keeps the
   // bookkeeping correct when adjacent domains go down and recover in any
   // interleaving (a per-domain mask would save already-zeroed values).
-  for (const auto& [bb_id, capacity] : mask_.bb_capacity) {
-    if (model::BisBis* bb = view_.find_bisbis(bb_id); bb != nullptr) {
-      bb->capacity = capacity;
+  //
+  // Shards touched: the previously-down domains (their values are
+  // restored) plus the currently-down ones (they get zeroed) — a masked
+  // link is either intra-domain (in that domain's slice) or cross-domain
+  // (in no slice), so no other shard can change.
+  std::set<std::string> affected;
+  {
+    model::Nffg& view = view_.mut();
+    for (const auto& [bb_id, capacity] : mask_.bb_capacity) {
+      if (model::BisBis* bb = view.find_bisbis(bb_id); bb != nullptr) {
+        affected.insert(bb->domain);
+        bb->capacity = capacity;
+      }
     }
-  }
-  for (const auto& [link_id, bandwidth] : mask_.link_bandwidth) {
-    if (model::Link* link = view_.find_link(link_id); link != nullptr) {
-      link->attrs.bandwidth = bandwidth;
+    for (const auto& [link_id, bandwidth] : mask_.link_bandwidth) {
+      if (model::Link* link = view.find_link(link_id); link != nullptr) {
+        link->attrs.bandwidth = bandwidth;
+      }
     }
   }
   mask_ = ViewMask{};
@@ -626,13 +695,18 @@ void ResourceOrchestrator::remask_view() {
   metrics_.set_gauge("ro.health.down_domains",
                      static_cast<double>(down.size()));
   refresh_health_penalties();
+  affected.insert(down.begin(), down.end());
+  if (!affected.empty()) {
+    view_.bump(std::vector<std::string>(affected.begin(), affected.end()));
+  }
   if (down.empty()) return;
 
+  model::Nffg& view = view_.mut();
   const auto in_down_domain = [&](const std::string& node_id) {
-    const model::BisBis* bb = view_.find_bisbis(node_id);
+    const model::BisBis* bb = view.find_bisbis(node_id);
     return bb != nullptr && down.count(bb->domain) != 0;
   };
-  for (auto& [bb_id, bb] : view_.bisbis()) {
+  for (auto& [bb_id, bb] : view.bisbis()) {
     if (down.count(bb.domain) == 0) continue;
     mask_.bb_capacity.emplace(bb_id, bb.capacity);
     // Zero capacity (not capacity = allocated): residual stays <= 0 even
@@ -640,7 +714,7 @@ void ResourceOrchestrator::remask_view() {
     // never sneak a new NF onto the dead domain mid-pass.
     bb.capacity = model::Resources{};
   }
-  for (auto& [link_id, link] : view_.links()) {
+  for (auto& [link_id, link] : view.links()) {
     if (!in_down_domain(link.from.node) && !in_down_domain(link.to.node)) {
       continue;
     }
@@ -652,8 +726,9 @@ void ResourceOrchestrator::remask_view() {
 bool ResourceOrchestrator::touches_domains(
     const Deployment& deployment, const std::set<std::string>& down) const {
   if (down.empty()) return false;
+  const model::Nffg& view = view_.read();
   const auto bb_down = [&](const std::string& bb_id) {
-    const model::BisBis* bb = view_.find_bisbis(bb_id);
+    const model::BisBis* bb = view.find_bisbis(bb_id);
     return bb != nullptr && down.count(bb->domain) != 0;
   };
   for (const auto& [nf_id, host] : deployment.mapping.nf_host) {
@@ -661,7 +736,7 @@ bool ResourceOrchestrator::touches_domains(
   }
   for (const auto& [sg_link, path] : deployment.mapping.link_paths) {
     for (const std::string& link_id : path.links) {
-      const model::Link* link = view_.find_link(link_id);
+      const model::Link* link = view.find_link(link_id);
       if (link == nullptr) continue;
       if (bb_down(link->from.node) || bb_down(link->to.node)) return true;
     }
@@ -669,20 +744,51 @@ bool ResourceOrchestrator::touches_domains(
   return false;
 }
 
+std::vector<std::string> ResourceOrchestrator::touched_domains(
+    const mapping::Mapping& mapping) const {
+  std::set<std::string> domains;
+  const model::Nffg& view = view_.read();
+  const auto note = [&](const std::string& bb_id) {
+    if (const model::BisBis* bb = view.find_bisbis(bb_id); bb != nullptr) {
+      domains.insert(bb->domain);
+    }
+  };
+  for (const auto& [nf_id, host] : mapping.nf_host) note(host);
+  for (const auto& [sg_link, path] : mapping.link_paths) {
+    for (const std::string& link_id : path.links) {
+      if (const model::Link* link = view.find_link(link_id);
+          link != nullptr) {
+        note(link->from.node);
+        note(link->to.node);
+      }
+    }
+  }
+  return {domains.begin(), domains.end()};
+}
+
 void ResourceOrchestrator::set_deployment_nf_status(
     const Deployment& deployment, model::NfStatus status) {
+  model::Nffg& view = view_.mut();
+  std::set<std::string> domains;
   for (const auto& [nf_id, host] : deployment.mapping.nf_host) {
-    model::BisBis* bb = view_.find_bisbis(host);
+    model::BisBis* bb = view.find_bisbis(host);
     if (bb == nullptr) continue;
     const auto it = bb->nfs.find(nf_id);
-    if (it != bb->nfs.end()) it->second.status = status;
+    if (it != bb->nfs.end() && it->second.status != status) {
+      it->second.status = status;
+      domains.insert(bb->domain);
+    }
+  }
+  if (!domains.empty()) {
+    view_.bump(std::vector<std::string>(domains.begin(), domains.end()));
   }
 }
 
 double ResourceOrchestrator::deployment_cpu(const Deployment& deployment) const {
   double cpu = 0;
+  const model::Nffg& view = view_.read();
   for (const auto& [nf_id, host] : deployment.mapping.nf_host) {
-    const model::BisBis* bb = view_.find_bisbis(host);
+    const model::BisBis* bb = view.find_bisbis(host);
     if (bb == nullptr) continue;
     const auto it = bb->nfs.find(nf_id);
     if (it != bb->nfs.end()) cpu += it->second.requirement.cpu;
@@ -701,25 +807,30 @@ Result<void> ResourceOrchestrator::heal_swap(const std::string& id,
   // Break: the replacement embedding was verified against the view with the
   // old placement still installed, so releasing the old books now and
   // installing the replacement can only fail on internal inconsistency.
-  UNIFY_RETURN_IF_ERROR(mapping::uninstall_mapping(view_, previous.expanded,
-                                                   previous.mapping));
+  UNIFY_RETURN_IF_ERROR(mapping::uninstall_mapping(
+      view_.mut(), previous.expanded, previous.mapping));
+  view_.bump(touched_domains(previous.mapping));
   if (const auto installed = mapping::install_mapping(
-          view_, replacement.expanded, catalog_, replacement.mapping);
+          view_.mut(), replacement.expanded, catalog_, replacement.mapping);
       !installed.ok()) {
     // Restore forcibly: the old hosts may sit on a masked (zero-capacity)
     // domain, which is exactly where the stranded placement came from.
-    (void)mapping::install_mapping(view_, previous.expanded, catalog_,
+    (void)mapping::install_mapping(view_.mut(), previous.expanded, catalog_,
                                    previous.mapping, /*force_placement=*/true);
+    view_.bump(touched_domains(previous.mapping));
     return installed.error();
   }
+  view_.bump(touched_domains(replacement.mapping));
   it->second = std::move(replacement);
   if (const auto pushed = push_slices(); !pushed.ok()) {
     // Swap back so the books keep describing what actually runs; the repush
     // converges domains that already accepted the new slice.
-    (void)mapping::uninstall_mapping(view_, it->second.expanded,
+    (void)mapping::uninstall_mapping(view_.mut(), it->second.expanded,
                                      it->second.mapping);
-    (void)mapping::install_mapping(view_, previous.expanded, catalog_,
+    view_.bump(touched_domains(it->second.mapping));
+    (void)mapping::install_mapping(view_.mut(), previous.expanded, catalog_,
                                    previous.mapping, /*force_placement=*/true);
+    view_.bump(touched_domains(previous.mapping));
     it->second = previous;
     if (const auto repush = push_slices(); !repush.ok()) {
       UNIFY_LOG(kError, "orch.ro")
@@ -761,6 +872,14 @@ Result<ResourceOrchestrator::HealReport> ResourceOrchestrator::heal() {
   // push state — so the re-embedding below can already use its capacity.
   bool any_readmitted = false;
   for (const std::size_t i : health_.open_circuits()) {
+    if (!health_.should_probe(i)) {
+      // Still inside the exponential backoff window after earlier failed
+      // probes: skip this pass (the domain stays down and masked).
+      ++report.probes_deferred;
+      metrics_.add("ro.health.probes_deferred");
+      report.still_down.push_back(domain_names_[i]);
+      continue;
+    }
     health_.begin_probe(i);
     metrics_.add("ro.health.probes");
     if (const auto probed = adapters_[i]->probe(); probed.ok()) {
@@ -783,6 +902,11 @@ Result<ResourceOrchestrator::HealReport> ResourceOrchestrator::heal() {
   // next real push.
   for (std::size_t i = 0; i < adapters_.size(); ++i) {
     if (health_.health(i) != DomainHealth::kDegraded) continue;
+    if (!health_.should_probe(i)) {
+      ++report.probes_deferred;
+      metrics_.add("ro.health.probes_deferred");
+      continue;
+    }
     metrics_.add("ro.health.probes");
     const auto probed = adapters_[i]->probe();
     if (!probed.ok()) metrics_.add("ro.health.probe_failures");
@@ -851,15 +975,21 @@ Result<ResourceOrchestrator::HealReport> ResourceOrchestrator::heal() {
     // only on the same BiS-BiS, and the stranded hosts are masked to zero.
     std::vector<std::optional<Result<Deployment>>> prepared(stranded.size());
     std::vector<PrepareStats> stats(stranded.size());
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(stranded.size());
-    for (std::size_t k = 0; k < stranded.size(); ++k) {
-      const Deployment& dep = deployments_.at(stranded[k]);
-      tasks.push_back([this, &prepared, &stats, &dep, k] {
-        prepared[k] = prepare(dep.original, view_, stats[k]);
-      });
+    {
+      // One frozen snapshot of the masked view for all speculative
+      // replacements; released before the sequential swaps mutate.
+      const model::ViewSnapshot snap = view_.snapshot();
+      const mapping::SubstrateView frozen(snap);
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(stranded.size());
+      for (std::size_t k = 0; k < stranded.size(); ++k) {
+        const Deployment& dep = deployments_.at(stranded[k]);
+        tasks.push_back([this, &prepared, &stats, &frozen, &dep, k] {
+          prepared[k] = prepare(dep.original, frozen, stats[k]);
+        });
+      }
+      pool().run_all(std::move(tasks));
     }
-    pool().run_all(std::move(tasks));
 
     // Break: strictly sequential swaps in submission order. Earlier swaps
     // consume survivor capacity, so each speculative mapping is re-verified
@@ -870,11 +1000,11 @@ Result<ResourceOrchestrator::HealReport> ResourceOrchestrator::heal() {
       const std::string& id = stranded[k];
       Result<Deployment> outcome = std::move(*prepared[k]);
       if (outcome.ok() &&
-          !mapping::verify_mapping(outcome->expanded, view_, catalog_,
+          !mapping::verify_mapping(outcome->expanded, view_.read(), catalog_,
                                    outcome->mapping)
                .ok()) {
         metrics_.add("ro.health.heal_remaps");
-        outcome = prepare(deployments_.at(id).original, view_, stats[k]);
+        outcome = prepare_current(deployments_.at(id).original, stats[k]);
       }
       if (outcome.ok()) {
         if (const auto swapped = heal_swap(id, std::move(outcome).value());
@@ -929,7 +1059,7 @@ Result<ResourceOrchestrator::HealReport> ResourceOrchestrator::heal() {
 
 std::optional<model::NfStatus> ResourceOrchestrator::nf_status(
     const std::string& nf_id) const {
-  const auto found = view_.find_nf(nf_id);
+  const auto found = view_.read().find_nf(nf_id);
   if (!found.has_value()) return std::nullopt;
   return found->second->status;
 }

@@ -20,6 +20,7 @@
 #include "catalog/nf_catalog.h"
 #include "core/health_manager.h"
 #include "core/pinned_mapper.h"
+#include "core/sharded_state.h"
 #include "mapping/decomp_aware_mapper.h"
 #include "mapping/mapper.h"
 #include "model/nffg.h"
@@ -86,6 +87,13 @@ class ResourceOrchestrator {
   /// The merged view including everything deployed through this RO
   /// (placements, flowrules, link reservations).
   [[nodiscard]] const model::Nffg& global_view() const noexcept {
+    return view_.read();
+  }
+
+  /// The sharded copy-on-write container behind global_view(): epoch,
+  /// per-domain shard stamps and CoW/snapshot telemetry. Read-only;
+  /// benches and tests use it to observe snapshot behaviour.
+  [[nodiscard]] const ShardedViewState& view_state() const noexcept {
     return view_;
   }
 
@@ -190,6 +198,9 @@ class ResourceOrchestrator {
     /// legacy uninstall-then-redeploy path reports the biggest stranded
     /// deployment it had in flight.
     double max_capacity_dip_cpu = 0;
+    /// Probes skipped this pass because the domain is still inside its
+    /// exponential backoff window (HealthPolicy::probe_backoff_initial).
+    std::uint64_t probes_deferred = 0;
     /// Failure of the final readmission resync, if any (the heal itself
     /// still counts: placements and health state are already updated).
     std::optional<Error> resync_error;
@@ -241,17 +252,32 @@ class ResourceOrchestrator {
   /// structurally valid, NF ids free in `view`.
   Result<void> admit(const sg::ServiceGraph& request) const;
   /// The pure mapping phase of deploy(): expansion/decomposition plus
-  /// embedding against `view`. Thread-safe (const, touches no RO state).
+  /// embedding against `view` (an Nffg or an epoch-frozen ViewSnapshot —
+  /// speculative batch workers pass the latter so every worker shares one
+  /// immutable view and topology index). Thread-safe (const, touches no
+  /// RO state).
   Result<Deployment> prepare(const sg::ServiceGraph& request,
-                             const model::Nffg& view,
+                             const mapping::SubstrateView& view,
                              PrepareStats& stats) const;
+  /// prepare() against a snapshot of the current view; the snapshot is
+  /// released before returning, so a commit right after mutates the view
+  /// in place instead of triggering a copy-on-write clone.
+  Result<Deployment> prepare_current(const sg::ServiceGraph& request,
+                                     PrepareStats& stats) const;
   Result<std::string> commit(Deployment deployment);
 
-  /// Last acknowledged push per domain (index-aligned with adapters_):
-  /// canonical slice bytes + the adapter view_epoch() they were accepted
-  /// at. A domain is clean when both still match.
+  /// Last acknowledged push per domain (index-aligned with adapters_).
+  /// Two-tier dirty tracking, cheapest test first:
+  ///  1. `acked_stamp` — the domain's ShardedViewState shard stamp when the
+  ///     slice was cut. If it still matches (and the adapter epoch does),
+  ///     no view mutation touched the shard since the ack: skip without
+  ///     even materializing the slice.
+  ///  2. `acked_hash` — content hash of the acked slice. If the stamp
+  ///     moved but the re-cut slice hashes the same, the mutations were
+  ///     no-ops for this domain: skip the push, refresh the stamp.
   struct DomainPushState {
-    std::string acked_bytes;
+    std::uint64_t acked_hash = 0;
+    std::uint64_t acked_stamp = 0;
     std::uint64_t acked_epoch = 0;
     bool valid = false;
   };
@@ -330,6 +356,13 @@ class ResourceOrchestrator {
   /// capacity a break-before-make heal would put in flight).
   [[nodiscard]] double deployment_cpu(const Deployment& deployment) const;
 
+  /// Domains whose slice can change when `mapping` is installed or
+  /// uninstalled: the domains of every NF host plus both endpoint domains
+  /// of every routed link (a conservative superset — cross-domain links
+  /// appear in no slice, but their endpoint domains are cheap to stamp).
+  [[nodiscard]] std::vector<std::string> touched_domains(
+      const mapping::Mapping& mapping) const;
+
   std::string name_;
   std::shared_ptr<const mapping::Mapper> mapper_;
   catalog::NfCatalog catalog_;
@@ -337,7 +370,11 @@ class ResourceOrchestrator {
   std::vector<std::unique_ptr<adapters::DomainAdapter>> adapters_;
   std::vector<std::string> domain_names_;
   std::vector<DomainPushState> push_state_;
-  model::Nffg view_;
+  /// The merged global view, sharded by domain: copy-on-write with
+  /// per-domain shard stamps. Readers (speculative mappers) work against
+  /// epoch-frozen snapshots; mutations go through view_.mut() and stamp
+  /// the domains they touch so push_slices() can skip clean shards.
+  ShardedViewState view_;
   bool initialized_ = false;
   std::map<std::string, Deployment> deployments_;
   std::uint64_t next_sequence_ = 1;

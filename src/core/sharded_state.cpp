@@ -1,0 +1,67 @@
+#include "core/sharded_state.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace unify::core {
+
+ShardedViewState::ShardedViewState()
+    : view_(std::make_shared<model::Nffg>()) {}
+
+ShardedViewState::ShardedViewState(model::Nffg base)
+    : view_(std::make_shared<model::Nffg>(std::move(base))) {}
+
+model::Nffg& ShardedViewState::mut() {
+  if (view_.use_count() > 1) {
+    // Snapshots still reference the current object: clone, leave the old
+    // epoch (and its index) to the outstanding readers. The clone reads
+    // the old object — concurrent snapshot readers see only reads.
+    view_ = std::make_shared<model::Nffg>(*view_);
+    index_.reset();
+    ++telemetry_.clones;
+  }
+  return *view_;
+}
+
+model::Nffg& ShardedViewState::mut_topology() {
+  model::Nffg& live = mut();
+  index_.reset();
+  return live;
+}
+
+model::ViewSnapshot ShardedViewState::snapshot() const {
+  if (index_ == nullptr) {
+    index_ = std::make_shared<const model::TopologyIndex>(*view_);
+    ++telemetry_.index_builds;
+  }
+  ++telemetry_.snapshots;
+  return model::ViewSnapshot{view_, index_, epoch_};
+}
+
+void ShardedViewState::reset(model::Nffg base) {
+  view_ = std::make_shared<model::Nffg>(std::move(base));
+  index_.reset();
+  bump_all();
+}
+
+std::uint64_t ShardedViewState::shard_stamp(
+    const std::string& domain) const noexcept {
+  const auto it = stamps_.find(domain);
+  return it == stamps_.end() ? floor_ : std::max(it->second, floor_);
+}
+
+void ShardedViewState::bump(const std::vector<std::string>& domains) {
+  ++epoch_;
+  for (const std::string& domain : domains) stamps_[domain] = epoch_;
+}
+
+void ShardedViewState::bump(const std::string& domain) {
+  stamps_[domain] = ++epoch_;
+}
+
+void ShardedViewState::bump_all() {
+  floor_ = ++epoch_;
+  stamps_.clear();
+}
+
+}  // namespace unify::core

@@ -1,0 +1,110 @@
+// Sharded copy-on-write substrate state for the resource orchestrator.
+//
+// The orchestrator's global view is logically partitioned into per-domain
+// shards: every BiS-BiS belongs to exactly one technology domain, and the
+// push path serializes the view one domain slice at a time. This container
+// tracks that structure explicitly:
+//
+//  * Copy-on-write snapshots. snapshot() hands readers an immutable
+//    ViewSnapshot (view + topology index + epoch) in O(1). The live view
+//    is cloned lazily — only when mut() is called while snapshots are
+//    still alive — so speculative mappers in map_batch()/heal() read a
+//    frozen epoch while the sequential commit phase keeps writing, without
+//    copying a million-node graph per batch.
+//
+//  * Epochs and shard stamps. Each commit advances the epoch and stamps
+//    the shards (domains) it touched. Downstream consumers key their work
+//    on the stamps: the push path skips a domain whose shard stamp still
+//    matches the last acknowledged push without even materializing the
+//    slice, and caches invalidate only for shards a commit touched.
+//
+// Threading contract (single control thread): mut(), bump*() and reset()
+// may only be called from the orchestration thread, and never while that
+// thread has worker tasks in flight that could call snapshot(). Snapshots
+// themselves are deeply immutable — any number of worker threads may read
+// a previously acquired snapshot while the control thread mutates; the
+// CoW clone guarantees they never observe a later epoch's writes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/nffg.h"
+#include "model/view_snapshot.h"
+
+namespace unify::core {
+
+class ShardedViewState {
+ public:
+  ShardedViewState();
+  explicit ShardedViewState(model::Nffg base);
+
+  // Snapshots and the lazy index point into the managed view; the state is
+  // pinned to its orchestrator.
+  ShardedViewState(const ShardedViewState&) = delete;
+  ShardedViewState& operator=(const ShardedViewState&) = delete;
+
+  /// The live view (read-only, control thread or quiescent state).
+  [[nodiscard]] const model::Nffg& read() const noexcept { return *view_; }
+
+  /// Write access to the live view. Clones it first iff snapshots still
+  /// reference it (copy-on-write), so outstanding readers keep their
+  /// epoch. Callers that change the *topology* (nodes or links added or
+  /// removed, static link attrs changed) must use mut_topology() instead:
+  /// plain mut() keeps the shared topology index, which reads residuals
+  /// and penalties live but caches structure.
+  [[nodiscard]] model::Nffg& mut();
+
+  /// mut() + drops the cached topology index (structure changed).
+  [[nodiscard]] model::Nffg& mut_topology();
+
+  /// O(1) immutable snapshot of the current epoch. Builds the shared
+  /// topology index on first acquisition after a structural change.
+  [[nodiscard]] model::ViewSnapshot snapshot() const;
+
+  /// Replaces the whole view (initial sync / wholesale refresh): resets
+  /// the CoW chain and stamps every shard.
+  void reset(model::Nffg base);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Stamp of one domain shard: the epoch of the last commit that touched
+  /// it (0 = untouched since construction).
+  [[nodiscard]] std::uint64_t shard_stamp(
+      const std::string& domain) const noexcept;
+
+  /// Advances the epoch and stamps the given shards. Domains repeat-freely;
+  /// the unknown-domain shard ("" — nodes without a domain label) is a
+  /// shard like any other.
+  void bump(const std::vector<std::string>& domains);
+  void bump(const std::string& domain);
+
+  /// Advances the epoch and stamps every shard, present and future (a
+  /// floor under all per-domain stamps). For wholesale view rewrites.
+  void bump_all();
+
+  struct Telemetry {
+    std::uint64_t snapshots = 0;     ///< snapshot() acquisitions
+    std::uint64_t clones = 0;        ///< CoW view copies forced by mut()
+    std::uint64_t index_builds = 0;  ///< topology index (re)builds
+  };
+  [[nodiscard]] const Telemetry& telemetry() const noexcept {
+    return telemetry_;
+  }
+
+ private:
+  std::shared_ptr<model::Nffg> view_;
+  /// Index over *view_; shared into snapshots, rebuilt lazily after a
+  /// clone or a structural mutation.
+  mutable std::shared_ptr<const model::TopologyIndex> index_;
+  std::uint64_t epoch_ = 0;
+  /// Floor applied to every shard stamp (bump_all watermark).
+  std::uint64_t floor_ = 0;
+  std::map<std::string, std::uint64_t> stamps_;
+  mutable Telemetry telemetry_;
+};
+
+}  // namespace unify::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/algorithms.h"
+#include "model/nffg_hash.h"
 #include "model/topology_index.h"
 #include "util/log.h"
 
@@ -96,6 +97,7 @@ Result<void> Virtualizer::ensure_skeleton() {
     skeleton_ = std::move(view);
   }
   accepted_ = *skeleton_;
+  accepted_hash_ = model::content_hash(accepted_);
   UNIFY_ASSIGN_OR_RETURN(
       accepted_translated_,
       config_to_service_graph(accepted_, *skeleton_, "accepted"));
@@ -144,11 +146,24 @@ Result<void> Virtualizer::edit_config(const model::Nffg& desired) {
   UNIFY_RETURN_IF_ERROR(ensure_skeleton());
   ++edits_;
 
+  // Declarative no-op: a desired config hashing identically to the last
+  // accepted one changes nothing — skip the translate/diff entirely (a
+  // polling client would otherwise pay a full config diff per poll).
+  if (accepted_hash_.has_value() &&
+      model::content_hash(desired) == *accepted_hash_) {
+    ro_->metrics().add("virt.edit.noop_skips");
+    return Result<void>::success();
+  }
+
   UNIFY_ASSIGN_OR_RETURN(
       TranslatedConfig incoming,
       config_to_service_graph(desired, *skeleton_, "desired"));
   const sg::ServiceGraph& new_sg = incoming.sg;
   const sg::ServiceGraph& old_sg = accepted_translated_->sg;
+  // From here on the edit may remove/deploy services; if it fails midway
+  // the deployed state no longer matches accepted_, so a recovery push of
+  // the accepted config must run the full diff. Re-armed on acceptance.
+  accepted_hash_.reset();
 
   // --- 1. find client-level elements that disappeared or changed.
   std::set<std::string> dirty_nfs;
@@ -401,6 +416,7 @@ Result<void> Virtualizer::edit_config(const model::Nffg& desired) {
   }
 
   accepted_ = desired;
+  accepted_hash_ = model::content_hash(accepted_);
   accepted_translated_ = std::move(incoming);
   UNIFY_LOG(kInfo, "orch.virt")
       << ro_->name() << ": edit-config accepted (" << services_.size()

@@ -15,6 +15,7 @@
 // removes/redeploys affected services and deploys new ones through the RO.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -72,6 +73,13 @@ class Virtualizer {
   std::string big_node_id_;
   std::optional<model::Nffg> skeleton_;
   model::Nffg accepted_;  ///< last accepted client config
+  /// content_hash(accepted_): lets edit_config() short-circuit a desired
+  /// config identical to the accepted one without translating/diffing it.
+  /// Invalidated (nullopt) while an edit is mutating books/RO state: a
+  /// failed edit leaves the deployed state diverged from accepted_, and
+  /// the client's recovery push of the accepted config must re-diff, not
+  /// short-circuit.
+  std::optional<std::uint64_t> accepted_hash_;
   std::optional<TranslatedConfig> accepted_translated_;
   std::map<std::string, ClientService> services_;
   int next_request_ = 1;

@@ -128,4 +128,82 @@ model::Nffg random_connected(int n, double degree, int n_saps, Rng& rng,
   return g;
 }
 
+model::Nffg multi_domain(int domains, int nodes_per_domain, double degree,
+                         int n_saps, Rng& rng, const TopoParams& params) {
+  assert(domains >= 1 && nodes_per_domain >= 1);
+  model::Nffg g{"multidomain-" + std::to_string(domains) + "x" +
+                std::to_string(nodes_per_domain)};
+  // Fixed port budget per node: keeps memory linear in the node count
+  // (random_connected's n+2 ports would be quadratic at 10^5+ nodes).
+  constexpr int kPorts = 16;
+  const auto name = [](int d, int i) {
+    return "d" + std::to_string(d) + "-bb" + std::to_string(i);
+  };
+  for (int d = 0; d < domains; ++d) {
+    const std::string domain = "d" + std::to_string(d);
+    for (int i = 0; i < nodes_per_domain; ++i) {
+      model::BisBis bb = node(name(d, i), params, kPorts);
+      bb.domain = domain;
+      (void)g.add_bisbis(std::move(bb));
+    }
+  }
+  std::vector<int> next_port(
+      static_cast<std::size_t>(domains) * nodes_per_domain, 0);
+  const auto slot = [&](int d, int i) {
+    return static_cast<std::size_t>(d) * nodes_per_domain +
+           static_cast<std::size_t>(i);
+  };
+  const auto add_edge = [&](int d_a, int a, int d_b, int b) {
+    if (d_a == d_b && a == b) return;
+    int& pa = next_port[slot(d_a, a)];
+    int& pb = next_port[slot(d_b, b)];
+    if (pa >= kPorts || pb >= kPorts) return;  // degree cap reached
+    model::connect(g, name(d_a, a), pa++, name(d_b, b), pb++,
+                   {params.link_bandwidth, params.link_delay});
+  };
+  const auto random_node = [&]() {
+    return static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(nodes_per_domain)));
+  };
+  for (int d = 0; d < domains; ++d) {
+    // Spanning tree with a bounded parent window, so no node collects an
+    // unbounded number of children (the degree cap would disconnect it).
+    for (int i = 1; i < nodes_per_domain; ++i) {
+      const int window = std::min(i, 8);
+      const int parent =
+          i - 1 -
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(window)));
+      add_edge(d, i, d, parent);
+    }
+    // Extra random edges up to the expected degree (tree edges count ~2).
+    const auto extra = static_cast<std::size_t>(
+        std::max(0.0, degree - 2.0) * nodes_per_domain / 2.0);
+    for (std::size_t e = 0; e < extra; ++e) {
+      add_edge(d, random_node(), d, random_node());
+    }
+  }
+  // Domain ring: one gateway link per consecutive pair (none for a single
+  // domain; no wrap link for two, which would just duplicate the first).
+  if (domains > 1) {
+    const int pairs = domains == 2 ? 1 : domains;
+    for (int d = 0; d < pairs; ++d) {
+      add_edge(d, 0, (d + 1) % domains, nodes_per_domain > 1 ? 1 : 0);
+    }
+  }
+  for (int s = 0; s < n_saps; ++s) {
+    const int d = s % domains;
+    // Random attach node; linear-probe past port-exhausted nodes.
+    int i = random_node();
+    for (int tried = 0; tried < nodes_per_domain; ++tried) {
+      if (next_port[slot(d, i)] < kPorts) break;
+      i = (i + 1) % nodes_per_domain;
+    }
+    int& port = next_port[slot(d, i)];
+    if (port >= kPorts) continue;  // domain saturated; drop this SAP
+    model::attach_sap(g, "sap" + std::to_string(s + 1), name(d, i), port++,
+                      {params.link_bandwidth, params.sap_link_delay});
+  }
+  return g;
+}
+
 }  // namespace unify::infra::topo

@@ -36,4 +36,17 @@ struct TopoParams {
                                            Rng& rng,
                                            const TopoParams& params = {});
 
+/// Seeded multi-domain substrate for the scale bench (total size
+/// `domains * nodes_per_domain`, tested to 10^6 nodes): `domains` domains
+/// of `nodes_per_domain` BiS-BiS each (ids "d<k>-bb<i>", domain label
+/// "d<k>"), every domain internally connected by a bounded-degree random
+/// spanning tree plus extra random edges up to expected degree `degree`,
+/// and the domains stitched into a ring by one cross-domain gateway link
+/// per consecutive pair. SAPs "sap1".."sap<n_saps>" land round-robin
+/// across domains on random nodes. Node degree is capped (16 ports), so
+/// memory stays linear in the node count.
+[[nodiscard]] model::Nffg multi_domain(int domains, int nodes_per_domain,
+                                       double degree, int n_saps, Rng& rng,
+                                       const TopoParams& params = {});
+
 }  // namespace unify::infra::topo

@@ -53,13 +53,14 @@ std::optional<Mapping> resync(
 }  // namespace
 
 Result<Mapping> AnnealingMapper::map(const sg::ServiceGraph& sg,
-                                     const model::Nffg& substrate,
+                                     const SubstrateView& substrate,
                                      const catalog::NfCatalog& catalog) const {
   // Seed with the greedy solution (fail fast when nothing is feasible).
   GreedyMapper seeder;
   UNIFY_ASSIGN_OR_RETURN(Mapping best, seeder.map(sg, substrate, catalog));
   if (sg.nfs().empty()) return best;
-  double best_cost = objective(best, options_.delay_weight, substrate);
+  double best_cost =
+      objective(best, options_.delay_weight, substrate.nffg());
 
   std::map<std::string, std::string> current_placement = best.nf_host;
   Mapping current = best;
@@ -102,7 +103,8 @@ Result<Mapping> AnnealingMapper::map(const sg::ServiceGraph& sg,
     // context down first anyway.
     const auto candidate = resync(ctx, moved);
     if (!candidate.has_value()) continue;
-    const double cost = objective(*candidate, options_.delay_weight, substrate);
+    const double cost =
+        objective(*candidate, options_.delay_weight, substrate.nffg());
     const double delta = cost - current_cost;
     const bool accept =
         delta <= 0 ||

@@ -27,7 +27,7 @@ class AnnealingMapper final : public Mapper {
       : options_(options) {}
   [[nodiscard]] std::string name() const override { return "annealing"; }
   [[nodiscard]] Result<Mapping> map(
-      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
       const catalog::NfCatalog& catalog) const override;
 
  private:

@@ -79,7 +79,7 @@ bool dfs(Search& search, std::size_t depth) {
 }  // namespace
 
 Result<Mapping> BacktrackingMapper::map(const sg::ServiceGraph& sg,
-                                        const model::Nffg& substrate,
+                                        const SubstrateView& substrate,
                                         const catalog::NfCatalog& catalog) const {
   Context ctx(sg, substrate, catalog);
 

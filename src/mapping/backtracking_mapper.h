@@ -17,7 +17,7 @@ class BacktrackingMapper final : public Mapper {
       : options_(options) {}
   [[nodiscard]] std::string name() const override { return "backtracking"; }
   [[nodiscard]] Result<Mapping> map(
-      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
       const catalog::NfCatalog& catalog) const override;
 
  private:

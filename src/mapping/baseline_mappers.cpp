@@ -6,7 +6,7 @@
 namespace unify::mapping {
 
 Result<Mapping> FirstFitMapper::map(const sg::ServiceGraph& sg,
-                                    const model::Nffg& substrate,
+                                    const SubstrateView& substrate,
                                     const catalog::NfCatalog& catalog) const {
   Context ctx(sg, substrate, catalog);
   for (const auto& [nf_id, nf] : sg.nfs()) {
@@ -28,7 +28,7 @@ Result<Mapping> FirstFitMapper::map(const sg::ServiceGraph& sg,
 }
 
 Result<Mapping> RandomMapper::map(const sg::ServiceGraph& sg,
-                                  const model::Nffg& substrate,
+                                  const SubstrateView& substrate,
                                   const catalog::NfCatalog& catalog) const {
   Rng rng(options_.seed);
   constexpr int kAttempts = 32;

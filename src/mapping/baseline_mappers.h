@@ -14,7 +14,7 @@ class FirstFitMapper final : public Mapper {
   explicit FirstFitMapper(MapperOptions options = {}) : options_(options) {}
   [[nodiscard]] std::string name() const override { return "first-fit"; }
   [[nodiscard]] Result<Mapping> map(
-      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
       const catalog::NfCatalog& catalog) const override;
 
  private:
@@ -28,7 +28,7 @@ class RandomMapper final : public Mapper {
   explicit RandomMapper(MapperOptions options = {}) : options_(options) {}
   [[nodiscard]] std::string name() const override { return "random"; }
   [[nodiscard]] Result<Mapping> map(
-      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
       const catalog::NfCatalog& catalog) const override;
 
  private:

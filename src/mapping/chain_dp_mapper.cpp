@@ -53,10 +53,11 @@ Result<void> run_dp(Context& ctx, const sg::E2eRequirement& req,
     }
   }
 
-  // Viterbi. `cost` is the selection objective (delay + per-host health
-  // penalty, so flaky domains drain before their circuit trips); `delay`
-  // tracks the true accumulated delay of the chosen predecessor chain, so
-  // the max_delay bound is checked on what the wire would actually see.
+  // Viterbi. `cost` is the selection objective (health-biased distance()
+  // plus per-host penalty, so flaky domains drain before their circuit
+  // trips); `delay` tracks the true wire delay of the same min-cost paths
+  // (delay_between()), so the max_delay bound is checked on what the wire
+  // would actually see, not on the biased weight.
   std::vector<std::vector<double>> cost(stages.size());
   std::vector<std::vector<double>> delay(stages.size());
   std::vector<std::vector<int>> back(stages.size());
@@ -70,7 +71,8 @@ Result<void> run_dp(Context& ctx, const sg::E2eRequirement& req,
         ctx.distance(req.from_sap, cands[0][j], stages[0].in_bandwidth);
     if (d == kInf) continue;
     cost[0][j] = d + ctx.node_penalty(cands[0][j]);
-    delay[0][j] = d;
+    delay[0][j] =
+        ctx.delay_between(req.from_sap, cands[0][j], stages[0].in_bandwidth);
   }
   for (std::size_t i = 1; i < stages.size(); ++i) {
     for (std::size_t j = 0; j < cands[i].size(); ++j) {
@@ -82,7 +84,9 @@ Result<void> run_dp(Context& ctx, const sg::E2eRequirement& req,
         const double total = cost[i - 1][p] + step + penalty;
         if (total < cost[i][j]) {
           cost[i][j] = total;
-          delay[i][j] = delay[i - 1][p] + step;
+          delay[i][j] = delay[i - 1][p] +
+                        ctx.delay_between(cands[i - 1][p], cands[i][j],
+                                          stages[i].in_bandwidth);
           back[i][j] = static_cast<int>(p);
         }
       }
@@ -100,7 +104,8 @@ Result<void> run_dp(Context& ctx, const sg::E2eRequirement& req,
     const double total = cost[tail][j] + hop;
     if (total < best) {
       best = total;
-      best_delay = delay[tail][j] + hop;
+      best_delay = delay[tail][j] +
+                   ctx.delay_between(cands[tail][j], req.to_sap, out_bandwidth);
       best_j = static_cast<int>(j);
     }
   }
@@ -126,7 +131,7 @@ Result<void> run_dp(Context& ctx, const sg::E2eRequirement& req,
 }  // namespace
 
 Result<Mapping> ChainDpMapper::map(const sg::ServiceGraph& sg,
-                                   const model::Nffg& substrate,
+                                   const SubstrateView& substrate,
                                    const catalog::NfCatalog& catalog) const {
   Context ctx(sg, substrate, catalog);
 

@@ -19,7 +19,7 @@ class ChainDpMapper final : public Mapper {
   explicit ChainDpMapper(MapperOptions options = {}) : options_(options) {}
   [[nodiscard]] std::string name() const override { return "chain-dp"; }
   [[nodiscard]] Result<Mapping> map(
-      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
       const catalog::NfCatalog& catalog) const override;
 
  private:

@@ -8,10 +8,15 @@
 
 namespace unify::mapping {
 
-Context::Context(const sg::ServiceGraph& sg, const model::Nffg& substrate,
+Context::Context(const sg::ServiceGraph& sg, const SubstrateView& substrate,
                  const catalog::NfCatalog& catalog)
-    : sg_(&sg), catalog_(&catalog), work_(substrate) {
-  index_.emplace(work_);
+    : sg_(&sg), catalog_(&catalog), base_(&substrate.nffg()) {
+  if (substrate.index() != nullptr) {
+    index_ = substrate.index();
+  } else {
+    owned_index_.emplace(*base_);
+    index_ = &*owned_index_;
+  }
 }
 
 Result<model::Resources> Context::footprint(const sg::SgNf& nf) const {
@@ -26,12 +31,62 @@ Result<model::Resources> Context::footprint(const sg::SgNf& nf) const {
   return resolved;
 }
 
+model::Resources Context::residual(const std::string& host) const {
+  const model::BisBis* bb = base_->find_bisbis(host);
+  if (bb == nullptr) return {};
+  model::Resources left = bb->residual();
+  const auto extra = extra_alloc_.find(host);
+  if (extra != extra_alloc_.end()) left -= extra->second;
+  return left;
+}
+
+double Context::utilization(const std::string& host) const {
+  const model::BisBis* bb = base_->find_bisbis(host);
+  if (bb == nullptr) return 0;
+  model::Resources alloc = bb->allocated();
+  const auto extra = extra_alloc_.find(host);
+  if (extra != extra_alloc_.end()) alloc += extra->second;
+  const model::Resources& cap = bb->capacity;
+  double worst = 0;
+  if (cap.cpu > 0) worst = std::max(worst, alloc.cpu / cap.cpu);
+  if (cap.mem > 0) worst = std::max(worst, alloc.mem / cap.mem);
+  if (cap.storage > 0) worst = std::max(worst, alloc.storage / cap.storage);
+  return worst;
+}
+
+double Context::extra_reserved(graph::EdgeId edge) const noexcept {
+  if (extra_reserved_.empty()) return 0;  // pristine-context fast path
+  const auto it = std::lower_bound(
+      extra_reserved_.begin(), extra_reserved_.end(), edge,
+      [](const auto& entry, graph::EdgeId e) { return entry.first < e; });
+  return it != extra_reserved_.end() && it->first == edge ? it->second : 0;
+}
+
+void Context::add_extra_reserved(graph::EdgeId edge, double amount) {
+  const auto it = std::lower_bound(
+      extra_reserved_.begin(), extra_reserved_.end(), edge,
+      [](const auto& entry, graph::EdgeId e) { return entry.first < e; });
+  if (it != extra_reserved_.end() && it->first == edge) {
+    it->second += amount;
+    // Keep the vector minimal so the empty() fast path re-arms after a
+    // full release.
+    if (it->second == 0) extra_reserved_.erase(it);
+    return;
+  }
+  if (amount != 0) extra_reserved_.emplace(it, edge, amount);
+}
+
+double Context::residual_bandwidth(graph::EdgeId edge) const noexcept {
+  return index_->graph().edge(edge).data.link->residual_bandwidth() -
+         extra_reserved(edge);
+}
+
 std::vector<std::string> Context::candidates(const sg::SgNf& nf) const {
   std::vector<std::string> hosts;
   const auto need = footprint(nf);
   if (!need.ok()) return hosts;
-  for (const auto& [id, bb] : work_.bisbis()) {
-    if (bb.supports_nf_type(nf.type) && bb.residual().fits(*need) &&
+  for (const auto& [id, bb] : base_->bisbis()) {
+    if (bb.supports_nf_type(nf.type) && residual(id).fits(*need) &&
         constraint_allows(nf.id, id).ok()) {
       hosts.push_back(id);
     }
@@ -82,14 +137,26 @@ Result<void> Context::place(const std::string& nf_id,
   }
   UNIFY_RETURN_IF_ERROR(constraint_allows(nf_id, host));
   UNIFY_ASSIGN_OR_RETURN(const model::Resources need, footprint(*nf));
-  model::NfInstance instance;
-  instance.id = nf_id;
-  instance.type = nf->type;
-  instance.requirement = need;
-  for (int p = 0; p < nf->port_count; ++p) {
-    instance.ports.push_back(model::Port{p, ""});
+  // Same acceptance rules Nffg::place_nf enforces, evaluated against base
+  // + overlay instead of a mutable substrate copy.
+  const model::BisBis* bb = base_->find_bisbis(host);
+  if (bb == nullptr) {
+    return Error{ErrorCode::kNotFound, "BiS-BiS " + host};
   }
-  UNIFY_RETURN_IF_ERROR(work_.place_nf(host, std::move(instance)));
+  if (bb->nfs.count(nf_id) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "NF " + nf_id + " on " + host};
+  }
+  if (!bb->supports_nf_type(nf->type)) {
+    return Error{ErrorCode::kRejected,
+                 "BiS-BiS " + host + " does not support NF type " + nf->type};
+  }
+  const model::Resources left = residual(host);
+  if (!left.fits(need)) {
+    return Error{ErrorCode::kResourceExhausted,
+                 "BiS-BiS " + host + " residual " + left.to_string() +
+                     " < requirement " + need.to_string()};
+  }
+  extra_alloc_[host] += need;
   placements_.emplace(nf_id, host);
   return Result<void>::success();
 }
@@ -97,13 +164,22 @@ Result<void> Context::place(const std::string& nf_id,
 void Context::unplace(const std::string& nf_id) {
   const auto it = placements_.find(nf_id);
   if (it == placements_.end()) return;
-  (void)work_.remove_nf(it->second, nf_id);
+  const sg::SgNf* nf = sg_->find_nf(nf_id);
+  if (nf != nullptr) {
+    if (const auto need = footprint(*nf); need.ok()) {
+      const auto alloc = extra_alloc_.find(it->second);
+      if (alloc != extra_alloc_.end()) {
+        alloc->second -= *need;
+        if (alloc->second.is_zero()) extra_alloc_.erase(alloc);
+      }
+    }
+  }
   placements_.erase(it);
 }
 
 Result<std::string> Context::node_of(const std::string& sg_node) const {
   if (sg_->has_sap(sg_node)) {
-    if (work_.find_sap(sg_node) == nullptr) {
+    if (base_->find_sap(sg_node) == nullptr) {
       return Error{ErrorCode::kNotFound,
                    "SAP " + sg_node + " not present in substrate"};
     }
@@ -114,6 +190,18 @@ Result<std::string> Context::node_of(const std::string& sg_node) const {
     return Error{ErrorCode::kUnavailable, "NF " + sg_node + " not yet placed"};
   }
   return it->second;
+}
+
+void Context::OverlayScan::note_masked(graph::EdgeId e) const {
+  if (*overflow) return;
+  if (std::find(record->begin(), record->end(), e) != record->end()) return;
+  if (record->size() >= kMaskedEdgeCap) {
+    *overflow = true;
+    record->clear();
+    record->shrink_to_fit();
+    return;
+  }
+  record->push_back(e);
 }
 
 const Context::PathEntry& Context::cached_path(graph::NodeId from,
@@ -127,8 +215,12 @@ const Context::PathEntry& Context::cached_path(graph::NodeId from,
   }
   ++cache_stats_.misses;
   PathEntry entry;
-  auto path = graph::shortest_path(workspace_, index_->graph().node_capacity(),
-                                   from, to, index_->delay_scan(min_bw));
+  // Record every bandwidth-masked edge the Dijkstra scans: any edge whose
+  // release could improve this entry has a settled (hence scanned) tail,
+  // so the set is complete for per-entry unroute invalidation.
+  auto path = graph::shortest_path(
+      workspace_, index_->graph().node_capacity(), from, to,
+      OverlayScan{this, min_bw, &entry.masked, &entry.masked_overflow});
   if (path.has_value()) {
     entry.reachable = true;
     entry.delay = model::path_delay(*index_, *path);
@@ -137,29 +229,60 @@ const Context::PathEntry& Context::cached_path(graph::NodeId from,
   return path_cache_.emplace(key, std::move(entry)).first->second;
 }
 
-void Context::invalidate_paths_crossing(
+void Context::apply_reservation_to_cache(
     const std::vector<graph::EdgeId>& edges) {
   for (auto it = path_cache_.begin(); it != path_cache_.end();) {
-    const auto& cached = it->second.path.edges;
+    PathEntry& entry = it->second;
+    const auto& cached = entry.path.edges;
     const bool crosses =
-        it->second.reachable &&
+        entry.reachable &&
         std::any_of(cached.begin(), cached.end(), [&](graph::EdgeId e) {
           return std::binary_search(edges.begin(), edges.end(), e);
         });
     if (crosses) {
       ++cache_stats_.invalidations;
       it = path_cache_.erase(it);
-    } else {
-      ++it;
+      continue;
     }
+    // Survivors stay optimal (reservations only mask edges), but must
+    // learn which of the touched edges are now masked for their floor so
+    // a later release re-examines them.
+    if (!entry.masked_overflow) {
+      const double floor = std::get<2>(it->first);
+      for (const graph::EdgeId e : edges) {
+        if (residual_bandwidth(e) < floor) {
+          if (std::find(entry.masked.begin(), entry.masked.end(), e) ==
+              entry.masked.end()) {
+            if (entry.masked.size() >= kMaskedEdgeCap) {
+              entry.masked_overflow = true;
+              entry.masked.clear();
+              entry.masked.shrink_to_fit();
+              break;
+            }
+            entry.masked.push_back(e);
+          }
+        }
+      }
+    }
+    ++it;
   }
 }
 
-void Context::invalidate_paths_above(double floor_threshold) {
+void Context::invalidate_paths_unmasked_by(graph::EdgeId edge,
+                                           double pre_residual) {
   for (auto it = path_cache_.begin(); it != path_cache_.end();) {
-    if (std::get<2>(it->first) > floor_threshold) {
-      it = path_cache_.erase(it);
+    const PathEntry& entry = it->second;
+    const double floor = std::get<2>(it->first);
+    // The release unmasks `edge` only for floors above its pre-release
+    // residual, and only entries that saw it masked can improve.
+    const bool stale =
+        floor > pre_residual &&
+        (entry.masked_overflow ||
+         std::find(entry.masked.begin(), entry.masked.end(), edge) !=
+             entry.masked.end());
+    if (stale) {
       ++cache_stats_.invalidations;
+      it = path_cache_.erase(it);
     } else {
       ++it;
     }
@@ -173,6 +296,7 @@ Result<PathInfo> Context::route(const sg::SgLink& link) {
   UNIFY_ASSIGN_OR_RETURN(const std::string from, node_of(link.from.node));
   UNIFY_ASSIGN_OR_RETURN(const std::string to, node_of(link.to.node));
   PathInfo info;
+  std::vector<graph::EdgeId> edges;
   if (from != to) {
     const auto from_id = index_->node_of(from);
     const auto to_id = index_->node_of(to);
@@ -184,19 +308,20 @@ Result<PathInfo> Context::route(const sg::SgLink& link) {
     }
     info.delay = entry.delay;
     // Snapshot before invalidation below evicts the entry we read from.
-    std::vector<graph::EdgeId> edges = entry.path.edges;
+    edges = entry.path.edges;
     for (const graph::EdgeId e : edges) {
-      const std::string& link_id = index_->graph().edge(e).data.link_id;
-      info.links.push_back(link_id);
-      work_.find_link(link_id)->reserved += link.bandwidth;
+      info.links.push_back(index_->graph().edge(e).data.link_id);
+      add_extra_reserved(e, link.bandwidth);
     }
     if (link.bandwidth > 0 && !edges.empty()) {
       // Reservations only shrink residuals: cached paths not crossing the
       // touched links stay optimal; those crossing them may now be masked.
-      std::sort(edges.begin(), edges.end());
-      invalidate_paths_crossing(edges);
+      std::vector<graph::EdgeId> sorted = edges;
+      std::sort(sorted.begin(), sorted.end());
+      apply_reservation_to_cache(sorted);
     }
   }
+  routed_edges_.emplace(link.id, std::move(edges));
   paths_.emplace(link.id, info);
   return info;
 }
@@ -205,31 +330,25 @@ void Context::unroute(const std::string& sg_link_id) {
   const auto it = paths_.find(sg_link_id);
   if (it == paths_.end()) return;
   const sg::SgLink* link = sg_->find_link(sg_link_id);
-  bool released = false;
-  // A release on a link only unmasks it for queries whose bandwidth floor
-  // exceeded its pre-release residual; entries at or below the smallest
-  // such residual see an unchanged masked graph and stay valid.
-  double stale_above = graph::kInf;
   if (link == nullptr) {
     UNIFY_LOG(kWarn, "mapping.ctx")
         << "unroute: SG link " << sg_link_id
         << " not in service graph; dropping path without releasing bandwidth";
   } else if (link->bandwidth > 0) {
-    for (const std::string& substrate_link : it->second.links) {
-      model::Link* reserved_on = work_.find_link(substrate_link);
-      if (reserved_on == nullptr) {
-        UNIFY_LOG(kWarn, "mapping.ctx")
-            << "unroute " << sg_link_id << ": substrate link "
-            << substrate_link << " vanished; skipping release";
-        continue;
+    const auto routed = routed_edges_.find(sg_link_id);
+    if (routed != routed_edges_.end()) {
+      for (const graph::EdgeId e : routed->second) {
+        // A release on an edge only unmasks it for floors above its
+        // pre-release residual; evict exactly the entries that saw this
+        // edge masked (everyone else's masked graph is unchanged).
+        const double pre_residual = residual_bandwidth(e);
+        add_extra_reserved(e, -link->bandwidth);
+        invalidate_paths_unmasked_by(e, pre_residual);
       }
-      stale_above = std::min(stale_above, reserved_on->residual_bandwidth());
-      reserved_on->reserved -= link->bandwidth;
-      released = true;
     }
   }
+  routed_edges_.erase(sg_link_id);
   paths_.erase(it);
-  if (released) invalidate_paths_above(stale_above);
 }
 
 Result<void> Context::route_all() {
@@ -276,8 +395,20 @@ double Context::distance(const std::string& from, const std::string& to,
   return entry.reachable ? entry.path.cost : graph::kInf;
 }
 
+double Context::delay_between(const std::string& from, const std::string& to,
+                              double min_bw) const {
+  if (from == to) return 0;
+  const auto from_id = index_->node_of(from);
+  const auto to_id = index_->node_of(to);
+  if (from_id == graph::kInvalidId || to_id == graph::kInvalidId) {
+    return graph::kInf;
+  }
+  const PathEntry& entry = cached_path(from_id, to_id, min_bw);
+  return entry.reachable ? entry.delay : graph::kInf;
+}
+
 double Context::node_penalty(const std::string& host) const noexcept {
-  const model::BisBis* bb = work_.find_bisbis(host);
+  const model::BisBis* bb = base_->find_bisbis(host);
   return bb == nullptr ? 0.0 : bb->health_penalty;
 }
 

@@ -1,17 +1,26 @@
-// Shared mapping machinery: a mutable working copy of the substrate plus
-// placement/routing primitives with undo, used by every Mapper
-// implementation.
+// Shared mapping machinery: placement/routing primitives with undo over a
+// borrowed, read-only substrate, used by every Mapper implementation.
+//
+// The Context never copies the substrate. It reads the base NFFG (and a
+// shared topology index, when the caller provides one via SubstrateView —
+// the orchestrator's snapshot path) and records its own tentative work in
+// overlays: per-host extra allocations for placements and a per-edge extra
+// reservation vector for routed bandwidth. That keeps per-request setup
+// O(1) instead of O(substrate), which is what lets parallel speculative
+// mappers scale on 10^5..10^6-node views — each worker shares one
+// immutable snapshot and owns only its overlay.
 //
 // Path queries (route / distance) run on the allocation-free kernel
-// (graph/path_kernel.h) through a devirtualized scan and are memoized in a
-// per-Context cache keyed by (src, dst, bandwidth). Invalidation follows
-// the monotonicity of reservations: reserving bandwidth (route) can only
-// mask edges, so it evicts exactly the entries whose path crosses the
-// touched links; releasing bandwidth (unroute) can only unmask a link for
-// queries demanding more than its pre-release residual, so it evicts the
-// entries whose bandwidth floor exceeds the smallest such residual.
-// Hit/miss/invalidation counters are kept in PathCacheStats and can be
-// published into a telemetry::Registry.
+// (graph/path_kernel.h) through a devirtualized overlay scan and are
+// memoized in a per-Context cache keyed by (src, dst, bandwidth).
+// Invalidation follows the monotonicity of reservations: reserving
+// bandwidth (route) can only mask edges, so it evicts exactly the entries
+// whose path crosses the touched links; releasing bandwidth (unroute) can
+// only unmask a link for queries demanding more than its pre-release
+// residual — and only entries that actually *saw* that link masked
+// (tracked per entry) can improve, so everything else survives the
+// release. Hit/miss/invalidation counters are kept in PathCacheStats and
+// can be published into a telemetry::Registry.
 #pragma once
 
 #include <cstdint>
@@ -41,17 +50,24 @@ struct PathCacheStats {
 
 class Context {
  public:
-  /// Copies the substrate; the original is never touched.
-  Context(const sg::ServiceGraph& sg, const model::Nffg& substrate,
+  /// Borrows the substrate (and its index, when the view carries one);
+  /// the substrate is never touched and must outlive the Context.
+  Context(const sg::ServiceGraph& sg, const SubstrateView& substrate,
           const catalog::NfCatalog& catalog);
 
-  // The topology index and path cache hold pointers into work_; moving or
-  // copying a Context would dangle them.
+  // The overlays and path cache hold pointers into the borrowed substrate
+  // and the (possibly owned) index; moving or copying would dangle them.
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
   [[nodiscard]] const sg::ServiceGraph& sg() const noexcept { return *sg_; }
-  [[nodiscard]] const model::Nffg& work() const noexcept { return work_; }
+  /// The borrowed base substrate. Read-only: this Context's own
+  /// placements and reservations live in overlays, NOT here — use
+  /// residual()/utilization()/residual_bandwidth() for live arithmetic.
+  [[nodiscard]] const model::Nffg& base() const noexcept { return *base_; }
+  /// Legacy alias for base() (pre-overlay callers named the substrate
+  /// copy "work").
+  [[nodiscard]] const model::Nffg& work() const noexcept { return *base_; }
   [[nodiscard]] const model::TopologyIndex& index() const noexcept {
     return *index_;
   }
@@ -64,6 +80,18 @@ class Context {
   /// Resolved footprint of an SG NF (override or catalog), memoized per
   /// (type, override).
   [[nodiscard]] Result<model::Resources> footprint(const sg::SgNf& nf) const;
+
+  /// Live residual capacity of a host: base residual minus this Context's
+  /// overlay allocations.
+  [[nodiscard]] model::Resources residual(const std::string& host) const;
+
+  /// Worst-dimension utilization of a host including overlay allocations
+  /// (0 = empty, 1 = full). 0 for unknown hosts.
+  [[nodiscard]] double utilization(const std::string& host) const;
+
+  /// Live residual bandwidth of a substrate edge: link residual minus
+  /// this Context's overlay reservations.
+  [[nodiscard]] double residual_bandwidth(graph::EdgeId edge) const noexcept;
 
   /// Places `nf_id` on `host` (capacity, type and placement constraints
   /// enforced). Undo with unplace.
@@ -99,10 +127,20 @@ class Context {
   /// only).
   [[nodiscard]] double chain_delay(const sg::E2eRequirement& req) const;
 
-  /// Shortest-path delay between two substrate nodes under a bandwidth
-  /// floor; +inf when disconnected. Used by algorithms for cost estimates.
+  /// Shortest-path cost between two substrate nodes under a bandwidth
+  /// floor; +inf when disconnected. The cost is the health-biased scan
+  /// weight (delay + head-node penalties), so algorithms ranking on it
+  /// steer around degraded domains; true delays come from route().
   [[nodiscard]] double distance(const std::string& from, const std::string& to,
                                 double min_bw) const;
+
+  /// True wire delay (link delays + transited internal delays) of the same
+  /// min-cost path distance() ranks by; +inf when disconnected. Use this —
+  /// not distance() — to check delay bounds: the biased weight may exceed
+  /// a budget the actual path satisfies.
+  [[nodiscard]] double delay_between(const std::string& from,
+                                     const std::string& to,
+                                     double min_bw) const;
 
   /// Health bias of a substrate node (BisBis::health_penalty, 0 for SAPs
   /// and unknown nodes). Mappers add it to node-selection cost so flaky
@@ -127,31 +165,84 @@ class Context {
   void publish_cache_metrics(telemetry::Registry& registry) const;
 
  private:
+  /// Cap on masked edges remembered per cache entry; past it the entry
+  /// degrades to the conservative "any release may help me" rule.
+  static constexpr std::size_t kMaskedEdgeCap = 128;
+
   /// (src node, dst node, bandwidth floor) -> memoized shortest path.
   using PathKey = std::tuple<graph::NodeId, graph::NodeId, double>;
   struct PathEntry {
     bool reachable = false;
     graph::Path path;  ///< empty when !reachable
     double delay = 0;  ///< path_delay of `path`
+    /// Edges seen bandwidth-masked while this entry could still improve:
+    /// recorded during the computing Dijkstra (every masked edge scanned
+    /// from a settled node) and maintained by route() (edges it newly
+    /// masks). A release can only improve this entry through one of
+    /// these, so unroute() evicts per entry instead of by global floor.
+    std::vector<graph::EdgeId> masked;
+    bool masked_overflow = false;  ///< cap hit; treat all edges as masked
+  };
+
+  /// Overlay scan for the path kernel: base residual minus overlay
+  /// reservations for masking, health-biased weights, and masked-edge
+  /// recording into `record`/`overflow` (satellite per-entry
+  /// invalidation).
+  struct OverlayScan {
+    const Context* ctx;
+    double min_bw;
+    std::vector<graph::EdgeId>* record;
+    bool* overflow;
+
+    template <typename Visit>
+    void operator()(graph::NodeId node, Visit&& visit) const {
+      const auto& graph = ctx->index_->graph();
+      for (const graph::EdgeId e : graph.out_edges(node)) {
+        const auto& edge = graph.edge(e);
+        if (ctx->residual_bandwidth(e) < min_bw) {
+          note_masked(e);
+          continue;
+        }
+        visit(e, edge.to, model::TopologyIndex::edge_weight(edge.data));
+      }
+    }
+    void note_masked(graph::EdgeId e) const;
   };
 
   /// Returns the cached (or freshly computed) shortest path under the
   /// current residuals. The reference is valid until the next route/unroute.
   const PathEntry& cached_path(graph::NodeId from, graph::NodeId to,
                                double min_bw) const;
-  /// Evicts entries whose path crosses any of `edges` (sorted ids).
-  void invalidate_paths_crossing(const std::vector<graph::EdgeId>& edges);
-  /// Evicts entries whose bandwidth floor exceeds `floor_threshold` —
-  /// a release can only unmask a link for queries demanding more than its
-  /// pre-release residual; everyone else sees an unchanged masked graph.
-  void invalidate_paths_above(double floor_threshold);
+  /// Route bookkeeping over the cache: evicts entries whose path crosses
+  /// any of `edges` (sorted ids) and teaches survivors which of those
+  /// edges the reservation newly masked for their floor.
+  void apply_reservation_to_cache(const std::vector<graph::EdgeId>& edges);
+  /// Unroute bookkeeping: evicts exactly the entries a release on `edge`
+  /// (pre-release residual `pre_residual`) could improve — floor above
+  /// the pre-release residual AND the edge in their masked set.
+  void invalidate_paths_unmasked_by(graph::EdgeId edge, double pre_residual);
+
+  /// Overlay reservation on one edge (0 when untouched). Sorted-vector
+  /// lookup; empty() fast path keeps pristine scans at base speed.
+  [[nodiscard]] double extra_reserved(graph::EdgeId edge) const noexcept;
+  void add_extra_reserved(graph::EdgeId edge, double amount);
 
   const sg::ServiceGraph* sg_;
   const catalog::NfCatalog* catalog_;
-  model::Nffg work_;
-  std::optional<model::TopologyIndex> index_;  // built over work_
-  std::map<std::string, std::string> placements_;  // nf -> host
-  std::map<std::string, PathInfo> paths_;          // sg link -> path
+  const model::Nffg* base_;  ///< borrowed, never mutated
+  /// Built only when the SubstrateView carries no index (cold path for
+  /// standalone mapper calls).
+  std::optional<model::TopologyIndex> owned_index_;
+  const model::TopologyIndex* index_;  ///< borrowed or &*owned_index_
+
+  // ---- overlays: this Context's tentative work ----
+  std::map<std::string, std::string> placements_;     // nf -> host
+  std::map<std::string, model::Resources> extra_alloc_;  // host -> resources
+  /// (edge, reserved bandwidth), sorted by edge for binary search.
+  std::vector<std::pair<graph::EdgeId, double>> extra_reserved_;
+  std::map<std::string, PathInfo> paths_;  // sg link -> path
+  /// Substrate edges each routed SG link reserved on (for release).
+  std::map<std::string, std::vector<graph::EdgeId>> routed_edges_;
 
   mutable graph::PathWorkspace workspace_;
   mutable std::map<PathKey, PathEntry> path_cache_;

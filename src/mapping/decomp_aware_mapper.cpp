@@ -21,7 +21,7 @@ double delay_of(const Mapping& m) {
 }  // namespace
 
 Result<DecompResult> DecompAwareMapper::map_with_decomposition(
-    const sg::ServiceGraph& sg, const model::Nffg& substrate,
+    const sg::ServiceGraph& sg, const SubstrateView& substrate,
     const catalog::NfCatalog& catalog) const {
   // Top-level decomposable NFs and their rule counts.
   std::vector<std::pair<std::string, std::size_t>> dimensions;
@@ -99,7 +99,7 @@ Result<DecompResult> DecompAwareMapper::map_with_decomposition(
 }
 
 Result<Mapping> DecompAwareMapper::map(const sg::ServiceGraph& sg,
-                                       const model::Nffg& substrate,
+                                       const SubstrateView& substrate,
                                        const catalog::NfCatalog& catalog) const {
   UNIFY_ASSIGN_OR_RETURN(DecompResult result,
                          map_with_decomposition(sg, substrate, catalog));

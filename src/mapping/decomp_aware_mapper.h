@@ -36,13 +36,13 @@ class DecompAwareMapper final : public Mapper {
 
   /// Full result including the expanded service graph the mapping refers to.
   [[nodiscard]] Result<DecompResult> map_with_decomposition(
-      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
       const catalog::NfCatalog& catalog) const;
 
   /// Mapper interface; discards the expanded graph (only meaningful when
   /// the caller reconstructs it, prefer map_with_decomposition).
   [[nodiscard]] Result<Mapping> map(
-      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
       const catalog::NfCatalog& catalog) const override;
 
  private:

@@ -24,20 +24,10 @@ struct HostCost {
   }
 };
 
-double utilization_of(const model::BisBis& bb) {
-  const model::Resources cap = bb.capacity;
-  const model::Resources alloc = bb.allocated();
-  double worst = 0;
-  if (cap.cpu > 0) worst = std::max(worst, alloc.cpu / cap.cpu);
-  if (cap.mem > 0) worst = std::max(worst, alloc.mem / cap.mem);
-  if (cap.storage > 0) worst = std::max(worst, alloc.storage / cap.storage);
-  return worst;
-}
-
 }  // namespace
 
 Result<Mapping> GreedyMapper::map(const sg::ServiceGraph& sg,
-                                  const model::Nffg& substrate,
+                                  const SubstrateView& substrate,
                                   const catalog::NfCatalog& catalog) const {
   Context ctx(sg, substrate, catalog);
 
@@ -52,8 +42,7 @@ Result<Mapping> GreedyMapper::map(const sg::ServiceGraph& sg,
                               : ctx.distance(prev_node, host, bandwidth);
       if (dist == std::numeric_limits<double>::infinity()) continue;
       costs.push_back(HostCost{dist + ctx.node_penalty(host),
-                               utilization_of(*ctx.work().find_bisbis(host)),
-                               host});
+                               ctx.utilization(host), host});
     }
     if (costs.empty()) {
       return Error{ErrorCode::kInfeasible,

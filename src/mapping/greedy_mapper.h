@@ -13,7 +13,7 @@ class GreedyMapper final : public Mapper {
   explicit GreedyMapper(MapperOptions options = {}) : options_(options) {}
   [[nodiscard]] std::string name() const override { return "greedy"; }
   [[nodiscard]] Result<Mapping> map(
-      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
       const catalog::NfCatalog& catalog) const override;
 
  private:

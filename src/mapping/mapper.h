@@ -15,10 +15,39 @@
 
 #include "catalog/nf_catalog.h"
 #include "model/nffg.h"
+#include "model/topology_index.h"
+#include "model/view_snapshot.h"
 #include "sg/service_graph.h"
 #include "util/result.h"
 
 namespace unify::mapping {
+
+/// Read-only substrate a mapper embeds against: a borrowed NFFG plus,
+/// optionally, a prebuilt topology index over it (from an orchestrator
+/// ViewSnapshot, so parallel speculative mappers share one index instead
+/// of each building an O(N) copy). Implicitly constructible from a bare
+/// Nffg — call sites holding a plain view keep working — and from a
+/// ViewSnapshot. The view must outlive the SubstrateView.
+class SubstrateView {
+ public:
+  /*implicit*/ SubstrateView(const model::Nffg& nffg) noexcept  // NOLINT
+      : nffg_(&nffg) {}
+  // A temporary Nffg would dangle the moment the full-expression ends
+  // (the view is borrowed, not copied) — reject it at compile time.
+  SubstrateView(model::Nffg&&) = delete;
+  /*implicit*/ SubstrateView(const model::ViewSnapshot& snap) noexcept  // NOLINT
+      : nffg_(snap.view.get()), index_(snap.index.get()) {}
+
+  [[nodiscard]] const model::Nffg& nffg() const noexcept { return *nffg_; }
+  /// Prebuilt index over nffg(), or nullptr when the caller has none.
+  [[nodiscard]] const model::TopologyIndex* index() const noexcept {
+    return index_;
+  }
+
+ private:
+  const model::Nffg* nffg_;
+  const model::TopologyIndex* index_ = nullptr;
+};
 
 /// The realized path of one service-graph link over the substrate.
 /// `links` lists substrate link ids in traversal order; empty when both
@@ -63,14 +92,17 @@ struct MapperOptions {
   std::uint64_t seed = 1;
 };
 
-/// Strategy interface. Implementations must not mutate the substrate; they
-/// work on an internal copy and report the outcome as a Mapping.
+/// Strategy interface. Implementations never mutate the substrate; they
+/// track their tentative placements and reservations in an overlay
+/// (mapping::Context) and report the outcome as a Mapping. The substrate
+/// arrives as a SubstrateView so many mapper invocations can speculate in
+/// parallel against one immutable snapshot.
 class Mapper {
  public:
   virtual ~Mapper() = default;
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual Result<Mapping> map(
-      const sg::ServiceGraph& sg, const model::Nffg& substrate,
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
       const catalog::NfCatalog& catalog) const = 0;
 };
 

@@ -16,10 +16,16 @@ TopologyIndex::TopologyIndex(const Nffg& nffg) : nffg_(&nffg) {
     if (from == index_.end() || to == index_.end()) continue;  // dangling
     // Weight charges the internal switching delay of the node the edge
     // arrives at (0 for SAPs); endpoint asymmetry is negligible for
-    // ranking paths.
+    // ranking paths. The head's health penalty is kept as a live pointer
+    // (stable: Nffg stores nodes in a node-based std::map) so scans bias
+    // against degraded domains without an index rebuild.
     const double weight =
         link.attrs.delay + graph_.node(to->second).internal_delay;
-    graph_.add_edge(from->second, to->second, TopoEdge{id, &link, weight});
+    const BisBis* head = nffg.find_bisbis(link.to.node);
+    graph_.add_edge(
+        from->second, to->second,
+        TopoEdge{id, &link, weight,
+                 head == nullptr ? nullptr : &head->health_penalty});
   }
 }
 

@@ -33,6 +33,11 @@ struct TopoEdge {
   std::string link_id;
   const Link* link = nullptr;  ///< borrowed from the indexed Nffg
   double delay_weight = 0;     ///< link delay + head-node internal delay
+  /// Health bias of the head BiS-BiS (&BisBis::health_penalty, nullptr for
+  /// SAP heads). Read live at scan time so the orchestrator's penalty
+  /// refresh biases path costs without an index rebuild: links into a
+  /// degraded domain rank worse, mirroring the node-side placement bias.
+  const double* to_penalty = nullptr;
 };
 
 class TopologyIndex {
@@ -54,9 +59,10 @@ class TopologyIndex {
   }
 
   /// Devirtualized delay scanner for the path kernel (path_kernel.h):
-  /// weighs each link by its delay plus the head node's internal delay,
-  /// masking links whose residual bandwidth < min_bw. A concrete functor so
-  /// the kernel inlines the whole edge relaxation.
+  /// weighs each link by its delay plus the head node's internal delay
+  /// plus the head node's live health penalty (0 when healthy), masking
+  /// links whose residual bandwidth < min_bw. A concrete functor so the
+  /// kernel inlines the whole edge relaxation.
   struct DelayScan {
     const Graph* graph;
     double min_bw;
@@ -66,10 +72,17 @@ class TopologyIndex {
       for (const graph::EdgeId e : graph->out_edges(node)) {
         const auto& edge = graph->edge(e);
         if (edge.data.link->residual_bandwidth() < min_bw) continue;
-        visit(e, edge.to, edge.data.delay_weight);
+        visit(e, edge.to, edge_weight(edge.data));
       }
     }
   };
+  /// Biased scan weight of one edge: static delay weight + live penalty of
+  /// the head node. Exposed so overlay scans (mapping::Context) and
+  /// reference Dijkstras in tests charge exactly the same cost.
+  [[nodiscard]] static double edge_weight(const TopoEdge& edge) noexcept {
+    return edge.delay_weight +
+           (edge.to_penalty == nullptr ? 0.0 : *edge.to_penalty);
+  }
   [[nodiscard]] DelayScan delay_scan(double min_bw) const noexcept {
     return DelayScan{&graph_, min_bw};
   }

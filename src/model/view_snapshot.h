@@ -1,0 +1,39 @@
+// Immutable, epoch-stamped snapshot of an orchestrator substrate view.
+//
+// A ViewSnapshot is what speculative readers (parallel mappers, the path
+// kernel, Context caches) work against while the orchestrator's sequential
+// commit phase keeps mutating its live view. Acquisition is O(1) — two
+// shared_ptr copies — because the owner (core::ShardedViewState) manages
+// the view copy-on-write: the underlying Nffg is cloned only when a commit
+// lands while snapshots are still alive. The bundled TopologyIndex is built
+// over exactly this Nffg, so path scans through the snapshot never touch a
+// concurrently mutated graph.
+//
+// Thread safety: a snapshot is deeply immutable; any number of threads may
+// read it concurrently. Destroying the last snapshot of a superseded epoch
+// frees that epoch's view.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "model/nffg.h"
+#include "model/topology_index.h"
+
+namespace unify::model {
+
+struct ViewSnapshot {
+  std::shared_ptr<const Nffg> view;
+  /// Index over *view; may be null when the owner never needed paths.
+  std::shared_ptr<const TopologyIndex> index;
+  /// The owner's epoch at acquisition: readers on epoch N never observe
+  /// epoch N+1 writes.
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] const Nffg& nffg() const noexcept { return *view; }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return view != nullptr;
+  }
+};
+
+}  // namespace unify::model

@@ -1,0 +1,170 @@
+// Pins the push path's two-tier dirty tracking (DESIGN.md §11) to the
+// byte-equality criterion it replaced: a domain's push is skipped exactly
+// when the serialized slice is byte-identical to the last acknowledged
+// one. The stamp fast path and the content-hash path are exercised
+// separately, and every skip/push decision is cross-checked against a
+// full to_json comparison.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/resource_orchestrator.h"
+#include "mapping/chain_dp_mapper.h"
+#include "model/nffg_builder.h"
+#include "model/nffg_json.h"
+#include "model/nffg_merge.h"
+#include "service/service_layer.h"
+
+namespace unify::core {
+namespace {
+
+class RecordingAdapter final : public adapters::DomainAdapter {
+ public:
+  RecordingAdapter(std::string name, model::Nffg view)
+      : name_(std::move(name)), view_(std::move(view)) {}
+
+  [[nodiscard]] const std::string& domain() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] Result<model::Nffg> fetch_view() override { return view_; }
+  Result<void> apply(const model::Nffg& desired) override {
+    applied_.push_back(desired);
+    return Result<void>::success();
+  }
+  [[nodiscard]] std::uint64_t native_operations() const noexcept override {
+    return applied_.size();
+  }
+  [[nodiscard]] const std::vector<model::Nffg>& applied() const noexcept {
+    return applied_;
+  }
+
+ private:
+  std::string name_;
+  model::Nffg view_;
+  std::vector<model::Nffg> applied_;
+};
+
+/// d1 carries sap1 AND sap3 so a chain can live wholly inside it; d2
+/// carries sap2. "xp" stitches the domains.
+model::Nffg left_view() {
+  model::Nffg g{"bb1-view"};
+  EXPECT_TRUE(
+      g.add_bisbis(model::make_bisbis("bb1", {64, 65536, 800}, 8)).ok());
+  model::attach_sap(g, "sap1", "bb1", 0, {10000, 0.1});
+  model::attach_sap(g, "xp", "bb1", 1, {10000, 0.5});
+  model::attach_sap(g, "sap3", "bb1", 2, {10000, 0.1});
+  return g;
+}
+
+model::Nffg right_view() {
+  model::Nffg g{"bb2-view"};
+  EXPECT_TRUE(
+      g.add_bisbis(model::make_bisbis("bb2", {64, 65536, 800}, 8)).ok());
+  model::attach_sap(g, "sap2", "bb2", 0, {10000, 0.1});
+  model::attach_sap(g, "xp", "bb2", 1, {10000, 0.5});
+  return g;
+}
+
+struct Fixture {
+  std::unique_ptr<ResourceOrchestrator> ro;
+  RecordingAdapter* left = nullptr;
+  RecordingAdapter* right = nullptr;
+
+  Fixture() {
+    ro = std::make_unique<ResourceOrchestrator>(
+        "ro", std::make_shared<mapping::ChainDpMapper>(),
+        catalog::default_catalog());
+    auto l = std::make_unique<RecordingAdapter>("d1", left_view());
+    auto r = std::make_unique<RecordingAdapter>("d2", right_view());
+    left = l.get();
+    right = r.get();
+    EXPECT_TRUE(ro->add_domain(std::move(l)).ok());
+    EXPECT_TRUE(ro->add_domain(std::move(r)).ok());
+    EXPECT_TRUE(ro->initialize().ok());
+  }
+
+  /// The byte-equality criterion the hash tiers stand in for: is the
+  /// domain's current slice byte-identical to the last acknowledged push?
+  [[nodiscard]] bool byte_clean(const RecordingAdapter& adapter) const {
+    if (adapter.applied().empty()) return false;
+    return model::to_json_string(model::slice_for_domain(
+               ro->global_view(), adapter.domain())) ==
+           model::to_json_string(adapter.applied().back());
+  }
+
+  [[nodiscard]] std::uint64_t skipped() {
+    return ro->metrics().counter("ro.push.skipped_clean");
+  }
+};
+
+sg::ServiceGraph cross_domain_chain() {
+  return service::prefix_elements(
+      sg::make_chain("svc", "sap1", {"nat"}, "sap2", 10, 500), "svc");
+}
+
+TEST(HashDirtyTracking, CleanResyncSkipsEveryDomain) {
+  Fixture fx;
+  ASSERT_TRUE(fx.ro->deploy(cross_domain_chain()).ok());
+  const std::size_t left_pushes = fx.left->applied().size();
+  const std::size_t right_pushes = fx.right->applied().size();
+  ASSERT_GE(left_pushes, 1u);
+  ASSERT_GE(right_pushes, 1u);
+  // The acked slices match the view the RO pushed from.
+  EXPECT_TRUE(fx.byte_clean(*fx.left));
+  EXPECT_TRUE(fx.byte_clean(*fx.right));
+
+  // Nothing changed: the stamp fast path skips both domains and nothing
+  // reaches the adapters.
+  const std::uint64_t skipped_before = fx.skipped();
+  ASSERT_TRUE(fx.ro->resync_domains().ok());
+  EXPECT_EQ(fx.skipped(), skipped_before + 2);
+  EXPECT_EQ(fx.left->applied().size(), left_pushes);
+  EXPECT_EQ(fx.right->applied().size(), right_pushes);
+}
+
+TEST(HashDirtyTracking, StampBumpWithUnchangedContentSkipsViaHash) {
+  Fixture fx;
+  ASSERT_TRUE(fx.ro->deploy(cross_domain_chain()).ok());
+  ASSERT_TRUE(fx.ro->resync_domains().ok());
+  const std::size_t left_pushes = fx.left->applied().size();
+
+  // refresh_domain() re-reads unchanged capacities: it bumps d1's shard
+  // stamp (defeating the fast path) while leaving the slice bytes
+  // untouched — exactly the case the hash tier exists for.
+  ASSERT_TRUE(fx.ro->refresh_domain("d1").ok());
+  ASSERT_TRUE(fx.byte_clean(*fx.left));
+  const std::uint64_t skipped_before = fx.skipped();
+  ASSERT_TRUE(fx.ro->resync_domains().ok());
+  EXPECT_EQ(fx.skipped(), skipped_before + 2);
+  EXPECT_EQ(fx.left->applied().size(), left_pushes);
+
+  // The hash skip re-armed the stamp fast path: the next resync must not
+  // even pay the slice+hash for d1 (same skip counter, no push).
+  ASSERT_TRUE(fx.ro->resync_domains().ok());
+  EXPECT_EQ(fx.skipped(), skipped_before + 4);
+}
+
+TEST(HashDirtyTracking, MutationRepushesExactlyTheTouchedDomains) {
+  Fixture fx;
+  ASSERT_TRUE(fx.ro->deploy(cross_domain_chain()).ok());
+  const std::size_t left_pushes = fx.left->applied().size();
+  const std::size_t right_pushes = fx.right->applied().size();
+
+  // A chain wholly inside d1: only d1's slice changes.
+  const auto intra = service::prefix_elements(
+      sg::make_chain("svc2", "sap1", {"fw-lite"}, "sap3", 10, 500), "svc2");
+  ASSERT_TRUE(fx.ro->deploy(intra).ok());
+  EXPECT_EQ(fx.left->applied().size(), left_pushes + 1);
+  EXPECT_EQ(fx.right->applied().size(), right_pushes);
+
+  // The decision agrees with byte equality on both sides: d1's pushed
+  // slice really changed, d2's current slice still matches its last ack.
+  EXPECT_NE(model::to_json_string(fx.left->applied().back()),
+            model::to_json_string(fx.left->applied()[left_pushes - 1]));
+  EXPECT_TRUE(fx.byte_clean(*fx.right));
+  EXPECT_TRUE(fx.byte_clean(*fx.left));
+}
+
+}  // namespace
+}  // namespace unify::core

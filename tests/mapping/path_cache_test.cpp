@@ -37,26 +37,36 @@ ServiceGraph chain(double bw, double delay = 1000) {
 }
 
 /// Reference distance computed from scratch over the context's live
-/// substrate copy (fresh index, EdgeScanFn engine, no cache).
+/// residuals (base minus overlay reservations): same masking and weights
+/// the Context's own scan uses, but through the type-erased engine with no
+/// cache in the loop.
 double fresh_distance(const Context& ctx, const std::string& from,
                       const std::string& to, double min_bw) {
   if (from == to) return 0;
-  const model::TopologyIndex index(ctx.work());
+  const model::TopologyIndex& index = ctx.index();
   const auto from_id = index.node_of(from);
   const auto to_id = index.node_of(to);
   if (from_id == graph::kInvalidId || to_id == graph::kInvalidId) {
     return graph::kInf;
   }
-  const auto path =
-      graph::shortest_path(index.graph().node_capacity(), from_id, to_id,
-                           index.scan_by_delay(min_bw));
+  const graph::EdgeScanFn scan = [&](graph::NodeId node,
+                                     const graph::EdgeVisitFn& visit) {
+    for (const graph::EdgeId e : index.graph().out_edges(node)) {
+      if (ctx.residual_bandwidth(e) < min_bw) continue;
+      const auto& edge = index.graph().edge(e);
+      visit(e, edge.to, model::TopologyIndex::edge_weight(edge.data));
+    }
+  };
+  const auto path = graph::shortest_path(index.graph().node_capacity(),
+                                         from_id, to_id, scan);
   return path.has_value() ? path->cost : graph::kInf;
 }
 
 TEST(PathCache, RepeatedDistanceHitsCache) {
   const catalog::NfCatalog cat = catalog::default_catalog();
   const ServiceGraph sg = chain(100);
-  Context ctx(sg, line_substrate(1000), cat);
+  const Nffg substrate = line_substrate(1000);
+  Context ctx(sg, substrate, cat);
 
   const double first = ctx.distance("sap1", "sap2", 100);
   EXPECT_EQ(ctx.path_cache_stats().misses, 1u);
@@ -72,7 +82,8 @@ TEST(PathCache, RepeatedDistanceHitsCache) {
 TEST(PathCache, RouteConsumesEntryCachedByDistance) {
   const catalog::NfCatalog cat = catalog::default_catalog();
   const ServiceGraph sg = chain(100);
-  Context ctx(sg, line_substrate(1000), cat);
+  const Nffg substrate = line_substrate(1000);
+  Context ctx(sg, substrate, cat);
   ASSERT_TRUE(ctx.place("firewall0", "bb2").ok());
 
   // Mapper-style probing warms the cache with exactly the (src, dst, bw)
@@ -90,7 +101,8 @@ TEST(PathCache, RouteInvalidatesEntriesCrossingReservedLinks) {
   // Chain bandwidth 600 on 1000 Mbit/s links: one routed chain leaves 400,
   // so a 600 Mbit/s probe flips from reachable to unreachable.
   const ServiceGraph sg = chain(600);
-  Context ctx(sg, line_substrate(1000), cat);
+  const Nffg substrate = line_substrate(1000);
+  Context ctx(sg, substrate, cat);
   ASSERT_TRUE(ctx.place("firewall0", "bb2").ok());
 
   EXPECT_LT(ctx.distance("sap1", "sap2", 600), graph::kInf);
@@ -105,7 +117,8 @@ TEST(PathCache, RouteInvalidatesEntriesCrossingReservedLinks) {
 TEST(PathCache, UnrouteInvalidatesEntriesAboveReleasedResidual) {
   const catalog::NfCatalog cat = catalog::default_catalog();
   const ServiceGraph sg = chain(600);
-  Context ctx(sg, line_substrate(1000), cat);
+  const Nffg substrate = line_substrate(1000);
+  Context ctx(sg, substrate, cat);
   ASSERT_TRUE(ctx.place("firewall0", "bb2").ok());
   ASSERT_TRUE(ctx.route_all().ok());
 
@@ -132,7 +145,8 @@ TEST(PathCache, UnrouteInvalidatesEntriesAboveReleasedResidual) {
 TEST(PathCache, UnrouteSurvivesUnknownSgLink) {
   const catalog::NfCatalog cat = catalog::default_catalog();
   const ServiceGraph sg = chain(100);
-  Context ctx(sg, line_substrate(1000), cat);
+  const Nffg substrate = line_substrate(1000);
+  Context ctx(sg, substrate, cat);
   // Unrouting something never routed (or not an SG link at all) is a no-op.
   ctx.unroute("no-such-link");
   SUCCEED();
@@ -141,7 +155,8 @@ TEST(PathCache, UnrouteSurvivesUnknownSgLink) {
 TEST(PathCache, PublishesCounters) {
   const catalog::NfCatalog cat = catalog::default_catalog();
   const ServiceGraph sg = chain(100);
-  Context ctx(sg, line_substrate(1000), cat);
+  const Nffg substrate = line_substrate(1000);
+  Context ctx(sg, substrate, cat);
   (void)ctx.distance("sap1", "sap2", 100);
   (void)ctx.distance("sap1", "sap2", 100);
 

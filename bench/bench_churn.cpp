@@ -1,0 +1,98 @@
+// E12 — sustained churn through the admission lifecycle (DESIGN.md §12).
+//
+// Each iteration replays a seeded scenario (Poisson arrivals, heavy-tailed
+// lifetimes, optional flash crowd / maintenance / migration storm) through
+// a fresh ChurnStack via run_churn — the same driver the `-L churn` soak
+// uses — so the numbers reflect the full path: admission queue -> wave
+// dispatch -> merged edit-config -> virtualizer -> RO embed -> domain push.
+// Series: wall time per scenario vs arrival rate and disruption mix;
+// counters: p50/p99 admission latency (sim time from enqueue to deploy),
+// shed rate, and peak occupancy (concurrently deployed services).
+#include <benchmark/benchmark.h>
+
+#include "service/churn_driver.h"
+
+namespace {
+
+using namespace unify;
+
+infra::churn::ScenarioSpec base_spec(double rate_hz) {
+  infra::churn::ScenarioSpec spec;
+  spec.horizon_us = 30'000'000;  // 30 sim-seconds per iteration
+  spec.arrival_rate_hz = rate_hz;
+  spec.lifetime_min_s = 2.0;
+  spec.lifetime_cap_s = 30.0;
+  return spec;
+}
+
+service::AdmissionPolicy bench_policy() {
+  service::AdmissionPolicy policy;
+  policy.queue_capacity = 128;
+  policy.max_wave = 32;
+  return policy;
+}
+
+void report(benchmark::State& state, const service::ChurnRunReport& totals,
+            std::size_t runs) {
+  const double n = static_cast<double>(runs);
+  state.counters["adm_p50_ms"] = totals.adm_latency_p50_ms / n;
+  state.counters["adm_p99_ms"] = totals.adm_latency_p99_ms / n;
+  state.counters["shed_rate"] = totals.shed_rate / n;
+  state.counters["peak_occupancy"] = static_cast<double>(totals.peak_deployed);
+  state.counters["arrivals_per_iter"] =
+      static_cast<double>(totals.arrivals) / n;
+}
+
+void run_scenario(benchmark::State& state,
+                  const infra::churn::ScenarioSpec& spec) {
+  service::ChurnRunReport totals;
+  std::uint64_t seed = 1;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    service::ChurnStack stack(3, bench_policy());
+    const service::ChurnRunReport run = run_churn(stack, spec, seed++);
+    ++runs;
+    totals.arrivals += run.arrivals;
+    totals.adm_latency_p50_ms += run.adm_latency_p50_ms;
+    totals.adm_latency_p99_ms += run.adm_latency_p99_ms;
+    totals.shed_rate += run.shed_rate;
+    totals.peak_deployed = std::max(totals.peak_deployed, run.peak_deployed);
+    benchmark::DoNotOptimize(run.signature.size());
+  }
+  if (runs > 0) report(state, totals, runs);
+}
+
+/// Baseline: homogeneous Poisson arrivals, no disruptions — the steady
+/// load the admission path sees most of the time.
+void BM_SteadyChurn(benchmark::State& state) {
+  run_scenario(state, base_spec(static_cast<double>(state.range(0))));
+}
+
+/// Overload: a 4x flash crowd mid-run forces the queue bound and the
+/// deadline shed path to do real work.
+void BM_FlashCrowdChurn(benchmark::State& state) {
+  infra::churn::ScenarioSpec spec =
+      base_spec(static_cast<double>(state.range(0)));
+  spec.flash_crowds.push_back({10'000'000, 5'000'000, 4.0});
+  run_scenario(state, spec);
+}
+
+/// Disruption: rolling maintenance plus a migration storm — postpone
+/// parking, heal-class priority dispatch and re-embedding all on the path.
+void BM_MaintenanceStormChurn(benchmark::State& state) {
+  infra::churn::ScenarioSpec spec =
+      base_spec(static_cast<double>(state.range(0)));
+  infra::churn::add_rolling_maintenance(spec, 8'000'000, 3'000'000,
+                                        5'000'000);
+  spec.storms.push_back({24'000'000, 0.3});
+  run_scenario(state, spec);
+}
+
+BENCHMARK(BM_SteadyChurn)->Arg(10)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FlashCrowdChurn)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MaintenanceStormChurn)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -202,4 +202,22 @@ bool HealthManager::any_open() const noexcept {
   return false;
 }
 
+bool HealthManager::any_unhealthy() const noexcept {
+  for (const DomainRecord& rec : records_) {
+    if (rec.health != DomainHealth::kHealthy) return true;
+  }
+  return false;
+}
+
+std::uint64_t HealthManager::state_fingerprint() const noexcept {
+  // FNV-1a over the state sequence: position-sensitive, and all-healthy
+  // always maps to the same value so callers can cache "nothing wrong".
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const DomainRecord& rec : records_) {
+    h ^= static_cast<std::uint64_t>(rec.health);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 }  // namespace unify::core

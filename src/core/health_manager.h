@@ -150,6 +150,16 @@ class HealthManager {
   /// Indices whose circuit is open (down or probing), ascending.
   [[nodiscard]] std::vector<std::size_t> open_circuits() const;
   [[nodiscard]] bool any_open() const noexcept;
+  /// True when any domain is not kHealthy (degraded counts, unlike
+  /// any_open): the layer above parks capacity-starved requests only while
+  /// the substrate below is actually impaired.
+  [[nodiscard]] bool any_unhealthy() const noexcept;
+  /// Order-sensitive digest of the per-domain health STATES (not the
+  /// generations): changes exactly when some domain transitions, stays put
+  /// across mere observations. Admission layers stamp parked requests with
+  /// it and retry them when it moves — "a domain was readmitted (or died),
+  /// re-evaluate" — without coupling to this manager's internals.
+  [[nodiscard]] std::uint64_t state_fingerprint() const noexcept;
   [[nodiscard]] const HealthPolicy& policy() const noexcept { return policy_; }
 
  private:

@@ -1,0 +1,211 @@
+#include "infra/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unify::infra::churn {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kArrival:          return "arrival";
+    case EventKind::kDeparture:        return "departure";
+    case EventKind::kMigrate:          return "migrate";
+    case EventKind::kMaintenanceBegin: return "maintenance_begin";
+    case EventKind::kMaintenanceEnd:   return "maintenance_end";
+  }
+  return "unknown";
+}
+
+void add_rolling_maintenance(ScenarioSpec& spec, SimTime first_at,
+                             SimTime window_us, SimTime stagger_us) {
+  for (int d = 0; d < spec.n_domains; ++d) {
+    spec.maintenance.push_back(ScenarioSpec::Maintenance{
+        first_at + static_cast<SimTime>(d) * stagger_us, window_us, d});
+  }
+}
+
+ChurnEngine::ChurnEngine(ScenarioSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+  for (const ScenarioSpec::Maintenance& window : spec_.maintenance) {
+    Event begin;
+    begin.at = window.at;
+    begin.kind = EventKind::kMaintenanceBegin;
+    begin.domain = window.domain;
+    push(window.at, begin);
+    Event end;
+    end.at = window.at + window.duration_us;
+    end.kind = EventKind::kMaintenanceEnd;
+    end.domain = window.domain;
+    push(end.at, end);
+  }
+  // Storms are NOT pushed here: their fan-out depends on the live
+  // population at storm time, so they expand lazily in next().
+  std::sort(spec_.storms.begin(), spec_.storms.end(),
+            [](const ScenarioSpec::MigrationStorm& a,
+               const ScenarioSpec::MigrationStorm& b) { return a.at < b.at; });
+  schedule_next_arrival();
+}
+
+double ChurnEngine::rate_at(SimTime t) const noexcept {
+  double rate = spec_.arrival_rate_hz;
+  for (const ScenarioSpec::FlashCrowd& crowd : spec_.flash_crowds) {
+    if (t >= crowd.at && t < crowd.at + crowd.duration_us) {
+      rate *= crowd.multiplier;
+    }
+  }
+  return rate;
+}
+
+double ChurnEngine::peak_rate() const noexcept {
+  // Majorant for the thinning step: the product of every boost is an upper
+  // bound on rate_at() even when flash-crowd windows overlap.
+  double peak = spec_.arrival_rate_hz;
+  for (const ScenarioSpec::FlashCrowd& crowd : spec_.flash_crowds) {
+    if (crowd.multiplier > 1) peak *= crowd.multiplier;
+  }
+  return peak;
+}
+
+void ChurnEngine::push(SimTime at, Event event) {
+  queue_.push(Pending{at, seq_++, std::move(event)});
+}
+
+ChainSpec ChurnEngine::random_chain() {
+  ChainSpec chain;
+  chain.src_sap = static_cast<int>(rng_.next_below(
+      static_cast<std::uint64_t>(spec_.n_saps)));
+  // A distinct destination without rejection sampling (determinism is
+  // easier to reason about when every draw consumes exactly one value).
+  chain.dst_sap = static_cast<int>(
+      (static_cast<std::uint64_t>(chain.src_sap) + 1 +
+       rng_.next_below(static_cast<std::uint64_t>(spec_.n_saps - 1))) %
+      static_cast<std::uint64_t>(spec_.n_saps));
+  const int length = static_cast<int>(
+      rng_.next_int(spec_.chain_min, spec_.chain_max));
+  chain.nf_types.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    chain.nf_types.push_back(static_cast<int>(
+        rng_.next_below(static_cast<std::uint64_t>(spec_.nf_pool))));
+  }
+  chain.bandwidth = rng_.next_double(spec_.bandwidth_min, spec_.bandwidth_max);
+  chain.max_delay_ms = spec_.max_delay_ms;
+  return chain;
+}
+
+SimTime ChurnEngine::random_lifetime_us() {
+  // Bounded Pareto by inversion: heavy tail (most services are short, a
+  // few run two orders of magnitude longer), finite worst case so the
+  // live population stays bounded.
+  const double lo = spec_.lifetime_min_s;
+  const double hi = spec_.lifetime_cap_s;
+  const double alpha = spec_.lifetime_alpha;
+  const double u = rng_.next_double();
+  const double ratio = std::pow(lo / hi, alpha);
+  const double x = lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha);
+  return static_cast<SimTime>(std::llround(x * 1e6));
+}
+
+void ChurnEngine::schedule_next_arrival() {
+  if (spec_.arrival_rate_hz <= 0) return;
+  const double peak = peak_rate();
+  SimTime t = arrival_cursor_;
+  // Lewis thinning: candidates at the peak rate, accepted with probability
+  // rate(t)/peak — an exact non-homogeneous Poisson process, deterministic
+  // because every candidate consumes exactly two draws.
+  while (t <= spec_.horizon_us) {
+    const double gap_s = -std::log(1.0 - rng_.next_double()) / peak;
+    t += std::max<SimTime>(1, static_cast<SimTime>(std::llround(gap_s * 1e6)));
+    if (t > spec_.horizon_us) break;
+    if (rng_.next_double() * peak <= rate_at(t)) {
+      arrival_cursor_ = t;
+      Event arrival;
+      arrival.at = t;
+      arrival.kind = EventKind::kArrival;
+      arrival.service_id = "c" + std::to_string(next_service_++);
+      arrival.chain = random_chain();
+      arrival.deadline =
+          t + static_cast<SimTime>(std::llround(
+                  rng_.next_double(spec_.deadline_min_s, spec_.deadline_max_s) *
+                  1e6));
+      push(t, std::move(arrival));
+      return;
+    }
+  }
+  arrival_cursor_ = spec_.horizon_us + 1;
+}
+
+void ChurnEngine::expand_storm(const ScenarioSpec::MigrationStorm& storm) {
+  const std::size_t count = static_cast<std::size_t>(
+      static_cast<double>(live_ids_.size()) * storm.fraction);
+  // Sample without replacement from the live population, deterministically.
+  std::vector<std::size_t> candidates(live_ids_.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng_.next_below(candidates.size()));
+    const std::size_t index = candidates[pick];
+    candidates[pick] = candidates.back();
+    candidates.pop_back();
+    Event migrate;
+    migrate.at = storm.at;
+    migrate.kind = EventKind::kMigrate;
+    migrate.service_id = live_ids_[index];
+    migrate.chain = live_chains_[index];
+    migrate.deadline =
+        storm.at + static_cast<SimTime>(std::llround(
+                       rng_.next_double(spec_.deadline_min_s,
+                                        spec_.deadline_max_s) *
+                       1e6));
+    push(storm.at, std::move(migrate));
+  }
+}
+
+std::optional<Event> ChurnEngine::next() {
+  for (;;) {
+    // A storm due before (or at) the next event expands first: everything
+    // that shapes the live population up to storm.at has already been
+    // emitted, and the pushed kMigrate events sort ahead of the current
+    // queue top (their timestamp is earlier).
+    while (next_storm_ < spec_.storms.size() &&
+           (queue_.empty() ||
+            queue_.top().at >= spec_.storms[next_storm_].at)) {
+      expand_storm(spec_.storms[next_storm_]);
+      ++next_storm_;
+    }
+    if (queue_.empty()) return std::nullopt;
+    if (queue_.top().at > spec_.horizon_us) return std::nullopt;
+    Pending top = queue_.top();
+    queue_.pop();
+    switch (top.event.kind) {
+      case EventKind::kArrival: {
+        ++arrivals_;
+        live_ids_.push_back(top.event.service_id);
+        live_chains_.push_back(top.event.chain);
+        Event departure;
+        departure.kind = EventKind::kDeparture;
+        departure.service_id = top.event.service_id;
+        departure.at = top.at + random_lifetime_us();
+        push(departure.at, std::move(departure));
+        schedule_next_arrival();
+        break;
+      }
+      case EventKind::kDeparture: {
+        for (std::size_t i = 0; i < live_ids_.size(); ++i) {
+          if (live_ids_[i] == top.event.service_id) {
+            live_ids_[i] = std::move(live_ids_.back());
+            live_ids_.pop_back();
+            live_chains_[i] = std::move(live_chains_.back());
+            live_chains_.pop_back();
+            break;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return top.event;
+  }
+}
+
+}  // namespace unify::infra::churn

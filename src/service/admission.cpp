@@ -1,0 +1,93 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+namespace unify::service {
+
+const char* to_string(AdmissionClass klass) noexcept {
+  switch (klass) {
+    case AdmissionClass::kNew:     return "new";
+    case AdmissionClass::kReembed: return "reembed";
+    case AdmissionClass::kHeal:    return "heal";
+  }
+  return "unknown";
+}
+
+bool dispatch_before(const AdmissionEntry& a, const AdmissionEntry& b) noexcept {
+  if (a.klass != b.klass) {
+    return static_cast<int>(a.klass) > static_cast<int>(b.klass);
+  }
+  // Earliest deadline first; "no deadline" is infinitely patient.
+  const bool a_dl = a.deadline != 0, b_dl = b.deadline != 0;
+  if (a_dl != b_dl) return a_dl;
+  if (a_dl && a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.seq < b.seq;
+}
+
+AdmissionQueue::PushResult AdmissionQueue::push(AdmissionEntry entry) {
+  PushResult result;
+  if (entries_.size() >= capacity_) {
+    // The tail entry is the lowest-priority work we hold. Displace it only
+    // when the newcomer strictly outranks it by CLASS — deadlines and
+    // arrival order never justify shedding already-accepted work.
+    if (entries_.empty() || entries_.back().klass >= entry.klass) {
+      result.outcome = PushOutcome::kRejected;
+      return result;
+    }
+    result.outcome = PushOutcome::kDisplaced;
+    result.displaced = std::move(entries_.back());
+    entries_.pop_back();
+  }
+  const auto at = std::upper_bound(entries_.begin(), entries_.end(), entry,
+                                   [](const AdmissionEntry& a,
+                                      const AdmissionEntry& b) {
+                                     return dispatch_before(a, b);
+                                   });
+  entries_.insert(at, std::move(entry));
+  return result;
+}
+
+std::size_t AdmissionQueue::shed_expired(SimTime now, SimTime margin,
+                                         std::vector<AdmissionEntry>& shed) {
+  std::size_t count = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->deadline != 0 && it->deadline <= now + margin) {
+      shed.push_back(std::move(*it));
+      it = entries_.erase(it);
+      ++count;
+    } else {
+      ++it;
+    }
+  }
+  return count;
+}
+
+std::vector<AdmissionEntry> AdmissionQueue::pop_wave(std::size_t max_wave) {
+  const std::size_t take = std::min(max_wave, entries_.size());
+  std::vector<AdmissionEntry> wave;
+  wave.reserve(take);
+  std::move(entries_.begin(), entries_.begin() + static_cast<long>(take),
+            std::back_inserter(wave));
+  entries_.erase(entries_.begin(), entries_.begin() + static_cast<long>(take));
+  return wave;
+}
+
+std::optional<AdmissionEntry> AdmissionQueue::erase(const std::string& id) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->graph.id() == id) {
+      AdmissionEntry out = std::move(*it);
+      entries_.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+bool AdmissionQueue::contains(const std::string& id) const noexcept {
+  for (const AdmissionEntry& entry : entries_) {
+    if (entry.graph.id() == id) return true;
+  }
+  return false;
+}
+
+}  // namespace unify::service

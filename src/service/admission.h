@@ -1,0 +1,106 @@
+// Bounded admission queue for the service layer's request lifecycle
+// (DESIGN.md §12).
+//
+// Production traffic cannot be admitted unconditionally: the queue bounds
+// how much work the layer will hold, orders it by priority class (healing
+// and re-embed traffic outranks new arrivals — a stranded tenant beats a
+// prospective one), and sheds deterministically when either the bound or a
+// request's admission deadline is hit. The graft-ng status idiom
+// (Ok/Again/Busy/Postpone/Drop/Stop) maps onto the service layer's request
+// states: Busy -> shed on a full queue, Drop -> shed on an expired
+// deadline, Postpone -> parked on a degraded substrate, Again -> retried
+// after a health transition below.
+//
+// Plain single-threaded bookkeeping, like the rest of the service layer:
+// waves fan out on the orchestration pool *below* this queue.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sg/service_graph.h"
+#include "util/sim_clock.h"
+
+namespace unify::service {
+
+/// Priority classes, ascending urgency. Heal/re-embed traffic (an already
+/// admitted tenant that lost capacity) outranks elastic updates, which
+/// outrank brand-new arrivals.
+enum class AdmissionClass : int { kNew = 0, kReembed = 1, kHeal = 2 };
+[[nodiscard]] const char* to_string(AdmissionClass klass) noexcept;
+
+/// Caller-facing knobs for one enqueue().
+struct AdmissionOptions {
+  AdmissionClass klass = AdmissionClass::kNew;
+  /// Absolute sim-time by which the request must have been dispatched;
+  /// past it the request is shed, never deployed late. 0 = no deadline.
+  SimTime deadline = 0;
+};
+
+/// One queued (or parked) request with its admission bookkeeping.
+struct AdmissionEntry {
+  sg::ServiceGraph graph;
+  AdmissionClass klass = AdmissionClass::kNew;
+  SimTime enqueued_at = 0;
+  SimTime deadline = 0;  ///< absolute; 0 = none
+  std::uint64_t seq = 0;  ///< arrival order, the final tie-break
+};
+
+/// Strict-weak dispatch order: higher class first, then earlier deadline
+/// (no deadline sorts last within its class), then arrival order.
+[[nodiscard]] bool dispatch_before(const AdmissionEntry& a,
+                                   const AdmissionEntry& b) noexcept;
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  enum class PushOutcome {
+    kAccepted,   ///< queued (queue had room)
+    kDisplaced,  ///< queued; a strictly lower-class entry was shed to make room
+    kRejected,   ///< full of same-or-higher-class work: the newcomer is shed
+  };
+  struct PushResult {
+    PushOutcome outcome = PushOutcome::kAccepted;
+    /// The entry shed to make room, when outcome == kDisplaced.
+    std::optional<AdmissionEntry> displaced;
+  };
+
+  /// Admits `entry` under the capacity bound. A full queue sheds work
+  /// rather than growing: the lowest-priority tail entry is displaced when
+  /// the newcomer strictly outranks it (by class), otherwise the newcomer
+  /// itself is rejected — overload never evicts more urgent work.
+  PushResult push(AdmissionEntry entry);
+
+  /// Moves every entry whose deadline lies at or before `now + margin`
+  /// into `shed`: they could no longer be dispatched AND deployed in time,
+  /// so they are dropped before they violate their SLO (shed-before-
+  /// deadline-violation). Returns the number shed.
+  std::size_t shed_expired(SimTime now, SimTime margin,
+                           std::vector<AdmissionEntry>& shed);
+
+  /// Pops up to `max_wave` entries in dispatch order.
+  std::vector<AdmissionEntry> pop_wave(std::size_t max_wave);
+
+  /// Removes the queued entry for `id` (a cancel / removal of a request
+  /// that never dispatched). Returns it when present.
+  std::optional<AdmissionEntry> erase(const std::string& id);
+  [[nodiscard]] bool contains(const std::string& id) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Rebinds the bound. Entries already over a shrunk bound stay queued —
+  /// the bound gates push(), it never drops accepted work retroactively.
+  void set_capacity(std::size_t capacity) noexcept { capacity_ = capacity; }
+
+ private:
+  /// Kept sorted by dispatch_before; capacity bounds it, so the linear
+  /// insert is cheap and the order is trivially deterministic.
+  std::vector<AdmissionEntry> entries_;
+  std::size_t capacity_;
+};
+
+}  // namespace unify::service

@@ -12,10 +12,14 @@ namespace unify::service {
 
 const char* to_string(RequestState state) noexcept {
   switch (state) {
-    case RequestState::kDeployed: return "deployed";
-    case RequestState::kDegraded: return "degraded";
-    case RequestState::kFailed:   return "failed";
-    case RequestState::kRemoved:  return "removed";
+    case RequestState::kQueued:    return "queued";
+    case RequestState::kAdmitted:  return "admitted";
+    case RequestState::kPostponed: return "postponed";
+    case RequestState::kShed:      return "shed";
+    case RequestState::kDeployed:  return "deployed";
+    case RequestState::kDegraded:  return "degraded";
+    case RequestState::kFailed:    return "failed";
+    case RequestState::kRemoved:   return "removed";
   }
   return "unknown";
 }
@@ -323,9 +327,11 @@ std::vector<Result<std::string>> ServiceLayer::submit_batch(
   }
 
   // Phase 3 — the wave contains at least one poisonous request. Withdraw
-  // it entirely, restore the pre-batch configuration, then commit the
-  // admitted requests one by one in request order: each gets submit()'s
-  // per-request rollback, so its batch-mates deploy regardless.
+  // it entirely, restore the pre-batch configuration, then BISECT: merged
+  // half-waves committed in request order isolate the poison in
+  // O(bad * log n) pushes instead of a full per-request sequential replay,
+  // with per-request outcomes (and final state, byte for byte) exactly
+  // what a sequential submit() loop would produce.
   metrics_.add("service.batch.wave_fallbacks");
   const Error wave_error = pushed_wave.error();
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -333,8 +339,8 @@ std::vector<Result<std::string>> ServiceLayer::submit_batch(
   }
   if (const auto restore = push_config(); !restore.ok()) {
     // The pre-batch config did not come back: every admitted request fails
-    // with the rollback context instead of entering the sequential
-    // fallback against a data plane in an unknown state.
+    // with the rollback context instead of entering the bisection fallback
+    // against a data plane in an unknown state.
     const Error failure =
         rollback_failed("batch wave", wave_error, restore.error());
     for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -343,15 +349,311 @@ std::vector<Result<std::string>> ServiceLayer::submit_batch(
     metrics_.add("service.batch.rolled_back", admitted_count);
     return finish();
   }
-  std::size_t committed = 0, rolled_back = 0;
+  std::vector<std::size_t> admitted_indices;
+  admitted_indices.reserve(admitted_count);
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    if (!admitted[i]) continue;
-    results[i] = commit_one(requests[i]);
-    ++(results[i].ok() ? committed : rolled_back);
+    if (admitted[i]) admitted_indices.push_back(i);
+  }
+  std::size_t committed = 0, rolled_back = 0;
+  if (!commit_wave_bisect(requests, admitted_indices, results, committed,
+                          rolled_back)) {
+    // A restore push failed mid-bisection: everything not yet decided
+    // fails with the divergence context instead of committing against a
+    // data plane in an unknown state.
+    const Error aborted{ErrorCode::kRollbackFailed,
+                        "batch aborted: a restore push failed mid-fallback "
+                        "(data plane may diverge from the service books)"};
+    for (const std::size_t i : admitted_indices) {
+      if (!results[i].ok() && results[i].error().code == ErrorCode::kInternal) {
+        results[i] = aborted;
+        ++rolled_back;
+      }
+    }
   }
   metrics_.add("service.batch.committed", committed);
   metrics_.add("service.batch.rolled_back", rolled_back);
   return finish();
+}
+
+bool ServiceLayer::commit_wave_bisect(
+    const std::vector<sg::ServiceGraph>& requests,
+    const std::vector<std::size_t>& indices,
+    std::vector<Result<std::string>>& results, std::size_t& committed,
+    std::size_t& rolled_back) {
+  // Precondition: a merged push of `indices` as one wave has already
+  // failed and the pre-wave configuration is restored — go straight to
+  // the ordered halves (re-probing the whole set would always fail again).
+  if (indices.size() == 1) {
+    const std::size_t i = indices.front();
+    results[i] = commit_one(requests[i]);
+    ++(results[i].ok() ? committed : rolled_back);
+    return true;
+  }
+  const std::size_t half = indices.size() / 2;
+  const std::vector<std::size_t> halves[2] = {
+      {indices.begin(), indices.begin() + static_cast<long>(half)},
+      {indices.begin() + static_cast<long>(half), indices.end()}};
+  for (const std::vector<std::size_t>& part : halves) {
+    if (part.size() == 1) {
+      const std::size_t i = part.front();
+      results[i] = commit_one(requests[i]);
+      ++(results[i].ok() ? committed : rolled_back);
+      continue;
+    }
+    // Optimistic merged push of this half on top of the committed state so
+    // far (the same commit point a sequential loop would have reached).
+    metrics_.add("service.batch.bisect_probes");
+    for (const std::size_t i : part) {
+      requests_.emplace(requests[i].id(),
+                        ServiceRequest{requests[i].id(), requests[i],
+                                       RequestState::kDeployed, ""});
+    }
+    const auto pushed = push_config();
+    if (pushed.ok()) {
+      for (const std::size_t i : part) results[i] = requests[i].id();
+      committed += part.size();
+      metrics_.add("service.batch.bisect_waves");
+      continue;
+    }
+    // Withdraw the half, restore, recurse.
+    const Error part_error = pushed.error();
+    for (const std::size_t i : part) requests_.erase(requests[i].id());
+    if (const auto restore = push_config(); !restore.ok()) {
+      const Error failure =
+          rollback_failed("batch wave", part_error, restore.error());
+      for (const std::size_t i : part) results[i] = failure;
+      rolled_back += part.size();
+      return false;
+    }
+    if (!commit_wave_bisect(requests, part, results, committed,
+                            rolled_back)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ServiceLayer::record_outcome(const AdmissionEntry& entry,
+                                  RequestState state, std::string error) {
+  ServiceRequest& request = requests_[entry.graph.id()];
+  request.id = entry.graph.id();
+  request.graph = entry.graph;
+  request.state = state;
+  request.error = std::move(error);
+}
+
+bool ServiceLayer::should_postpone(const Error& error,
+                                   const BelowHealth& below) const {
+  // Transient transport failures always park: the substrate answered
+  // nothing, not "no". Capacity/feasibility failures park only while the
+  // health source says the substrate is impaired — masked-out capacity may
+  // come back with the domain; on a healthy substrate the same answer is
+  // final.
+  if (error.code == ErrorCode::kUnavailable ||
+      error.code == ErrorCode::kTimeout) {
+    return true;
+  }
+  if (!below.impaired) return false;
+  return error.code == ErrorCode::kInfeasible ||
+         error.code == ErrorCode::kResourceExhausted ||
+         error.code == ErrorCode::kRejected;
+}
+
+Result<void> ServiceLayer::enqueue(const sg::ServiceGraph& request,
+                                   SimTime now,
+                                   const AdmissionOptions& options) {
+  if (request.id().empty()) {
+    return Error{ErrorCode::kInvalidArgument, "service graph needs an id"};
+  }
+  if (const auto it = requests_.find(request.id()); it != requests_.end()) {
+    switch (it->second.state) {
+      case RequestState::kQueued:
+      case RequestState::kAdmitted:
+      case RequestState::kPostponed:
+      case RequestState::kDeployed:
+      case RequestState::kDegraded:
+        return Error{ErrorCode::kAlreadyExists, "request " + request.id()};
+      case RequestState::kShed:
+      case RequestState::kFailed:
+      case RequestState::kRemoved:
+        requests_.erase(it);  // terminal ids may be reused
+    }
+  }
+  metrics_.add("service.admission.enqueued");
+  AdmissionEntry entry{request, options.klass, now, options.deadline,
+                       admission_seq_++};
+  auto pushed = queue_.push(entry);
+  if (pushed.outcome == AdmissionQueue::PushOutcome::kRejected) {
+    metrics_.add("service.admission.shed_queue_full");
+    record_outcome(entry, RequestState::kShed,
+                   "shed: admission queue full (" +
+                       std::to_string(queue_.capacity()) + ")");
+    return Error{ErrorCode::kResourceExhausted,
+                 "admission queue full, request " + request.id() + " shed"};
+  }
+  if (pushed.displaced.has_value()) {
+    metrics_.add("service.admission.shed_displaced");
+    record_outcome(*pushed.displaced, RequestState::kShed,
+                   "shed: displaced by " + request.id() + " (" +
+                       std::string(to_string(entry.klass)) + " class)");
+  }
+  record_outcome(entry, RequestState::kQueued, "");
+  return Result<void>::success();
+}
+
+PumpReport ServiceLayer::pump(SimTime now) {
+  ++pump_count_;
+  PumpReport report;
+  const BelowHealth below =
+      health_source_ ? health_source_() : BelowHealth{};
+
+  // 1. Parked requests: a health transition below (readmission — or a
+  //    further kill, either way the world changed) re-queues everything;
+  //    the pump-count backstop re-queues long-parked entries even without
+  //    a health source. Deadlines keep ticking while parked.
+  std::vector<Parked> keep;
+  keep.reserve(parked_.size());
+  for (Parked& parked : parked_) {
+    const std::string id = parked.entry.graph.id();
+    if (parked.entry.deadline != 0 &&
+        parked.entry.deadline <= now + admission_.dispatch_margin_us) {
+      metrics_.add("service.admission.shed_deadline");
+      record_outcome(parked.entry, RequestState::kShed,
+                     "shed: deadline expired while parked");
+      ++report.shed;
+      continue;
+    }
+    const bool transitioned =
+        health_source_ && parked.fingerprint != below.fingerprint;
+    const bool backstop =
+        admission_.postpone_retry_pumps > 0 &&
+        pump_count_ - parked.parked_at_pump >=
+            static_cast<std::uint64_t>(admission_.postpone_retry_pumps);
+    if (!transitioned && !backstop) {
+      keep.push_back(std::move(parked));
+      continue;
+    }
+    auto pushed = queue_.push(parked.entry);
+    if (pushed.outcome == AdmissionQueue::PushOutcome::kRejected) {
+      metrics_.add("service.admission.shed_queue_full");
+      record_outcome(parked.entry, RequestState::kShed,
+                     "shed: queue full at readmission retry");
+      ++report.shed;
+      continue;
+    }
+    if (pushed.displaced.has_value()) {
+      metrics_.add("service.admission.shed_displaced");
+      record_outcome(*pushed.displaced, RequestState::kShed,
+                     "shed: displaced by retried " + id);
+      ++report.shed;
+    }
+    requests_.at(id).state = RequestState::kQueued;
+    metrics_.add("service.admission.requeued");
+    ++report.requeued;
+  }
+  parked_ = std::move(keep);
+
+  // 2. Shed-before-deadline-violation: entries that could no longer be
+  //    dispatched AND land within their deadline are dropped up front.
+  std::vector<AdmissionEntry> expired;
+  queue_.shed_expired(now, admission_.dispatch_margin_us, expired);
+  for (const AdmissionEntry& entry : expired) {
+    metrics_.add("service.admission.shed_deadline");
+    record_outcome(entry, RequestState::kShed,
+                   "shed: deadline expired before dispatch");
+  }
+  report.shed += expired.size();
+
+  // 3. Dispatch one bounded wave through submit_batch (merged push with
+  //    bisection fallback — the same pipeline inline submissions ride).
+  std::vector<AdmissionEntry> wave = queue_.pop_wave(admission_.max_wave);
+  report.dispatched = wave.size();
+  if (!wave.empty()) {
+    metrics_.add("service.admission.dispatched", wave.size());
+    std::vector<sg::ServiceGraph> graphs;
+    graphs.reserve(wave.size());
+    for (const AdmissionEntry& entry : wave) {
+      requests_.at(entry.graph.id()).state = RequestState::kAdmitted;
+      graphs.push_back(entry.graph);
+    }
+    const auto results = submit_batch(graphs);
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      AdmissionEntry& entry = wave[i];
+      if (results[i].ok()) {
+        ++report.deployed;
+        metrics_.add("service.admission.deployed");
+        metrics_.observe(
+            "service.admission.latency_ms",
+            static_cast<double>(now - entry.enqueued_at) / 1000.0);
+      } else if (should_postpone(results[i].error(), below)) {
+        ++report.postponed;
+        metrics_.add("service.admission.postponed");
+        record_outcome(entry, RequestState::kPostponed,
+                       results[i].error().to_string());
+        parked_.push_back(
+            Parked{std::move(entry), below.fingerprint, pump_count_});
+      } else {
+        ++report.failed;
+        metrics_.add("service.admission.failed");
+        record_outcome(entry, RequestState::kFailed,
+                       results[i].error().to_string());
+      }
+    }
+  }
+  metrics_.set_gauge("service.admission.queue_depth",
+                     static_cast<double>(queue_.size()));
+  metrics_.set_gauge("service.admission.parked",
+                     static_cast<double>(parked_.size()));
+  return report;
+}
+
+std::vector<Result<void>> ServiceLayer::remove_batch(
+    const std::vector<std::string>& request_ids) {
+  std::vector<Result<void>> results(request_ids.size(),
+                                    Result<void>::success());
+  // index into request_ids -> state to restore on a failed push
+  std::vector<std::pair<std::size_t, RequestState>> flipped;
+  for (std::size_t i = 0; i < request_ids.size(); ++i) {
+    const std::string& id = request_ids[i];
+    const auto it = requests_.find(id);
+    if (it == requests_.end()) {
+      results[i] = Error{ErrorCode::kNotFound, "active request " + id};
+      continue;
+    }
+    switch (it->second.state) {
+      case RequestState::kQueued:
+      case RequestState::kPostponed:
+        // Cancel: never reached the substrate, no push needed.
+        (void)queue_.erase(id);
+        for (auto p = parked_.begin(); p != parked_.end(); ++p) {
+          if (p->entry.graph.id() == id) {
+            parked_.erase(p);
+            break;
+          }
+        }
+        it->second.state = RequestState::kRemoved;
+        it->second.error.clear();
+        metrics_.add("service.admission.cancelled");
+        break;
+      case RequestState::kDeployed:
+      case RequestState::kDegraded:
+        flipped.emplace_back(i, it->second.state);
+        it->second.state = RequestState::kRemoved;
+        break;
+      default:
+        results[i] = Error{ErrorCode::kNotFound, "active request " + id};
+    }
+  }
+  if (flipped.empty()) return results;
+  if (const auto pushed = push_config(); !pushed.ok()) {
+    for (const auto& [i, prior] : flipped) {
+      requests_.at(request_ids[i]).state = prior;  // keep books consistent
+      results[i] = pushed.error();
+    }
+    return results;
+  }
+  metrics_.add("service.batch.removed", flipped.size());
+  return results;
 }
 
 Result<void> ServiceLayer::update(const sg::ServiceGraph& request) {
@@ -387,6 +689,22 @@ Result<void> ServiceLayer::update(const sg::ServiceGraph& request) {
 
 Result<void> ServiceLayer::remove(const std::string& request_id) {
   const auto it = requests_.find(request_id);
+  if (it != requests_.end() &&
+      (it->second.state == RequestState::kQueued ||
+       it->second.state == RequestState::kPostponed)) {
+    // Cancel: the request never reached the substrate, no push needed.
+    (void)queue_.erase(request_id);
+    for (auto p = parked_.begin(); p != parked_.end(); ++p) {
+      if (p->entry.graph.id() == request_id) {
+        parked_.erase(p);
+        break;
+      }
+    }
+    it->second.state = RequestState::kRemoved;
+    it->second.error.clear();
+    metrics_.add("service.admission.cancelled");
+    return Result<void>::success();
+  }
   if (it == requests_.end() || !is_active(it->second.state)) {
     return Error{ErrorCode::kNotFound, "active request " + request_id};
   }

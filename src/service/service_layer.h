@@ -9,6 +9,7 @@
 // are prefixed per request ("<request>.<nf>") so services never collide.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -16,9 +17,11 @@
 #include <vector>
 
 #include "adapters/domain_adapter.h"
+#include "service/admission.h"
 #include "sg/service_graph.h"
 #include "telemetry/metrics.h"
 #include "util/result.h"
+#include "util/sim_clock.h"
 
 namespace unify::util {
 class OrchestrationPool;
@@ -26,17 +29,77 @@ class OrchestrationPool;
 
 namespace unify::service {
 
+/// Request lifecycle (DESIGN.md §12). The happy path is
+/// kQueued -> kAdmitted -> kDeployed -> kRemoved; overload and failure add
+///
+///   kQueued ----(deadline passed / displaced)----> kShed        (terminal)
+///   kAdmitted --(transient substrate failure)----> kPostponed --> kQueued
+///   kAdmitted --(validation / infeasible)--------> kFailed      (id reusable)
+///   kDeployed <-> kDegraded  (health reconciliation; kept, not torn down)
+///
 /// kDegraded = the service is still admitted (its config stays in every
 /// push, it is NOT torn down) but the layer below reports at least one of
 /// its NFs failed — typically stranded on a down domain awaiting healing.
-enum class RequestState { kDeployed, kDegraded, kFailed, kRemoved };
+/// kPostponed = parked: the substrate below is impaired, the request waits
+/// for a health transition (readmission) instead of burning retries.
+enum class RequestState {
+  kQueued,     ///< waiting in the bounded admission queue
+  kAdmitted,   ///< popped from the queue, wave commit in flight
+  kPostponed,  ///< parked on a degraded substrate, retried on readmission
+  kShed,       ///< dropped by admission control (queue bound or deadline)
+  kDeployed,
+  kDegraded,
+  kFailed,
+  kRemoved,
+};
 [[nodiscard]] const char* to_string(RequestState state) noexcept;
 
 struct ServiceRequest {
   std::string id;
   sg::ServiceGraph graph;
   RequestState state = RequestState::kDeployed;
-  std::string error;  ///< set when state == kFailed / kDegraded
+  std::string error;  ///< set when state == kFailed / kDegraded / kShed
+};
+
+/// Knobs of the overload-safe admission lifecycle (enqueue()/pump()).
+struct AdmissionPolicy {
+  /// Bound on queued (not yet dispatched) requests; beyond it enqueue()
+  /// sheds — lowest class first, the newcomer itself when nothing queued
+  /// ranks below it.
+  std::size_t queue_capacity = 256;
+  /// Requests dispatched per pump() as ONE submit_batch wave.
+  std::size_t max_wave = 16;
+  /// Sim-time headroom a dispatch needs to land before a deadline (covers
+  /// the southbound RPC latency): entries with deadline <= now + margin
+  /// are shed instead of dispatched (shed-before-deadline-violation).
+  SimTime dispatch_margin_us = 1000;
+  /// Without a health source, parked (kPostponed) requests re-enter the
+  /// queue after this many pump() calls. With one, they re-enter as soon
+  /// as the health fingerprint below moves (and this acts as a backstop).
+  int postpone_retry_pumps = 4;
+};
+
+/// What the admission lifecycle knows about the substrate below, fed by
+/// set_health_source() (normally wired to core::HealthManager).
+struct BelowHealth {
+  /// Changes exactly on health-state transitions below; parked requests
+  /// are retried when it moves (HealthManager::state_fingerprint()).
+  std::uint64_t fingerprint = 0;
+  /// True while any domain below is degraded/down: capacity-type failures
+  /// then park (kPostponed) instead of failing — the capacity may come
+  /// back with the domain. False = the substrate is healthy, so an
+  /// infeasible request is genuinely infeasible (kFailed).
+  bool impaired = false;
+};
+
+/// Outcome tally of one pump() pass.
+struct PumpReport {
+  std::size_t dispatched = 0;  ///< popped from the queue this pass
+  std::size_t deployed = 0;
+  std::size_t failed = 0;
+  std::size_t shed = 0;        ///< deadline-expired before dispatch
+  std::size_t postponed = 0;   ///< parked on a transient/impaired failure
+  std::size_t requeued = 0;    ///< parked requests re-entering the queue
 };
 
 class ServiceLayer {
@@ -70,11 +133,68 @@ class ServiceLayer {
   /// Returns one Result per request, index-aligned with `requests`.
   /// Telemetry: service.batch.{requests,admitted,committed,rolled_back}
   /// counters and the service.batch.wall_ms summary in metrics().
+  ///
+  /// A failed merged wave falls back by BISECTION: the admitted half-waves
+  /// are retried as merged pushes in request order, recursing into halves
+  /// until the poisonous requests are isolated as singletons — typically
+  /// O(bad * log n) pushes instead of n, with outcomes and final state
+  /// byte-identical to a sequential submit() loop (batch_golden_test).
   std::vector<Result<std::string>> submit_batch(
       const std::vector<sg::ServiceGraph>& requests);
 
+  // -- overload-safe admission lifecycle (DESIGN.md §12) -----------------
+
+  /// Places a request into the bounded admission queue (state kQueued)
+  /// instead of deploying it inline; `now` (sim-time) stamps the arrival
+  /// for the admission-latency summary. Fails with kResourceExhausted when
+  /// admission control sheds the newcomer (queue full of same-or-higher
+  /// class work; recorded as kShed), kAlreadyExists when the id is active
+  /// or already queued. Dispatch happens on the next pump().
+  Result<void> enqueue(const sg::ServiceGraph& request, SimTime now,
+                       const AdmissionOptions& options = {});
+
+  /// One admission pass at sim-time `now`: re-queues parked requests that
+  /// are due (health transition below, or the retry backstop), sheds
+  /// queued requests whose deadline can no longer be met, then dispatches
+  /// up to max_wave requests as one submit_batch wave. Per-request
+  /// outcomes: success -> kDeployed; transient substrate failure (or a
+  /// capacity failure while the substrate is impaired) -> kPostponed;
+  /// anything else -> kFailed. Telemetry: service.admission.* counters
+  /// and the service.admission.latency_ms summary (sim-time queue wait of
+  /// dispatched requests).
+  PumpReport pump(SimTime now);
+
   /// Tears the service down (pushes the remaining services' config).
   Result<void> remove(const std::string& request_id);
+
+  /// Batch removal with ONE reconciliation push for every active id in
+  /// `request_ids` (the churn departure path: N removals cost one push,
+  /// not N). Queued/parked ids are cancelled without a push. Results are
+  /// index-aligned; on a failed push every flipped state is restored.
+  std::vector<Result<void>> remove_batch(
+      const std::vector<std::string>& request_ids);
+
+  void set_admission_policy(const AdmissionPolicy& policy) {
+    admission_ = policy;
+    queue_.set_capacity(policy.queue_capacity);
+  }
+  [[nodiscard]] const AdmissionPolicy& admission_policy() const noexcept {
+    return admission_;
+  }
+  /// Wires the admission lifecycle to the health of the layers below
+  /// (normally {HealthManager::state_fingerprint(), any_unhealthy()}):
+  /// parked requests retry on fingerprint transitions, and capacity
+  /// failures park instead of failing while `impaired` is true.
+  void set_health_source(std::function<BelowHealth()> source) {
+    health_source_ = std::move(source);
+  }
+
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t parked_count() const noexcept {
+    return parked_.size();
+  }
 
   /// Replaces a deployed request with a modified graph under the same id
   /// (elastic update). On failure the previous version stays deployed.
@@ -116,8 +236,34 @@ class ServiceLayer {
   [[nodiscard]] telemetry::Registry& metrics() noexcept { return metrics_; }
 
  private:
+  /// A parked (kPostponed) request: re-queued when the health fingerprint
+  /// below moves or after the postpone_retry_pumps backstop.
+  struct Parked {
+    AdmissionEntry entry;
+    std::uint64_t fingerprint = 0;   ///< BelowHealth at park time
+    std::uint64_t parked_at_pump = 0;
+  };
+
   Result<void> ensure_view();
   Result<void> push_config();
+  /// Bisection fallback of submit_batch: commits `indices` (already
+  /// admitted, ascending request order) on top of the current state. A
+  /// clean merged push commits the whole sub-wave; a failed one recurses
+  /// into halves after restoring, bottoming out in commit_one(). Fills
+  /// `results` for every index; returns false when a restore push failed
+  /// (kRollbackFailed — the caller stops committing).
+  bool commit_wave_bisect(const std::vector<sg::ServiceGraph>& requests,
+                          const std::vector<std::size_t>& indices,
+                          std::vector<Result<std::string>>& results,
+                          std::size_t& committed, std::size_t& rolled_back);
+  /// True when `error` should park the request (kPostponed) rather than
+  /// fail it: transient transport errors always, capacity errors while the
+  /// substrate below reports impaired.
+  [[nodiscard]] bool should_postpone(const Error& error,
+                                     const BelowHealth& below) const;
+  /// Records a terminal admission outcome (kShed/kFailed) for `entry`.
+  void record_outcome(const AdmissionEntry& entry, RequestState state,
+                      std::string error);
   /// Builds the kRollbackFailed error for a failed restore push: the data
   /// plane may diverge from the books, so the cached view is dropped (next
   /// ensure_view() re-fetches ground truth) and both failures surface.
@@ -143,6 +289,13 @@ class ServiceLayer {
   /// successful push); drives the pre-batch suspect probe.
   int client_failures_ = 0;
   int client_suspect_after_ = 2;
+  // -- admission lifecycle ------------------------------------------------
+  AdmissionPolicy admission_;
+  AdmissionQueue queue_{admission_.queue_capacity};
+  std::vector<Parked> parked_;
+  std::function<BelowHealth()> health_source_;
+  std::uint64_t admission_seq_ = 0;
+  std::uint64_t pump_count_ = 0;
   telemetry::Registry metrics_;
 };
 

@@ -56,6 +56,11 @@ class Registry {
     return it == gauges_.end() ? 0 : it->second;
   }
   Summary& summary(const std::string& name) { return summaries_[name]; }
+  /// Shorthand for summary(name).observe(value) — the admission/churn hot
+  /// paths record latencies in one call.
+  void observe(const std::string& name, double value) {
+    summaries_[name].observe(value);
+  }
   [[nodiscard]] const Summary* find_summary(const std::string& name) const {
     const auto it = summaries_.find(name);
     return it == summaries_.end() ? nullptr : &it->second;

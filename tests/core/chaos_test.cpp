@@ -20,6 +20,7 @@
 #include "mapping/chain_dp_mapper.h"
 #include "model/nffg_builder.h"
 #include "service/service_layer.h"
+#include "support/seed_env.h"
 #include "util/rng.h"
 
 namespace unify::core {
@@ -330,16 +331,21 @@ std::string run_soak(std::uint64_t seed, int steps) {
 }
 
 TEST(Chaos, SeededSoakHoldsInvariants) {
-  for (const std::uint64_t seed : {11u, 23u, 47u}) {
+  for (const std::uint64_t seed :
+       unify::test::soak_seeds("CHAOS_SEED", {11, 23, 47})) {
+    UNIFY_SEED_TRACE("CHAOS_SEED", seed);
     const std::string signature = run_soak(seed, 80);
     ASSERT_NE(signature, "aborted") << "seed " << seed;
   }
 }
 
 TEST(Chaos, SoakIsDeterministicPerSeed) {
-  const std::string first = run_soak(7, 60);
+  const std::uint64_t seed =
+      unify::test::soak_seeds("CHAOS_SEED", {7}).front();
+  UNIFY_SEED_TRACE("CHAOS_SEED", seed);
+  const std::string first = run_soak(seed, 60);
   ASSERT_NE(first, "aborted");
-  EXPECT_EQ(first, run_soak(7, 60));
+  EXPECT_EQ(first, run_soak(seed, 60));
 }
 
 }  // namespace

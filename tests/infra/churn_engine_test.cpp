@@ -1,0 +1,183 @@
+// The churn scenario engine's contracts: bit-identical replay per (spec,
+// seed), ordered timestamps, causally consistent arrival/departure pairs,
+// flash crowds that actually raise the arrival rate, storms that migrate
+// only live services, and the rolling-maintenance helper's stagger.
+#include "infra/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace unify::infra::churn {
+namespace {
+
+std::vector<Event> drain(ChurnEngine& engine) {
+  std::vector<Event> events;
+  while (auto event = engine.next()) events.push_back(*std::move(event));
+  return events;
+}
+
+std::string serialize(const std::vector<Event>& events) {
+  std::ostringstream out;
+  for (const Event& e : events) {
+    out << e.at << ' ' << to_string(e.kind) << ' ' << e.service_id << ' '
+        << e.domain << ' ' << e.deadline << ' ' << e.chain.src_sap << "->"
+        << e.chain.dst_sap << " bw=" << e.chain.bandwidth << " nfs=";
+    for (const int t : e.chain.nf_types) out << t << ',';
+    out << '\n';
+  }
+  return out.str();
+}
+
+ScenarioSpec busy_spec() {
+  ScenarioSpec spec;
+  spec.horizon_us = 60'000'000;  // 60 sim-seconds
+  spec.arrival_rate_hz = 10;
+  spec.flash_crowds.push_back({20'000'000, 5'000'000, 4.0});
+  add_rolling_maintenance(spec, 30'000'000, 4'000'000, 6'000'000);
+  spec.storms.push_back({45'000'000, 0.5});
+  return spec;
+}
+
+TEST(ChurnEngine, ReplayIsBitIdenticalPerSeed) {
+  ChurnEngine first(busy_spec(), 42);
+  ChurnEngine second(busy_spec(), 42);
+  const auto a = drain(first);
+  const auto b = drain(second);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(serialize(a), serialize(b));
+  EXPECT_EQ(first.arrivals_generated(), second.arrivals_generated());
+
+  ChurnEngine other(busy_spec(), 43);
+  EXPECT_NE(serialize(drain(other)), serialize(a)) << "seed must matter";
+}
+
+TEST(ChurnEngine, TimestampsAreOrderedAndBounded) {
+  ChurnEngine engine(busy_spec(), 7);
+  SimTime last = 0;
+  for (const Event& e : drain(engine)) {
+    EXPECT_GE(e.at, last);
+    EXPECT_LE(e.at, busy_spec().horizon_us);
+    last = e.at;
+  }
+}
+
+TEST(ChurnEngine, ArrivalsDepartInOrderAndOnlyOnce) {
+  ChurnEngine engine(busy_spec(), 11);
+  std::map<std::string, SimTime> arrived;
+  std::set<std::string> departed;
+  for (const Event& e : drain(engine)) {
+    if (e.kind == EventKind::kArrival) {
+      EXPECT_TRUE(arrived.emplace(e.service_id, e.at).second)
+          << e.service_id << " arrived twice";
+      EXPECT_GT(e.deadline, e.at) << "deadline must follow arrival";
+      EXPECT_FALSE(e.chain.nf_types.empty());
+      EXPECT_NE(e.chain.src_sap, e.chain.dst_sap);
+    } else if (e.kind == EventKind::kDeparture) {
+      const auto it = arrived.find(e.service_id);
+      ASSERT_NE(it, arrived.end()) << e.service_id << " departed unseen";
+      EXPECT_GT(e.at, it->second);
+      EXPECT_TRUE(departed.insert(e.service_id).second)
+          << e.service_id << " departed twice";
+    }
+  }
+  EXPECT_EQ(arrived.size(), engine.arrivals_generated());
+  EXPECT_GT(arrived.size(), 0u);
+}
+
+TEST(ChurnEngine, FlashCrowdRaisesArrivalDensity) {
+  ScenarioSpec spec;
+  spec.horizon_us = 100'000'000;
+  spec.arrival_rate_hz = 10;
+  spec.flash_crowds.push_back({40'000'000, 20'000'000, 5.0});
+  ChurnEngine engine(spec, 3);
+  std::size_t inside = 0, before = 0;
+  for (const Event& e : drain(engine)) {
+    if (e.kind != EventKind::kArrival) continue;
+    if (e.at >= 40'000'000 && e.at < 60'000'000) ++inside;
+    if (e.at < 20'000'000) ++before;
+  }
+  // Same window width (20s): ~5x the arrivals inside the crowd. 2x is a
+  // generous statistical floor.
+  EXPECT_GT(inside, 2 * before);
+  EXPECT_GT(before, 0u);
+}
+
+TEST(ChurnEngine, MaintenanceWindowsRollAcrossDomains) {
+  ScenarioSpec spec;
+  spec.horizon_us = 60'000'000;
+  spec.arrival_rate_hz = 0;  // maintenance only
+  spec.n_domains = 3;
+  add_rolling_maintenance(spec, 10'000'000, 4'000'000, 6'000'000);
+  ChurnEngine engine(spec, 1);
+  const auto events = drain(engine);
+  ASSERT_EQ(events.size(), 6u);  // begin+end per domain
+  int down = 0;
+  std::set<int> domains_seen;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kMaintenanceBegin) {
+      ++down;
+      domains_seen.insert(e.domain);
+      // stagger >= window: rolling maintenance means at most one domain
+      // down at any instant.
+      EXPECT_LE(down, 1) << "overlapping maintenance at " << e.at;
+    } else if (e.kind == EventKind::kMaintenanceEnd) {
+      --down;
+    }
+  }
+  EXPECT_EQ(domains_seen.size(), 3u);
+}
+
+TEST(ChurnEngine, StormMigratesOnlyLiveServicesAtStormTime) {
+  ScenarioSpec spec;
+  spec.horizon_us = 60'000'000;
+  spec.arrival_rate_hz = 10;
+  spec.lifetime_min_s = 2;
+  spec.lifetime_cap_s = 30;
+  spec.storms.push_back({30'000'000, 0.5});
+  ChurnEngine engine(spec, 9);
+  std::set<std::string> live;
+  std::size_t live_at_storm = 0, migrations = 0;
+  for (const Event& e : drain(engine)) {
+    if (e.kind == EventKind::kMigrate) {
+      if (migrations == 0) live_at_storm = live.size();
+      ++migrations;
+      EXPECT_EQ(e.at, 30'000'000);
+      EXPECT_TRUE(live.count(e.service_id))
+          << e.service_id << " migrated while not live";
+    } else if (e.kind == EventKind::kArrival) {
+      live.insert(e.service_id);
+    } else if (e.kind == EventKind::kDeparture) {
+      live.erase(e.service_id);
+    }
+  }
+  ASSERT_GT(migrations, 0u);
+  EXPECT_EQ(migrations, live_at_storm / 2);  // fraction = 0.5
+}
+
+TEST(ChurnEngine, LifetimesRespectParetoBounds) {
+  ScenarioSpec spec;
+  spec.horizon_us = 400'000'000;
+  spec.arrival_rate_hz = 5;
+  spec.lifetime_min_s = 1;
+  spec.lifetime_cap_s = 20;
+  ChurnEngine engine(spec, 21);
+  std::map<std::string, SimTime> arrived;
+  std::size_t departures = 0;
+  for (const Event& e : drain(engine)) {
+    if (e.kind == EventKind::kArrival) arrived[e.service_id] = e.at;
+    if (e.kind != EventKind::kDeparture) continue;
+    ++departures;
+    const SimTime lifetime = e.at - arrived.at(e.service_id);
+    EXPECT_GE(lifetime, 1'000'000);
+    EXPECT_LE(lifetime, 20'000'000);
+  }
+  EXPECT_GT(departures, 100u);
+}
+
+}  // namespace
+}  // namespace unify::infra::churn

@@ -1,0 +1,171 @@
+// Seeded property sweep over the content_hash() contract (DESIGN.md §11):
+// for random NFFGs and random mutations, content_hash(a) == content_hash(b)
+// exactly when to_json_string(a) == to_json_string(b) — the hash stands in
+// for the serialized config in the push path's dirty tracking, so either
+// direction failing would strand config changes or force no-op pushes.
+// Orchestrator-local annotations (BisBis::health_penalty) are pinned as
+// excluded: they must change neither the JSON nor the hash.
+#include "model/nffg_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "infra/topologies.h"
+#include "model/nffg_builder.h"
+#include "model/nffg_json.h"
+#include "util/rng.h"
+
+namespace unify::model {
+namespace {
+
+/// Random configuration over a fixed 6-node substrate (the same generator
+/// shape nffg_property_test sweeps): NFs on random hosts, intra-node
+/// flowrules, occasional SAP.
+Nffg random_config(Rng& rng) {
+  infra::topo::TopoParams params;
+  Nffg g = infra::topo::ring(6, 2, params);
+  const int nf_count = static_cast<int>(rng.next_int(0, 6));
+  std::vector<std::pair<std::string, std::string>> placed;
+  for (int i = 0; i < nf_count; ++i) {
+    const std::string host = "bb" + std::to_string(rng.next_int(0, 5));
+    const std::string nf_id = "nf" + std::to_string(i);
+    if (g.place_nf(host,
+                   make_nf(nf_id, rng.next_bool(0.5) ? "nat" : "firewall",
+                           {1, static_cast<double>(rng.next_int(100, 500)), 1},
+                           2))
+            .ok()) {
+      placed.emplace_back(host, nf_id);
+    }
+  }
+  for (std::size_t i = 0; i + 1 < placed.size(); ++i) {
+    if (placed[i].first != placed[i + 1].first) continue;
+    (void)g.add_flowrule(
+        placed[i].first,
+        Flowrule{"fr" + std::to_string(i),
+                 {placed[i].second, 1},
+                 {placed[i + 1].second, 0},
+                 rng.next_bool(0.3) ? "tagA" : "",
+                 rng.next_bool(0.3) ? "tagB" : "",
+                 static_cast<double>(rng.next_int(0, 50))});
+  }
+  if (rng.next_bool(0.5)) {
+    attach_sap(g, "sapX", "bb" + std::to_string(rng.next_int(0, 5)), 1,
+               {1000, 0.1});
+  }
+  return g;
+}
+
+/// One random in-place mutation; returns false when the graph had nothing
+/// to mutate (caller draws another graph).
+bool mutate(Nffg& g, Rng& rng) {
+  switch (rng.next_below(4)) {
+    case 0: {  // resize a random NF's memory requirement
+      for (auto& [bb_id, bb] : g.bisbis()) {
+        for (auto& [nf_id, nf] : bb.nfs) {
+          nf.requirement.mem += 1;
+          return true;
+        }
+      }
+      return false;
+    }
+    case 1: {  // flip an NF status
+      for (auto& [bb_id, bb] : g.bisbis()) {
+        for (auto& [nf_id, nf] : bb.nfs) {
+          nf.status = nf.status == NfStatus::kRunning ? NfStatus::kFailed
+                                                      : NfStatus::kRunning;
+          return true;
+        }
+      }
+      return false;
+    }
+    case 2: {  // retag a flowrule
+      for (auto& [bb_id, bb] : g.bisbis()) {
+        for (auto& rule : bb.flowrules) {
+          rule.match_tag = rule.match_tag.empty() ? "mut" : "";
+          return true;
+        }
+      }
+      return false;
+    }
+    default: {  // nudge a link's reserved bandwidth
+      for (auto& [id, link] : g.links()) {
+        link.reserved += 0.5;
+        return true;
+      }
+      return false;
+    }
+  }
+}
+
+class NffgHashProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NffgHashProperty, HashEqualityMatchesJsonEquality) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const Nffg a = random_config(rng);
+    // Identical content, independently constructed: equal bytes -> equal
+    // hash (no incidental state like insertion order may leak in).
+    ASSERT_EQ(to_json_string(a), to_json_string(a));
+    const std::uint64_t hash_a = content_hash(a);
+    EXPECT_EQ(hash_a, content_hash(a)) << "hash must be pure";
+
+    Nffg b = a;
+    EXPECT_EQ(content_hash(b), hash_a) << "copies must hash equal";
+    if (!mutate(b, rng)) continue;
+    const bool json_equal = to_json_string(a) == to_json_string(b);
+    const bool hash_equal = content_hash(b) == hash_a;
+    EXPECT_EQ(json_equal, hash_equal)
+        << "trial " << trial
+        << ": hash and serialized config disagree about equality";
+    EXPECT_FALSE(json_equal) << "mutation produced identical JSON";
+  }
+}
+
+TEST_P(NffgHashProperty, DistinctSeedsRarelyCollide) {
+  // 40 random graphs: all serialized configs distinct -> all hashes
+  // distinct (a collision here is a generator bug or a broken hash, not
+  // 2^-64 bad luck).
+  Rng rng(GetParam() ^ 0xD1CE);
+  std::vector<std::string> jsons;
+  std::vector<std::uint64_t> hashes;
+  for (int i = 0; i < 40; ++i) {
+    const Nffg g = random_config(rng);
+    jsons.push_back(to_json_string(g));
+    hashes.push_back(content_hash(g));
+  }
+  for (std::size_t i = 0; i < jsons.size(); ++i) {
+    for (std::size_t j = i + 1; j < jsons.size(); ++j) {
+      if (jsons[i] == jsons[j]) {
+        EXPECT_EQ(hashes[i], hashes[j]);
+      } else {
+        EXPECT_NE(hashes[i], hashes[j])
+            << "graphs " << i << " and " << j << " collide";
+      }
+    }
+  }
+}
+
+TEST_P(NffgHashProperty, HealthPenaltyIsExcludedEverywhere) {
+  Rng rng(GetParam() ^ 0xAEA1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Nffg g = random_config(rng);
+    const std::string json_before = to_json_string(g);
+    const std::uint64_t hash_before = content_hash(g);
+    for (auto& [id, bb] : g.bisbis()) {
+      bb.health_penalty += rng.next_double(0.1, 5.0);
+    }
+    // The annotation is orchestrator-local: serialization ignores it, so
+    // the hash must too — otherwise a health flap would dirty every
+    // section and defeat the push path's clean-skip.
+    EXPECT_EQ(to_json_string(g), json_before);
+    EXPECT_EQ(content_hash(g), hash_before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NffgHashProperty,
+                         ::testing::Values(1u, 17u, 4242u));
+
+}  // namespace
+}  // namespace unify::model

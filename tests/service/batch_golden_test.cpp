@@ -154,5 +154,75 @@ TEST(BatchGolden, MixedOutcomeBatchMatchesSequentialSubmits) {
   EXPECT_EQ(m.counter("service.batch.wave_fallbacks"), 1u);
 }
 
+TEST(BatchGolden, BisectionFallbackMatchesSequentialByteForByte) {
+  // A larger wave with poison scattered through it: two infeasible members
+  // (absurd bandwidth) at non-adjacent positions force the fallback to
+  // actually bisect — merged half-waves, recursion, singleton isolation —
+  // instead of degenerating into one sequential replay. Outcomes and final
+  // state must STILL be byte-identical to a sequential submit() loop.
+  const std::vector<std::pair<std::string, std::string>> routes{
+      {"sap1", "sap2"}, {"sap2", "sap3"}, {"sap3", "sap1"}};
+  std::vector<sg::ServiceGraph> services;
+  for (int i = 0; i < 9; ++i) {
+    const auto& [from, to] = routes[static_cast<std::size_t>(i) % 3];
+    const double bandwidth = (i == 2 || i == 6) ? 1e9 : 5;
+    services.push_back(sg::make_chain("w" + std::to_string(i), from,
+                                      {i % 2 == 0 ? "nat" : "monitor"}, to,
+                                      bandwidth, 60));
+  }
+
+  auto sequential = make_fig1_stack();
+  ASSERT_TRUE(sequential.ok());
+  Fig1Stack& seq = **sequential;
+  std::vector<bool> seq_ok;
+  for (const sg::ServiceGraph& service : services) {
+    seq_ok.push_back(seq.service_layer->submit(service).ok());
+  }
+  seq.clock.run_until_idle();
+
+  auto batched = make_fig1_stack();
+  ASSERT_TRUE(batched.ok());
+  Fig1Stack& bat = **batched;
+  const auto results = bat.service_layer->submit_batch(services);
+  bat.clock.run_until_idle();
+
+  // Per-request outcome parity with the sequential loop: exactly the two
+  // poisonous members fail.
+  ASSERT_EQ(results.size(), seq_ok.size());
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].ok(), seq_ok[i]) << services[i].id();
+    if (!results[i].ok()) ++failed;
+  }
+  EXPECT_EQ(failed, 2u);
+
+  // Byte-identical deployed state, byte-identical mappings.
+  EXPECT_EQ(model::to_json_string(bat.ro->global_view()),
+            model::to_json_string(seq.ro->global_view()));
+  ASSERT_EQ(bat.ro->deployments().size(), seq.ro->deployments().size());
+  for (const auto& [id, deployment] : seq.ro->deployments()) {
+    const auto it = bat.ro->deployments().find(id);
+    ASSERT_NE(it, bat.ro->deployments().end()) << id;
+    EXPECT_EQ(it->second.mapping, deployment.mapping) << id;
+  }
+
+  // The fallback went through bisection, not a sequential replay: merged
+  // half-wave probes happened, at least one merged sub-wave landed, and
+  // the bookkeeping adds up (7 committed, 2 rolled back).
+  telemetry::Registry& m = bat.service_layer->metrics();
+  EXPECT_EQ(m.counter("service.batch.wave_fallbacks"), 1u);
+  EXPECT_GE(m.counter("service.batch.bisect_probes"), 2u);
+  EXPECT_GE(m.counter("service.batch.bisect_waves"), 1u);
+  EXPECT_EQ(m.counter("service.batch.committed"), 7u);
+  EXPECT_EQ(m.counter("service.batch.rolled_back"), 2u);
+
+  // The failed members are recorded exactly like sequential failures.
+  for (const std::string id : {"w2", "w6"}) {
+    const auto it = bat.service_layer->requests().find(id);
+    ASSERT_NE(it, bat.service_layer->requests().end());
+    EXPECT_EQ(it->second.state, RequestState::kFailed);
+  }
+}
+
 }  // namespace
 }  // namespace unify::service

@@ -1,0 +1,38 @@
+// Seed plumbing for the randomized soaks (chaos, churn): every seed a test
+// runs with can be overridden from the environment, and every failure
+// names the seed it ran under, so a red CI run is replayable with e.g.
+//
+//   CHAOS_SEED=1234 ctest -L chaos --output-on-failure
+//   CHURN_SEED=1234 ctest -L churn --output-on-failure
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace unify::test {
+
+/// The seeds a soak should run: the env override alone when `env_var`
+/// (e.g. "CHURN_SEED") is set and parses, otherwise `defaults`.
+inline std::vector<std::uint64_t> soak_seeds(
+    const char* env_var, std::vector<std::uint64_t> defaults) {
+  const char* raw = std::getenv(env_var);
+  if (raw == nullptr || *raw == '\0') return defaults;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw) {
+    ADD_FAILURE() << env_var << "='" << raw << "' is not a seed";
+    return defaults;
+  }
+  return {static_cast<std::uint64_t>(parsed)};
+}
+
+}  // namespace unify::test
+
+/// Names the active seed in every assertion failure inside the scope, with
+/// the replay recipe (the env var to set).
+#define UNIFY_SEED_TRACE(env_var, seed)                                \
+  SCOPED_TRACE(::testing::Message() << "replay: " << (env_var) << "=" \
+                                    << (seed))

@@ -10,6 +10,7 @@
 #include "infra/topologies.h"
 #include "model/nffg_builder.h"
 #include "model/nffg_json.h"
+#include "proto/channel.h"
 #include "proto/rpc.h"
 
 namespace {
@@ -63,8 +64,8 @@ void BM_NffgDecode(benchmark::State& state) {
 void rpc_roundtrip(benchmark::State& state, std::size_t chunk_size) {
   SimClock clock;
   auto [north, south] = proto::make_channel_pair(clock, 100, chunk_size);
-  proto::RpcPeer client(north, clock, "client");
-  proto::RpcPeer server(south, clock, "server");
+  proto::RpcPeer client(north, "client");
+  proto::RpcPeer server(south, "server");
   const model::Nffg g = sized_nffg(static_cast<int>(state.range(0)));
   server.on_request("get-config",
                     [&g](const json::Value&) -> Result<json::Value> {

@@ -1,0 +1,202 @@
+// The wire tax of the real transport: the same get-config/edit-config
+// exchange measured over loopback TCP (epoll reactor, background server
+// thread) and over the in-memory channel, at 1..64 concurrent manager
+// sessions. The delta between the two is what the socket path costs —
+// syscalls, copies, reactor dispatch — on top of the shared serialize /
+// parse / orchestrate work. Counters report RPC throughput and p50/p99
+// round-trip latency.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "infra/topologies.h"
+#include "model/nffg_json.h"
+#include "proto/channel.h"
+#include "proto/net/tcp.h"
+#include "proto/rpc.h"
+
+namespace {
+
+using namespace unify;
+using WallClock = std::chrono::steady_clock;
+
+/// The served payload: a 32-node ring NFFG, the mid-size regime of
+/// bench_protocol, so wire numbers are comparable across the two benches.
+json::Value served_config() {
+  infra::topo::TopoParams params;
+  const model::Nffg g = infra::topo::ring(32, 2, params);
+  json::Object out;
+  out.set("config", model::to_json(g));
+  return json::Value{std::move(out)};
+}
+
+/// Installs the server half on a peer: get-config returns the canned
+/// config, edit-config parses the pushed one and acknowledges — the same
+/// work regardless of the transport underneath.
+void install_handlers(proto::RpcPeer& server, const json::Value& config) {
+  server.on_request("get-config",
+                    [&config](const json::Value&) -> Result<json::Value> {
+                      return config;
+                    });
+  server.on_request("edit-config",
+                    [](const json::Value& params) -> Result<json::Value> {
+                      const json::Value* pushed = params.get("config");
+                      if (pushed == nullptr) {
+                        return Error{ErrorCode::kProtocol, "missing config"};
+                      }
+                      UNIFY_ASSIGN_OR_RETURN(const model::Nffg parsed,
+                                             model::nffg_from_json(*pushed));
+                      benchmark::DoNotOptimize(parsed);
+                      return json::Value{json::Object{}};
+                    });
+}
+
+struct Rtts {
+  std::vector<double> us;
+  void report(benchmark::State& state) {
+    if (us.empty()) return;
+    std::sort(us.begin(), us.end());
+    const auto pct = [this](double p) {
+      return us[static_cast<std::size_t>(
+          p * static_cast<double>(us.size() - 1))];
+    };
+    state.counters["rtt_p50_us"] = pct(0.50);
+    state.counters["rtt_p99_us"] = pct(0.99);
+  }
+};
+
+/// One closed-loop round: every session has exactly one RPC in flight;
+/// completion launches the next until each session did `per_session`.
+void drive_sessions(std::vector<proto::RpcPeer*>& peers, proto::Driver& driver,
+                    const json::Value& edit_params, int per_session,
+                    Rtts& rtts) {
+  struct SessionState {
+    int done = 0;
+    WallClock::time_point sent_at;
+  };
+  std::vector<SessionState> states(peers.size());
+  int in_flight = 0;
+  std::function<void(std::size_t)> fire = [&](std::size_t i) {
+    const bool edit = (states[i].done % 2) == 1;
+    states[i].sent_at = WallClock::now();
+    ++in_flight;
+    const auto sent = peers[i]->call(
+        edit ? "edit-config" : "get-config",
+        edit ? edit_params : json::Value{json::Object{}},
+        [&, i](Result<json::Value> reply) {
+          --in_flight;
+          if (!reply.ok()) return;
+          rtts.us.push_back(std::chrono::duration<double, std::micro>(
+                                WallClock::now() - states[i].sent_at)
+                                .count());
+          if (++states[i].done < per_session) fire(i);
+        });
+    if (!sent.ok()) --in_flight;
+  };
+  for (std::size_t i = 0; i < peers.size(); ++i) fire(i);
+  while (in_flight > 0 && driver.pump()) {
+  }
+}
+
+void BM_WireInMemory(benchmark::State& state) {
+  const int session_count = static_cast<int>(state.range(0));
+  const json::Value config = served_config();
+  json::Object edit;
+  edit.set("config", *config.get("config"));
+  const json::Value edit_params{std::move(edit)};
+
+  SimClock clock;
+  std::vector<std::unique_ptr<proto::RpcPeer>> clients, servers;
+  std::vector<proto::RpcPeer*> peers;
+  for (int i = 0; i < session_count; ++i) {
+    auto [north, south] = proto::make_channel_pair(clock, 100);
+    clients.push_back(std::make_unique<proto::RpcPeer>(north, "client"));
+    servers.push_back(std::make_unique<proto::RpcPeer>(south, "server"));
+    install_handlers(*servers.back(), config);
+    peers.push_back(clients.back().get());
+  }
+  Rtts rtts;
+  for (auto _ : state) {
+    drive_sessions(peers, peers[0]->driver(), edit_params, 4, rtts);
+  }
+  state.SetItemsProcessed(state.iterations() * session_count * 4);
+  rtts.report(state);
+}
+
+void BM_WireTcpLoopback(benchmark::State& state) {
+  const int session_count = static_cast<int>(state.range(0));
+  const json::Value config = served_config();
+  json::Object edit;
+  edit.set("config", *config.get("config"));
+  const json::Value edit_params{std::move(edit)};
+
+  // Server: its own reactor on a background thread, one RpcPeer per
+  // accepted connection.
+  std::atomic<bool> stop{false};
+  std::promise<std::uint16_t> port_promise;
+  auto port_future = port_promise.get_future();
+  std::thread server_thread([&] {
+    const json::Value served = served_config();
+    proto::net::Reactor reactor;
+    std::vector<std::unique_ptr<proto::RpcPeer>> sessions;
+    auto listener = proto::net::TcpListener::listen(
+        reactor, "127.0.0.1", 0,
+        [&](std::shared_ptr<proto::net::TcpTransport> conn) {
+          sessions.push_back(
+              std::make_unique<proto::RpcPeer>(std::move(conn), "server"));
+          install_handlers(*sessions.back(), served);
+        });
+    port_promise.set_value(listener.ok() ? (*listener)->port() : 0);
+    if (!listener.ok()) return;
+    while (!stop.load()) reactor.poll(10);
+  });
+  const std::uint16_t port = port_future.get();
+  if (port == 0) {
+    stop.store(true);
+    server_thread.join();
+    state.SkipWithError("listen failed");
+    return;
+  }
+
+  proto::net::Reactor reactor;
+  std::vector<std::unique_ptr<proto::RpcPeer>> clients;
+  std::vector<proto::RpcPeer*> peers;
+  for (int i = 0; i < session_count; ++i) {
+    auto conn = proto::net::TcpTransport::connect(reactor, "127.0.0.1", port);
+    if (!conn.ok()) {
+      stop.store(true);
+      server_thread.join();
+      state.SkipWithError("connect failed");
+      return;
+    }
+    clients.push_back(std::make_unique<proto::RpcPeer>(std::move(*conn),
+                                                       "client"));
+    peers.push_back(clients.back().get());
+  }
+
+  Rtts rtts;
+  for (auto _ : state) {
+    drive_sessions(peers, reactor, edit_params, 4, rtts);
+  }
+  state.SetItemsProcessed(state.iterations() * session_count * 4);
+  rtts.report(state);
+
+  stop.store(true);
+  server_thread.join();
+}
+
+BENCHMARK(BM_WireInMemory)->Arg(1)->Arg(8)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_WireTcpLoopback)->Arg(1)->Arg(8)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,201 @@
+// unify_rod: the resource-orchestration daemon — a real RO process on a
+// real wire. The paper's recursive Unify interface (get-config /
+// edit-config) served over TCP by the epoll reactor, plus the matching
+// load generator.
+//
+//   ./unify_rod serve [port]
+//       Assembles the Fig. 1 multi-domain stack and serves its virtualizer
+//       northbound. Every TCP connection is an independent manager session
+//       over the shared orchestrator (port defaults to 47000; 0 picks an
+//       ephemeral port, printed on stdout). Runs until killed.
+//
+//   ./unify_rod load <host> <port> [sessions] [rpcs_per_session]
+//       Opens N concurrent manager sessions and drives M RPCs through each
+//       (alternating get-config and converged edit-config), closed-loop
+//       per session. Reports throughput and p50/p99 round-trip latency.
+//
+// Smoke test on one machine:  ./unify_rod serve 47000 &
+//                             ./unify_rod load 127.0.0.1 47000 100 20
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/unify_api.h"
+#include "proto/net/tcp.h"
+#include "proto/rpc.h"
+#include "service/fig1.h"
+
+using namespace unify;
+
+namespace {
+
+int serve(std::uint16_t port) {
+  auto stack = service::make_fig1_stack();
+  if (!stack.ok()) {
+    std::fprintf(stderr, "stack assembly failed: %s\n",
+                 stack.error().to_string().c_str());
+    return 1;
+  }
+  core::Virtualizer& virtualizer = *(*stack)->virtualizer;
+
+  proto::net::Reactor reactor;
+  std::map<std::uint64_t, std::unique_ptr<core::UnifyServer>> sessions;
+  std::uint64_t next_session = 0;
+
+  auto listener = proto::net::TcpListener::listen(
+      reactor, "0.0.0.0", port,
+      [&](std::shared_ptr<proto::net::TcpTransport> conn) {
+        const std::uint64_t id = next_session++;
+        std::printf("session %llu: %s connected (%zu live)\n",
+                    static_cast<unsigned long long>(id),
+                    conn->peer_name().c_str(), sessions.size() + 1);
+        auto server = std::make_unique<core::UnifyServer>(
+            virtualizer, std::move(conn), "session-" + std::to_string(id));
+        server->on_disconnect([&reactor, &sessions, id] {
+          // Deferred one tick: the hook runs inside the transport's close
+          // callback; the session object dies outside it.
+          reactor.schedule(0, [&sessions, id] {
+            sessions.erase(id);
+            std::printf("session %llu: hangup (%zu live)\n",
+                        static_cast<unsigned long long>(id), sessions.size());
+          });
+        });
+        sessions.emplace(id, std::move(server));
+      });
+  if (!listener.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n",
+                 listener.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("unify_rod serving the Fig.1 orchestrator on port %u\n",
+              (*listener)->port());
+  std::fflush(stdout);
+  for (;;) reactor.poll(-1);
+}
+
+int load(const std::string& host, std::uint16_t port, int session_count,
+         int rpcs_per_session) {
+  using WallClock = std::chrono::steady_clock;
+
+  proto::net::Reactor reactor;
+  struct Session {
+    std::unique_ptr<proto::RpcPeer> peer;
+    json::Value config;  // fetched once, re-pushed by edit-config calls
+    int done = 0;
+    WallClock::time_point sent_at;
+  };
+  std::vector<Session> sessions(static_cast<std::size_t>(session_count));
+  for (auto& session : sessions) {
+    auto conn = proto::net::TcpTransport::connect(reactor, host, port);
+    if (!conn.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   conn.error().to_string().c_str());
+      return 1;
+    }
+    session.peer = std::make_unique<proto::RpcPeer>(std::move(*conn), "load");
+  }
+
+  // Seed every session with the child's current config — the payload the
+  // edit-config half of the mix pushes back (a converged no-op for the
+  // orchestrator, full parse/serialize cost for the wire).
+  for (auto& session : sessions) {
+    auto reply = session.peer->call_and_wait("get-config",
+                                             json::Value{json::Object{}});
+    if (!reply.ok()) {
+      std::fprintf(stderr, "initial get-config failed: %s\n",
+                   reply.error().to_string().c_str());
+      return 1;
+    }
+    session.config = *reply;
+  }
+
+  std::vector<double> rtts_us;
+  rtts_us.reserve(static_cast<std::size_t>(session_count) *
+                  static_cast<std::size_t>(rpcs_per_session));
+  int in_flight = 0;
+  int failures = 0;
+
+  // Closed loop per session: completion of one RPC fires the next, so
+  // `session_count` requests are always concurrently on the wire.
+  std::function<void(Session&)> fire = [&](Session& session) {
+    const bool edit = (session.done % 2) == 1;
+    json::Value params = json::Value{json::Object{}};
+    if (edit) {
+      json::Object p;
+      p.set("config", *session.config.get("config"));
+      params = json::Value{std::move(p)};
+    }
+    session.sent_at = WallClock::now();
+    ++in_flight;
+    const auto sent = session.peer->call(
+        edit ? "edit-config" : "get-config", std::move(params),
+        [&](Result<json::Value> reply) {
+          --in_flight;
+          if (!reply.ok()) {
+            ++failures;
+            return;  // session abandoned
+          }
+          rtts_us.push_back(std::chrono::duration<double, std::micro>(
+                                WallClock::now() - session.sent_at)
+                                .count());
+          if (++session.done < rpcs_per_session) fire(session);
+        });
+    if (!sent.ok()) {
+      --in_flight;
+      ++failures;
+      std::fprintf(stderr, "send failed: %s\n",
+                   sent.error().to_string().c_str());
+    }
+  };
+
+  const auto started = WallClock::now();
+  for (auto& session : sessions) fire(session);
+  while (in_flight > 0) reactor.poll(100);
+  const double elapsed_s =
+      std::chrono::duration<double>(WallClock::now() - started).count();
+
+  if (rtts_us.empty()) {
+    std::fprintf(stderr, "no RPC completed (%d failures)\n", failures);
+    return 1;
+  }
+  std::sort(rtts_us.begin(), rtts_us.end());
+  const auto pct = [&](double p) {
+    const auto at = static_cast<std::size_t>(
+        p * static_cast<double>(rtts_us.size() - 1));
+    return rtts_us[at];
+  };
+  std::printf("sessions=%d rpcs/session=%d completed=%zu failures=%d\n",
+              session_count, rpcs_per_session, rtts_us.size(), failures);
+  std::printf("throughput: %.0f rpc/s over %.2f s\n",
+              static_cast<double>(rtts_us.size()) / elapsed_s, elapsed_s);
+  std::printf("rtt: p50=%.0f us  p99=%.0f us  max=%.0f us\n", pct(0.50),
+              pct(0.99), rtts_us.back());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "serve") {
+    const int port = argc > 2 ? std::atoi(argv[2]) : 47000;
+    return serve(static_cast<std::uint16_t>(port));
+  }
+  if (mode == "load" && argc > 3) {
+    const std::string host = argv[2];
+    const int port = std::atoi(argv[3]);
+    const int sessions = argc > 4 ? std::atoi(argv[4]) : 100;
+    const int rpcs = argc > 5 ? std::atoi(argv[5]) : 20;
+    return load(host, static_cast<std::uint16_t>(port), sessions, rpcs);
+  }
+  std::fprintf(stderr,
+               "usage: %s serve [port]\n"
+               "       %s load <host> <port> [sessions] [rpcs_per_session]\n",
+               argv[0], argv[0]);
+  return 2;
+}

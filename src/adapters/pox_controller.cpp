@@ -5,10 +5,8 @@
 namespace unify::adapters {
 
 PoxController::PoxController(infra::SdnNetwork& net,
-                             std::shared_ptr<proto::Endpoint> endpoint,
-                             SimClock& clock)
-    : net_(&net),
-      peer_(std::move(endpoint), clock, net.name() + "-pox") {
+                             std::shared_ptr<proto::Transport> transport)
+    : net_(&net), peer_(std::move(transport), net.name() + "-pox") {
   peer_.on_request(
       proto::openflow::kFlowModMethod,
       [this](const json::Value& params) -> Result<json::Value> {

@@ -1,6 +1,6 @@
 // POX-style OpenFlow controller for the legacy SDN domain: owns the
-// network's control side and serves two RPC methods over a simulated
-// channel — topology discovery and flow-mods (proto/openflow.h). The
+// network's control side and serves two RPC methods over any framed
+// transport — topology discovery and flow-mods (proto/openflow.h). The
 // corresponding adapter module (adapters/remote_sdn_adapter.h) is a pure
 // RPC client, so the domain boundary is a real control channel, as in the
 // paper’s prototype.
@@ -15,9 +15,9 @@ namespace unify::adapters {
 
 class PoxController {
  public:
-  /// Serves `net` on `endpoint`. Both must outlive the controller.
-  PoxController(infra::SdnNetwork& net, std::shared_ptr<proto::Endpoint> endpoint,
-                SimClock& clock);
+  /// Serves `net` on `transport`. The network must outlive the controller.
+  PoxController(infra::SdnNetwork& net,
+                std::shared_ptr<proto::Transport> transport);
 
   [[nodiscard]] std::uint64_t requests_handled() const noexcept {
     return peer_.requests_handled();

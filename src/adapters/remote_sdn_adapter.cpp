@@ -6,11 +6,10 @@
 namespace unify::adapters {
 
 RemoteSdnAdapter::RemoteSdnAdapter(std::string domain_name,
-                                   std::shared_ptr<proto::Endpoint> endpoint,
-                                   SimClock& clock)
+                                   std::shared_ptr<proto::Transport> transport)
     : domain_(std::move(domain_name)),
-      peer_(std::move(endpoint), clock, domain_ + "-of-client"),
-      clock_(&clock) {}
+      peer_(std::move(transport), domain_ + "-of-client"),
+      exclusion_key_(peer_.driver().exclusion_key()) {}
 
 std::string RemoteSdnAdapter::local(const std::string& node) const {
   const std::string prefix = domain_ + ".";

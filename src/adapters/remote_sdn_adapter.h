@@ -20,7 +20,7 @@ namespace unify::adapters {
 class RemoteSdnAdapter final : public BaseAdapter {
  public:
   RemoteSdnAdapter(std::string domain_name,
-                   std::shared_ptr<proto::Endpoint> endpoint, SimClock& clock);
+                   std::shared_ptr<proto::Transport> transport);
 
   [[nodiscard]] const std::string& domain() const noexcept override {
     return domain_;
@@ -28,10 +28,10 @@ class RemoteSdnAdapter final : public BaseAdapter {
   [[nodiscard]] std::uint64_t native_operations() const noexcept override {
     return flow_mods_sent_;
   }
-  /// Serialized with every other adapter driving the same simulated clock
-  /// (the control channel's RPCs pump it).
+  /// Serialized with every other adapter in the same driver domain (the
+  /// control channel's RPCs pump it).
   [[nodiscard]] const void* exclusion_key() const noexcept override {
-    return clock_;
+    return exclusion_key_;
   }
 
   /// Ties helper objects' lifetime (e.g. the PoxController) to this
@@ -58,7 +58,7 @@ class RemoteSdnAdapter final : public BaseAdapter {
 
   std::string domain_;
   proto::RpcPeer peer_;
-  SimClock* clock_ = nullptr;
+  const void* exclusion_key_;
   std::uint64_t flow_mods_sent_ = 0;
   std::vector<std::shared_ptr<void>> dependencies_;
 };

@@ -5,10 +5,10 @@
 namespace unify::core {
 
 UnifyServer::UnifyServer(Virtualizer& virtualizer,
-                         std::shared_ptr<proto::Endpoint> endpoint,
-                         SimClock& clock, std::string name)
+                         std::shared_ptr<proto::Transport> transport,
+                         std::string name)
     : virtualizer_(&virtualizer),
-      peer_(std::move(endpoint), clock, std::move(name)) {
+      peer_(std::move(transport), std::move(name)) {
   peer_.on_request(
       "get-config",
       [this](const json::Value&) -> Result<json::Value> {
@@ -33,11 +33,11 @@ UnifyServer::UnifyServer(Virtualizer& virtualizer,
 }
 
 UnifyClientAdapter::UnifyClientAdapter(
-    std::string domain_name, std::shared_ptr<proto::Endpoint> endpoint,
-    SimClock& clock, SimTime rpc_timeout_us)
+    std::string domain_name, std::shared_ptr<proto::Transport> transport,
+    SimTime rpc_timeout_us)
     : domain_(std::move(domain_name)),
-      peer_(std::move(endpoint), clock, domain_ + "-unify-client"),
-      clock_(&clock),
+      peer_(std::move(transport), domain_ + "-unify-client"),
+      exclusion_key_(peer_.driver().exclusion_key()),
       rpc_timeout_us_(rpc_timeout_us) {}
 
 Result<model::Nffg> UnifyClientAdapter::fetch_view() {
@@ -61,9 +61,10 @@ Result<adapters::PushTicket> UnifyClientAdapter::begin_apply(
   json::Object params;
   params.set("config", model::to_json(desired));
   auto slot = std::make_shared<std::optional<Result<json::Value>>>();
-  peer_.call("edit-config", json::Value{std::move(params)},
-             [slot](Result<json::Value> reply) { *slot = std::move(reply); },
-             rpc_timeout_us_);
+  UNIFY_RETURN_IF_ERROR(peer_.call(
+      "edit-config", json::Value{std::move(params)},
+      [slot](Result<json::Value> reply) { *slot = std::move(reply); },
+      rpc_timeout_us_));
   inflight_ = InflightPush{next_push_id_++, std::move(slot)};
   return adapters::PushTicket{inflight_->id};
 }
@@ -76,17 +77,17 @@ Result<void> UnifyClientAdapter::await(const adapters::PushTicket& ticket) {
   }
   const auto slot = inflight_->slot;
   inflight_.reset();
-  // Drive the simulation until the child's acknowledgment (or the RPC
-  // timeout timer) fires — this is where the child stack runs.
-  while (!slot->has_value() && clock_->pending_timers() > 0) {
-    clock_->run_until_idle();
+  // Drive the transport until the child's acknowledgment (or the RPC
+  // deadline) fires — simulated timers for channels, the epoll reactor
+  // for sockets. Over a channel this is where the child stack runs.
+  while (!slot->has_value() && peer_.driver().pump()) {
   }
   // Whatever happened, the edit-config reached the wire: the child's
   // config may have changed, so this domain must not look clean.
   bump_epoch();
   if (!slot->has_value()) {
     return Error{ErrorCode::kUnavailable,
-                 "no response and no pending timers (peer gone?)"};
+                 "driver idle with push still open (peer gone?)"};
   }
   if (!(*slot)->ok()) return (*slot)->error();
   return Result<void>::success();
@@ -103,10 +104,10 @@ std::unique_ptr<UnifyClientAdapter> make_unify_link(Virtualizer& child,
                                                     std::string domain_name,
                                                     SimTime channel_latency_us) {
   auto [north, south] = proto::make_channel_pair(clock, channel_latency_us);
-  auto server = std::make_shared<UnifyServer>(child, south, clock,
+  auto server = std::make_shared<UnifyServer>(child, south,
                                               domain_name + "-unify-server");
-  auto adapter = std::make_unique<UnifyClientAdapter>(std::move(domain_name),
-                                                      north, clock);
+  auto adapter =
+      std::make_unique<UnifyClientAdapter>(std::move(domain_name), north);
   adapter->keep_alive(std::move(server));
   return adapter;
 }

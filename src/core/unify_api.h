@@ -2,14 +2,16 @@
 // manager and a virtualizer (paper: "The recursive interface is the Unify
 // interface").
 //
-// Methods (JSON-RPC over a framed simulated channel):
+// Methods (JSON-RPC over a framed transport):
 //   get-config   {}                      -> {"config": <NFFG>}
 //   edit-config  {"config": <NFFG>}      -> {}
 //
 // UnifyServer exposes a Virtualizer northbound. UnifyClientAdapter makes a
 // remote UNIFY domain look like any other DomainAdapter to the RO above —
-// the recursion point of the architecture. make_unify_link wires a child
-// virtualizer to a fresh adapter over an in-memory channel.
+// the recursion point of the architecture. Both are transport-agnostic
+// (proto/transport.h): make_unify_link wires a child virtualizer over an
+// in-memory channel, while examples/unify_rod.cpp serves the same
+// UnifyServer over real TCP connections.
 #pragma once
 
 #include <memory>
@@ -18,19 +20,25 @@
 
 #include "adapters/domain_adapter.h"
 #include "core/virtualizer.h"
+#include "proto/channel.h"
 #include "proto/rpc.h"
 
 namespace unify::core {
 
 class UnifyServer {
  public:
-  /// Serves `virtualizer` on `endpoint`. Both must outlive the server.
+  /// Serves `virtualizer` on `transport`. The virtualizer must outlive the
+  /// server.
   UnifyServer(Virtualizer& virtualizer,
-              std::shared_ptr<proto::Endpoint> endpoint, SimClock& clock,
-              std::string name);
+              std::shared_ptr<proto::Transport> transport, std::string name);
 
   [[nodiscard]] std::uint64_t requests_handled() const noexcept {
     return peer_.requests_handled();
+  }
+  /// Fires once when the session's transport closes (remote hangup or
+  /// local disconnect) — the hook for connection-scoped server cleanup.
+  void on_disconnect(std::function<void()> fn) {
+    peer_.on_disconnect(std::move(fn));
   }
 
  private:
@@ -41,8 +49,8 @@ class UnifyServer {
 class UnifyClientAdapter final : public adapters::DomainAdapter {
  public:
   UnifyClientAdapter(std::string domain_name,
-                     std::shared_ptr<proto::Endpoint> endpoint,
-                     SimClock& clock, SimTime rpc_timeout_us = 0);
+                     std::shared_ptr<proto::Transport> transport,
+                     SimTime rpc_timeout_us = 0);
 
   [[nodiscard]] const std::string& domain() const noexcept override {
     return domain_;
@@ -50,11 +58,12 @@ class UnifyClientAdapter final : public adapters::DomainAdapter {
   [[nodiscard]] Result<model::Nffg> fetch_view() override;
 
   /// Native transactional push: begin_apply issues the edit-config RPC and
-  /// returns immediately; await drives the channel until the child's
-  /// acknowledgment (or timeout) lands. The child virtualizer runs its own
-  /// orchestration — recursively fanning its domain pushes out on the same
-  /// shared pool — inside that drive, which is the architecture's
-  /// recursion point.
+  /// returns immediately; await drives the transport until the child's
+  /// acknowledgment (or timeout) lands. Over an in-memory channel the
+  /// child virtualizer runs its own orchestration — recursively fanning
+  /// its domain pushes out on the same shared pool — inside that drive,
+  /// which is the architecture's recursion point; over TCP the child is a
+  /// separate process and the drive pumps the socket.
   Result<adapters::PushTicket> begin_apply(const model::Nffg& desired) override;
   Result<void> await(const adapters::PushTicket& ticket) override;
   Result<void> apply(const model::Nffg& desired) override;
@@ -62,9 +71,10 @@ class UnifyClientAdapter final : public adapters::DomainAdapter {
   [[nodiscard]] std::uint64_t native_operations() const noexcept override {
     return peer_.counters().messages_sent;
   }
-  /// Serialized with every other adapter driving the same simulated clock.
+  /// Serialized with every other adapter in the same driver domain (all
+  /// adapters sharing a SimClock, or all connections of one reactor).
   [[nodiscard]] const void* exclusion_key() const noexcept override {
-    return clock_;
+    return exclusion_key_;
   }
 
   /// Attaches an owned object (e.g. the matching UnifyServer + child
@@ -76,7 +86,7 @@ class UnifyClientAdapter final : public adapters::DomainAdapter {
  private:
   std::string domain_;
   proto::RpcPeer peer_;
-  SimClock* clock_;
+  const void* exclusion_key_;
   SimTime rpc_timeout_us_;
   /// One in-flight edit-config: ticket id + where the response lands.
   struct InflightPush {
@@ -88,9 +98,9 @@ class UnifyClientAdapter final : public adapters::DomainAdapter {
   std::vector<std::shared_ptr<void>> dependencies_;
 };
 
-/// Wires `child` behind a fresh channel: creates the UnifyServer on one end
-/// and returns a UnifyClientAdapter (owning the server) on the other, ready
-/// to be add_domain()-ed into a parent RO.
+/// Wires `child` behind a fresh in-memory channel: creates the UnifyServer
+/// on one end and returns a UnifyClientAdapter (owning the server) on the
+/// other, ready to be add_domain()-ed into a parent RO.
 [[nodiscard]] std::unique_ptr<UnifyClientAdapter> make_unify_link(
     Virtualizer& child, SimClock& clock, std::string domain_name,
     SimTime channel_latency_us = 200);

@@ -1,11 +1,11 @@
-// In-memory byte-stream channels with simulated latency.
+// In-memory byte-stream transport with simulated latency.
 //
-// The paper's control plane talks NETCONF/OpenFlow/Unify over TCP sessions
-// between layers and domains. This reproduction replaces sockets with
-// deterministic in-memory duplex channels driven by a SimClock: bytes
-// written at one endpoint arrive at the other after the configured one-way
-// latency, optionally fragmented to exercise framing code. Counters feed
-// the control-plane overhead experiments (E4, E6).
+// The deterministic half of the transport concept (proto/transport.h):
+// bytes written at one endpoint arrive at the other after the configured
+// one-way latency, in order, optionally fragmented to exercise framing
+// code. Driven by a SimClock, so experiments are reproducible and
+// independent of host speed. Counters feed the control-plane overhead
+// experiments (E4, E6); the real-socket counterpart is proto/net/tcp.h.
 #pragma once
 
 #include <cstdint>
@@ -13,37 +13,55 @@
 #include <memory>
 #include <string>
 
+#include "proto/transport.h"
 #include "util/sim_clock.h"
 
 namespace unify::proto {
 
-struct ChannelCounters {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t bytes_sent = 0;
+/// Driver over a SimClock: scheduling maps to simulated timers and pumping
+/// drains them. The exclusion key is the clock itself — every channel (and
+/// adapter) sharing a SimClock belongs to one single-threaded domain.
+class SimDriver final : public Driver {
+ public:
+  explicit SimDriver(SimClock& clock) : clock_(&clock) {}
+
+  void schedule(SimTime delay_us, std::function<void()> fn) override {
+    clock_->schedule_in(delay_us, std::move(fn));
+  }
+  bool pump() override {
+    if (clock_->pending_timers() == 0) return false;
+    clock_->run_until_idle();
+    return true;
+  }
+  [[nodiscard]] const void* exclusion_key() const noexcept override {
+    return clock_;
+  }
+
+ private:
+  SimClock* clock_;
 };
 
-/// One side of a duplex channel. Obtain pairs via make_channel_pair.
-class Endpoint {
+/// One side of a simulated duplex channel. Obtain pairs via
+/// make_channel_pair.
+class Endpoint final : public Transport {
  public:
-  using ReceiveFn = std::function<void(std::string_view bytes)>;
+  /// Destruction counts as a hangup: the surviving peer's close callback
+  /// fires, exactly as a TCP peer observes a closed socket.
+  ~Endpoint() override;
 
-  /// Sends bytes to the peer; they arrive after the channel latency, in
-  /// order, possibly split into `chunk_size` fragments.
-  void send(std::string bytes);
+  Result<void> send(std::string bytes) override;
+  void on_receive(ReceiveFn fn) override;
+  void on_close(CloseFn fn) override;
 
-  /// Installs the receive callback (replaces any previous one). Bytes that
-  /// arrive while no callback is installed are buffered and flushed on
-  /// installation.
-  void on_receive(ReceiveFn fn);
+  /// Severs both directions (both close callbacks fire); in-flight bytes
+  /// are still delivered as long as the receiving endpoint stays alive.
+  void disconnect() override;
 
-  [[nodiscard]] const ChannelCounters& counters() const noexcept {
+  [[nodiscard]] bool connected() const noexcept override;
+  [[nodiscard]] const TransportCounters& counters() const noexcept override {
     return counters_;
   }
-  [[nodiscard]] bool connected() const noexcept;
-
-  /// Severs both directions; in-flight bytes are still delivered as long as
-  /// the receiving endpoint stays alive.
-  void disconnect();
+  [[nodiscard]] Driver& driver() noexcept override { return *driver_; }
 
  private:
   friend std::pair<std::shared_ptr<Endpoint>, std::shared_ptr<Endpoint>>
@@ -51,14 +69,17 @@ class Endpoint {
                     std::size_t chunk_size);
 
   void deliver(std::string bytes);
+  void handle_peer_closed();
 
-  SimClock* clock_ = nullptr;
+  std::shared_ptr<SimDriver> driver_;  // shared by both pair ends
   SimTime latency_us_ = 0;
   std::size_t chunk_size_ = 0;  // 0 = no fragmentation
   std::weak_ptr<Endpoint> peer_weak_;
   ReceiveFn receive_;
+  CloseFn close_;
+  bool closed_ = false;  // close callback fired (at most once)
   std::string backlog_;  // bytes received before on_receive installed
-  ChannelCounters counters_;
+  TransportCounters counters_;
 };
 
 /// Creates a connected pair. `latency_us` is the one-way delivery delay in

@@ -1,0 +1,311 @@
+#include "proto/net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/log.h"
+
+namespace unify::proto::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Compact the output buffer once the consumed prefix crosses this.
+constexpr std::size_t kCompactThreshold = 64 * 1024;
+
+Result<void> set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Error{ErrorCode::kInternal,
+                 std::string("fcntl(O_NONBLOCK) failed: ") +
+                     std::strerror(errno)};
+  }
+  return Result<void>::success();
+}
+
+void set_nodelay(int fd) {
+  // Framed request/response traffic: Nagle only adds latency.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::string peer_name_of(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "?";
+  }
+  char ip[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+Result<sockaddr_in> make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "not an IPv4 literal: " + host};
+  }
+  return addr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- transport
+
+TcpTransport::TcpTransport(Reactor& reactor, int fd)
+    : reactor_(&reactor), fd_(fd), peer_name_(peer_name_of(fd)) {}
+
+Result<std::shared_ptr<TcpTransport>> TcpTransport::connect(
+    Reactor& reactor, const std::string& host, std::uint16_t port) {
+  UNIFY_ASSIGN_OR_RETURN(const sockaddr_in addr, make_addr(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Error{ErrorCode::kInternal,
+                 std::string("socket() failed: ") + std::strerror(errno)};
+  }
+  // Blocking handshake (loopback/LAN: instantaneous), non-blocking after.
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Error{ErrorCode::kUnavailable,
+                 "connect to " + host + ":" + std::to_string(port) +
+                     " failed: " + std::strerror(err)};
+  }
+  if (const auto nb = set_nonblocking(fd); !nb.ok()) {
+    ::close(fd);
+    return nb.error();
+  }
+  set_nodelay(fd);
+  auto transport = std::shared_ptr<TcpTransport>(new TcpTransport(reactor, fd));
+  transport->register_with_reactor();
+  return transport;
+}
+
+std::shared_ptr<TcpTransport> TcpTransport::adopt(Reactor& reactor, int fd) {
+  (void)set_nonblocking(fd);
+  set_nodelay(fd);
+  auto transport = std::shared_ptr<TcpTransport>(new TcpTransport(reactor, fd));
+  transport->register_with_reactor();
+  return transport;
+}
+
+TcpTransport::~TcpTransport() {
+  // Silent teardown: the owner is discarding the transport, so the close
+  // callback (targeting the owner) must not fire.
+  close_ = nullptr;
+  close_now();
+}
+
+void TcpTransport::register_with_reactor() {
+  const auto added = reactor_->add_fd(
+      fd_, EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+      [weak = weak_from_this()](std::uint32_t events) {
+        if (auto self = weak.lock()) self->handle_events(events);
+      });
+  if (!added.ok()) {
+    UNIFY_LOG(kError, "proto.net")
+        << "register " << peer_name_ << ": " << added.error().to_string();
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<void> TcpTransport::send(std::string bytes) {
+  if (!connected()) {
+    return Error{ErrorCode::kUnavailable,
+                 "tcp transport to " + peer_name_ + " disconnected"};
+  }
+  if (bytes.empty()) return Result<void>::success();
+  counters_.messages_sent++;
+  counters_.bytes_sent += bytes.size();
+  if (out_head_ == out_.size()) {
+    out_.clear();
+    out_head_ = 0;
+  }
+  out_.append(bytes);
+  flush_write();
+  if (fd_ < 0) {
+    return Error{ErrorCode::kUnavailable,
+                 "tcp transport to " + peer_name_ + " reset mid-send"};
+  }
+  return Result<void>::success();
+}
+
+void TcpTransport::on_receive(ReceiveFn fn) {
+  receive_ = std::move(fn);
+  if (receive_ && !backlog_.empty()) {
+    std::string pending;
+    pending.swap(backlog_);
+    receive_(pending);
+  }
+}
+
+void TcpTransport::on_close(CloseFn fn) { close_ = std::move(fn); }
+
+void TcpTransport::disconnect() {
+  if (fd_ < 0 || closing_) return;
+  if (out_head_ == out_.size()) {
+    close_now();
+    return;
+  }
+  closing_ = true;  // flush_write closes once the tail drains
+}
+
+void TcpTransport::handle_events(std::uint32_t events) {
+  if (events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+    drain_read();
+  }
+  if (fd_ >= 0 && (events & EPOLLOUT)) {
+    flush_write();
+  }
+}
+
+void TcpTransport::drain_read() {
+  // Edge-triggered: must drain until EAGAIN or the edge is lost.
+  char chunk[kReadChunk];
+  while (fd_ >= 0) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      counters_.messages_received++;
+      counters_.bytes_received += static_cast<std::uint64_t>(n);
+      const std::string_view bytes(chunk, static_cast<std::size_t>(n));
+      if (receive_) {
+        receive_(bytes);
+      } else {
+        backlog_.append(bytes);
+      }
+      continue;
+    }
+    if (n == 0) {  // orderly remote close
+      close_now();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    UNIFY_LOG(kWarn, "proto.net")
+        << "read from " << peer_name_ << " failed: " << std::strerror(errno);
+    close_now();
+    return;
+  }
+}
+
+void TcpTransport::flush_write() {
+  while (fd_ >= 0 && out_head_ < out_.size()) {
+    const ssize_t n =
+        ::write(fd_, out_.data() + out_head_, out_.size() - out_head_);
+    if (n > 0) {
+      out_head_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // EPOLLOUT fires when the socket drains (we just armed the edge).
+      break;
+    }
+    if (errno == EINTR) continue;
+    UNIFY_LOG(kWarn, "proto.net")
+        << "write to " << peer_name_ << " failed: " << std::strerror(errno);
+    close_now();
+    return;
+  }
+  if (out_head_ == out_.size()) {
+    out_.clear();
+    out_head_ = 0;
+    if (closing_) close_now();
+  } else if (out_head_ >= kCompactThreshold) {
+    out_.erase(0, out_head_);
+    out_head_ = 0;
+  }
+}
+
+void TcpTransport::close_now() {
+  if (fd_ < 0) return;
+  reactor_->del_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  closing_ = false;
+  if (close_) {
+    // Steal the callback first: it may destroy this transport.
+    CloseFn fn;
+    fn.swap(close_);
+    fn();
+  }
+}
+
+// ----------------------------------------------------------------- listener
+
+TcpListener::TcpListener(Reactor& reactor, int fd, std::uint16_t port,
+                         AcceptFn fn)
+    : reactor_(&reactor), fd_(fd), port_(port), accept_(std::move(fn)) {}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::listen(
+    Reactor& reactor, const std::string& host, std::uint16_t port,
+    AcceptFn fn, int backlog) {
+  UNIFY_ASSIGN_OR_RETURN(sockaddr_in addr, make_addr(host, port));
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Error{ErrorCode::kInternal,
+                 std::string("socket() failed: ") + std::strerror(errno)};
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Error{ErrorCode::kUnavailable,
+                 "bind " + host + ":" + std::to_string(port) +
+                     " failed: " + std::strerror(err)};
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Error{ErrorCode::kInternal,
+                 std::string("listen() failed: ") + std::strerror(err)};
+  }
+  auto listener = std::unique_ptr<TcpListener>(
+      new TcpListener(reactor, fd, ntohs(addr.sin_port), std::move(fn)));
+  UNIFY_RETURN_IF_ERROR(reactor.add_fd(
+      fd, EPOLLIN | EPOLLET,
+      [raw = listener.get()](std::uint32_t) { raw->handle_readable(); }));
+  return listener;
+}
+
+TcpListener::~TcpListener() {
+  reactor_->del_fd(fd_);
+  ::close(fd_);
+}
+
+void TcpListener::handle_readable() {
+  // Edge-triggered: accept until EAGAIN so a burst of connections behind
+  // one edge is fully drained.
+  while (true) {
+    const int fd = ::accept4(fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      UNIFY_LOG(kWarn, "proto.net")
+          << "accept on :" << port_ << " failed: " << std::strerror(errno);
+      return;
+    }
+    ++accepted_;
+    accept_(TcpTransport::adopt(*reactor_, fd));
+  }
+}
+
+}  // namespace unify::proto::net

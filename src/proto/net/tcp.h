@@ -1,0 +1,108 @@
+// Non-blocking TCP transport + listener over the epoll reactor.
+//
+// TcpTransport implements the transport concept (proto/transport.h) on a
+// connected socket: edge-triggered reads drained until EAGAIN straight
+// into the receive callback, writes buffered in a growable output buffer
+// flushed opportunistically and on EPOLLOUT, graceful close that flushes
+// queued bytes first. TcpListener accepts with a backlog and hands each
+// connection out as a ready TcpTransport. The same length-prefixed framing
+// and RpcPeer code that runs over the in-memory channels runs here
+// unchanged — this is the real wire of the Unify interface.
+//
+// All objects belong to their reactor's execution domain; see reactor.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "proto/net/reactor.h"
+#include "proto/transport.h"
+#include "util/result.h"
+
+namespace unify::proto::net {
+
+class TcpTransport final : public Transport,
+                           public std::enable_shared_from_this<TcpTransport> {
+ public:
+  /// Connects to host:port (blocking handshake — loopback/LAN use), then
+  /// switches the socket non-blocking and registers it with the reactor.
+  static Result<std::shared_ptr<TcpTransport>> connect(
+      Reactor& reactor, const std::string& host, std::uint16_t port);
+
+  /// Wraps an already-connected socket (the listener's accept path). Takes
+  /// ownership of `fd`.
+  static std::shared_ptr<TcpTransport> adopt(Reactor& reactor, int fd);
+
+  ~TcpTransport() override;
+
+  Result<void> send(std::string bytes) override;
+  void on_receive(ReceiveFn fn) override;
+  void on_close(CloseFn fn) override;
+  /// Flushes queued outbound bytes as the socket drains, then closes; an
+  /// empty output buffer closes immediately.
+  void disconnect() override;
+  [[nodiscard]] bool connected() const noexcept override {
+    return fd_ >= 0 && !closing_;
+  }
+  [[nodiscard]] const TransportCounters& counters() const noexcept override {
+    return counters_;
+  }
+  [[nodiscard]] Driver& driver() noexcept override { return *reactor_; }
+
+  /// "127.0.0.1:47112" of the remote end, for logs.
+  [[nodiscard]] const std::string& peer_name() const noexcept {
+    return peer_name_;
+  }
+
+ private:
+  explicit TcpTransport(Reactor& reactor, int fd);
+  void register_with_reactor();
+  void handle_events(std::uint32_t events);
+  void drain_read();
+  void flush_write();
+  void close_now();
+
+  Reactor* reactor_;
+  int fd_ = -1;
+  std::string peer_name_;
+  ReceiveFn receive_;
+  CloseFn close_;
+  std::string backlog_;   // received before on_receive installed
+  std::string out_;       // unsent bytes; head offset avoids O(n²) erases
+  std::size_t out_head_ = 0;
+  bool closing_ = false;  // graceful close requested, flushing remainder
+  TransportCounters counters_;
+};
+
+class TcpListener {
+ public:
+  using AcceptFn = std::function<void(std::shared_ptr<TcpTransport>)>;
+
+  /// Binds host:port (port 0 picks an ephemeral one — see port()) and
+  /// accepts with the given backlog; each connection arrives at `fn`
+  /// already registered with the reactor.
+  static Result<std::unique_ptr<TcpListener>> listen(
+      Reactor& reactor, const std::string& host, std::uint16_t port,
+      AcceptFn fn, int backlog = 128);
+
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+
+ private:
+  TcpListener(Reactor& reactor, int fd, std::uint16_t port, AcceptFn fn);
+  void handle_readable();
+
+  Reactor* reactor_;
+  int fd_;
+  std::uint16_t port_;
+  AcceptFn accept_;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace unify::proto::net

@@ -32,17 +32,18 @@ Error error_from_json(const json::Value& v) {
 
 }  // namespace
 
-RpcPeer::RpcPeer(std::shared_ptr<Endpoint> endpoint, SimClock& clock,
-                 std::string name)
-    : endpoint_(std::move(endpoint)), clock_(&clock), name_(std::move(name)) {
-  endpoint_->on_receive(
+RpcPeer::RpcPeer(std::shared_ptr<Transport> transport, std::string name)
+    : transport_(std::move(transport)), name_(std::move(name)) {
+  transport_->on_receive(
       [this](std::string_view bytes) { handle_bytes(bytes); });
+  transport_->on_close([this] { handle_closed(); });
 }
 
 RpcPeer::~RpcPeer() {
   // Stop callbacks into a dead object; in-flight frames will be buffered by
-  // the endpoint and dropped with it.
-  endpoint_->on_receive(nullptr);
+  // the transport and dropped with it.
+  transport_->on_receive(nullptr);
+  transport_->on_close(nullptr);
 }
 
 void RpcPeer::on_request(std::string method, Handler handler) {
@@ -54,8 +55,12 @@ void RpcPeer::on_notification(std::string method,
   notification_handlers_[std::move(method)] = std::move(handler);
 }
 
-void RpcPeer::call(std::string method, json::Value params, ResponseFn done,
-                   SimTime timeout_us) {
+void RpcPeer::on_disconnect(std::function<void()> fn) {
+  disconnect_hook_ = std::move(fn);
+}
+
+Result<void> RpcPeer::call(std::string method, json::Value params,
+                           ResponseFn done, SimTime timeout_us) {
   const std::int64_t id = next_id_++;
   auto pending = std::make_shared<Pending>();
   pending->done = std::move(done);
@@ -65,53 +70,68 @@ void RpcPeer::call(std::string method, json::Value params, ResponseFn done,
   msg.set("id", id);
   msg.set("method", std::move(method));
   msg.set("params", std::move(params));
-  send_json(json::Value{std::move(msg)});
+  if (const auto sent = send_json(json::Value{std::move(msg)}); !sent.ok()) {
+    pending_.erase(id);
+    return sent.error();
+  }
 
   if (timeout_us > 0) {
-    clock_->schedule_in(timeout_us, [this, id, pending] {
-      if (pending->responded) return;
-      pending->responded = true;
-      pending_.erase(id);
-      pending->done(Error{ErrorCode::kTimeout,
-                          "rpc " + std::to_string(id) + " timed out"});
-    });
+    // The deadline timer may outlive this peer (the driver is shared);
+    // the weak Pending keeps it from touching a dead object.
+    driver().schedule(
+        timeout_us,
+        [this, id, weak = std::weak_ptr<Pending>(pending)] {
+          auto alive = weak.lock();
+          if (alive == nullptr || alive->responded) return;
+          alive->responded = true;
+          pending_.erase(id);
+          alive->done(Error{ErrorCode::kTimeout,
+                            "rpc " + std::to_string(id) + " timed out"});
+        });
   }
+  return Result<void>::success();
 }
 
-void RpcPeer::notify(std::string method, json::Value params) {
+Result<void> RpcPeer::notify(std::string method, json::Value params) {
   json::Object msg;
   msg.set("method", std::move(method));
   msg.set("params", std::move(params));
-  send_json(json::Value{std::move(msg)});
+  return send_json(json::Value{std::move(msg)});
 }
 
 Result<json::Value> RpcPeer::call_and_wait(std::string method,
                                            json::Value params,
                                            SimTime timeout_us) {
   std::optional<Result<json::Value>> slot;
-  call(std::move(method), std::move(params),
-       [&slot](Result<json::Value> result) { slot = std::move(result); },
-       timeout_us);
-  // Single-threaded simulation: drain timers until the response fires.
-  while (!slot.has_value() && clock_->pending_timers() > 0) {
-    clock_->run_until_idle();
+  UNIFY_RETURN_IF_ERROR(call(
+      std::move(method), std::move(params),
+      [&slot](Result<json::Value> result) { slot = std::move(result); },
+      timeout_us));
+  // Pump the driver (simulated timers or the epoll reactor) until the
+  // response, the timeout, or a dead-idle driver.
+  while (!slot.has_value() && driver().pump()) {
   }
   if (!slot.has_value()) {
     return Error{ErrorCode::kUnavailable,
-                 "no response and no pending timers (peer gone?)"};
+                 "driver idle with call still open (peer gone?)"};
   }
   return std::move(*slot);
 }
 
-void RpcPeer::send_json(const json::Value& msg) {
-  endpoint_->send(encode_frame(msg.dump()));
+Result<void> RpcPeer::send_json(const json::Value& msg) {
+  return transport_->send(encode_frame(msg.dump()));
 }
 
 void RpcPeer::handle_bytes(std::string_view bytes) {
   std::vector<std::string> frames;
   if (const auto fed = decoder_.feed(bytes, frames); !fed.ok()) {
+    // Byte-stream sync is lost: the only honest recovery is to drop the
+    // connection (pending calls fail via the close callback).
     UNIFY_LOG(kError, "proto.rpc")
-        << name_ << ": framing error: " << fed.error().to_string();
+        << name_ << ": framing error, disconnecting: "
+        << fed.error().to_string();
+    ++protocol_errors_;
+    transport_->disconnect();
     return;
   }
   for (const std::string& frame : frames) {
@@ -119,6 +139,7 @@ void RpcPeer::handle_bytes(std::string_view bytes) {
     if (!parsed.ok()) {
       UNIFY_LOG(kError, "proto.rpc")
           << name_ << ": bad JSON frame: " << parsed.error().to_string();
+      ++protocol_errors_;
       continue;
     }
     handle_message(*parsed);
@@ -126,10 +147,27 @@ void RpcPeer::handle_bytes(std::string_view bytes) {
 }
 
 void RpcPeer::handle_message(const json::Value& msg) {
+  if (!msg.is_object()) {
+    UNIFY_LOG(kWarn, "proto.rpc") << name_ << ": non-object message frame";
+    ++protocol_errors_;
+    return;
+  }
   const json::Value* id = msg.get("id");
   const json::Value* method = msg.get("method");
 
-  if (method != nullptr && method->is_string()) {
+  if (method != nullptr) {
+    if (!method->is_string()) {
+      ++protocol_errors_;
+      if (id != nullptr && id->is_number()) {
+        // Answer so a confused-but-listening caller is not left hanging.
+        json::Object reply;
+        reply.set("id", *id);
+        reply.set("error", error_to_json(Error{ErrorCode::kProtocol,
+                                               "method must be a string"}));
+        (void)send_json(json::Value{std::move(reply)});
+      }
+      return;
+    }
     const std::string& name = method->as_string();
     const json::Value* params = msg.get("params");
     static const json::Value kNull;
@@ -155,13 +193,24 @@ void RpcPeer::handle_message(const json::Value& msg) {
         reply.set("error", error_to_json(result.error()));
       }
     }
-    send_json(json::Value{std::move(reply)});
+    if (const auto sent = send_json(json::Value{std::move(reply)});
+        !sent.ok()) {
+      UNIFY_LOG(kWarn, "proto.rpc")
+          << name_ << ": reply dropped: " << sent.error().to_string();
+    }
     return;
   }
 
   if (id != nullptr && id->is_number()) {  // response
     const auto it = pending_.find(id->as_int());
-    if (it == pending_.end()) return;  // late response after timeout
+    if (it == pending_.end()) {
+      // Duplicate response id, or a late response after the deadline
+      // already failed the call — either way there is nothing to complete.
+      UNIFY_LOG(kWarn, "proto.rpc")
+          << name_ << ": response for unknown rpc id " << id->as_int();
+      ++protocol_errors_;
+      return;
+    }
     auto pending = it->second;
     pending_.erase(it);
     if (pending->responded) return;
@@ -177,6 +226,22 @@ void RpcPeer::handle_message(const json::Value& msg) {
     return;
   }
   UNIFY_LOG(kWarn, "proto.rpc") << name_ << ": unclassifiable message";
+  ++protocol_errors_;
+}
+
+void RpcPeer::handle_closed() {
+  // Fail every pending call exactly once; done callbacks may issue new
+  // work, so detach the map first.
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [id, entry] : pending) {
+    if (entry->responded) continue;
+    entry->responded = true;
+    entry->done(Error{ErrorCode::kUnavailable,
+                      "transport closed with rpc " + std::to_string(id) +
+                          " in flight"});
+  }
+  if (disconnect_hook_) disconnect_hook_();
 }
 
 }  // namespace unify::proto

@@ -65,10 +65,9 @@ Result<std::unique_ptr<Fig1Stack>> make_fig1_stack(Fig1Options options) {
   std::unique_ptr<adapters::DomainAdapter> sdn_adapter;
   if (options.remote_pox) {
     auto [north, south] = proto::make_channel_pair(clock, 150);
-    auto controller =
-        std::make_shared<adapters::PoxController>(sdn, south, clock);
+    auto controller = std::make_shared<adapters::PoxController>(sdn, south);
     auto remote =
-        std::make_unique<adapters::RemoteSdnAdapter>("sdn", north, clock);
+        std::make_unique<adapters::RemoteSdnAdapter>("sdn", north);
     remote->keep_alive(std::move(controller));
     sdn_adapter = std::move(remote);
   } else {

@@ -8,6 +8,7 @@
 #include "adapters/remote_sdn_adapter.h"
 #include "adapters/sdn_adapter.h"
 #include "model/nffg_builder.h"
+#include "proto/channel.h"
 #include "proto/openflow.h"
 
 namespace unify::adapters {
@@ -20,8 +21,8 @@ struct RemoteFixture : ::testing::Test {
     EXPECT_TRUE(net.connect("s1", 1, "s2", 1, {1000, 1.0}).ok());
     EXPECT_TRUE(net.attach_sap("sapA", "s1", 0, {1000, 0.1}).ok());
     auto [north, south] = proto::make_channel_pair(clock, 150);
-    controller = std::make_unique<PoxController>(net, south, clock);
-    adapter = std::make_unique<RemoteSdnAdapter>("sdn", north, clock);
+    controller = std::make_unique<PoxController>(net, south);
+    adapter = std::make_unique<RemoteSdnAdapter>("sdn", north);
   }
   SimClock clock;
   infra::SdnNetwork net;

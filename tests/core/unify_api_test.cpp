@@ -177,12 +177,22 @@ TEST(UnifyApi, ThreeLevelRecursion) {
 TEST(UnifyApi, ClientTimesOutWithoutServer) {
   SimClock clock;
   auto [north, south] = proto::make_channel_pair(clock, 100);
-  UnifyClientAdapter adapter("lonely", north, clock,
-                             /*rpc_timeout_us=*/5000);
-  south.reset();  // no server will ever answer
+  UnifyClientAdapter adapter("lonely", north, /*rpc_timeout_us=*/5000);
+  // `south` stays alive but mute: no server will ever answer, so only the
+  // rpc deadline can end the exchange.
   auto view = adapter.fetch_view();
   ASSERT_FALSE(view.ok());
   EXPECT_EQ(view.error().code, ErrorCode::kTimeout);
+}
+
+TEST(UnifyApi, ClientFailsFastOnDeadTransport) {
+  SimClock clock;
+  auto [north, south] = proto::make_channel_pair(clock, 100);
+  UnifyClientAdapter adapter("lonely", north, /*rpc_timeout_us=*/5000);
+  south.reset();  // transport torn down entirely -> immediate send failure
+  auto view = adapter.fetch_view();
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.error().code, ErrorCode::kUnavailable);
 }
 
 TEST(UnifyApi, AdapterKeepAliveOwnsServer) {

@@ -10,7 +10,7 @@ TEST(Channel, DeliversAfterLatency) {
   auto [a, b] = make_channel_pair(clock, 500);
   std::string received;
   b->on_receive([&](std::string_view bytes) { received += bytes; });
-  a->send("hello");
+  ASSERT_TRUE(a->send("hello").ok());
   EXPECT_TRUE(received.empty());
   clock.advance(499);
   EXPECT_TRUE(received.empty());
@@ -24,8 +24,8 @@ TEST(Channel, BothDirections) {
   std::string at_a, at_b;
   a->on_receive([&](std::string_view bytes) { at_a += bytes; });
   b->on_receive([&](std::string_view bytes) { at_b += bytes; });
-  a->send("ping");
-  b->send("pong");
+  ASSERT_TRUE(a->send("ping").ok());
+  ASSERT_TRUE(b->send("pong").ok());
   clock.run_until_idle();
   EXPECT_EQ(at_a, "pong");
   EXPECT_EQ(at_b, "ping");
@@ -36,9 +36,9 @@ TEST(Channel, PreservesOrder) {
   auto [a, b] = make_channel_pair(clock, 10);
   std::string received;
   b->on_receive([&](std::string_view bytes) { received += bytes; });
-  a->send("1");
-  a->send("2");
-  a->send("3");
+  ASSERT_TRUE(a->send("1").ok());
+  ASSERT_TRUE(a->send("2").ok());
+  ASSERT_TRUE(a->send("3").ok());
   clock.run_until_idle();
   EXPECT_EQ(received, "123");
 }
@@ -48,7 +48,7 @@ TEST(Channel, FragmentsAtChunkSize) {
   auto [a, b] = make_channel_pair(clock, 10, 3);
   std::vector<std::string> chunks;
   b->on_receive([&](std::string_view bytes) { chunks.emplace_back(bytes); });
-  a->send("abcdefgh");
+  ASSERT_TRUE(a->send("abcdefgh").ok());
   clock.run_until_idle();
   EXPECT_EQ(chunks,
             (std::vector<std::string>{"abc", "def", "gh"}));
@@ -57,7 +57,7 @@ TEST(Channel, FragmentsAtChunkSize) {
 TEST(Channel, BuffersUntilReceiverInstalled) {
   SimClock clock;
   auto [a, b] = make_channel_pair(clock, 10);
-  a->send("early");
+  ASSERT_TRUE(a->send("early").ok());
   clock.run_until_idle();
   std::string received;
   b->on_receive([&](std::string_view bytes) { received += bytes; });
@@ -68,11 +68,14 @@ TEST(Channel, CountersTrackTraffic) {
   SimClock clock;
   auto [a, b] = make_channel_pair(clock, 10);
   b->on_receive([](std::string_view) {});
-  a->send("12345");
-  a->send("67");
+  ASSERT_TRUE(a->send("12345").ok());
+  ASSERT_TRUE(a->send("67").ok());
   EXPECT_EQ(a->counters().messages_sent, 2u);
   EXPECT_EQ(a->counters().bytes_sent, 7u);
   EXPECT_EQ(b->counters().messages_sent, 0u);
+  clock.run_until_idle();
+  EXPECT_EQ(b->counters().messages_received, 2u);
+  EXPECT_EQ(b->counters().bytes_received, 7u);
 }
 
 TEST(Channel, DisconnectStopsTraffic) {
@@ -84,10 +87,35 @@ TEST(Channel, DisconnectStopsTraffic) {
   a->disconnect();
   EXPECT_FALSE(a->connected());
   EXPECT_FALSE(b->connected());
-  a->send("lost");
+  const auto sent = a->send("lost");
+  ASSERT_FALSE(sent.ok());  // sends now report the drop instead of hiding it
+  EXPECT_EQ(sent.error().code, ErrorCode::kUnavailable);
   clock.run_until_idle();
   EXPECT_TRUE(received.empty());
   EXPECT_EQ(a->counters().messages_sent, 0u);
+}
+
+TEST(Channel, DisconnectFiresCloseCallbacksOnce) {
+  SimClock clock;
+  auto [a, b] = make_channel_pair(clock, 10);
+  int a_closed = 0;
+  int b_closed = 0;
+  a->on_close([&] { ++a_closed; });
+  b->on_close([&] { ++b_closed; });
+  b->disconnect();
+  b->disconnect();  // idempotent
+  EXPECT_EQ(a_closed, 1);
+  EXPECT_EQ(b_closed, 1);
+}
+
+TEST(Channel, PeerDestructionFiresCloseCallback) {
+  SimClock clock;
+  auto [a, b] = make_channel_pair(clock, 10);
+  bool closed = false;
+  a->on_close([&] { closed = true; });
+  b.reset();
+  EXPECT_TRUE(closed);
+  EXPECT_FALSE(a->connected());
 }
 
 TEST(Channel, InFlightBytesSurviveSenderDestruction) {
@@ -95,7 +123,7 @@ TEST(Channel, InFlightBytesSurviveSenderDestruction) {
   std::string received;
   auto [a, b] = make_channel_pair(clock, 10);
   b->on_receive([&](std::string_view bytes) { received += bytes; });
-  a->send("parting gift");
+  ASSERT_TRUE(a->send("parting gift").ok());
   a.reset();  // sender gone before delivery
   clock.run_until_idle();
   EXPECT_EQ(received, "parting gift");
@@ -104,10 +132,24 @@ TEST(Channel, InFlightBytesSurviveSenderDestruction) {
 TEST(Channel, DeadReceiverDropsBytesSafely) {
   SimClock clock;
   auto [a, b] = make_channel_pair(clock, 10);
-  a->send("into the void");
+  ASSERT_TRUE(a->send("into the void").ok());
   b.reset();
   clock.run_until_idle();  // must not crash
   SUCCEED();
+}
+
+TEST(Channel, DriverPumpRunsPendingDelivery) {
+  // The SimDriver exposes the clock through the Transport interface so
+  // transport-agnostic code (RpcPeer::call_and_wait) can make progress.
+  SimClock clock;
+  auto [a, b] = make_channel_pair(clock, 10);
+  std::string received;
+  b->on_receive([&](std::string_view bytes) { received += bytes; });
+  ASSERT_TRUE(a->send("pumped").ok());
+  EXPECT_TRUE(a->driver().pump());   // delivery timer pending -> progress
+  EXPECT_EQ(received, "pumped");
+  EXPECT_FALSE(a->driver().pump());  // idle
+  EXPECT_EQ(a->driver().exclusion_key(), b->driver().exclusion_key());
 }
 
 }  // namespace

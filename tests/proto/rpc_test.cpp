@@ -2,16 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include "proto/channel.h"
+
 namespace unify::proto {
 namespace {
 
 struct RpcFixture : ::testing::Test {
   void SetUp() override {
     auto [a, b] = make_channel_pair(clock, 100);
-    client = std::make_unique<RpcPeer>(a, clock, "client");
-    server = std::make_unique<RpcPeer>(b, clock, "server");
+    ea = a;
+    eb = b;
+    client = std::make_unique<RpcPeer>(a, "client");
+    server = std::make_unique<RpcPeer>(b, "server");
   }
   SimClock clock;
+  std::shared_ptr<Endpoint> ea, eb;
   std::unique_ptr<RpcPeer> client;
   std::unique_ptr<RpcPeer> server;
 };
@@ -44,13 +49,69 @@ TEST_F(RpcFixture, UnknownMethodIsNotFound) {
   EXPECT_EQ(result.error().code, ErrorCode::kNotFound);
 }
 
-TEST_F(RpcFixture, TimeoutFiresWithoutServer) {
-  // No handler and server silently drops? Handler exists but never returns:
-  // simulate by disconnecting the channel first.
+TEST_F(RpcFixture, TimeoutFiresAgainstMuteServer) {
+  // The server peer dies but its endpoint stays up: requests reach a
+  // transport nobody reads from, so only the deadline can end the call.
   server.reset();
   auto result = client->call_and_wait("echo", json::Value{}, 5000);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.error().code, ErrorCode::kTimeout);
+}
+
+TEST_F(RpcFixture, ZeroTimeoutMeansNoTimeout) {
+  // timeout_us = 0 never arms a deadline: against a mute server the call
+  // stays open until the driver goes idle — kUnavailable, not kTimeout.
+  server.reset();
+  auto result = client->call_and_wait("echo", json::Value{}, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kUnavailable);
+}
+
+TEST_F(RpcFixture, CallOnDisconnectedTransportFailsFast) {
+  // The satellite contract: a send status instead of a silent drop.
+  eb.reset();
+  server.reset();
+  bool done_fired = false;
+  const auto sent = client->call(
+      "echo", json::Value{},
+      [&done_fired](Result<json::Value>) { done_fired = true; }, 5000);
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(sent.error().code, ErrorCode::kUnavailable);
+  clock.run_until_idle();
+  EXPECT_FALSE(done_fired);  // send failed => done never fires
+
+  const auto notified = client->notify("status", json::Value{});
+  ASSERT_FALSE(notified.ok());
+  EXPECT_EQ(notified.error().code, ErrorCode::kUnavailable);
+}
+
+TEST_F(RpcFixture, PendingCallsFailWhenTransportCloses) {
+  std::optional<Result<json::Value>> slot;
+  ASSERT_TRUE(client
+                  ->call("echo", json::Value{},
+                         [&slot](Result<json::Value> r) { slot = std::move(r); })
+                  .ok());
+  ea->disconnect();
+  ASSERT_TRUE(slot.has_value());
+  ASSERT_FALSE(slot->ok());
+  EXPECT_EQ(slot->error().code, ErrorCode::kUnavailable);
+}
+
+TEST_F(RpcFixture, DisconnectHookFiresAfterPendingCleanup) {
+  bool hook_fired = false;
+  bool pending_failed = false;
+  client->on_disconnect([&] {
+    hook_fired = true;
+    EXPECT_TRUE(pending_failed);  // pendings settle before the hook
+  });
+  ASSERT_TRUE(client
+                  ->call("echo", json::Value{},
+                         [&pending_failed](Result<json::Value> r) {
+                           pending_failed = !r.ok();
+                         })
+                  .ok());
+  ea->disconnect();
+  EXPECT_TRUE(hook_fired);
 }
 
 TEST_F(RpcFixture, ResponseBeatsTimeout) {
@@ -75,12 +136,14 @@ TEST_F(RpcFixture, ConcurrentCallsMatchedById) {
     json::Object params;
     params.set("a", i);
     params.set("b", 10);
-    client->call("add", json::Value{std::move(params)},
-                 [&sums, i](Result<json::Value> result) {
-                   ASSERT_TRUE(result.ok());
-                   sums[static_cast<std::size_t>(i)] =
-                       result->get_number("sum");
-                 });
+    ASSERT_TRUE(client
+                    ->call("add", json::Value{std::move(params)},
+                           [&sums, i](Result<json::Value> result) {
+                             ASSERT_TRUE(result.ok());
+                             sums[static_cast<std::size_t>(i)] =
+                                 result->get_number("sum");
+                           })
+                    .ok());
   }
   clock.run_until_idle();
   EXPECT_EQ(sums, (std::vector<double>{10, 11, 12}));
@@ -95,7 +158,7 @@ TEST_F(RpcFixture, NotificationsDispatch) {
   });
   json::Object params;
   params.set("state", "running");
-  client->notify("status", json::Value{std::move(params)});
+  ASSERT_TRUE(client->notify("status", json::Value{std::move(params)}).ok());
   clock.run_until_idle();
   EXPECT_EQ(count, 1);
   EXPECT_EQ(last, "running");
@@ -120,8 +183,8 @@ TEST_F(RpcFixture, BidirectionalCalls) {
 TEST_F(RpcFixture, LargeParamsSurviveFragmentation) {
   // Rebuild the channel with tiny chunks to stress framing reassembly.
   auto [a, b] = make_channel_pair(clock, 10, 7);
-  client = std::make_unique<RpcPeer>(a, clock, "client");
-  server = std::make_unique<RpcPeer>(b, clock, "server");
+  client = std::make_unique<RpcPeer>(a, "client");
+  server = std::make_unique<RpcPeer>(b, "server");
   server->on_request("len", [](const json::Value& params) {
     return Result<json::Value>{
         json::Value{params.get_string("blob").size()}};
@@ -146,6 +209,159 @@ TEST_F(RpcFixture, HandlerCanCallBack) {
   auto result = client->call_and_wait("root", json::Value{});
   ASSERT_TRUE(result.ok()) << result.error().to_string();
   EXPECT_EQ(result->as_string(), "leaf-data");
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input battery: a hostile or buggy peer writes raw frames at an
+// RpcPeer. Every case must leave the peer healthy (subsequent well-formed
+// RPCs still work) and be observable via protocol_errors().
+
+struct MalformedFixture : RpcFixture {
+  void SetUp() override {
+    RpcFixture::SetUp();
+    server->on_request("echo", [](const json::Value& params) {
+      return Result<json::Value>{params};
+    });
+    // The attacker speaks raw bytes on the client's endpoint; the client
+    // RpcPeer is detached so nothing interprets replies sent back north.
+    client.reset();
+    attacker = ea;
+    attacker->on_receive([this](std::string_view bytes) {
+      std::vector<std::string> frames;
+      ASSERT_TRUE(attacker_decoder.feed(bytes, frames).ok());
+      for (auto& f : frames) replies.push_back(std::move(f));
+    });
+  }
+
+  void inject(std::string_view payload) {
+    ASSERT_TRUE(attacker->send(encode_frame(payload)).ok());
+    clock.run_until_idle();
+  }
+
+  /// The peer must still answer well-formed traffic after the abuse.
+  void expect_still_healthy() {
+    const std::size_t before = replies.size();
+    inject(R"({"id": 777, "method": "echo", "params": {"ok": true}})");
+    ASSERT_EQ(replies.size(), before + 1);
+    const auto parsed = json::parse(replies.back());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->get_int("id"), 777);
+    EXPECT_NE(parsed->get("result"), nullptr);
+  }
+
+  std::shared_ptr<Endpoint> attacker;
+  FrameDecoder attacker_decoder;
+  std::vector<std::string> replies;
+};
+
+TEST_F(MalformedFixture, BadJsonFrameIsCountedAndSkipped) {
+  inject("{not json at all");
+  EXPECT_EQ(server->protocol_errors(), 1u);
+  EXPECT_TRUE(replies.empty());
+  expect_still_healthy();
+}
+
+TEST_F(MalformedFixture, NonObjectFrameIsIgnored) {
+  inject("42");
+  inject(R"(["an", "array"])");
+  EXPECT_EQ(server->protocol_errors(), 2u);
+  EXPECT_TRUE(replies.empty());
+  expect_still_healthy();
+}
+
+TEST_F(MalformedFixture, MissingIdAndMethodIsIgnored) {
+  inject(R"({"params": {"x": 1}})");
+  EXPECT_EQ(server->protocol_errors(), 1u);
+  EXPECT_TRUE(replies.empty());
+  expect_still_healthy();
+}
+
+TEST_F(MalformedFixture, NonStringMethodGetsProtocolErrorReply) {
+  inject(R"({"id": 5, "method": 12, "params": {}})");
+  EXPECT_EQ(server->protocol_errors(), 1u);
+  ASSERT_EQ(replies.size(), 1u);
+  const auto parsed = json::parse(replies.front());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->get_int("id"), 5);
+  const json::Value* error = parsed->get("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->get_string("code"), "protocol");
+  expect_still_healthy();
+}
+
+TEST_F(MalformedFixture, NonStringMethodWithoutIdIsIgnored) {
+  inject(R"({"method": false})");
+  EXPECT_EQ(server->protocol_errors(), 1u);
+  EXPECT_TRUE(replies.empty());
+  expect_still_healthy();
+}
+
+TEST_F(MalformedFixture, UnknownMethodGetsErrorReply) {
+  inject(R"({"id": 9, "method": "no-such-method"})");
+  EXPECT_EQ(server->protocol_errors(), 0u);  // well-formed, just unknown
+  ASSERT_EQ(replies.size(), 1u);
+  const auto parsed = json::parse(replies.front());
+  ASSERT_TRUE(parsed.ok());
+  const json::Value* error = parsed->get("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->get_string("code"), "not_found");
+  expect_still_healthy();
+}
+
+TEST_F(MalformedFixture, ResponseForUnknownIdIsIgnored) {
+  inject(R"({"id": 424242, "result": {"made": "up"}})");
+  EXPECT_EQ(server->protocol_errors(), 1u);
+  EXPECT_TRUE(replies.empty());
+  expect_still_healthy();
+}
+
+TEST_F(MalformedFixture, DuplicateResponseIdFiresDoneOnce) {
+  // The server issues a call south; the attacker answers twice.
+  int fired = 0;
+  std::string got;
+  ASSERT_TRUE(server
+                  ->call("probe", json::Value{},
+                         [&](Result<json::Value> r) {
+                           ++fired;
+                           ASSERT_TRUE(r.ok());
+                           got = r->as_string();
+                         })
+                  .ok());
+  clock.run_until_idle();
+  inject(R"({"id": 1, "result": "first"})");
+  inject(R"({"id": 1, "result": "second"})");
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(got, "first");
+  EXPECT_EQ(server->protocol_errors(), 1u);  // the duplicate
+  expect_still_healthy();
+}
+
+TEST_F(MalformedFixture, ResponseWithNeitherResultNorErrorIsProtocolError) {
+  std::optional<Result<json::Value>> slot;
+  ASSERT_TRUE(server
+                  ->call("probe", json::Value{},
+                         [&slot](Result<json::Value> r) { slot = std::move(r); })
+                  .ok());
+  clock.run_until_idle();
+  inject(R"({"id": 1})");
+  ASSERT_TRUE(slot.has_value());
+  ASSERT_FALSE(slot->ok());
+  EXPECT_EQ(slot->error().code, ErrorCode::kProtocol);
+  expect_still_healthy();
+}
+
+TEST_F(MalformedFixture, OversizedFrameDisconnectsTheTransport) {
+  // A length prefix beyond kMaxFrameBytes means byte-stream sync is gone:
+  // the peer must drop the connection rather than guess.
+  std::string header;
+  header.push_back(static_cast<char>(0x7F));
+  header.push_back(static_cast<char>(0xFF));
+  header.push_back(static_cast<char>(0xFF));
+  header.push_back(static_cast<char>(0xFF));
+  ASSERT_TRUE(attacker->send(header).ok());
+  clock.run_until_idle();
+  EXPECT_GE(server->protocol_errors(), 1u);
+  EXPECT_FALSE(attacker->connected());
 }
 
 }  // namespace

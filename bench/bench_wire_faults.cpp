@@ -1,0 +1,138 @@
+// The price of a hostile wire: the same closed-loop RPC exchange driven
+// through ResilientSession over fault-injected channels (DESIGN.md §14),
+// across three profiles — clean, 1% connection resets, 50ms delivery
+// jitter. Counters report p50/p99 RPC round-trip in *simulated* time (the
+// wire's contribution, independent of host speed) plus the recovery tax:
+// how long a session stays dark from a fault-induced failure to its first
+// successful call after reconnect, and how many reconnects the run needed.
+// Host wall time per iteration still measures the CPU cost of the fault
+// and reconnect machinery itself.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/channel.h"
+#include "proto/fault_transport.h"
+#include "proto/resilient_session.h"
+
+namespace {
+
+using namespace unify;
+
+constexpr int kSessions = 8;
+constexpr int kCallsPerSession = 16;
+
+proto::FaultProfile profile_for(int index) {
+  proto::FaultProfile profile;
+  profile.latency_us = 100;
+  switch (index) {
+    case 0:  // clean
+      break;
+    case 1:  // 1% abrupt resets
+      profile.reset_rate = 0.01;
+      break;
+    default:  // heavy delivery jitter
+      profile.jitter_us = 50'000;
+      break;
+  }
+  return profile;
+}
+
+const char* profile_name(int index) {
+  switch (index) {
+    case 0: return "clean";
+    case 1: return "reset1pct";
+    default: return "jitter50ms";
+  }
+}
+
+double percentile(std::vector<double>& values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  return values[static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1))];
+}
+
+void BM_WireFaultProfiles(benchmark::State& state) {
+  const proto::FaultProfile profile =
+      profile_for(static_cast<int>(state.range(0)));
+  state.SetLabel(profile_name(static_cast<int>(state.range(0))));
+
+  SimClock clock;
+  proto::SimDriver driver(clock);
+  std::vector<std::shared_ptr<proto::Endpoint>> server_ends;
+  std::vector<std::unique_ptr<proto::RpcPeer>> servers;
+  std::vector<std::shared_ptr<proto::FaultInjector>> injectors;
+  std::vector<std::unique_ptr<proto::ResilientSession>> sessions;
+  for (int i = 0; i < kSessions; ++i) {
+    injectors.push_back(std::make_shared<proto::FaultInjector>(
+        profile, 0x5eedULL + static_cast<std::uint64_t>(i)));
+    auto factory = [&, i]() -> Result<std::shared_ptr<proto::Transport>> {
+      auto [a, b] = proto::make_channel_pair(clock, 100);
+      server_ends.push_back(b);
+      servers.push_back(std::make_unique<proto::RpcPeer>(b, "server"));
+      servers.back()->on_request(
+          "get-config", [](const json::Value&) -> Result<json::Value> {
+            return json::Value{json::Object{}};
+          });
+      return std::static_pointer_cast<proto::Transport>(
+          proto::FaultTransport::wrap(
+              a, injectors[static_cast<std::size_t>(i)]));
+    };
+    sessions.push_back(std::make_unique<proto::ResilientSession>(
+        "bench-" + std::to_string(i), driver, std::move(factory)));
+  }
+
+  std::vector<double> rtts_us, recovery_us;
+  std::uint64_t failed_calls = 0;
+  for (auto _ : state) {
+    for (auto& session : sessions) {
+      for (int call = 0; call < kCallsPerSession; ++call) {
+        const SimTime before = clock.now();
+        auto reply = session->call_and_wait(
+            "get-config", json::Value{json::Object{}},
+            /*timeout_us=*/500'000);
+        if (reply.ok()) {
+          rtts_us.push_back(static_cast<double>(clock.now() - before));
+          continue;
+        }
+        // A fault killed the exchange: measure failure -> reconnect ->
+        // first successful call (the session's real dark window).
+        ++failed_calls;
+        const SimTime dark_from = clock.now();
+        for (int spin = 0; spin < 1000; ++spin) {
+          if (session->connected()) {
+            auto retry = session->call_and_wait(
+                "get-config", json::Value{json::Object{}}, 500'000);
+            if (retry.ok()) break;
+            ++failed_calls;
+          }
+          clock.advance(5'000);
+        }
+        recovery_us.push_back(static_cast<double>(clock.now() - dark_from));
+      }
+    }
+  }
+
+  std::uint64_t reconnects = 0, faults = 0;
+  for (const auto& session : sessions) reconnects += session->reconnects();
+  for (const auto& injector : injectors) faults += injector->faults_injected();
+
+  state.SetItemsProcessed(state.iterations() * kSessions * kCallsPerSession);
+  state.counters["rtt_p50_us"] = percentile(rtts_us, 0.50);
+  state.counters["rtt_p99_us"] = percentile(rtts_us, 0.99);
+  state.counters["recover_p50_us"] = percentile(recovery_us, 0.50);
+  state.counters["faults"] = static_cast<double>(faults);
+  state.counters["reconnects"] = static_cast<double>(reconnects);
+  state.counters["failed_calls"] = static_cast<double>(failed_calls);
+}
+
+BENCHMARK(BM_WireFaultProfiles)->Arg(0)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

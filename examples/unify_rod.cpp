@@ -10,9 +10,14 @@
 //       ephemeral port, printed on stdout). Runs until killed.
 //
 //   ./unify_rod load <host> <port> [sessions] [rpcs_per_session]
+//                    [--faults[=seed]]
 //       Opens N concurrent manager sessions and drives M RPCs through each
 //       (alternating get-config and converged edit-config), closed-loop
-//       per session. Reports throughput and p50/p99 round-trip latency.
+//       per session. Reports throughput, p50/p99 round-trip latency and a
+//       per-session failure table; exits non-zero unless every session
+//       completed its full RPC budget. --faults wraps every client
+//       transport in a seeded FaultTransport (resets, blackholes, jitter)
+//       to demo the failure accounting against a healthy server.
 //
 // Smoke test on one machine:  ./unify_rod serve 47000 &
 //                             ./unify_rod load 127.0.0.1 47000 100 20
@@ -26,6 +31,7 @@
 #include <vector>
 
 #include "core/unify_api.h"
+#include "proto/fault_transport.h"
 #include "proto/net/tcp.h"
 #include "proto/rpc.h"
 #include "service/fig1.h"
@@ -78,8 +84,20 @@ int serve(std::uint16_t port) {
   for (;;) reactor.poll(-1);
 }
 
+/// The --faults demo profile: enough resets and blackholes that a 100x20
+/// run visibly loses sessions, plus jitter to spread the RTT tail.
+proto::FaultProfile demo_fault_profile() {
+  proto::FaultProfile profile;
+  profile.reset_rate = 0.01;
+  profile.blackhole_rate = 0.005;
+  profile.latency_us = 100;
+  profile.jitter_us = 1'000;
+  return profile;
+}
+
 int load(const std::string& host, std::uint16_t port, int session_count,
-         int rpcs_per_session) {
+         int rpcs_per_session, bool inject_faults,
+         std::uint64_t fault_seed) {
   using WallClock = std::chrono::steady_clock;
 
   proto::net::Reactor reactor;
@@ -87,9 +105,12 @@ int load(const std::string& host, std::uint16_t port, int session_count,
     std::unique_ptr<proto::RpcPeer> peer;
     json::Value config;  // fetched once, re-pushed by edit-config calls
     int done = 0;
+    int failures = 0;
+    std::string last_error;
     WallClock::time_point sent_at;
   };
   std::vector<Session> sessions(static_cast<std::size_t>(session_count));
+  std::size_t index = 0;
   for (auto& session : sessions) {
     auto conn = proto::net::TcpTransport::connect(reactor, host, port);
     if (!conn.ok()) {
@@ -97,19 +118,30 @@ int load(const std::string& host, std::uint16_t port, int session_count,
                    conn.error().to_string().c_str());
       return 1;
     }
-    session.peer = std::make_unique<proto::RpcPeer>(std::move(*conn), "load");
+    std::shared_ptr<proto::Transport> wire = std::move(*conn);
+    if (inject_faults) {
+      wire = proto::FaultTransport::wrap(
+          std::move(wire),
+          std::make_shared<proto::FaultInjector>(
+              demo_fault_profile(), fault_seed + index));
+    }
+    session.peer =
+        std::make_unique<proto::RpcPeer>(std::move(wire), "load");
+    ++index;
   }
 
   // Seed every session with the child's current config — the payload the
   // edit-config half of the mix pushes back (a converged no-op for the
-  // orchestrator, full parse/serialize cost for the wire).
+  // orchestrator, full parse/serialize cost for the wire). A session whose
+  // seeding fails is abandoned with its failure on record, not fatal: under
+  // --faults a first-frame reset is expected traffic.
   for (auto& session : sessions) {
-    auto reply = session.peer->call_and_wait("get-config",
-                                             json::Value{json::Object{}});
+    auto reply = session.peer->call_and_wait(
+        "get-config", json::Value{json::Object{}}, /*timeout_us=*/5'000'000);
     if (!reply.ok()) {
-      std::fprintf(stderr, "initial get-config failed: %s\n",
-                   reply.error().to_string().c_str());
-      return 1;
+      ++session.failures;
+      session.last_error = reply.error().to_string();
+      continue;
     }
     session.config = *reply;
   }
@@ -118,10 +150,10 @@ int load(const std::string& host, std::uint16_t port, int session_count,
   rtts_us.reserve(static_cast<std::size_t>(session_count) *
                   static_cast<std::size_t>(rpcs_per_session));
   int in_flight = 0;
-  int failures = 0;
 
   // Closed loop per session: completion of one RPC fires the next, so
-  // `session_count` requests are always concurrently on the wire.
+  // `session_count` requests are always concurrently on the wire. Every
+  // call carries a deadline so a blackholed frame cannot wedge the loop.
   std::function<void(Session&)> fire = [&](Session& session) {
     const bool edit = (session.done % 2) == 1;
     json::Value params = json::Value{json::Object{}};
@@ -137,30 +169,55 @@ int load(const std::string& host, std::uint16_t port, int session_count,
         [&](Result<json::Value> reply) {
           --in_flight;
           if (!reply.ok()) {
-            ++failures;
+            ++session.failures;
+            session.last_error = reply.error().to_string();
             return;  // session abandoned
           }
           rtts_us.push_back(std::chrono::duration<double, std::micro>(
                                 WallClock::now() - session.sent_at)
                                 .count());
           if (++session.done < rpcs_per_session) fire(session);
-        });
+        },
+        /*timeout_us=*/5'000'000);
     if (!sent.ok()) {
       --in_flight;
-      ++failures;
-      std::fprintf(stderr, "send failed: %s\n",
-                   sent.error().to_string().c_str());
+      ++session.failures;
+      session.last_error = sent.error().to_string();
     }
   };
 
   const auto started = WallClock::now();
-  for (auto& session : sessions) fire(session);
+  for (auto& session : sessions) {
+    if (session.failures == 0) fire(session);
+  }
   while (in_flight > 0) reactor.poll(100);
   const double elapsed_s =
       std::chrono::duration<double>(WallClock::now() - started).count();
 
+  // Per-session accounting: a dropped session must never pass silently —
+  // anything short of its full RPC budget fails the run.
+  int total_failures = 0;
+  int incomplete = 0;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto& session = sessions[i];
+    total_failures += session.failures;
+    if (session.done < rpcs_per_session) {
+      ++incomplete;
+      std::fprintf(stderr,
+                   "session %zu: incomplete %d/%d rpcs, %d failures (%s)\n",
+                   i, session.done, rpcs_per_session, session.failures,
+                   session.last_error.empty() ? "no error recorded"
+                                              : session.last_error.c_str());
+    }
+  }
+
+  std::printf(
+      "sessions=%d rpcs/session=%d completed=%zu failures=%d "
+      "incomplete_sessions=%d%s\n",
+      session_count, rpcs_per_session, rtts_us.size(), total_failures,
+      incomplete, inject_faults ? " (fault injection on)" : "");
   if (rtts_us.empty()) {
-    std::fprintf(stderr, "no RPC completed (%d failures)\n", failures);
+    std::fprintf(stderr, "no RPC completed\n");
     return 1;
   }
   std::sort(rtts_us.begin(), rtts_us.end());
@@ -169,13 +226,11 @@ int load(const std::string& host, std::uint16_t port, int session_count,
         p * static_cast<double>(rtts_us.size() - 1));
     return rtts_us[at];
   };
-  std::printf("sessions=%d rpcs/session=%d completed=%zu failures=%d\n",
-              session_count, rpcs_per_session, rtts_us.size(), failures);
   std::printf("throughput: %.0f rpc/s over %.2f s\n",
               static_cast<double>(rtts_us.size()) / elapsed_s, elapsed_s);
   std::printf("rtt: p50=%.0f us  p99=%.0f us  max=%.0f us\n", pct(0.50),
               pct(0.99), rtts_us.back());
-  return failures == 0 ? 0 : 1;
+  return (total_failures == 0 && incomplete == 0) ? 0 : 1;
 }
 
 }  // namespace
@@ -187,15 +242,35 @@ int main(int argc, char** argv) {
     return serve(static_cast<std::uint16_t>(port));
   }
   if (mode == "load" && argc > 3) {
-    const std::string host = argv[2];
-    const int port = std::atoi(argv[3]);
-    const int sessions = argc > 4 ? std::atoi(argv[4]) : 100;
-    const int rpcs = argc > 5 ? std::atoi(argv[5]) : 20;
-    return load(host, static_cast<std::uint16_t>(port), sessions, rpcs);
+    bool faults = false;
+    std::uint64_t fault_seed = 0x5eed;
+    std::vector<std::string> positional;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--faults") {
+        faults = true;
+      } else if (arg.rfind("--faults=", 0) == 0) {
+        faults = true;
+        fault_seed = std::strtoull(arg.c_str() + 9, nullptr, 10);
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    if (positional.size() >= 2) {
+      const std::string host = positional[0];
+      const int port = std::atoi(positional[1].c_str());
+      const int sessions =
+          positional.size() > 2 ? std::atoi(positional[2].c_str()) : 100;
+      const int rpcs =
+          positional.size() > 3 ? std::atoi(positional[3].c_str()) : 20;
+      return load(host, static_cast<std::uint16_t>(port), sessions, rpcs,
+                  faults, fault_seed);
+    }
   }
   std::fprintf(stderr,
                "usage: %s serve [port]\n"
-               "       %s load <host> <port> [sessions] [rpcs_per_session]\n",
+               "       %s load <host> <port> [sessions] [rpcs_per_session]"
+               " [--faults[=seed]]\n",
                argv[0], argv[0]);
   return 2;
 }

@@ -861,6 +861,20 @@ Result<void> ResourceOrchestrator::open_circuit(const std::string& domain,
   return Error{ErrorCode::kNotFound, "domain " + domain};
 }
 
+Result<void> ResourceOrchestrator::note_domain_liveness(
+    const std::string& domain, const Result<void>& observation) {
+  if (!initialized_) {
+    return Error{ErrorCode::kUnavailable, "RO not initialized"};
+  }
+  for (std::size_t i = 0; i < domain_names_.size(); ++i) {
+    if (domain_names_[i] != domain) continue;
+    if (!observation.ok()) metrics_.add("ro.health.liveness_failures");
+    note_southbound_outcome(i, observation);
+    return Result<void>::success();
+  }
+  return Error{ErrorCode::kNotFound, "domain " + domain};
+}
+
 Result<ResourceOrchestrator::HealReport> ResourceOrchestrator::heal() {
   if (!initialized_) {
     return Error{ErrorCode::kUnavailable, "RO not initialized"};

@@ -185,6 +185,15 @@ class ResourceOrchestrator {
   Result<void> open_circuit(const std::string& domain,
                             const std::string& reason);
 
+  /// Out-of-band liveness observation for one domain — the heartbeat feed
+  /// (DESIGN.md §14): a session's keepalive verdicts stream in here with
+  /// exactly the weight of a push/fetch outcome, so a silently partitioned
+  /// domain trips its breaker in O(heartbeat interval) instead of waiting
+  /// for the next push deadline. Wire a resilient session's on_liveness
+  /// hook to this. Same-thread only (like every RO entry point).
+  Result<void> note_domain_liveness(const std::string& domain,
+                                    const Result<void>& observation);
+
   /// Outcome of one healing pass (request/domain ids, in processing order).
   struct HealReport {
     std::vector<std::string> readmitted;  ///< domains whose probe succeeded

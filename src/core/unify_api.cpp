@@ -32,19 +32,41 @@ UnifyServer::UnifyServer(Virtualizer& virtualizer,
       });
 }
 
+namespace {
+
+proto::SessionOptions single_shot_options() {
+  // A fixed transport cannot be re-dialed: the session dies with it.
+  proto::SessionOptions options;
+  options.reconnect.enabled = false;
+  return options;
+}
+
+}  // namespace
+
 UnifyClientAdapter::UnifyClientAdapter(
     std::string domain_name, std::shared_ptr<proto::Transport> transport,
     SimTime rpc_timeout_us)
     : domain_(std::move(domain_name)),
-      peer_(std::move(transport), domain_ + "-unify-client"),
-      exclusion_key_(peer_.driver().exclusion_key()),
+      session_(domain_ + "-unify-client", transport->driver(), nullptr,
+               single_shot_options(), transport),
+      exclusion_key_(session_.driver().exclusion_key()),
+      rpc_timeout_us_(rpc_timeout_us) {}
+
+UnifyClientAdapter::UnifyClientAdapter(
+    std::string domain_name, proto::Driver& driver,
+    proto::ResilientSession::TransportFactory factory,
+    proto::SessionOptions session_options, SimTime rpc_timeout_us)
+    : domain_(std::move(domain_name)),
+      session_(domain_ + "-unify-client", driver, std::move(factory),
+               session_options),
+      exclusion_key_(driver.exclusion_key()),
       rpc_timeout_us_(rpc_timeout_us) {}
 
 Result<model::Nffg> UnifyClientAdapter::fetch_view() {
   UNIFY_ASSIGN_OR_RETURN(
       const json::Value reply,
-      peer_.call_and_wait("get-config", json::Value{json::Object{}},
-                          rpc_timeout_us_));
+      session_.call_and_wait("get-config", json::Value{json::Object{}},
+                             rpc_timeout_us_));
   const json::Value* config = reply.get("config");
   if (config == nullptr) {
     return Error{ErrorCode::kProtocol, "get-config reply missing config"};
@@ -61,7 +83,7 @@ Result<adapters::PushTicket> UnifyClientAdapter::begin_apply(
   json::Object params;
   params.set("config", model::to_json(desired));
   auto slot = std::make_shared<std::optional<Result<json::Value>>>();
-  UNIFY_RETURN_IF_ERROR(peer_.call(
+  UNIFY_RETURN_IF_ERROR(session_.call(
       "edit-config", json::Value{std::move(params)},
       [slot](Result<json::Value> reply) { *slot = std::move(reply); },
       rpc_timeout_us_));
@@ -80,7 +102,7 @@ Result<void> UnifyClientAdapter::await(const adapters::PushTicket& ticket) {
   // Drive the transport until the child's acknowledgment (or the RPC
   // deadline) fires — simulated timers for channels, the epoll reactor
   // for sockets. Over a channel this is where the child stack runs.
-  while (!slot->has_value() && peer_.driver().pump()) {
+  while (!slot->has_value() && session_.driver().pump()) {
   }
   // Whatever happened, the edit-config reached the wire: the child's
   // config may have changed, so this domain must not look clean.
@@ -97,6 +119,14 @@ Result<void> UnifyClientAdapter::apply(const model::Nffg& desired) {
   UNIFY_ASSIGN_OR_RETURN(const adapters::PushTicket ticket,
                          begin_apply(desired));
   return await(ticket);
+}
+
+Result<void> UnifyClientAdapter::probe() {
+  // A protocol-level ping instead of the default full fetch_view: proves
+  // the session and the peer's event loop without serializing a config.
+  UNIFY_RETURN_IF_ERROR(session_.call_and_wait(
+      "ping", json::Value{json::Object{}}, rpc_timeout_us_));
+  return Result<void>::success();
 }
 
 std::unique_ptr<UnifyClientAdapter> make_unify_link(Virtualizer& child,

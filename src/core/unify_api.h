@@ -21,6 +21,7 @@
 #include "adapters/domain_adapter.h"
 #include "core/virtualizer.h"
 #include "proto/channel.h"
+#include "proto/resilient_session.h"
 #include "proto/rpc.h"
 
 namespace unify::core {
@@ -48,8 +49,24 @@ class UnifyServer {
 
 class UnifyClientAdapter final : public adapters::DomainAdapter {
  public:
+  /// Single-transport session: dies with the transport (no reconnect),
+  /// the pre-§14 behaviour.
   UnifyClientAdapter(std::string domain_name,
                      std::shared_ptr<proto::Transport> transport,
+                     SimTime rpc_timeout_us = 0);
+
+  /// Survivable session: connects through `factory` and reconnects with
+  /// backoff after any disconnect (proto/resilient_session.h). While the
+  /// session is between transports every operation fails with a transient
+  /// kUnavailable — the push retry policy and the epoch+hash dirty
+  /// tracking above turn that into a cheap full resync after reconnect.
+  /// Heartbeat verdicts and reconnect outcomes stream through
+  /// on_liveness(); wire them to ResourceOrchestrator::
+  /// note_domain_liveness so a silent partition trips the breaker at
+  /// heartbeat speed.
+  UnifyClientAdapter(std::string domain_name, proto::Driver& driver,
+                     proto::ResilientSession::TransportFactory factory,
+                     proto::SessionOptions session_options = {},
                      SimTime rpc_timeout_us = 0);
 
   [[nodiscard]] const std::string& domain() const noexcept override {
@@ -69,12 +86,25 @@ class UnifyClientAdapter final : public adapters::DomainAdapter {
   Result<void> apply(const model::Nffg& desired) override;
 
   [[nodiscard]] std::uint64_t native_operations() const noexcept override {
-    return peer_.counters().messages_sent;
+    return session_.counters().messages_sent;
   }
   /// Serialized with every other adapter in the same driver domain (all
   /// adapters sharing a SimClock, or all connections of one reactor).
   [[nodiscard]] const void* exclusion_key() const noexcept override {
     return exclusion_key_;
+  }
+
+  /// Liveness probe for the health manager: cheap session/ping check
+  /// instead of the default full fetch_view.
+  Result<void> probe() override;
+
+  /// Subscribes to the session's liveness evidence (reconnects, failed
+  /// connects, heartbeat misses); see proto::ResilientSession::on_liveness.
+  void on_liveness(proto::ResilientSession::LivenessFn fn) {
+    session_.on_liveness(std::move(fn));
+  }
+  [[nodiscard]] const proto::ResilientSession& session() const noexcept {
+    return session_;
   }
 
   /// Attaches an owned object (e.g. the matching UnifyServer + child
@@ -85,7 +115,7 @@ class UnifyClientAdapter final : public adapters::DomainAdapter {
 
  private:
   std::string domain_;
-  proto::RpcPeer peer_;
+  proto::ResilientSession session_;
   const void* exclusion_key_;
   SimTime rpc_timeout_us_;
   /// One in-flight edit-config: ticket id + where the response lands.

@@ -18,9 +18,12 @@
 
 namespace unify::proto {
 
-/// Driver over a SimClock: scheduling maps to simulated timers and pumping
-/// drains them. The exclusion key is the clock itself — every channel (and
-/// adapter) sharing a SimClock belongs to one single-threaded domain.
+/// Driver over a SimClock: scheduling maps to simulated timers and each
+/// pump fires the earliest deadline batch (bounded progress — a periodic
+/// heartbeat timer keeps the clock non-idle forever, so draining to idle
+/// would never return). The exclusion key is the clock itself — every
+/// channel (and adapter) sharing a SimClock belongs to one single-threaded
+/// domain.
 class SimDriver final : public Driver {
  public:
   explicit SimDriver(SimClock& clock) : clock_(&clock) {}
@@ -28,11 +31,7 @@ class SimDriver final : public Driver {
   void schedule(SimTime delay_us, std::function<void()> fn) override {
     clock_->schedule_in(delay_us, std::move(fn));
   }
-  bool pump() override {
-    if (clock_->pending_timers() == 0) return false;
-    clock_->run_until_idle();
-    return true;
-  }
+  bool pump() override { return clock_->run_next_deadline() > 0; }
   [[nodiscard]] const void* exclusion_key() const noexcept override {
     return clock_;
   }

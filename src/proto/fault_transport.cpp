@@ -1,0 +1,123 @@
+#include "proto/fault_transport.h"
+
+#include <utility>
+
+namespace unify::proto {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kReset: return "reset";
+    case FaultKind::kBlackhole: return "blackhole";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+FaultKind FaultInjector::next_fault() {
+  // One uniform draw per send, partitioned by the cumulative rates, keeps
+  // the schedule a pure function of the draw index.
+  const double u = rng_.next_double();
+  double edge = profile_.reset_rate;
+  FaultKind kind = FaultKind::kNone;
+  if (u < edge) {
+    kind = FaultKind::kReset;
+  } else if (u < (edge += profile_.blackhole_rate)) {
+    kind = FaultKind::kBlackhole;
+  } else if (u < (edge += profile_.truncate_rate)) {
+    kind = FaultKind::kTruncate;
+  } else if (u < (edge += profile_.corrupt_rate)) {
+    kind = FaultKind::kCorrupt;
+  }
+  schedule_.push_back(kind);
+  if (kind != FaultKind::kNone) ++faults_injected_;
+  return kind;
+}
+
+SimTime FaultInjector::next_delay() {
+  SimTime delay = profile_.latency_us;
+  if (profile_.jitter_us > 0) {
+    delay += static_cast<SimTime>(rng_.next_below(
+        static_cast<std::uint64_t>(profile_.jitter_us) + 1));
+  }
+  return delay;
+}
+
+std::size_t FaultInjector::next_offset(std::size_t size) {
+  if (size == 0) return 0;
+  return static_cast<std::size_t>(rng_.next_below(size));
+}
+
+std::shared_ptr<FaultTransport> FaultTransport::wrap(
+    std::shared_ptr<Transport> inner, std::shared_ptr<FaultInjector> injector) {
+  return std::shared_ptr<FaultTransport>(
+      new FaultTransport(std::move(inner), std::move(injector)));
+}
+
+Result<void> FaultTransport::send(std::string bytes) {
+  if (!inner_->connected()) {
+    return Error{ErrorCode::kUnavailable, "fault transport disconnected"};
+  }
+  if (bytes.empty()) return inner_->send(std::move(bytes));
+
+  switch (injector_->next_fault()) {
+    case FaultKind::kReset:
+      // RST-style: the frame dies with the connection, nothing flushes —
+      // including sends still waiting in the delay queue.
+      delayed_.clear();
+      inner_->disconnect();
+      return Error{ErrorCode::kUnavailable, "injected connection reset"};
+    case FaultKind::kBlackhole:
+      // Half-open partition: the caller believes the send worked.
+      return Result<void>::success();
+    case FaultKind::kTruncate: {
+      // A strict prefix escapes, then the connection resets. The peer's
+      // decoder is left holding a dangling partial frame.
+      // The prefix bypasses the delay queue: it must be on the wire before
+      // the disconnect so the graceful close flushes it to the peer. Any
+      // still-delayed earlier sends flush first to keep the stream ordered.
+      for (; !delayed_.empty(); delayed_.pop_front()) {
+        (void)inner_->send(std::move(delayed_.front()));
+      }
+      const std::size_t cut = injector_->next_offset(bytes.size());
+      if (cut > 0) (void)inner_->send(bytes.substr(0, cut));
+      inner_->disconnect();
+      return Error{ErrorCode::kUnavailable, "injected mid-frame truncation"};
+    }
+    case FaultKind::kCorrupt: {
+      bytes[injector_->next_offset(bytes.size())] ^= 0x20;
+      deliver(std::move(bytes));
+      return Result<void>::success();
+    }
+    case FaultKind::kNone:
+      break;
+  }
+  deliver(std::move(bytes));
+  return Result<void>::success();
+}
+
+void FaultTransport::deliver(std::string bytes) {
+  const SimTime delay = injector_->next_delay();
+  if (delay <= 0 && delayed_.empty()) {
+    (void)inner_->send(std::move(bytes));
+    return;
+  }
+  // Delayed sends ride the driver so simulated and wall time both work.
+  // Each timer releases the *oldest* queued send, never the one it was
+  // armed for: two jitter draws may fire out of order, but the bytes still
+  // leave in send order — the wire stays an ordered stream, jitter only
+  // reshuffles the delays. An undelayed send behind a delayed one queues
+  // too, for the same reason. The weak self keeps a torn-down session
+  // from resurrecting the wire.
+  delayed_.push_back(std::move(bytes));
+  driver().schedule(delay, [weak = weak_from_this()] {
+    auto self = weak.lock();
+    if (self == nullptr || self->delayed_.empty()) return;
+    std::string next = std::move(self->delayed_.front());
+    self->delayed_.pop_front();
+    (void)self->inner_->send(std::move(next));
+  });
+}
+
+}  // namespace unify::proto

@@ -1,0 +1,150 @@
+// Fault-injecting transport decorator: a hostile wire on demand.
+//
+// FaultTransport wraps any Transport (in-memory channel or TCP connection)
+// and perturbs the send path on a deterministic, seeded schedule: extra
+// latency/jitter, abrupt connection resets, send-side blackholes (the
+// half-open partition where our bytes vanish but the peer's still arrive),
+// mid-frame truncation (a prefix of the frame leaks out before the reset)
+// and single-byte corruption. Every chaos invariant in the repo can now run
+// against a wire that misbehaves the way real control channels do
+// (DESIGN.md §14).
+//
+// Determinism: all fault decisions are drawn from one seeded Rng owned by a
+// FaultInjector, indexed by send count — never by wall-clock time — so a
+// schedule replays bit-identically for a fixed seed (the wire-chaos soak
+// honours a WIRE_SEED override exactly like CHAOS_SEED/CHURN_SEED). The
+// injector is shared across reconnects of one logical session: a new
+// FaultTransport wrapped over a fresh connection continues the schedule
+// instead of replaying it, so "the first send always dies" loops cannot
+// happen unless the profile says so.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/transport.h"
+#include "util/rng.h"
+
+namespace unify::proto {
+
+/// What the hostile wire does, as per-send probabilities in [0, 1].
+/// Decisions are evaluated in the order reset, blackhole, truncate,
+/// corrupt; at most one fault fires per send.
+struct FaultProfile {
+  /// Abrupt reset: the frame is dropped and the connection is severed
+  /// immediately (RST-style — no graceful flush).
+  double reset_rate = 0;
+  /// Send-side blackhole: send() reports success, the bytes vanish. The
+  /// connection stays up — the half-open partition only a heartbeat or an
+  /// RPC deadline can detect.
+  double blackhole_rate = 0;
+  /// Mid-frame truncation: a strict prefix of the frame reaches the peer,
+  /// then the connection resets. The peer's decoder is left with a
+  /// dangling partial frame.
+  double truncate_rate = 0;
+  /// Single-byte corruption: one byte of the frame is flipped in place
+  /// (frame header or payload alike) and delivered.
+  double corrupt_rate = 0;
+  /// Fixed extra one-way delay added to every delivered send.
+  SimTime latency_us = 0;
+  /// Uniform extra delay in [0, jitter_us] on top of latency_us, drawn
+  /// per send from the seeded schedule.
+  SimTime jitter_us = 0;
+};
+
+/// The kinds of send perturbation, for schedules/telemetry.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kReset,
+  kBlackhole,
+  kTruncate,
+  kCorrupt,
+};
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+/// The seeded fault schedule of one logical session. Owns the Rng and the
+/// decision counters; shared (via shared_ptr) by every FaultTransport
+/// incarnation of the session so reconnects continue the schedule.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultProfile profile, std::uint64_t seed)
+      : profile_(profile), rng_(seed) {}
+
+  /// Draws the next decision. One draw per send, plus one jitter draw when
+  /// the send is delivered (delayed/corrupted) — all from the same stream.
+  FaultKind next_fault();
+  /// Extra delivery delay for a non-dropped send (latency + jitter draw).
+  SimTime next_delay();
+  /// Offset of the byte to flip / the truncation point for a frame of
+  /// `size` bytes.
+  std::size_t next_offset(std::size_t size);
+
+  /// Every decision made so far, in order — the replay signature the
+  /// wire-chaos soak compares across runs.
+  [[nodiscard]] const std::vector<FaultKind>& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] std::uint64_t faults_injected() const noexcept {
+    return faults_injected_;
+  }
+  [[nodiscard]] const FaultProfile& profile() const noexcept {
+    return profile_;
+  }
+
+ private:
+  FaultProfile profile_;
+  Rng rng_;
+  std::vector<FaultKind> schedule_;
+  std::uint64_t faults_injected_ = 0;
+};
+
+/// Transport decorator applying a FaultInjector's schedule to the send
+/// path. The receive path passes through untouched: wrapping one end of a
+/// duplex stream perturbs exactly that end's outbound direction, so a pair
+/// of injectors can model asymmetric partitions.
+class FaultTransport final
+    : public Transport,
+      public std::enable_shared_from_this<FaultTransport> {
+ public:
+  /// Wraps `inner`; the injector carries the (shared) fault schedule.
+  [[nodiscard]] static std::shared_ptr<FaultTransport> wrap(
+      std::shared_ptr<Transport> inner, std::shared_ptr<FaultInjector> injector);
+
+  Result<void> send(std::string bytes) override;
+  void on_receive(ReceiveFn fn) override { inner_->on_receive(std::move(fn)); }
+  void on_close(CloseFn fn) override { inner_->on_close(std::move(fn)); }
+  void disconnect() override { inner_->disconnect(); }
+  [[nodiscard]] bool connected() const noexcept override {
+    return inner_->connected();
+  }
+  /// Counters of the wire as the sender believes it behaves: blackholed
+  /// and reset sends still count as sent (the caller's bytes left its
+  /// hands); what the peer actually saw shows up in its own counters.
+  [[nodiscard]] const TransportCounters& counters() const noexcept override {
+    return inner_->counters();
+  }
+  [[nodiscard]] Driver& driver() noexcept override { return inner_->driver(); }
+
+  [[nodiscard]] const FaultInjector& injector() const noexcept {
+    return *injector_;
+  }
+
+ private:
+  FaultTransport(std::shared_ptr<Transport> inner,
+                 std::shared_ptr<FaultInjector> injector)
+      : inner_(std::move(inner)), injector_(std::move(injector)) {}
+
+  /// Sends (possibly after the schedule's delay) on the inner transport.
+  void deliver(std::string bytes);
+
+  std::shared_ptr<Transport> inner_;
+  std::shared_ptr<FaultInjector> injector_;
+  /// Sends awaiting their delivery timer, strictly in send order (each
+  /// timer releases the front, so jitter cannot reorder the stream).
+  std::deque<std::string> delayed_;
+};
+
+}  // namespace unify::proto

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -10,6 +11,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 #include "util/log.h"
 
@@ -38,25 +40,68 @@ void set_nodelay(int fd) {
 }
 
 std::string peer_name_of(int fd) {
-  sockaddr_in addr{};
+  sockaddr_storage addr{};
   socklen_t len = sizeof(addr);
   if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
     return "?";
   }
-  char ip[INET_ADDRSTRLEN] = {};
-  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
-  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+  char ip[INET6_ADDRSTRLEN] = {};
+  if (addr.ss_family == AF_INET6) {
+    const auto* v6 = reinterpret_cast<const sockaddr_in6*>(&addr);
+    ::inet_ntop(AF_INET6, &v6->sin6_addr, ip, sizeof(ip));
+    return "[" + std::string(ip) + "]:" + std::to_string(ntohs(v6->sin6_port));
+  }
+  const auto* v4 = reinterpret_cast<const sockaddr_in*>(&addr);
+  ::inet_ntop(AF_INET, &v4->sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(v4->sin_port));
 }
 
-Result<sockaddr_in> make_addr(const std::string& host, std::uint16_t port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Error{ErrorCode::kInvalidArgument,
-                 "not an IPv4 literal: " + host};
+/// One resolved candidate address (getaddrinfo order: v6 and v4 literals
+/// resolve to themselves; hostnames may yield several families to try).
+struct ResolvedAddr {
+  sockaddr_storage addr{};
+  socklen_t len = 0;
+  int family = AF_UNSPEC;
+};
+
+/// Resolves literals (v4 and v6) and hostnames alike. `passive` asks for
+/// bindable addresses (AI_PASSIVE wildcard for ""/"*").
+Result<std::vector<ResolvedAddr>> resolve(const std::string& host,
+                                          std::uint16_t port, bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  // Numeric-host fast path first: literals must never block on a resolver.
+  hints.ai_flags = AI_NUMERICHOST | AI_NUMERICSERV |
+                   (passive ? AI_PASSIVE : 0);
+  const std::string service = std::to_string(port);
+  addrinfo* results = nullptr;
+  int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                         service.c_str(), &hints, &results);
+  if (rc == EAI_NONAME && !host.empty()) {
+    hints.ai_flags &= ~AI_NUMERICHOST;  // a real hostname: resolve it
+    rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
   }
-  return addr;
+  if (rc != 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "cannot resolve " + host + ": " + ::gai_strerror(rc)};
+  }
+  std::vector<ResolvedAddr> out;
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    if (ai->ai_family != AF_INET && ai->ai_family != AF_INET6) continue;
+    ResolvedAddr resolved;
+    std::memcpy(&resolved.addr, ai->ai_addr, ai->ai_addrlen);
+    resolved.len = static_cast<socklen_t>(ai->ai_addrlen);
+    resolved.family = ai->ai_family;
+    out.push_back(resolved);
+  }
+  ::freeaddrinfo(results);
+  if (out.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "no usable address for " + host};
+  }
+  return out;
 }
 
 }  // namespace
@@ -68,29 +113,41 @@ TcpTransport::TcpTransport(Reactor& reactor, int fd)
 
 Result<std::shared_ptr<TcpTransport>> TcpTransport::connect(
     Reactor& reactor, const std::string& host, std::uint16_t port) {
-  UNIFY_ASSIGN_OR_RETURN(const sockaddr_in addr, make_addr(host, port));
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    return Error{ErrorCode::kInternal,
-                 std::string("socket() failed: ") + std::strerror(errno)};
+  // getaddrinfo handles v4 literals, v6 literals and hostnames uniformly;
+  // candidates are tried in resolver order with address-family fallback
+  // (e.g. `localhost` resolving to ::1 first falls back to 127.0.0.1 when
+  // the listener is v4-only).
+  UNIFY_ASSIGN_OR_RETURN(const std::vector<ResolvedAddr> candidates,
+                         resolve(host, port, /*passive=*/false));
+  Error last{ErrorCode::kUnavailable, "no candidate address"};
+  for (const ResolvedAddr& candidate : candidates) {
+    const int fd = ::socket(candidate.family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      last = Error{ErrorCode::kInternal,
+                   std::string("socket() failed: ") + std::strerror(errno)};
+      continue;
+    }
+    // Blocking handshake (loopback/LAN: instantaneous), non-blocking after.
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&candidate.addr),
+                  candidate.len) != 0) {
+      const int err = errno;
+      ::close(fd);
+      last = Error{ErrorCode::kUnavailable,
+                   "connect to " + host + ":" + std::to_string(port) +
+                       " failed: " + std::strerror(err)};
+      continue;
+    }
+    if (const auto nb = set_nonblocking(fd); !nb.ok()) {
+      ::close(fd);
+      return nb.error();
+    }
+    set_nodelay(fd);
+    auto transport =
+        std::shared_ptr<TcpTransport>(new TcpTransport(reactor, fd));
+    transport->register_with_reactor();
+    return transport;
   }
-  // Blocking handshake (loopback/LAN: instantaneous), non-blocking after.
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return Error{ErrorCode::kUnavailable,
-                 "connect to " + host + ":" + std::to_string(port) +
-                     " failed: " + std::strerror(err)};
-  }
-  if (const auto nb = set_nonblocking(fd); !nb.ok()) {
-    ::close(fd);
-    return nb.error();
-  }
-  set_nodelay(fd);
-  auto transport = std::shared_ptr<TcpTransport>(new TcpTransport(reactor, fd));
-  transport->register_with_reactor();
-  return transport;
+  return last;
 }
 
 std::shared_ptr<TcpTransport> TcpTransport::adopt(Reactor& reactor, int fd) {
@@ -252,16 +309,18 @@ TcpListener::TcpListener(Reactor& reactor, int fd, std::uint16_t port,
 Result<std::unique_ptr<TcpListener>> TcpListener::listen(
     Reactor& reactor, const std::string& host, std::uint16_t port,
     AcceptFn fn, int backlog) {
-  UNIFY_ASSIGN_OR_RETURN(sockaddr_in addr, make_addr(host, port));
-  const int fd =
-      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  UNIFY_ASSIGN_OR_RETURN(const std::vector<ResolvedAddr> candidates,
+                         resolve(host, port, /*passive=*/true));
+  const ResolvedAddr& bound = candidates.front();
+  const int fd = ::socket(bound.family,
+                          SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Error{ErrorCode::kInternal,
                  std::string("socket() failed: ") + std::strerror(errno)};
   }
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&bound.addr), bound.len) !=
       0) {
     const int err = errno;
     ::close(fd);
@@ -269,8 +328,13 @@ Result<std::unique_ptr<TcpListener>> TcpListener::listen(
                  "bind " + host + ":" + std::to_string(port) +
                      " failed: " + std::strerror(err)};
   }
-  socklen_t len = sizeof(addr);
-  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  sockaddr_storage local{};
+  socklen_t len = sizeof(local);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&local), &len);
+  const std::uint16_t bound_port =
+      local.ss_family == AF_INET6
+          ? ntohs(reinterpret_cast<const sockaddr_in6*>(&local)->sin6_port)
+          : ntohs(reinterpret_cast<const sockaddr_in*>(&local)->sin_port);
   if (::listen(fd, backlog) != 0) {
     const int err = errno;
     ::close(fd);
@@ -278,7 +342,7 @@ Result<std::unique_ptr<TcpListener>> TcpListener::listen(
                  std::string("listen() failed: ") + std::strerror(err)};
   }
   auto listener = std::unique_ptr<TcpListener>(
-      new TcpListener(reactor, fd, ntohs(addr.sin_port), std::move(fn)));
+      new TcpListener(reactor, fd, bound_port, std::move(fn)));
   UNIFY_RETURN_IF_ERROR(reactor.add_fd(
       fd, EPOLLIN | EPOLLET,
       [raw = listener.get()](std::uint32_t) { raw->handle_readable(); }));

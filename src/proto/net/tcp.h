@@ -28,6 +28,8 @@ class TcpTransport final : public Transport,
  public:
   /// Connects to host:port (blocking handshake — loopback/LAN use), then
   /// switches the socket non-blocking and registers it with the reactor.
+  /// `host` is an IPv4/IPv6 literal or a hostname (getaddrinfo); resolver
+  /// candidates are tried in order with address-family fallback.
   static Result<std::shared_ptr<TcpTransport>> connect(
       Reactor& reactor, const std::string& host, std::uint16_t port);
 
@@ -82,7 +84,8 @@ class TcpListener {
 
   /// Binds host:port (port 0 picks an ephemeral one — see port()) and
   /// accepts with the given backlog; each connection arrives at `fn`
-  /// already registered with the reactor.
+  /// already registered with the reactor. `host` may be an IPv4/IPv6
+  /// literal or a hostname; the first resolver candidate is bound.
   static Result<std::unique_ptr<TcpListener>> listen(
       Reactor& reactor, const std::string& host, std::uint16_t port,
       AcceptFn fn, int backlog = 128);

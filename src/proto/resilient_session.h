@@ -1,0 +1,184 @@
+// Survivable control-plane session: RpcPeer + auto-reconnect + heartbeat.
+//
+// The paper's Unify interface runs over long-lived NETCONF/OpenFlow-style
+// sessions, and the recursive architecture only works if a parent RO
+// tolerates a child domain's control channel flapping. A bare RpcPeer dies
+// with its transport; ResilientSession owns the peer *and* the policy that
+// brings it back (DESIGN.md §14):
+//
+//   - Disconnect detection: the transport close fails every in-flight call
+//     with kUnavailable — never a silent retry, because edit-config is not
+//     idempotent from the wire's point of view. Callers see a transient
+//     kUnavailable and their own retry/dirty-tracking machinery (push
+//     retries + epoch/nffg_hash resync) makes the re-push cheap and exact.
+//   - Reconnect: capped exponential backoff with deterministic seeded
+//     jitter through a TransportFactory, scheduled on the session's
+//     Driver. Handlers are re-installed on the fresh peer; counters
+//     aggregate across incarnations.
+//   - Heartbeat: driver-scheduled keepalive pings on idle sessions. Every
+//     missed ping (and every disconnect / failed connect) is reported
+//     through the liveness hook; a miss-threshold trip force-closes the
+//     transport so the reconnect path takes over. Wired to a
+//     HealthManager, a silently partitioned domain trips its breaker in
+//     O(heartbeat interval) instead of O(push deadline).
+//
+// Threading: like everything over a transport, a session belongs to its
+// driver's single-threaded execution domain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "proto/rpc.h"
+#include "proto/transport.h"
+#include "util/rng.h"
+
+namespace unify::proto {
+
+struct ReconnectPolicy {
+  bool enabled = true;
+  /// Consecutive failed connect attempts before the session gives up
+  /// permanently (gave_up()); 0 = keep trying forever.
+  int max_attempts = 0;
+  SimTime backoff_initial_us = 10'000;
+  double backoff_multiplier = 2.0;
+  SimTime backoff_cap_us = 1'000'000;
+  /// Fraction of each backoff delay added as uniform jitter (decorrelates
+  /// reconnect storms when many sessions lose one peer together).
+  double jitter = 0.2;
+  /// Seed of the jitter draw — deterministic like every schedule here.
+  std::uint64_t jitter_seed = 0x5eedu;
+};
+
+struct HeartbeatPolicy {
+  /// Keepalive period on an idle session; 0 disables the heartbeat.
+  SimTime interval_us = 0;
+  /// Per-ping deadline; 0 = one interval.
+  SimTime timeout_us = 0;
+  /// Consecutive missed pings that declare the peer dead (the transport is
+  /// force-closed and the reconnect path takes over).
+  int miss_threshold = 3;
+};
+
+struct SessionOptions {
+  ReconnectPolicy reconnect;
+  HeartbeatPolicy heartbeat;
+};
+
+class ResilientSession {
+ public:
+  /// Produces a fresh connected transport on the session's driver. Called
+  /// once per (re)connect attempt; a failure counts towards max_attempts.
+  using TransportFactory =
+      std::function<Result<std::shared_ptr<Transport>>()>;
+  /// Liveness evidence stream: success() for a (re)connect or a heartbeat
+  /// ack that cleared misses, an error for every disconnect, failed
+  /// connect attempt and missed ping. Feed it to
+  /// ResourceOrchestrator::note_domain_liveness to drive the breaker.
+  using LivenessFn = std::function<void(const Result<void>&)>;
+
+  /// Connects through `factory` immediately (unless `initial` supplies the
+  /// first transport); a failed first attempt enters the backoff loop like
+  /// any later one. `driver` is the timer home for backoff and heartbeat
+  /// and must be the driver of every transport the factory produces.
+  ResilientSession(std::string name, Driver& driver, TransportFactory factory,
+                   SessionOptions options = {},
+                   std::shared_ptr<Transport> initial = nullptr);
+  ~ResilientSession();
+  ResilientSession(const ResilientSession&) = delete;
+  ResilientSession& operator=(const ResilientSession&) = delete;
+
+  /// Handler registration; stored and re-installed on every reconnect.
+  void on_request(std::string method, RpcPeer::Handler handler);
+  void on_notification(std::string method,
+                       RpcPeer::NotificationHandler handler);
+  void on_liveness(LivenessFn fn) { liveness_ = std::move(fn); }
+
+  /// RpcPeer::call while connected; fails fast with kUnavailable while the
+  /// session is between transports (callers retry on their own schedule —
+  /// a resilient session never replays a request itself).
+  Result<void> call(std::string method, json::Value params,
+                    RpcPeer::ResponseFn done, SimTime timeout_us = 0);
+  Result<json::Value> call_and_wait(std::string method, json::Value params,
+                                    SimTime timeout_us = 0);
+  Result<void> notify(std::string method, json::Value params);
+
+  [[nodiscard]] bool connected() const noexcept;
+  /// True once max_attempts consecutive connect failures exhausted the
+  /// reconnect budget: the session is permanently dead.
+  [[nodiscard]] bool gave_up() const noexcept { return gave_up_; }
+  /// The live peer, or nullptr between transports.
+  [[nodiscard]] RpcPeer* peer() noexcept { return peer_.get(); }
+  [[nodiscard]] const RpcPeer* peer() const noexcept { return peer_.get(); }
+  [[nodiscard]] Driver& driver() noexcept { return *driver_; }
+
+  /// Aggregated over every transport incarnation of this session.
+  [[nodiscard]] const TransportCounters& counters() const noexcept;
+
+  [[nodiscard]] std::uint64_t disconnects() const noexcept {
+    return disconnects_;
+  }
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_;
+  }
+  [[nodiscard]] std::uint64_t connect_failures() const noexcept {
+    return connect_failures_;
+  }
+  [[nodiscard]] std::uint64_t heartbeats_sent() const noexcept {
+    return heartbeats_sent_;
+  }
+  [[nodiscard]] std::uint64_t heartbeat_misses() const noexcept {
+    return heartbeat_misses_;
+  }
+
+ private:
+  void adopt(std::shared_ptr<Transport> transport);
+  /// Folds the dying peer's counters and destroys it. Safe only outside
+  /// the peer's own callbacks (disconnects defer here via the driver).
+  void discard_peer();
+  void handle_disconnected();
+  void schedule_reconnect();
+  void attempt_connect();
+  [[nodiscard]] SimTime next_backoff_delay();
+  void schedule_heartbeat();
+  void heartbeat_tick();
+  void report(const Result<void>& evidence);
+
+  std::string name_;
+  Driver* driver_;
+  TransportFactory factory_;
+  SessionOptions options_;
+  std::unique_ptr<RpcPeer> peer_;
+  std::map<std::string, RpcPeer::Handler> handlers_;
+  std::map<std::string, RpcPeer::NotificationHandler> notification_handlers_;
+  LivenessFn liveness_;
+  Rng jitter_rng_;
+  /// Deferred-teardown / timer guard: timers and callbacks hold a weak ref
+  /// and go inert once the session is destroyed.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+
+  bool reconnect_pending_ = false;
+  bool gave_up_ = false;
+  int failed_attempts_ = 0;  ///< consecutive, reset by any success
+
+  bool heartbeat_armed_ = false;
+  bool ping_in_flight_ = false;
+  int misses_ = 0;
+  std::uint64_t idle_watermark_ = 0;  ///< bytes_received at the last tick
+
+  /// Counters of completed transport incarnations; counters() adds the
+  /// live peer's on top.
+  TransportCounters folded_counters_;
+  mutable TransportCounters counters_scratch_;
+
+  std::uint64_t disconnects_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t connect_failures_ = 0;
+  std::uint64_t heartbeats_sent_ = 0;
+  std::uint64_t heartbeat_misses_ = 0;
+};
+
+}  // namespace unify::proto

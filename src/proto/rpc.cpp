@@ -71,6 +71,11 @@ Result<void> RpcPeer::call(std::string method, json::Value params,
   msg.set("method", std::move(method));
   msg.set("params", std::move(params));
   if (const auto sent = send_json(json::Value{std::move(msg)}); !sent.ok()) {
+    // Exactly-once outcome delivery: if this very send closed the transport
+    // (e.g. a connection reset surfaced mid-write), handle_closed() already
+    // failed the call through `done` — report success so the caller does
+    // not count the same failure twice.
+    if (pending->responded) return Result<void>::success();
     pending_.erase(id);
     return sent.error();
   }
@@ -183,6 +188,13 @@ void RpcPeer::handle_message(const json::Value& msg) {
     reply.set("id", *id);
     const auto it = handlers_.find(name);
     if (it == handlers_.end()) {
+      if (name == "ping") {
+        // Built-in liveness probe: every peer is heartbeat-able without
+        // registering anything (a real handler above takes precedence).
+        reply.set("result", json::Value{json::Object{}});
+        (void)send_json(json::Value{std::move(reply)});
+        return;
+      }
       reply.set("error", error_to_json(Error{ErrorCode::kNotFound,
                                              "no method " + name}));
     } else {

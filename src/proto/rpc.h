@@ -16,7 +16,10 @@
 // malformed input (bad JSON, requests without a string method, responses
 // with unknown/duplicate ids, frames that are not objects) is ignored and
 // counted in protocol_errors() — a misbehaving peer can never crash the
-// session or wedge a well-formed one. The single unrecoverable input is a
+// session or wedge a well-formed one. Every peer answers the "ping"
+// method natively (empty result) unless a handler overrides it, so any
+// session can be heartbeat-probed (proto/resilient_session.h) without
+// per-server plumbing. The single unrecoverable input is a
 // framing-level violation (oversized frame): byte-stream sync is lost, so
 // the transport is disconnected.
 //
@@ -65,7 +68,9 @@ class RpcPeer {
   /// result, with the peer's error, or with kTimeout after `timeout_us`
   /// (0 = no timeout: the call waits for the response or transport close).
   /// On a send failure (disconnected transport) the error is returned and
-  /// `done` never fires.
+  /// `done` never fires. The outcome is delivered exactly once either way:
+  /// if the send itself closes the transport mid-write, the call fails
+  /// through `done` (kUnavailable) and the return value is success.
   Result<void> call(std::string method, json::Value params, ResponseFn done,
                     SimTime timeout_us = 0);
 
@@ -88,6 +93,12 @@ class RpcPeer {
   /// Malformed frames/messages ignored so far (see file comment).
   [[nodiscard]] std::uint64_t protocol_errors() const noexcept {
     return protocol_errors_;
+  }
+  /// Calls issued but not yet completed (responded / timed out / failed by
+  /// a transport close). Must drain to zero on an idle or closed session —
+  /// the wire-chaos soak asserts no entry ever leaks.
+  [[nodiscard]] std::size_t pending_calls() const noexcept {
+    return pending_.size();
   }
   [[nodiscard]] Transport& transport() noexcept { return *transport_; }
   [[nodiscard]] Driver& driver() noexcept { return transport_->driver(); }

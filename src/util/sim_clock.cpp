@@ -27,6 +27,19 @@ std::size_t SimClock::run_until_idle() {
   return fired;
 }
 
+std::size_t SimClock::run_next_deadline() {
+  if (timers_.empty()) return 0;
+  if (timers_.top().deadline > now_) now_ = timers_.top().deadline;
+  std::size_t fired = 0;
+  while (!timers_.empty() && timers_.top().deadline <= now_) {
+    Timer t = timers_.top();
+    timers_.pop();
+    ++fired;
+    t.fn();
+  }
+  return fired;
+}
+
 void SimClock::schedule_in(SimTime delay, std::function<void()> fn) {
   if (delay < 0) delay = 0;
   timers_.push(Timer{now_ + delay, next_seq_++, std::move(fn)});

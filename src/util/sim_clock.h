@@ -28,8 +28,17 @@ class SimClock {
   void advance(SimTime delta);
 
   /// Runs timers until none are pending (time jumps to each deadline).
-  /// Returns the number of timers fired.
+  /// Returns the number of timers fired. Never call with a self-rearming
+  /// (periodic) timer pending — it would spin forever; bound the run with
+  /// advance() or step with run_next_deadline() instead.
   std::size_t run_until_idle();
+
+  /// Jumps to the earliest pending deadline and fires everything due at it
+  /// (including zero-delay timers scheduled by the fired callbacks).
+  /// Returns the number of timers fired — 0 iff the clock is idle. This is
+  /// the driver pump step: bounded progress even while periodic timers
+  /// (heartbeats) keep the clock perpetually non-idle.
+  std::size_t run_next_deadline();
 
   /// Schedules `fn` at now()+delay (delay < 0 is clamped to 0).
   void schedule_in(SimTime delay, std::function<void()> fn);

@@ -1,0 +1,274 @@
+// Unit tests for the survivable session: fail-fast call semantics between
+// transports, capped-backoff reconnection through the factory, give-up
+// budgets, and heartbeat-driven detection of half-open partitions — all
+// over SimClock channels so every schedule is deterministic.
+#include "proto/resilient_session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/channel.h"
+#include "proto/fault_transport.h"
+
+namespace unify::proto {
+namespace {
+
+json::Value empty_params() { return json::Value{json::Object{}}; }
+
+/// A server end that lives as long as the fixture: each factory call makes
+/// a fresh channel pair, parks an echo-serving RpcPeer on the far end and
+/// hands the near end to the session.
+struct SessionFixture : ::testing::Test {
+  ResilientSession::TransportFactory make_factory() {
+    return [this]() -> Result<std::shared_ptr<Transport>> {
+      ++factory_calls;
+      factory_times.push_back(clock.now());
+      if (fail_next_connects > 0) {
+        --fail_next_connects;
+        return Error{ErrorCode::kUnavailable, "refused"};
+      }
+      auto [a, b] = make_channel_pair(clock, /*latency_us=*/10);
+      server_ends.push_back(b);
+      auto peer = std::make_unique<RpcPeer>(b, "server");
+      peer->on_request("echo", [](const json::Value& params) {
+        return Result<json::Value>(params);
+      });
+      server_peers.push_back(std::move(peer));
+      return std::static_pointer_cast<Transport>(a);
+    };
+  }
+
+  /// Severs the live connection from the server side (RST-style).
+  void kill_current_connection() {
+    ASSERT_FALSE(server_ends.empty());
+    server_ends.back()->disconnect();
+  }
+
+  SimClock clock;
+  SimDriver driver{clock};
+  int factory_calls = 0;
+  int fail_next_connects = 0;
+  std::vector<SimTime> factory_times;
+  std::vector<std::shared_ptr<Endpoint>> server_ends;
+  std::vector<std::unique_ptr<RpcPeer>> server_peers;
+  std::vector<bool> liveness;  // true = success evidence
+};
+
+ResilientSession::LivenessFn collect(std::vector<bool>& into) {
+  return [&into](const Result<void>& evidence) {
+    into.push_back(evidence.ok());
+  };
+}
+
+TEST_F(SessionFixture, ConnectsOnConstructionAndEchoes) {
+  ResilientSession session("s", driver, make_factory());
+  session.on_liveness(collect(liveness));
+  ASSERT_TRUE(session.connected());
+  EXPECT_EQ(factory_calls, 1);
+  auto reply = session.call_and_wait("echo", empty_params(), 100'000);
+  ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+  EXPECT_EQ(session.reconnects(), 0u);
+  EXPECT_FALSE(session.gave_up());
+}
+
+TEST_F(SessionFixture, DisconnectFailsInFlightThenReconnects) {
+  ResilientSession session("s", driver, make_factory());
+  session.on_liveness(collect(liveness));
+
+  // An in-flight call sees kUnavailable when the wire dies — never a
+  // silent replay.
+  Result<json::Value> outcome = Error{ErrorCode::kInternal, "unset"};
+  ASSERT_TRUE(session
+                  .call("echo", empty_params(),
+                        [&outcome](Result<json::Value> r) {
+                          outcome = std::move(r);
+                        })
+                  .ok());
+  kill_current_connection();
+  clock.advance(1);  // close + deferred teardown
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, ErrorCode::kUnavailable);
+
+  // Between transports: fail fast, no queueing.
+  auto while_down = session.call_and_wait("echo", empty_params());
+  ASSERT_FALSE(while_down.ok());
+  EXPECT_EQ(while_down.error().code, ErrorCode::kUnavailable);
+  EXPECT_FALSE(session.connected());
+
+  // Backoff elapses, the factory supplies a fresh wire, service resumes.
+  clock.advance(2'000'000);
+  ASSERT_TRUE(session.connected());
+  EXPECT_EQ(session.disconnects(), 1u);
+  EXPECT_EQ(session.reconnects(), 1u);
+  EXPECT_EQ(factory_calls, 2);
+  auto reply = session.call_and_wait("echo", empty_params(), 100'000);
+  ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+
+  // Liveness evidence: the lost session, then the successful reconnect.
+  ASSERT_GE(liveness.size(), 2u);
+  EXPECT_FALSE(liveness.front());
+  EXPECT_TRUE(liveness.back());
+}
+
+TEST_F(SessionFixture, BackoffGrowsUntilTheCap) {
+  fail_next_connects = 1'000'000;  // never connects
+  SessionOptions options;
+  options.reconnect.max_attempts = 6;
+  options.reconnect.backoff_initial_us = 10'000;
+  options.reconnect.backoff_multiplier = 2.0;
+  options.reconnect.backoff_cap_us = 50'000;
+  options.reconnect.jitter = 0;  // exact delays for this assertion
+  ResilientSession session("s", driver, make_factory(), options);
+  clock.run_until_idle();  // bounded: the give-up stops the timer chain
+
+  EXPECT_TRUE(session.gave_up());
+  EXPECT_EQ(session.connect_failures(), 6u);
+  ASSERT_EQ(factory_times.size(), 6u);
+  std::vector<SimTime> gaps;
+  for (std::size_t i = 1; i < factory_times.size(); ++i) {
+    gaps.push_back(factory_times[i] - factory_times[i - 1]);
+  }
+  EXPECT_EQ(gaps, (std::vector<SimTime>{10'000, 20'000, 40'000, 50'000,
+                                        50'000}));
+
+  // A dead session fails fast forever.
+  auto reply = session.call_and_wait("echo", empty_params());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, ErrorCode::kUnavailable);
+}
+
+TEST_F(SessionFixture, JitterIsDeterministicPerSeed) {
+  auto delays_for = [this](std::uint64_t seed) {
+    factory_times.clear();
+    factory_calls = 0;
+    fail_next_connects = 4;
+    SessionOptions options;
+    options.reconnect.max_attempts = 4;
+    options.reconnect.jitter_seed = seed;
+    ResilientSession session("s", driver, make_factory(), options);
+    clock.run_until_idle();
+    return factory_times;
+  };
+  const auto a = delays_for(11);
+  const SimTime base = clock.now();
+  auto b = delays_for(11);
+  for (auto& t : b) t -= base;  // rebase: the clock keeps running
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SessionFixture, ConnectFailuresFeedLivenessThenRecovery) {
+  fail_next_connects = 2;
+  ResilientSession session("s", driver, make_factory());
+  session.on_liveness(collect(liveness));
+  clock.advance(5'000'000);
+  ASSERT_TRUE(session.connected());
+  EXPECT_EQ(session.connect_failures(), 2u);
+  EXPECT_EQ(session.reconnects(), 1u);
+  // The constructor's first attempt fails before on_liveness is installed;
+  // the second failure and the final success must both be visible.
+  ASSERT_GE(liveness.size(), 2u);
+  EXPECT_FALSE(liveness[liveness.size() - 2]);
+  EXPECT_TRUE(liveness.back());
+}
+
+TEST_F(SessionFixture, HeartbeatDetectsHalfOpenPartitionAndRecovers) {
+  // First incarnation: a blackhole wire — sends vanish, the connection
+  // looks alive. Only the heartbeat can notice. Reconnects get clean wires.
+  auto base = make_factory();
+  FaultProfile blackhole;
+  blackhole.blackhole_rate = 1.0;
+  auto injector = std::make_shared<FaultInjector>(blackhole, 7);
+  bool first = true;
+  ResilientSession::TransportFactory factory =
+      [&base, &injector, &first]() -> Result<std::shared_ptr<Transport>> {
+    auto inner = base();
+    if (!inner.ok() || !first) return inner;
+    first = false;
+    return std::static_pointer_cast<Transport>(
+        FaultTransport::wrap(std::move(*inner), injector));
+  };
+
+  SessionOptions options;
+  options.heartbeat.interval_us = 100'000;
+  options.heartbeat.miss_threshold = 3;
+  ResilientSession session("s", driver, std::move(factory), options);
+  session.on_liveness(collect(liveness));
+  ASSERT_TRUE(session.connected());
+
+  // 3 intervals of silence + ping timeouts + backoff: bounded advance.
+  for (int i = 0; i < 100 && session.reconnects() == 0; ++i) {
+    clock.advance(100'000);
+  }
+  EXPECT_GE(session.heartbeats_sent(), 3u);
+  EXPECT_GE(session.heartbeat_misses(), 3u);
+  EXPECT_EQ(session.disconnects(), 1u);
+  EXPECT_EQ(session.reconnects(), 1u);
+  ASSERT_TRUE(session.connected());
+
+  // Misses produced failure evidence before the close; recovery reported.
+  EXPECT_GE(std::count(liveness.begin(), liveness.end(), false), 3);
+  EXPECT_TRUE(liveness.back());
+
+  // The clean second wire answers pings natively: further heartbeats keep
+  // the session up without another disconnect.
+  const auto disconnects_before = session.disconnects();
+  for (int i = 0; i < 10; ++i) clock.advance(100'000);
+  EXPECT_EQ(session.disconnects(), disconnects_before);
+  EXPECT_TRUE(session.connected());
+}
+
+TEST_F(SessionFixture, HeartbeatSkipsSessionsWithInboundTraffic) {
+  SessionOptions options;
+  options.heartbeat.interval_us = 100'000;
+  ResilientSession session("s", driver, make_factory(), options);
+  ASSERT_TRUE(session.connected());
+  // The server chatters faster than the heartbeat interval: inbound bytes
+  // prove liveness and no ping should ever be spent.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        server_peers.back()->notify("nf-status", empty_params()).ok());
+    clock.advance(50'000);
+  }
+  EXPECT_EQ(session.heartbeats_sent(), 0u);
+  EXPECT_TRUE(session.connected());
+}
+
+TEST_F(SessionFixture, HandlersSurviveReconnect) {
+  ResilientSession session("s", driver, make_factory());
+  int served = 0;
+  session.on_request("probe", [&served](const json::Value&) {
+    ++served;
+    return Result<json::Value>(json::Value{json::Object{}});
+  });
+
+  auto call_from_server = [this]() {
+    return server_peers.back()->call_and_wait(
+        "probe", json::Value{json::Object{}}, 100'000);
+  };
+  ASSERT_TRUE(call_from_server().ok());
+
+  kill_current_connection();
+  clock.advance(2'000'000);  // backoff + reconnect
+  ASSERT_TRUE(session.connected());
+  ASSERT_TRUE(call_from_server().ok());  // handler re-installed on the new peer
+  EXPECT_EQ(served, 2);
+}
+
+TEST_F(SessionFixture, DisabledReconnectStaysDown) {
+  SessionOptions options;
+  options.reconnect.enabled = false;
+  ResilientSession session("s", driver, make_factory(), options);
+  ASSERT_TRUE(session.connected());
+  kill_current_connection();
+  clock.run_until_idle();  // bounded: no reconnect timers get scheduled
+  EXPECT_FALSE(session.connected());
+  EXPECT_TRUE(session.gave_up());
+  EXPECT_EQ(factory_calls, 1);
+}
+
+}  // namespace
+}  // namespace unify::proto

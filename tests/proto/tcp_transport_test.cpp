@@ -210,6 +210,73 @@ TEST(TcpTransport, ManyConcurrentConnectionsEcho) {
             static_cast<std::uint64_t>(kConnections));
 }
 
+TEST(TcpTransport, Ipv6LoopbackEcho) {
+  Reactor reactor;
+  std::shared_ptr<TcpTransport> server;
+  auto listener = TcpListener::listen(
+      reactor, "::1", 0,
+      [&server](std::shared_ptr<TcpTransport> conn) {
+        server = std::move(conn);
+      });
+  if (!listener.ok()) {
+    GTEST_SKIP() << "no IPv6 loopback here: " << listener.error().to_string();
+  }
+  auto client = TcpTransport::connect(reactor, "::1", (*listener)->port());
+  ASSERT_TRUE(client.ok()) << client.error().to_string();
+  while (server == nullptr) reactor.poll(100);
+  EXPECT_EQ(server->peer_name().rfind("[::1]:", 0), 0u)
+      << server->peer_name();
+
+  std::string received;
+  server->on_receive([&](std::string_view bytes) { received += bytes; });
+  ASSERT_TRUE((*client)->send("over v6").ok());
+  while (received.size() < 7) reactor.poll(100);
+  EXPECT_EQ(received, "over v6");
+}
+
+TEST(TcpTransport, HostnameResolvesWithAddressFamilyFallback) {
+  // The listener is v4-only; `localhost` may resolve to ::1 first, so a
+  // successful connect proves the candidate loop falls through to the v4
+  // address instead of giving up on the first family.
+  Reactor reactor;
+  std::shared_ptr<TcpTransport> server;
+  auto listener = TcpListener::listen(
+      reactor, "127.0.0.1", 0,
+      [&server](std::shared_ptr<TcpTransport> conn) {
+        server = std::move(conn);
+      });
+  ASSERT_TRUE(listener.ok()) << listener.error().to_string();
+  auto client =
+      TcpTransport::connect(reactor, "localhost", (*listener)->port());
+  if (!client.ok() &&
+      client.error().code == ErrorCode::kInvalidArgument) {
+    GTEST_SKIP() << "resolver cannot see localhost: "
+                 << client.error().to_string();
+  }
+  ASSERT_TRUE(client.ok()) << client.error().to_string();
+  while (server == nullptr) reactor.poll(100);
+  std::string received;
+  server->on_receive([&](std::string_view bytes) { received += bytes; });
+  ASSERT_TRUE((*client)->send("by name").ok());
+  while (received.size() < 7) reactor.poll(100);
+  EXPECT_EQ(received, "by name");
+}
+
+TEST(TcpTransport, Ipv6ListenerRejectsUnreachedFamiliesCleanly) {
+  // Connecting to a v6 listener via the v4 loopback must fail with a clean
+  // kUnavailable, never hang or crash.
+  Reactor reactor;
+  auto listener = TcpListener::listen(reactor, "::1", 0,
+                                      [](std::shared_ptr<TcpTransport>) {});
+  if (!listener.ok()) {
+    GTEST_SKIP() << "no IPv6 loopback here: " << listener.error().to_string();
+  }
+  auto conn =
+      TcpTransport::connect(reactor, "127.0.0.1", (*listener)->port());
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.error().code, ErrorCode::kUnavailable);
+}
+
 TEST(TcpTransport, RpcPeerRunsUnchangedOverTcp) {
   TcpPair pair;
   RpcPeer client(pair.client, "tcp-client");

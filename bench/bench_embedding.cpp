@@ -12,9 +12,12 @@
 #include "mapping/annealing_mapper.h"
 #include "mapping/backtracking_mapper.h"
 #include "mapping/baseline_mappers.h"
+#include "mapping/bnb_mapper.h"
 #include "mapping/chain_dp_mapper.h"
 #include "mapping/greedy_mapper.h"
+#include "mapping/list_mapper.h"
 #include "mapping/mapper.h"
+#include "mapping/nsga2_mapper.h"
 #include "service/service_layer.h"
 
 namespace {
@@ -28,9 +31,13 @@ std::unique_ptr<mapping::Mapper> make_mapper(int which) {
     case 2: return std::make_unique<mapping::BacktrackingMapper>();
     case 3: return std::make_unique<mapping::FirstFitMapper>();
     case 4: return std::make_unique<mapping::RandomMapper>();
-    default: return std::make_unique<mapping::AnnealingMapper>();
+    case 5: return std::make_unique<mapping::AnnealingMapper>();
+    case 6: return std::make_unique<mapping::ListMapper>();
+    case 7: return std::make_unique<mapping::Nsga2Mapper>();
+    default: return std::make_unique<mapping::BnbMapper>();
   }
 }
+constexpr int kMapperCount = 9;
 
 model::Nffg make_substrate(int which) {
   switch (which) {
@@ -122,7 +129,7 @@ void BM_FillUntilRejection(benchmark::State& state) {
 }
 
 void map_args(benchmark::internal::Benchmark* bench) {
-  for (int mapper = 0; mapper < 6; ++mapper) {
+  for (int mapper = 0; mapper < kMapperCount; ++mapper) {
     for (int substrate = 0; substrate < 3; ++substrate) {
       for (const int length : {2, 4, 8}) {
         bench->Args({mapper, substrate, length});
@@ -132,7 +139,7 @@ void map_args(benchmark::internal::Benchmark* bench) {
 }
 
 void fill_args(benchmark::internal::Benchmark* bench) {
-  for (int mapper = 0; mapper < 6; ++mapper) {
+  for (int mapper = 0; mapper < kMapperCount; ++mapper) {
     for (int substrate = 0; substrate < 3; ++substrate) {
       bench->Args({mapper, substrate});
     }

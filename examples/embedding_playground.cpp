@@ -4,7 +4,7 @@
 // ESCAPEv2's point (iv): the framework is extensible "with additional plug
 // and play components/algorithms, like ... network embedding algorithms".
 // This example exercises exactly that seam: the same RO-less mapping call
-// with five interchangeable algorithms.
+// with nine interchangeable algorithms.
 //
 // Run: ./embedding_playground [seed]
 #include <cstdio>
@@ -15,8 +15,11 @@
 #include "mapping/annealing_mapper.h"
 #include "mapping/backtracking_mapper.h"
 #include "mapping/baseline_mappers.h"
+#include "mapping/bnb_mapper.h"
 #include "mapping/chain_dp_mapper.h"
 #include "mapping/greedy_mapper.h"
+#include "mapping/list_mapper.h"
+#include "mapping/nsga2_mapper.h"
 
 using namespace unify;
 
@@ -39,6 +42,9 @@ int main(int argc, char** argv) {
   mappers.push_back(std::make_unique<mapping::FirstFitMapper>());
   mappers.push_back(std::make_unique<mapping::RandomMapper>());
   mappers.push_back(std::make_unique<mapping::AnnealingMapper>());
+  mappers.push_back(std::make_unique<mapping::ListMapper>());
+  mappers.push_back(std::make_unique<mapping::Nsga2Mapper>());
+  mappers.push_back(std::make_unique<mapping::BnbMapper>());
 
   std::printf("%-14s | %-9s | %-10s | %-10s | %-8s\n", "mapper", "accepted",
               "delay(ms)", "bw*hops", "nodes");

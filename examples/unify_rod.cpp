@@ -32,7 +32,9 @@
 
 #include "core/unify_api.h"
 #include "proto/fault_transport.h"
+#include "proto/net/reactor.h"
 #include "proto/net/tcp.h"
+#include "proto/resilient_session.h"
 #include "proto/rpc.h"
 #include "service/fig1.h"
 
@@ -102,59 +104,87 @@ int load(const std::string& host, std::uint16_t port, int session_count,
 
   proto::net::Reactor reactor;
   struct Session {
-    std::unique_ptr<proto::RpcPeer> peer;
+    std::unique_ptr<proto::ResilientSession> wire;
     json::Value config;  // fetched once, re-pushed by edit-config calls
     int done = 0;
     int failures = 0;
+    int retries_left = 0;  ///< shared budget across seeding and firing
+    bool active = false;   ///< still owes RPCs and has retries left
     std::string last_error;
     WallClock::time_point sent_at;
   };
   std::vector<Session> sessions(static_cast<std::size_t>(session_count));
   std::size_t index = 0;
   for (auto& session : sessions) {
-    auto conn = proto::net::TcpTransport::connect(reactor, host, port);
-    if (!conn.ok()) {
-      std::fprintf(stderr, "connect failed: %s\n",
-                   conn.error().to_string().c_str());
-      return 1;
-    }
-    std::shared_ptr<proto::Transport> wire = std::move(*conn);
+    // Reconnecting sessions with wire-default heartbeats (PR 9's open
+    // item): each owns a factory so a server restart or an injected reset
+    // heals transparently — the closed loop below only sees a transient
+    // kUnavailable it retries. The fault injector persists across
+    // incarnations, so --faults keeps biting reconnected transports.
+    std::shared_ptr<proto::FaultInjector> injector;
     if (inject_faults) {
-      wire = proto::FaultTransport::wrap(
-          std::move(wire),
-          std::make_shared<proto::FaultInjector>(
-              demo_fault_profile(), fault_seed + index));
+      injector = std::make_shared<proto::FaultInjector>(demo_fault_profile(),
+                                                        fault_seed + index);
     }
-    session.peer =
-        std::make_unique<proto::RpcPeer>(std::move(wire), "load");
+    auto factory = [&reactor, host, port,
+                    injector]() -> Result<std::shared_ptr<proto::Transport>> {
+      auto conn = proto::net::TcpTransport::connect(reactor, host, port);
+      if (!conn.ok()) return conn.error();
+      std::shared_ptr<proto::Transport> wire = std::move(*conn);
+      if (injector != nullptr) {
+        wire = proto::FaultTransport::wrap(std::move(wire), injector);
+      }
+      return wire;
+    };
+    session.wire = std::make_unique<proto::ResilientSession>(
+        "load-" + std::to_string(index), reactor, std::move(factory),
+        proto::wire_session_options());
+    session.retries_left = 5 * rpcs_per_session;
     ++index;
   }
 
   // Seed every session with the child's current config — the payload the
   // edit-config half of the mix pushes back (a converged no-op for the
-  // orchestrator, full parse/serialize cost for the wire). A session whose
-  // seeding fails is abandoned with its failure on record, not fatal: under
-  // --faults a first-frame reset is expected traffic.
+  // orchestrator, full parse/serialize cost for the wire). Seeding retries
+  // through the session's reconnect loop: under --faults a first-frame
+  // reset is expected traffic, not a dead session.
   for (auto& session : sessions) {
-    auto reply = session.peer->call_and_wait(
-        "get-config", json::Value{json::Object{}}, /*timeout_us=*/5'000'000);
-    if (!reply.ok()) {
+    while (session.retries_left > 0) {
+      auto reply = session.wire->call_and_wait(
+          "get-config", json::Value{json::Object{}},
+          /*timeout_us=*/5'000'000);
+      if (reply.ok()) {
+        session.config = *reply;
+        break;
+      }
+      --session.retries_left;
       ++session.failures;
       session.last_error = reply.error().to_string();
-      continue;
+      reactor.poll(10);  // give the reconnect backoff a chance to land
     }
-    session.config = *reply;
   }
 
   std::vector<double> rtts_us;
   rtts_us.reserve(static_cast<std::size_t>(session_count) *
                   static_cast<std::size_t>(rpcs_per_session));
-  int in_flight = 0;
+  int active = 0;
 
   // Closed loop per session: completion of one RPC fires the next, so
   // `session_count` requests are always concurrently on the wire. Every
-  // call carries a deadline so a blackholed frame cannot wedge the loop.
+  // call carries a deadline so a blackholed frame cannot wedge the loop; a
+  // failed call burns a retry and re-fires after a pause long enough for
+  // the session's reconnect to land, instead of abandoning the session.
   std::function<void(Session&)> fire = [&](Session& session) {
+    const auto retry_or_abandon = [&](const Error& error) {
+      ++session.failures;
+      session.last_error = error.to_string();
+      if (session.retries_left-- > 0) {
+        reactor.schedule(20'000, [&] { fire(session); });
+      } else {
+        session.active = false;
+        --active;
+      }
+    };
     const bool edit = (session.done % 2) == 1;
     json::Value params = json::Value{json::Object{}};
     if (edit) {
@@ -163,34 +193,36 @@ int load(const std::string& host, std::uint16_t port, int session_count,
       params = json::Value{std::move(p)};
     }
     session.sent_at = WallClock::now();
-    ++in_flight;
-    const auto sent = session.peer->call(
+    const auto sent = session.wire->call(
         edit ? "edit-config" : "get-config", std::move(params),
-        [&](Result<json::Value> reply) {
-          --in_flight;
+        [&, retry_or_abandon](Result<json::Value> reply) {
           if (!reply.ok()) {
-            ++session.failures;
-            session.last_error = reply.error().to_string();
-            return;  // session abandoned
+            retry_or_abandon(reply.error());
+            return;
           }
           rtts_us.push_back(std::chrono::duration<double, std::micro>(
                                 WallClock::now() - session.sent_at)
                                 .count());
-          if (++session.done < rpcs_per_session) fire(session);
+          if (++session.done < rpcs_per_session) {
+            fire(session);
+          } else {
+            session.active = false;
+            --active;
+          }
         },
         /*timeout_us=*/5'000'000);
-    if (!sent.ok()) {
-      --in_flight;
-      ++session.failures;
-      session.last_error = sent.error().to_string();
-    }
+    if (!sent.ok()) retry_or_abandon(sent.error());
   };
 
   const auto started = WallClock::now();
   for (auto& session : sessions) {
-    if (session.failures == 0) fire(session);
+    if (session.config.is_object()) {
+      session.active = true;
+      ++active;
+      fire(session);
+    }
   }
-  while (in_flight > 0) reactor.poll(100);
+  while (active > 0) reactor.poll(100);
   const double elapsed_s =
       std::chrono::duration<double>(WallClock::now() - started).count();
 
@@ -204,8 +236,10 @@ int load(const std::string& host, std::uint16_t port, int session_count,
     if (session.done < rpcs_per_session) {
       ++incomplete;
       std::fprintf(stderr,
-                   "session %zu: incomplete %d/%d rpcs, %d failures (%s)\n",
+                   "session %zu: incomplete %d/%d rpcs, %d failures, "
+                   "%d retries left, active=%d (%s)\n",
                    i, session.done, rpcs_per_session, session.failures,
+                   session.retries_left, session.active ? 1 : 0,
                    session.last_error.empty() ? "no error recorded"
                                               : session.last_error.c_str());
     }
@@ -230,7 +264,9 @@ int load(const std::string& host, std::uint16_t port, int session_count,
               static_cast<double>(rtts_us.size()) / elapsed_s, elapsed_s);
   std::printf("rtt: p50=%.0f us  p99=%.0f us  max=%.0f us\n", pct(0.50),
               pct(0.99), rtts_us.back());
-  return (total_failures == 0 && incomplete == 0) ? 0 : 1;
+  // Transient failures that the retry loop healed are expected traffic
+  // (especially under --faults); only an exhausted session fails the run.
+  return incomplete == 0 ? 0 : 1;
 }
 
 }  // namespace

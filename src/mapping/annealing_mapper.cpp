@@ -10,19 +10,12 @@ namespace unify::mapping {
 
 namespace {
 
+// Health bias via EmbeddingScore::penalty: every NF parked on a flaky node
+// makes the placement more expensive, so annealing drains degraded domains
+// even when hops/delay tie.
 double objective(const Mapping& m, double delay_weight,
                  const model::Nffg& substrate) {
-  double delay = 0;
-  for (const auto& [req, d] : m.requirement_delay) delay += d;
-  // Health bias: every NF parked on a flaky node makes the placement more
-  // expensive, so annealing drains degraded domains even when hops/delay tie.
-  double penalty = 0;
-  for (const auto& [nf, host] : m.nf_host) {
-    if (const model::BisBis* bb = substrate.find_bisbis(host)) {
-      penalty += bb->health_penalty;
-    }
-  }
-  return m.stats.bandwidth_hops + delay_weight * delay + penalty;
+  return score_mapping(m, substrate).total(delay_weight);
 }
 
 /// Re-synchronizes the persistent context to `placement`: tears every route
@@ -89,6 +82,9 @@ Result<Mapping> AnnealingMapper::map(const sg::ServiceGraph& sg,
   Rng rng(options_.seed);
   double temperature = options_.initial_temperature;
   for (int iter = 0; iter < options_.iterations; ++iter) {
+    // Anytime behaviour under a portfolio deadline: the incumbent is
+    // always a complete feasible mapping, so stop refining and return it.
+    if (ScopedMapDeadline::expired()) break;
     temperature *= options_.cooling;
     const std::string& nf = nf_ids[rng.next_below(nf_ids.size())];
     const auto& hosts = candidates.at(nf);

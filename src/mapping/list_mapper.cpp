@@ -1,0 +1,218 @@
+#include "mapping/list_mapper.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "mapping/context.h"
+
+namespace unify::mapping {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-NF scheduling state: optimistic delay-to-go per candidate host (the
+/// PEFT-style OCT column) and the scalar rank ordering the placement list.
+struct NfPlan {
+  std::vector<std::string> hosts;  ///< candidates, id-ascending
+  std::map<std::string, double> oct;  ///< host -> optimistic cost-to-go
+  double rank = 0;
+};
+
+/// Backward pass over one requirement chain: fills `plans[nf].oct` with the
+/// optimistic remaining delay from hosting `nf` on each candidate to the
+/// chain's egress SAP. Shared NFs keep the max over chains (conservative:
+/// the tighter chain dominates the rank).
+Result<void> chain_oct(Context& ctx, const sg::E2eRequirement& req,
+                       std::map<std::string, NfPlan>& plans) {
+  const auto chain = ctx.sg().chain_for(req);
+  if (!chain.ok()) return Result<void>::success();  // caught by route_all
+  // Stage i hosts NF chain[i]->to.node; the last link ends at the SAP.
+  std::map<std::string, double> next;  // host -> cost-to-go at stage i+1
+  next.emplace(req.to_sap, 0.0);
+  for (auto it = chain->rbegin(); it != chain->rend(); ++it) {
+    const sg::SgLink* link = *it;
+    const std::string& nf_id = link->from.node;
+    if (ctx.sg().has_sap(nf_id)) break;  // reached the ingress SAP
+    if (ScopedMapDeadline::expired()) {
+      return Error{ErrorCode::kTimeout, "map deadline expired in rank pass"};
+    }
+    NfPlan& plan = plans[nf_id];
+    if (plan.hosts.empty()) {
+      const sg::SgNf* nf = ctx.sg().find_nf(nf_id);
+      if (nf == nullptr) {
+        return Error{ErrorCode::kInvalidArgument, "unknown NF " + nf_id};
+      }
+      plan.hosts = ctx.candidates(*nf);
+      if (plan.hosts.empty()) {
+        return Error{ErrorCode::kInfeasible,
+                     "no feasible host for NF " + nf_id};
+      }
+    }
+    std::map<std::string, double> here;
+    for (const std::string& host : plan.hosts) {
+      double best = kInf;
+      for (const auto& [succ, to_go] : next) {
+        if (to_go == kInf) continue;
+        const double hop = ctx.delay_between(host, succ, link->bandwidth);
+        best = std::min(best, hop + to_go);
+      }
+      here.emplace(host, best);
+      auto [slot, inserted] = plan.oct.emplace(host, best);
+      if (!inserted) slot->second = std::max(slot->second, best);
+    }
+    next = std::move(here);
+  }
+  return Result<void>::success();
+}
+
+}  // namespace
+
+Result<Mapping> ListMapper::map(const sg::ServiceGraph& sg,
+                                const SubstrateView& substrate,
+                                const catalog::NfCatalog& catalog) const {
+  Context ctx(sg, substrate, catalog);
+
+  // Rank pass: optimistic cost tables per requirement, ranks as the mean
+  // finite cost-to-go over candidates (HEFT's mean-over-processors rank).
+  std::map<std::string, NfPlan> plans;
+  for (const sg::E2eRequirement& req : sg.requirements()) {
+    UNIFY_RETURN_IF_ERROR(chain_oct(ctx, req, plans));
+  }
+  for (auto& [nf_id, plan] : plans) {
+    double sum = 0;
+    std::size_t finite = 0;
+    for (const auto& [host, to_go] : plan.oct) {
+      if (to_go == kInf) continue;
+      sum += to_go;
+      ++finite;
+    }
+    // All-infinite means no candidate reaches the egress; keep it ranked
+    // first so the reject surfaces immediately instead of after work.
+    plan.rank = finite == 0 ? kInf : sum / static_cast<double>(finite);
+  }
+
+  // Placement list: descending rank, id as the deterministic tie-break.
+  std::vector<std::string> order;
+  for (const auto& [nf_id, plan] : plans) order.push_back(nf_id);
+  std::stable_sort(order.begin(), order.end(),
+                   [&plans](const std::string& a, const std::string& b) {
+                     const double ra = plans.at(a).rank;
+                     const double rb = plans.at(b).rank;
+                     if (ra != rb) return ra > rb;
+                     return a < b;
+                   });
+
+  // Adjacent SG links of one NF, for the arrival-delay term.
+  const auto place_ranked = [&](const std::string& nf_id) -> Result<void> {
+    if (ScopedMapDeadline::expired()) {
+      return Error{ErrorCode::kTimeout, "map deadline expired placing NFs"};
+    }
+    const NfPlan& plan = plans.at(nf_id);
+    struct Scored {
+      double finish;  ///< arrival + cost-to-go + health penalty
+      double utilization;
+      std::string host;
+    };
+    std::vector<Scored> scored;
+    for (const std::string& host : plan.hosts) {
+      // Arrival delay from every already-resolved neighbour (SAP or placed
+      // NF) into this host, at each link's bandwidth floor.
+      double arrival = 0;
+      for (const sg::SgLink& link : sg.links()) {
+        const std::string& peer = link.from.node == nf_id ? link.to.node
+                                  : link.to.node == nf_id ? link.from.node
+                                                          : "";
+        if (peer.empty()) continue;
+        const auto node = ctx.node_of(peer);
+        if (!node.ok()) continue;  // unplaced NF: the OCT term covers it
+        const double hop = ctx.delay_between(*node, host, link.bandwidth);
+        if (hop == kInf) {
+          arrival = kInf;
+          break;
+        }
+        arrival += hop;
+      }
+      if (arrival == kInf) continue;
+      const auto oct = plan.oct.find(host);
+      const double to_go =
+          oct == plan.oct.end() || oct->second == kInf ? 0 : oct->second;
+      scored.push_back(Scored{arrival + to_go + ctx.node_penalty(host),
+                              ctx.utilization(host), host});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& a, const Scored& b) {
+                if (a.finish != b.finish) return a.finish < b.finish;
+                if (a.utilization != b.utilization) {
+                  return a.utilization < b.utilization;
+                }
+                return a.host < b.host;
+              });
+    Error last{ErrorCode::kInfeasible,
+               "no reachable feasible host for NF " + nf_id};
+    for (const Scored& candidate : scored) {
+      const auto placed = ctx.place(nf_id, candidate.host);
+      if (placed.ok()) return Result<void>::success();
+      last = placed.error();
+    }
+    return last;
+  };
+
+  for (const std::string& nf_id : order) {
+    if (ctx.node_of(nf_id).ok()) continue;
+    UNIFY_RETURN_IF_ERROR(place_ranked(nf_id));
+  }
+
+  // Off-chain NFs (side branches no requirement covers): no rank exists;
+  // least-loaded feasible host, nudged next to a placed neighbour when one
+  // resolves — same fallback the greedy mapper uses.
+  for (const auto& [nf_id, nf] : sg.nfs()) {
+    if (ctx.node_of(nf_id).ok()) continue;
+    struct Fallback {
+      double cost;
+      double utilization;
+      std::string host;
+    };
+    std::vector<Fallback> scored;
+    for (const std::string& host : ctx.candidates(nf)) {
+      double cost = ctx.node_penalty(host);
+      for (const sg::SgLink& link : sg.links()) {
+        const std::string& peer = link.from.node == nf_id ? link.to.node
+                                  : link.to.node == nf_id ? link.from.node
+                                                          : "";
+        if (peer.empty()) continue;
+        if (const auto node = ctx.node_of(peer); node.ok()) {
+          cost += ctx.delay_between(*node, host, link.bandwidth);
+        }
+      }
+      if (cost == kInf) continue;
+      scored.push_back(Fallback{cost, ctx.utilization(host), host});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const Fallback& a, const Fallback& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                if (a.utilization != b.utilization) {
+                  return a.utilization < b.utilization;
+                }
+                return a.host < b.host;
+              });
+    bool placed_one = false;
+    for (const Fallback& candidate : scored) {
+      if (ctx.place(nf_id, candidate.host).ok()) {
+        placed_one = true;
+        break;
+      }
+    }
+    if (!placed_one) {
+      return Error{ErrorCode::kInfeasible,
+                   "no feasible host for off-chain NF " + nf_id};
+    }
+  }
+
+  UNIFY_RETURN_IF_ERROR(ctx.route_all());
+  UNIFY_RETURN_IF_ERROR(ctx.check_requirements());
+  return ctx.finish(name());
+}
+
+}  // namespace unify::mapping

@@ -1,0 +1,32 @@
+// HEFT/PEFT-style list-scheduling embedding.
+//
+// Classic list scheduling from the task-mapping literature adapted to
+// chain embedding: every NF gets an upward rank — the optimistic delay
+// from hosting it anywhere feasible to the chain's egress SAP, computed
+// backwards over Context::delay_between() like PEFT's optimistic cost
+// table — and NFs are placed in descending rank order (most critical
+// first). Each placement picks the host minimizing arrival delay from the
+// already-resolved neighbours plus the host's optimistic cost-to-go plus
+// its health penalty, so flaky domains drain exactly like in the greedy
+// and DP mappers. One pass, no backtracking: fast, and strong on chains
+// whose tail is the bottleneck (greedy commits the head first and starves
+// the tail; the rank order commits the critical stage first).
+#pragma once
+
+#include "mapping/mapper.h"
+
+namespace unify::mapping {
+
+class ListMapper final : public Mapper {
+ public:
+  explicit ListMapper(MapperOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string name() const override { return "list-heft"; }
+  [[nodiscard]] Result<Mapping> map(
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
+      const catalog::NfCatalog& catalog) const override;
+
+ private:
+  MapperOptions options_;
+};
+
+}  // namespace unify::mapping

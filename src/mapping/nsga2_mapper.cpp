@@ -1,0 +1,314 @@
+#include "mapping/nsga2_mapper.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mapping/context.h"
+#include "mapping/greedy_mapper.h"
+#include "util/rng.h"
+
+namespace unify::mapping {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Individual {
+  std::vector<std::size_t> genes;  ///< candidate index per NF (id order)
+  bool feasible = false;
+  EmbeddingScore score;
+  // NSGA-II bookkeeping, rewritten every sort.
+  int rank = 0;
+  double crowding = 0;
+};
+
+/// Re-synchronizes the persistent context to `placement` (tear routes
+/// down, diff placements, re-route, re-check) — same contract as the
+/// annealing mapper's helper: the end state depends only on the target
+/// placement, so failures need no rollback.
+std::optional<Mapping> resync(
+    Context& ctx, const std::map<std::string, std::string>& placement) {
+  for (const sg::SgLink& link : ctx.sg().links()) ctx.unroute(link.id);
+  const std::map<std::string, std::string> current = ctx.placements();
+  for (const auto& [nf, host] : current) {
+    const auto want = placement.find(nf);
+    if (want == placement.end() || want->second != host) ctx.unplace(nf);
+  }
+  for (const auto& [nf, host] : placement) {
+    if (ctx.placements().count(nf) != 0) continue;
+    if (!ctx.place(nf, host).ok()) return std::nullopt;
+  }
+  if (!ctx.route_all().ok()) return std::nullopt;
+  if (!ctx.check_requirements().ok()) return std::nullopt;
+  return ctx.finish("nsga2");
+}
+
+/// Constraint-domination (Deb): feasible beats infeasible; two feasible
+/// compare by Pareto dominance on (cost, delay, penalty); two infeasible
+/// tie (neither dominates).
+bool dominates(const Individual& a, const Individual& b) {
+  if (a.feasible != b.feasible) return a.feasible;
+  if (!a.feasible) return false;
+  const bool le = a.score.cost <= b.score.cost &&
+                  a.score.delay <= b.score.delay &&
+                  a.score.penalty <= b.score.penalty;
+  const bool lt = a.score.cost < b.score.cost ||
+                  a.score.delay < b.score.delay ||
+                  a.score.penalty < b.score.penalty;
+  return le && lt;
+}
+
+/// Fast non-dominated sort + crowding distance; returns indices sorted by
+/// (rank asc, crowding desc, index asc) — the NSGA-II survival order.
+std::vector<std::size_t> survival_order(std::vector<Individual>& pop) {
+  const std::size_t n = pop.size();
+  std::vector<std::vector<std::size_t>> dominated(n);
+  std::vector<int> dominators(n, 0);
+  std::vector<std::vector<std::size_t>> fronts(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (dominates(pop[i], pop[j])) {
+        dominated[i].push_back(j);
+      } else if (dominates(pop[j], pop[i])) {
+        ++dominators[i];
+      }
+    }
+    if (dominators[i] == 0) {
+      pop[i].rank = 0;
+      fronts[0].push_back(i);
+    }
+  }
+  for (std::size_t f = 0; f < fronts.size(); ++f) {
+    std::vector<std::size_t> next;
+    for (const std::size_t i : fronts[f]) {
+      for (const std::size_t j : dominated[i]) {
+        if (--dominators[j] == 0) {
+          pop[j].rank = static_cast<int>(f) + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    if (!next.empty()) fronts.push_back(std::move(next));
+  }
+
+  for (Individual& ind : pop) ind.crowding = 0;
+  const auto objective = [](const Individual& ind, int axis) {
+    switch (axis) {
+      case 0: return ind.score.cost;
+      case 1: return ind.score.delay;
+      default: return ind.score.penalty;
+    }
+  };
+  for (const auto& front : fronts) {
+    for (int axis = 0; axis < 3; ++axis) {
+      std::vector<std::size_t> sorted = front;
+      std::stable_sort(sorted.begin(), sorted.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         const double va = objective(pop[a], axis);
+                         const double vb = objective(pop[b], axis);
+                         if (va != vb) return va < vb;
+                         return a < b;
+                       });
+      pop[sorted.front()].crowding = kInf;
+      pop[sorted.back()].crowding = kInf;
+      const double span = objective(pop[sorted.back()], axis) -
+                          objective(pop[sorted.front()], axis);
+      if (span <= 0) continue;
+      for (std::size_t k = 1; k + 1 < sorted.size(); ++k) {
+        pop[sorted[k]].crowding += (objective(pop[sorted[k + 1]], axis) -
+                                    objective(pop[sorted[k - 1]], axis)) /
+                                   span;
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&pop](std::size_t a, std::size_t b) {
+                     if (pop[a].rank != pop[b].rank) {
+                       return pop[a].rank < pop[b].rank;
+                     }
+                     if (pop[a].crowding != pop[b].crowding) {
+                       return pop[a].crowding > pop[b].crowding;
+                     }
+                     return a < b;
+                   });
+  return order;
+}
+
+}  // namespace
+
+Result<Mapping> Nsga2Mapper::map(const sg::ServiceGraph& sg,
+                                 const SubstrateView& substrate,
+                                 const catalog::NfCatalog& catalog) const {
+  Context ctx(sg, substrate, catalog);
+  if (sg.nfs().empty()) {
+    UNIFY_RETURN_IF_ERROR(ctx.route_all());
+    UNIFY_RETURN_IF_ERROR(ctx.check_requirements());
+    return ctx.finish(name());
+  }
+
+  // Genome layout: one gene per NF, NF ids in their (sorted) map order;
+  // candidate lists computed once on the pristine substrate (capacity of a
+  // full placement is re-checked by every resync).
+  std::vector<std::string> nf_ids;
+  std::vector<std::vector<std::string>> candidates;
+  for (const auto& [nf_id, nf] : sg.nfs()) {
+    nf_ids.push_back(nf_id);
+    candidates.push_back(ctx.candidates(nf));
+    if (candidates.back().empty()) {
+      return Error{ErrorCode::kInfeasible, "no feasible host for NF " + nf_id};
+    }
+  }
+
+  const auto placement_of = [&](const std::vector<std::size_t>& genes) {
+    std::map<std::string, std::string> placement;
+    for (std::size_t g = 0; g < genes.size(); ++g) {
+      placement.emplace(nf_ids[g], candidates[g][genes[g]]);
+    }
+    return placement;
+  };
+
+  // The scalar incumbent: best feasible mapping ever evaluated, by
+  // (total, delay, penalty) with strict improvement only — deterministic
+  // regardless of how the Pareto front evolves.
+  std::optional<Mapping> incumbent;
+  std::array<double, 3> incumbent_key{kInf, kInf, kInf};
+  const auto evaluate = [&](Individual& ind) {
+    const auto mapping = resync(ctx, placement_of(ind.genes));
+    ind.feasible = mapping.has_value();
+    if (!ind.feasible) {
+      ind.score = EmbeddingScore{kInf, kInf, kInf};
+      return;
+    }
+    ind.score = score_mapping(*mapping, ctx.base());
+    const std::array<double, 3> key{ind.score.total(options_.delay_weight),
+                                    ind.score.delay, ind.score.penalty};
+    if (key < incumbent_key) {
+      incumbent_key = key;
+      incumbent = *mapping;
+      incumbent->mapper_name = name();
+    }
+  };
+
+  Rng rng(options_.seed);
+  const int population = std::max(2, options_.population);
+  const auto random_genes = [&] {
+    std::vector<std::size_t> genes(nf_ids.size());
+    for (std::size_t g = 0; g < genes.size(); ++g) {
+      genes[g] = rng.next_below(candidates[g].size());
+    }
+    return genes;
+  };
+
+  std::vector<Individual> pop;
+  pop.reserve(static_cast<std::size_t>(population) * 2);
+  // Individual 0: the greedy placement, when it exists — a warm start that
+  // anchors the front at a known-feasible point.
+  if (const auto seeded = GreedyMapper().map(sg, substrate, catalog);
+      seeded.ok()) {
+    Individual warm;
+    warm.genes.assign(nf_ids.size(), 0);
+    bool translated = true;
+    for (std::size_t g = 0; g < nf_ids.size(); ++g) {
+      const auto host = seeded->nf_host.find(nf_ids[g]);
+      const auto at = host == seeded->nf_host.end()
+                          ? candidates[g].end()
+                          : std::find(candidates[g].begin(),
+                                      candidates[g].end(), host->second);
+      if (at == candidates[g].end()) {
+        translated = false;
+        break;
+      }
+      warm.genes[g] = static_cast<std::size_t>(at - candidates[g].begin());
+    }
+    if (translated) pop.push_back(std::move(warm));
+  }
+  while (pop.size() < static_cast<std::size_t>(population)) {
+    Individual ind;
+    ind.genes = random_genes();
+    pop.push_back(std::move(ind));
+  }
+  for (Individual& ind : pop) {
+    if (ScopedMapDeadline::expired()) break;
+    evaluate(ind);
+  }
+
+  const auto tournament = [&]() -> const Individual& {
+    const std::size_t a = rng.next_below(pop.size());
+    const std::size_t b = rng.next_below(pop.size());
+    if (pop[a].rank != pop[b].rank) {
+      return pop[a].rank < pop[b].rank ? pop[a] : pop[b];
+    }
+    if (pop[a].crowding != pop[b].crowding) {
+      return pop[a].crowding > pop[b].crowding ? pop[a] : pop[b];
+    }
+    return pop[std::min(a, b)];
+  };
+
+  for (int gen = 0; gen < options_.generations; ++gen) {
+    if (ScopedMapDeadline::expired()) break;
+    // Ranks/crowding for parent selection reflect the current population.
+    (void)survival_order(pop);
+    std::vector<Individual> children;
+    children.reserve(static_cast<std::size_t>(population));
+    while (children.size() < static_cast<std::size_t>(population)) {
+      std::vector<std::size_t> a = tournament().genes;
+      std::vector<std::size_t> b = tournament().genes;
+      if (rng.next_bool(options_.crossover_rate)) {
+        for (std::size_t g = 0; g < a.size(); ++g) {
+          if (rng.next_bool(0.5)) std::swap(a[g], b[g]);
+        }
+      }
+      for (std::vector<std::size_t>* genes : {&a, &b}) {
+        for (std::size_t g = 0; g < genes->size(); ++g) {
+          if (rng.next_bool(options_.mutation_rate)) {
+            (*genes)[g] = rng.next_below(candidates[g].size());
+          }
+        }
+        if (children.size() < static_cast<std::size_t>(population)) {
+          Individual child;
+          child.genes = std::move(*genes);
+          children.push_back(std::move(child));
+        }
+      }
+    }
+    bool truncated = false;
+    for (Individual& child : children) {
+      if (ScopedMapDeadline::expired()) {
+        truncated = true;
+        break;
+      }
+      evaluate(child);
+      pop.push_back(std::move(child));
+    }
+    // Environmental selection: best `population` of parents + children.
+    const std::vector<std::size_t> order = survival_order(pop);
+    std::vector<Individual> survivors;
+    survivors.reserve(static_cast<std::size_t>(population));
+    for (int k = 0; k < population; ++k) {
+      survivors.push_back(std::move(pop[order[static_cast<std::size_t>(k)]]));
+    }
+    pop = std::move(survivors);
+    if (truncated) break;
+  }
+
+  if (!incumbent.has_value()) {
+    if (ScopedMapDeadline::expired()) {
+      return Error{ErrorCode::kTimeout,
+                   "map deadline expired before a feasible individual"};
+    }
+    return Error{ErrorCode::kInfeasible,
+                 "no feasible placement in " +
+                     std::to_string(options_.generations) + " generations"};
+  }
+  return *incumbent;
+}
+
+}  // namespace unify::mapping

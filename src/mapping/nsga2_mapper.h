@@ -1,0 +1,47 @@
+// NSGA-II multi-objective embedding (Deb et al., 2002) over placement
+// vectors.
+//
+// The genome is one candidate-host index per NF; fitness is the
+// three-objective EmbeddingScore (substrate load, end-to-end delay, summed
+// health penalty) evaluated by re-syncing a persistent mapping::Context —
+// the same resync trick the annealing mapper uses, so a generation costs
+// population × (diff placements + route_all), never a substrate copy.
+// Selection is binary tournament on (constraint-domination rank, crowding
+// distance); feasible individuals always dominate infeasible ones.
+// Everything random flows from one seeded Rng, so a given
+// (seed, instance) replays byte-identically — the determinism contract of
+// DESIGN.md §15 (void under a portfolio deadline, which truncates the run
+// at a wall-clock-dependent generation).
+//
+// The answer handed back through Mapper::map is the best *feasible*
+// individual ever evaluated under the scalarized objective
+// EmbeddingScore::total(delay_weight) — the front is how the search
+// explores, the scalar is how the portfolio compares mappers.
+#pragma once
+
+#include "mapping/mapper.h"
+
+namespace unify::mapping {
+
+struct Nsga2Options {
+  int population = 24;
+  int generations = 24;
+  double crossover_rate = 0.9;  ///< per-pair uniform crossover probability
+  double mutation_rate = 0.15;  ///< per-gene reroll probability
+  double delay_weight = 1.0;    ///< scalarization for the reported winner
+  std::uint64_t seed = 1;
+};
+
+class Nsga2Mapper final : public Mapper {
+ public:
+  explicit Nsga2Mapper(Nsga2Options options = {}) : options_(options) {}
+  [[nodiscard]] std::string name() const override { return "nsga2"; }
+  [[nodiscard]] Result<Mapping> map(
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
+      const catalog::NfCatalog& catalog) const override;
+
+ private:
+  Nsga2Options options_;
+};
+
+}  // namespace unify::mapping

@@ -1,0 +1,175 @@
+#include "mapping/portfolio.h"
+
+#include <chrono>
+#include <functional>
+#include <utility>
+
+#include "mapping/annealing_mapper.h"
+#include "mapping/backtracking_mapper.h"
+#include "mapping/bnb_mapper.h"
+#include "mapping/chain_dp_mapper.h"
+#include "mapping/greedy_mapper.h"
+#include "mapping/list_mapper.h"
+#include "mapping/nsga2_mapper.h"
+#include "util/orchestration_pool.h"
+
+namespace unify::mapping {
+
+PortfolioMapper::PortfolioMapper(
+    std::vector<std::shared_ptr<const Mapper>> racers,
+    PortfolioOptions options)
+    : racers_(std::move(racers)), options_(options) {}
+
+std::vector<std::shared_ptr<const Mapper>> PortfolioMapper::standard_racers(
+    MapperOptions base) {
+  AnnealingOptions annealing;
+  annealing.seed = base.seed;
+  Nsga2Options nsga2;
+  nsga2.seed = base.seed;
+  BnbOptions bnb;
+  bnb.max_nodes = base.max_search_steps;
+  std::vector<std::shared_ptr<const Mapper>> racers;
+  racers.push_back(std::make_shared<GreedyMapper>(base));
+  racers.push_back(std::make_shared<ChainDpMapper>(base));
+  racers.push_back(std::make_shared<BacktrackingMapper>(base));
+  racers.push_back(std::make_shared<AnnealingMapper>(annealing));
+  racers.push_back(std::make_shared<ListMapper>(base));
+  racers.push_back(std::make_shared<Nsga2Mapper>(nsga2));
+  racers.push_back(std::make_shared<BnbMapper>(bnb));
+  return racers;
+}
+
+Result<RaceReport> PortfolioMapper::race(
+    const sg::ServiceGraph& sg, const SubstrateView& substrate,
+    const catalog::NfCatalog& catalog) const {
+  if (racers_.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "portfolio has no racers"};
+  }
+
+  // Speculative fan-out: one lane per racer, each writing only its own
+  // slot. Every racer's map() builds a private Context overlay over the
+  // shared substrate view, so lanes are independent by construction; the
+  // deadline is armed per worker thread around the map() call.
+  struct Lane {
+    Result<Mapping> mapping = Error{ErrorCode::kInternal, "lane not run"};
+    std::int64_t wall_us = 0;
+  };
+  std::vector<Lane> lanes(racers_.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(racers_.size());
+  for (std::size_t i = 0; i < racers_.size(); ++i) {
+    tasks.push_back([this, &sg, &substrate, &catalog, &lanes, i] {
+      using Clock = std::chrono::steady_clock;
+      const auto started = Clock::now();
+      {
+        ScopedMapDeadline deadline(options_.deadline_us);
+        lanes[i].mapping = racers_[i]->map(sg, substrate, catalog);
+      }
+      lanes[i].wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             Clock::now() - started)
+                             .count();
+    });
+  }
+  util::OrchestrationPool& pool = options_.pool != nullptr
+                                      ? *options_.pool
+                                      : util::OrchestrationPool::process_pool();
+  pool.run_all(std::move(tasks));
+
+  // Single winner: min scalar total, ties by (delay, penalty, lane index).
+  RaceReport report;
+  report.outcomes.reserve(racers_.size());
+  for (std::size_t i = 0; i < racers_.size(); ++i) {
+    RacerOutcome outcome;
+    outcome.mapper = racers_[i]->name();
+    outcome.wall_us = lanes[i].wall_us;
+    if (lanes[i].mapping.ok()) {
+      outcome.feasible = true;
+      outcome.score = score_mapping(*lanes[i].mapping, substrate.nffg());
+      const bool better =
+          report.winner < 0 ||
+          [&](const RacerOutcome& leader) {
+            const double a = outcome.score.total(options_.delay_weight);
+            const double b = leader.score.total(options_.delay_weight);
+            if (a != b) return a < b;
+            if (outcome.score.delay != leader.score.delay) {
+              return outcome.score.delay < leader.score.delay;
+            }
+            return outcome.score.penalty < leader.score.penalty;
+          }(report.outcomes[static_cast<std::size_t>(report.winner)]);
+      if (better) {
+        report.winner = static_cast<int>(i);
+        report.mapping = *lanes[i].mapping;
+      }
+    } else {
+      outcome.deadline_killed =
+          lanes[i].mapping.error().code == ErrorCode::kTimeout;
+      outcome.error = lanes[i].mapping.error().to_string();
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++races_;
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+      const RacerOutcome& outcome = report.outcomes[i];
+      RacerStats& stats = stats_[outcome.mapper];
+      ++stats.runs;
+      if (static_cast<int>(i) == report.winner) ++stats.wins;
+      if (!outcome.feasible) ++stats.infeasible;
+      if (outcome.deadline_killed) ++stats.deadline_kills;
+      stats.wall_us.push_back(static_cast<double>(outcome.wall_us));
+    }
+  }
+
+  if (report.winner < 0) {
+    // Propagate the most conclusive failure: prefer a racer that proved
+    // infeasibility over one the deadline truncated.
+    for (const RacerOutcome& outcome : report.outcomes) {
+      if (!outcome.deadline_killed) {
+        return Error{ErrorCode::kInfeasible,
+                     outcome.mapper + ": " + outcome.error};
+      }
+    }
+    return Error{ErrorCode::kTimeout,
+                 "every racer hit the portfolio deadline"};
+  }
+  return report;
+}
+
+Result<Mapping> PortfolioMapper::map(const sg::ServiceGraph& sg,
+                                     const SubstrateView& substrate,
+                                     const catalog::NfCatalog& catalog) const {
+  UNIFY_ASSIGN_OR_RETURN(RaceReport report, race(sg, substrate, catalog));
+  Mapping mapping = std::move(report.mapping);
+  mapping.mapper_name = "portfolio/" + mapping.mapper_name;
+  return mapping;
+}
+
+void PortfolioMapper::drain_metrics(telemetry::Registry& registry) const {
+  std::map<std::string, RacerStats> drained;
+  std::uint64_t races = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    drained.swap(stats_);
+    races = races_;
+    races_ = 0;
+  }
+  if (races > 0) registry.add("mapping.portfolio.races", races);
+  for (const auto& [racer, stats] : drained) {
+    const std::string prefix = "mapping.portfolio." + racer + ".";
+    if (stats.runs > 0) registry.add(prefix + "runs", stats.runs);
+    if (stats.wins > 0) registry.add(prefix + "wins", stats.wins);
+    if (stats.infeasible > 0) {
+      registry.add(prefix + "infeasible", stats.infeasible);
+    }
+    if (stats.deadline_kills > 0) {
+      registry.add(prefix + "deadline_kills", stats.deadline_kills);
+    }
+    for (const double wall : stats.wall_us) {
+      registry.observe(prefix + "wall_us", wall);
+    }
+  }
+}
+
+}  // namespace unify::mapping

@@ -1,0 +1,128 @@
+// Portfolio racing across the mapper field (DESIGN.md §15).
+//
+// No single embedding algorithm wins everywhere: greedy is fast but
+// myopic, the DP is chain-optimal but chain-only, annealing/NSGA-II need
+// iterations, branch-and-bound needs small instances. The portfolio runs K
+// mappers speculatively in parallel on the shared OrchestrationPool — each
+// racer builds its own private mapping::Context overlay against the one
+// borrowed substrate view, so racers never see each other — bounds the
+// slow ones with a cooperative wall-clock deadline (ScopedMapDeadline) and
+// commits exactly one winner: the feasible embedding minimizing
+// EmbeddingScore::total(delay_weight), ties broken by (delay, penalty,
+// racer index). Used as the ResourceOrchestrator's mapper, the winner then
+// flows through the RO's existing conflict-checked commit path like any
+// single-mapper embedding.
+//
+// Determinism: without a deadline the race is a pure function of
+// (instance, racers) — every racer is deterministic per seed and the
+// winner is picked by score, not by finishing order. A deadline trades
+// that for tail-latency control: which racers get truncated depends on
+// wall time.
+//
+// Telemetry: per-racer runs/wins/infeasibles/deadline-kills and wall time
+// accumulate internally under a mutex (map() runs concurrently on batch
+// workers; telemetry::Registry is not thread-safe) and are published by
+// drain_metrics() under "mapping.portfolio.*" from single-threaded code.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mapping/mapper.h"
+#include "telemetry/metrics.h"
+
+namespace unify::util {
+class OrchestrationPool;
+}  // namespace unify::util
+
+namespace unify::mapping {
+
+struct PortfolioOptions {
+  /// Wall-clock budget per race; every racer sees it as a cooperative
+  /// ScopedMapDeadline. 0 = no deadline (fully deterministic race).
+  std::int64_t deadline_us = 0;
+  /// Pool the racers run on; nullptr = the shared process pool. The race
+  /// joins per batch, so racing inside a map_batch worker nests safely.
+  util::OrchestrationPool* pool = nullptr;
+  /// Scalarization used to pick the winner.
+  double delay_weight = 1.0;
+};
+
+/// One racer's outcome in a race (index-aligned with the racer list).
+struct RacerOutcome {
+  std::string mapper;
+  bool feasible = false;
+  bool deadline_killed = false;  ///< failed with kTimeout
+  std::int64_t wall_us = 0;
+  EmbeddingScore score;  ///< valid when feasible
+  std::string error;     ///< when !feasible
+};
+
+struct RaceReport {
+  std::vector<RacerOutcome> outcomes;
+  int winner = -1;  ///< index into outcomes; -1 = every racer failed
+  Mapping mapping;  ///< the winning embedding (valid when winner >= 0)
+};
+
+class PortfolioMapper final : public Mapper {
+ public:
+  PortfolioMapper(std::vector<std::shared_ptr<const Mapper>> racers,
+                  PortfolioOptions options = {});
+
+  /// The standard seven-mapper field: greedy, chain-dp, backtracking,
+  /// annealing, list-heft, nsga2, bnb — seeds and budgets from `base`.
+  [[nodiscard]] static std::vector<std::shared_ptr<const Mapper>>
+  standard_racers(MapperOptions base = {});
+
+  [[nodiscard]] std::string name() const override { return "portfolio"; }
+
+  /// Runs the full race and reports every lane. Errors only when the
+  /// instance defeats all racers (the first racer's error is propagated).
+  [[nodiscard]] Result<RaceReport> race(
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
+      const catalog::NfCatalog& catalog) const;
+
+  /// Mapper interface: the race winner, renamed "portfolio/<racer>" so the
+  /// committed deployment records which algorithm produced it.
+  [[nodiscard]] Result<Mapping> map(
+      const sg::ServiceGraph& sg, const SubstrateView& substrate,
+      const catalog::NfCatalog& catalog) const override;
+
+  [[nodiscard]] const std::vector<std::shared_ptr<const Mapper>>& racers()
+      const noexcept {
+    return racers_;
+  }
+
+  /// Moves the accumulated per-racer stats into `registry`:
+  ///   mapping.portfolio.races                     (counter)
+  ///   mapping.portfolio.<racer>.runs              (counter)
+  ///   mapping.portfolio.<racer>.wins              (counter)
+  ///   mapping.portfolio.<racer>.infeasible        (counter)
+  ///   mapping.portfolio.<racer>.deadline_kills    (counter)
+  ///   mapping.portfolio.<racer>.wall_us           (summary)
+  /// Draining resets the internal stats, so periodic drains never double
+  /// count. Call from single-threaded code (Registry is not thread-safe).
+  void drain_metrics(telemetry::Registry& registry) const;
+
+ private:
+  struct RacerStats {
+    std::uint64_t runs = 0;
+    std::uint64_t wins = 0;
+    std::uint64_t infeasible = 0;
+    std::uint64_t deadline_kills = 0;
+    std::vector<double> wall_us;
+  };
+
+  std::vector<std::shared_ptr<const Mapper>> racers_;
+  PortfolioOptions options_;
+  /// Guards stats_ only: map()/race() run concurrently on pool workers.
+  mutable std::mutex stats_mutex_;
+  mutable std::map<std::string, RacerStats> stats_;
+  mutable std::uint64_t races_ = 0;
+};
+
+}  // namespace unify::mapping

@@ -7,6 +7,14 @@
 
 namespace unify::proto {
 
+SessionOptions wire_session_options() noexcept {
+  SessionOptions options;
+  options.heartbeat.interval_us = 1'000'000;
+  options.heartbeat.timeout_us = 0;  // one interval per ping
+  options.heartbeat.miss_threshold = 3;
+  return options;  // reconnect: the ReconnectPolicy defaults (enabled)
+}
+
 ResilientSession::ResilientSession(std::string name, Driver& driver,
                                    TransportFactory factory,
                                    SessionOptions options,

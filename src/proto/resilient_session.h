@@ -68,6 +68,14 @@ struct SessionOptions {
   HeartbeatPolicy heartbeat;
 };
 
+/// Production defaults for sessions on a real wire (unify_rod and every
+/// TCP client riding the reactor): reconnect enabled with the standard
+/// capped backoff, plus a 1 s heartbeat with a 3-miss threshold so a
+/// silently partitioned peer trips liveness in seconds instead of waiting
+/// out a push deadline. Simulated/in-process tests arm their own policies
+/// explicitly (a heartbeat on a loopback pair is just noise).
+[[nodiscard]] SessionOptions wire_session_options() noexcept;
+
 class ResilientSession {
  public:
   /// Produces a fresh connected transport on the session's driver. Called

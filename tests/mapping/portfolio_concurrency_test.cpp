@@ -1,0 +1,119 @@
+// Portfolio racing under real concurrency (run under TSan via the
+// tsan-concurrency preset): many simultaneous races on one shared
+// PortfolioMapper against one shared substrate view, with a deadline
+// aggressive enough that iterative racers get truncated mid-search. The
+// shared view must come through bit-untouched, every race commits at most
+// one embedding, and deadline-killed racers leak nothing into the stats or
+// the substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "infra/topologies.h"
+#include "mapping/portfolio.h"
+#include "model/nffg_hash.h"
+#include "telemetry/metrics.h"
+#include "util/orchestration_pool.h"
+#include "util/rng.h"
+
+namespace unify::mapping {
+namespace {
+
+TEST(PortfolioRace, ConcurrentRacesNeverCorruptTheSharedView) {
+  const catalog::NfCatalog cat = catalog::default_catalog();
+  Rng rng(42);
+  const model::Nffg substrate = infra::topo::random_connected(12, 3.0, 2, rng);
+  const std::uint64_t pristine = model::content_hash(substrate);
+
+  PortfolioOptions options;
+  options.deadline_us = 200;  // truncates annealing/nsga2/bnb mid-search
+  const PortfolioMapper portfolio(PortfolioMapper::standard_racers(),
+                                  options);
+
+  // Concurrent outer races, each fanning its racers onto the same process
+  // pool the outer batch runs on (callers participate as runners, so the
+  // nesting cannot deadlock).
+  constexpr std::size_t kRaces = 24;
+  std::vector<Result<RaceReport>> reports(
+      kRaces, Result<RaceReport>(Error{ErrorCode::kInternal, "not run"}));
+  std::atomic<int> winners{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(kRaces);
+  for (std::size_t i = 0; i < kRaces; ++i) {
+    tasks.push_back([&, i] {
+      const sg::ServiceGraph sg = sg::make_chain(
+          "svc" + std::to_string(i), "sap1",
+          {"nat", "monitor", "vpn"}, "sap2", 20 + static_cast<double>(i),
+          400);
+      reports[i] = portfolio.race(sg, substrate, cat);
+      if (reports[i].ok() && reports[i]->winner >= 0) {
+        winners.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  util::OrchestrationPool::process_pool().run_all(std::move(tasks));
+
+  // The substrate no racer was allowed to touch hashes identically.
+  EXPECT_EQ(model::content_hash(substrate), pristine);
+
+  for (std::size_t i = 0; i < kRaces; ++i) {
+    // One-pass racers ignore the aggressive deadline, so every race lands.
+    ASSERT_TRUE(reports[i].ok())
+        << "race " << i << ": " << reports[i].error().to_string();
+    const RaceReport& report = *reports[i];
+    ASSERT_GE(report.winner, 0);
+    // At most one committed embedding per race: the winning mapping is the
+    // only one the report carries, and it must verify against the pristine
+    // substrate.
+    const sg::ServiceGraph sg = sg::make_chain(
+        "svc" + std::to_string(i), "sap1", {"nat", "monitor", "vpn"},
+        "sap2", 20 + static_cast<double>(i), 400);
+    const auto verified = verify_mapping(sg, substrate, cat, report.mapping);
+    EXPECT_TRUE(verified.ok())
+        << "race " << i << ": " << verified.error().to_string();
+    // Deadline-killed lanes report kTimeout honestly — never a mapping.
+    for (const RacerOutcome& outcome : report.outcomes) {
+      if (outcome.deadline_killed) {
+        EXPECT_FALSE(outcome.feasible);
+      }
+    }
+  }
+  EXPECT_EQ(winners.load(), static_cast<int>(kRaces));
+
+  // Stats folded once per (race, racer) despite the concurrency; exactly
+  // one win per race survived.
+  telemetry::Registry registry;
+  portfolio.drain_metrics(registry);
+  EXPECT_EQ(registry.counter("mapping.portfolio.races"), kRaces);
+  std::uint64_t runs = 0;
+  std::uint64_t wins = 0;
+  for (const auto& racer : portfolio.racers()) {
+    const std::string prefix = "mapping.portfolio." + racer->name() + ".";
+    runs += registry.counter(prefix + "runs");
+    wins += registry.counter(prefix + "wins");
+  }
+  EXPECT_EQ(runs, kRaces * portfolio.racers().size());
+  EXPECT_EQ(wins, kRaces);
+}
+
+TEST(PortfolioRace, NestedDeadlinesRestoreTheOuterBudget) {
+  // A race armed inside an already-armed deadline must restore the outer
+  // deadline on exit — the thread-local nests, it does not leak.
+  ScopedMapDeadline outer(10'000'000);  // 10 s: effectively never expires
+  EXPECT_FALSE(ScopedMapDeadline::expired());
+  {
+    ScopedMapDeadline inner(1);
+    // Burn past the 1 us inner budget.
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 100000; ++i) {
+      sink = sink + static_cast<std::uint64_t>(i);
+    }
+    EXPECT_TRUE(ScopedMapDeadline::expired());
+  }
+  EXPECT_FALSE(ScopedMapDeadline::expired());
+}
+
+}  // namespace
+}  // namespace unify::mapping

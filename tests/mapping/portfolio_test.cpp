@@ -1,0 +1,218 @@
+// Portfolio racer: K mappers speculate in parallel, exactly one embedding
+// wins, the winner is never worse than the best individual racer, and the
+// per-racer telemetry drains without double counting.
+#include "mapping/portfolio.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/resource_orchestrator.h"
+#include "infra/topologies.h"
+#include "mapping/greedy_mapper.h"
+#include "model/nffg_builder.h"
+#include "telemetry/metrics.h"
+#include "util/rng.h"
+
+namespace unify::mapping {
+namespace {
+
+struct Instance {
+  model::Nffg substrate;
+  sg::ServiceGraph sg;
+};
+
+Instance instance(std::uint64_t seed) {
+  Rng rng(seed);
+  return Instance{
+      infra::topo::random_connected(10, 3.0, 2, rng),
+      sg::make_chain("svc", "sap1", {"nat", "monitor", "vpn"}, "sap2", 40,
+                     300)};
+}
+
+TEST(Portfolio, WinnerIsNeverWorseThanAnyFeasibleRacer) {
+  const catalog::NfCatalog cat = catalog::default_catalog();
+  const PortfolioMapper portfolio(PortfolioMapper::standard_racers());
+  ASSERT_EQ(portfolio.racers().size(), 7u);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Instance inst = instance(seed);
+    const auto report = portfolio.race(inst.sg, inst.substrate, cat);
+    ASSERT_TRUE(report.ok()) << report.error().to_string();
+    ASSERT_EQ(report->outcomes.size(), 7u);
+    ASSERT_GE(report->winner, 0);
+    const EmbeddingScore& won =
+        report->outcomes[static_cast<std::size_t>(report->winner)].score;
+    for (const RacerOutcome& outcome : report->outcomes) {
+      if (!outcome.feasible) continue;
+      EXPECT_LE(won.total(), outcome.score.total() + 1e-9)
+          << outcome.mapper << " beat the declared winner on seed " << seed;
+    }
+    // The committed embedding itself survives independent verification.
+    const auto verified =
+        verify_mapping(inst.sg, inst.substrate, cat, report->mapping);
+    EXPECT_TRUE(verified.ok()) << verified.error().to_string();
+  }
+}
+
+TEST(Portfolio, MapRecordsTheWinningAlgorithm) {
+  const catalog::NfCatalog cat = catalog::default_catalog();
+  const PortfolioMapper portfolio(PortfolioMapper::standard_racers());
+  const Instance inst = instance(3);
+  const auto mapping = portfolio.map(inst.sg, inst.substrate, cat);
+  ASSERT_TRUE(mapping.ok()) << mapping.error().to_string();
+  EXPECT_EQ(mapping->mapper_name.rfind("portfolio/", 0), 0u)
+      << mapping->mapper_name;
+}
+
+TEST(Portfolio, RejectsAnEmptyField) {
+  const catalog::NfCatalog cat = catalog::default_catalog();
+  const PortfolioMapper portfolio({});
+  const Instance inst = instance(4);
+  const auto report = portfolio.race(inst.sg, inst.substrate, cat);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Portfolio, ReportsInfeasibilityWhenEveryRacerFails) {
+  const catalog::NfCatalog cat = catalog::default_catalog();
+  const PortfolioMapper portfolio(PortfolioMapper::standard_racers());
+  const model::Nffg substrate = infra::topo::line(3);
+  // Sub-ms budget over a multi-hop line: nothing can embed this.
+  const sg::ServiceGraph sg =
+      sg::make_chain("svc", "sap1", {"nat"}, "sap2", 5, 0.0001);
+  const auto report = portfolio.race(sg, substrate, cat);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, ErrorCode::kInfeasible);
+}
+
+TEST(Portfolio, DeadlineRaceStillCommitsAtMostOneWinner) {
+  const catalog::NfCatalog cat = catalog::default_catalog();
+  PortfolioOptions options;
+  options.deadline_us = 1;  // expire before the iterative racers finish
+  const PortfolioMapper portfolio(PortfolioMapper::standard_racers(),
+                                  options);
+  const Instance inst = instance(5);
+  const auto report = portfolio.race(inst.sg, inst.substrate, cat);
+  // One-pass racers (greedy, chain-dp, list-heft) ignore the deadline, so
+  // the race still lands a winner; deadline kills must be reported as
+  // kTimeout outcomes, not silent partials.
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  ASSERT_GE(report->winner, 0);
+  const auto verified =
+      verify_mapping(inst.sg, inst.substrate, cat, report->mapping);
+  EXPECT_TRUE(verified.ok()) << verified.error().to_string();
+  for (const RacerOutcome& outcome : report->outcomes) {
+    if (outcome.deadline_killed) {
+      EXPECT_FALSE(outcome.feasible);
+    }
+  }
+}
+
+TEST(Portfolio, DrainMetricsMovesAndResets) {
+  const catalog::NfCatalog cat = catalog::default_catalog();
+  const PortfolioMapper portfolio(PortfolioMapper::standard_racers());
+  const Instance inst = instance(6);
+  constexpr std::uint64_t kRaces = 3;
+  for (std::uint64_t i = 0; i < kRaces; ++i) {
+    ASSERT_TRUE(portfolio.race(inst.sg, inst.substrate, cat).ok());
+  }
+  telemetry::Registry registry;
+  portfolio.drain_metrics(registry);
+  EXPECT_EQ(registry.counter("mapping.portfolio.races"), kRaces);
+  std::uint64_t wins = 0;
+  for (const auto& racer : portfolio.racers()) {
+    const std::string prefix = "mapping.portfolio." + racer->name() + ".";
+    EXPECT_EQ(registry.counter(prefix + "runs"), kRaces) << racer->name();
+    wins += registry.counter(prefix + "wins");
+    const auto* wall = registry.find_summary(prefix + "wall_us");
+    ASSERT_NE(wall, nullptr) << racer->name();
+    EXPECT_EQ(wall->count(), kRaces) << racer->name();
+  }
+  EXPECT_EQ(wins, kRaces);  // exactly one winner per race
+  // Draining resets: a second drain has nothing to add.
+  telemetry::Registry again;
+  portfolio.drain_metrics(again);
+  EXPECT_EQ(again.counter("mapping.portfolio.races"), 0u);
+  EXPECT_EQ(again.counters().size(), 0u);
+}
+
+TEST(Portfolio, DeterministicWithoutADeadline) {
+  const catalog::NfCatalog cat = catalog::default_catalog();
+  const PortfolioMapper portfolio(PortfolioMapper::standard_racers());
+  const Instance inst = instance(7);
+  const auto first = portfolio.map(inst.sg, inst.substrate, cat);
+  const auto second = portfolio.map(inst.sg, inst.substrate, cat);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+}
+
+// -- RO integration ---------------------------------------------------------
+
+class StubAdapter final : public adapters::DomainAdapter {
+ public:
+  StubAdapter(std::string name, model::Nffg view)
+      : name_(std::move(name)), view_(std::move(view)) {}
+  [[nodiscard]] const std::string& domain() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] Result<model::Nffg> fetch_view() override { return view_; }
+  Result<void> apply(const model::Nffg&) override {
+    return Result<void>::success();
+  }
+  [[nodiscard]] std::uint64_t native_operations() const noexcept override {
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  model::Nffg view_;
+};
+
+model::Nffg stub_view(const std::string& bb, const std::string& sap,
+                      const std::string& stitch) {
+  model::Nffg g{bb + "-view"};
+  EXPECT_TRUE(
+      g.add_bisbis(model::make_bisbis(bb, {16, 16384, 200}, 4)).ok());
+  model::attach_sap(g, sap, bb, 0, {1000, 0.1});
+  model::attach_sap(g, stitch, bb, 1, {1000, 0.5});
+  return g;
+}
+
+TEST(Portfolio, RoRacesAndDrainsThroughDeploy) {
+  core::RoOptions options;
+  options.race_portfolio = true;
+  // Keep the portfolio outermost (decomposition would rename the mapping
+  // "decomp-aware(portfolio)"); the chain below is atomic anyway.
+  options.use_decomposition = false;
+  core::ResourceOrchestrator ro("ro",
+                                std::make_shared<GreedyMapper>(),
+                                catalog::default_catalog(), options);
+  ASSERT_NE(ro.portfolio(), nullptr);
+  // Injected greedy races as lane 0; the standard field's own greedy is
+  // deduplicated away.
+  EXPECT_EQ(ro.portfolio()->racers().size(), 7u);
+  EXPECT_EQ(ro.portfolio()->racers().front()->name(), "greedy");
+  ASSERT_TRUE(ro.add_domain(std::make_unique<StubAdapter>(
+                                "d1", stub_view("bb1", "sap1", "xp")))
+                  .ok());
+  ASSERT_TRUE(ro.add_domain(std::make_unique<StubAdapter>(
+                                "d2", stub_view("bb2", "sap2", "xp")))
+                  .ok());
+  ASSERT_TRUE(ro.initialize().ok());
+  const auto deployed =
+      ro.deploy(sg::make_chain("svc", "sap1", {"nat", "monitor"}, "sap2",
+                               50, 100));
+  ASSERT_TRUE(deployed.ok()) << deployed.error().to_string();
+  // The committed deployment records which algorithm won...
+  const auto& mapping = ro.deployments().at("svc").mapping;
+  EXPECT_EQ(mapping.mapper_name.rfind("portfolio/", 0), 0u)
+      << mapping.mapper_name;
+  // ...and deploy() drained the race telemetry into the RO registry.
+  EXPECT_GE(ro.metrics().counter("mapping.portfolio.races"), 1u);
+}
+
+}  // namespace
+}  // namespace unify::mapping
